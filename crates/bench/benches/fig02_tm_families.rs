@@ -1,0 +1,28 @@
+//! Bench for Figure 2: throughput of the TM families on a hypercube.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use topobench::{evaluate_throughput, TmSpec};
+use tb_topology::hypercube::hypercube;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let topo = hypercube(5, 1);
+    let mut group = c.benchmark_group("fig02");
+    group.sample_size(10);
+    for spec in [
+        TmSpec::AllToAll,
+        TmSpec::RandomMatching { servers_per_switch: 1 },
+        TmSpec::LongestMatching,
+        TmSpec::Kodialam,
+    ] {
+        let tm = spec.generate(&topo, 1);
+        group.bench_function(spec.label(), |b| {
+            b.iter(|| evaluate_throughput(&topo, &tm, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for Figure 3: sparse-cut estimation plus throughput on one network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use tb_cuts::estimate_sparsest_cut;
+use topobench::{evaluate_throughput, TmSpec};
+use tb_topology::jellyfish::jellyfish;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let topo = jellyfish(30, 4, 1, 3);
+    let tm = TmSpec::LongestMatching.generate(&topo, 3);
+    let mut group = c.benchmark_group("fig03");
+    group.sample_size(10);
+    group.bench_function("sparse_cut_estimators", |b| {
+        b.iter(|| estimate_sparsest_cut(&topo.graph, &tm))
+    });
+    group.bench_function("throughput", |b| {
+        b.iter(|| evaluate_throughput(&topo, &tm, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for Figure 4: the normalized TM comparison kernel on one
+//! representative topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use topobench::{evaluate_throughput, lower_bound, TmSpec};
+use tb_topology::families::Family;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let topo = Family::DCell.representative(1);
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(10);
+    group.bench_function("lower_bound", |b| b.iter(|| lower_bound(&topo, &cfg)));
+    group.bench_function("normalized_lm", |b| {
+        b.iter(|| {
+            let tm = TmSpec::LongestMatching.generate(&topo, 1);
+            evaluate_throughput(&topo, &tm, &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

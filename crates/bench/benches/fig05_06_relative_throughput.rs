@@ -1,0 +1,23 @@
+//! Bench for Figures 5/6 and Table I: the relative-throughput kernel
+//! (topology vs same-equipment random graph).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use topobench::{relative_throughput, TmSpec};
+use tb_topology::families::Family;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig05_06");
+    group.sample_size(10);
+    for family in [Family::Hypercube, Family::FatTree, Family::Jellyfish] {
+        let topo = family.instances(tb_topology::families::Scale::Small, 1).remove(0);
+        group.bench_function(format!("relative_lm_{}", family.name()), |b| {
+            b.iter(|| relative_throughput(&topo, &TmSpec::LongestMatching, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench for Figure 8: Long Hop construction and its LM relative throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use topobench::{relative_throughput, TmSpec};
+use tb_topology::longhop::long_hop;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    group.bench_function("construct_dim6", |b| b.iter(|| long_hop(6, 9, 3)));
+    let topo = long_hop(5, 8, 2);
+    group.bench_function("relative_lm_dim5", |b| {
+        b.iter(|| relative_throughput(&topo, &TmSpec::LongestMatching, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

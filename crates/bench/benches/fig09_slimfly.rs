@@ -1,0 +1,25 @@
+//! Bench for Figure 9: Slim Fly construction and its LM relative throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use tb_graph::shortest_path::average_path_length;
+use topobench::{relative_throughput, TmSpec};
+use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    group.bench_function("construct_q13", |b| b.iter(|| slim_fly(13, 10)));
+    let topo = slim_fly(5, canonical_servers_per_router(5));
+    group.bench_function("path_length_q5", |b| {
+        b.iter(|| average_path_length(&topo.graph))
+    });
+    group.bench_function("relative_lm_q5", |b| {
+        b.iter(|| relative_throughput(&topo, &TmSpec::LongestMatching, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Figures 13/14: the real-world (Facebook-like) TM pipeline —
+//! generation, placement, shuffling and throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::bench_config;
+use topobench::evaluate_throughput;
+use tb_topology::jellyfish::jellyfish;
+use tb_traffic::{facebook, ops};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let topo = jellyfish(64, 8, 4, 3);
+    let endpoints = topo.server_switches();
+    let mut group = c.benchmark_group("fig13_14");
+    group.sample_size(10);
+    group.bench_function("generate_tm_f", |b| b.iter(|| facebook::tm_f(64, 1)));
+    let tm_f = facebook::tm_f(64, 1);
+    group.bench_function("shuffle", |b| b.iter(|| ops::shuffle(&tm_f, 5)));
+    let placed = ops::map_onto(&tm_f, &endpoints, topo.num_switches())
+        .normalized_to_hose(&topo.servers)
+        .0;
+    group.bench_function("throughput_tm_f_jellyfish64", |b| {
+        b.iter(|| evaluate_throughput(&topo, &placed, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Figure 15: the Yuan et al. replication kernels — K-shortest-path
+//! generation, the subflow-counting estimator, and path-restricted throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
+use topobench::TmSpec;
+use tb_topology::fattree::fat_tree;
+
+fn bench(c: &mut Criterion) {
+    let topo = fat_tree(4);
+    let tm = TmSpec::AllToAll.generate(&topo, 1);
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("k_shortest_paths", |b| {
+        b.iter(|| k_shortest_path_sets(&topo.graph, &tm, 3))
+    });
+    let paths = k_shortest_path_sets(&topo.graph, &tm, 3);
+    group.bench_function("subflow_counting", |b| {
+        b.iter(|| SubflowCountingEstimator::new().estimate(&paths))
+    });
+    group.bench_function("path_restricted_lp", |b| {
+        b.iter(|| PathRestrictedSolver::new().solve(&topo.graph, &paths))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks of the solver stack: exact LP vs FPTAS at the crossover
+//! sizes, the Hungarian assignment used by the longest-matching TM, and the
+//! same-equipment random-graph constructor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
+use tb_graph::matching::max_weight_assignment;
+use tb_graph::shortest_path::apsp_unweighted;
+use tb_topology::{hypercube::hypercube, jellyfish::same_equipment};
+use tb_traffic::synthetic::longest_matching;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+
+    let small = hypercube(3, 1);
+    let small_tm = longest_matching(&small.graph, &small.servers, true);
+    group.bench_function("exact_lp_hypercube_d3", |b| {
+        b.iter(|| ExactLpSolver::new().solve(&small.graph, &small_tm).unwrap())
+    });
+    group.bench_function("fptas_hypercube_d3", |b| {
+        b.iter(|| FleischerSolver::new(FleischerConfig::default()).solve(&small.graph, &small_tm))
+    });
+
+    let medium = hypercube(6, 1);
+    let medium_tm = longest_matching(&medium.graph, &medium.servers, true);
+    group.bench_function("fptas_hypercube_d6_lm", |b| {
+        b.iter(|| FleischerSolver::new(FleischerConfig::fast()).solve(&medium.graph, &medium_tm))
+    });
+
+    group.bench_function("apsp_hypercube_d6", |b| b.iter(|| apsp_unweighted(&medium.graph)));
+
+    let dist = apsp_unweighted(&medium.graph);
+    let weights: Vec<Vec<f64>> = dist
+        .iter()
+        .map(|row| row.iter().map(|&d| d as f64).collect())
+        .collect();
+    group.bench_function("hungarian_64x64", |b| {
+        b.iter(|| max_weight_assignment(&weights))
+    });
+
+    group.bench_function("same_equipment_hypercube_d6", |b| {
+        b.iter(|| same_equipment(&medium, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

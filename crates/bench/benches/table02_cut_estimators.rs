@@ -1,0 +1,26 @@
+//! Bench for Table II: each sparsest-cut estimator individually (via the
+//! combined report) on a natural-network stand-in and on a structured network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_cuts::estimate_sparsest_cut;
+use topobench::TmSpec;
+use tb_topology::{hypercube::hypercube, natural::natural_networks};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table02");
+    group.sample_size(10);
+    let cube = hypercube(5, 1);
+    let cube_tm = TmSpec::LongestMatching.generate(&cube, 1);
+    group.bench_function("hypercube_d5", |b| {
+        b.iter(|| estimate_sparsest_cut(&cube.graph, &cube_tm))
+    });
+    let nat = natural_networks(4, 1).remove(0);
+    let nat_tm = TmSpec::LongestMatching.generate(&nat, 1);
+    group.bench_function("natural_network", |b| {
+        b.iter(|| estimate_sparsest_cut(&nat.graph, &nat_tm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

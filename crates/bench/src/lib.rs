@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Each bench target corresponds to one table or figure of the paper and runs
+//! a scaled-down version of the corresponding experiment kernel (the full
+//! regeneration lives in the `experiments` binaries); in addition,
+//! `solver_microbench` tracks the raw performance of the throughput solvers.
+
+use topobench::EvalConfig;
+
+/// The evaluation configuration used by all benches: the fast solver profile
+/// with a fixed seed so runs are comparable.
+pub fn bench_config() -> EvalConfig {
+    let mut cfg = EvalConfig::fast();
+    cfg.random_graph_iterations = 1;
+    cfg.seed = 7;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn config_is_fast_profile() {
+        let cfg = super::bench_config();
+        assert_eq!(cfg.random_graph_iterations, 1);
+        assert_eq!(cfg.seed, 7);
+    }
+}

@@ -1,0 +1,227 @@
+//! Throughput evaluation: absolute throughput, the Theorem-2 lower bound, and
+//! relative throughput against same-equipment random graphs.
+
+use crate::spec::TmSpec;
+use crate::stats::Stats;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, ThroughputBounds};
+use tb_topology::jellyfish::same_equipment;
+use tb_topology::Topology;
+use tb_traffic::TrafficMatrix;
+
+/// Configuration for throughput evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// FPTAS settings used for all but the smallest instances.
+    pub solver: FleischerConfig,
+    /// Use the exact LP when the switch count is at most this (and the flow
+    /// count is modest); 0 disables the exact path entirely.
+    pub exact_switch_limit: usize,
+    /// Number of same-equipment random graphs to average over for relative
+    /// throughput (the paper uses 10; smaller values speed up sweeps).
+    pub random_graph_iterations: usize,
+    /// Base RNG seed; every randomized step derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            solver: FleischerConfig::default(),
+            exact_switch_limit: 16,
+            random_graph_iterations: 3,
+            seed: 1,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A faster configuration for wide experiment sweeps (looser FPTAS gap,
+    /// fewer random-graph iterations).
+    pub fn fast() -> Self {
+        EvalConfig {
+            solver: FleischerConfig::fast(),
+            random_graph_iterations: 2,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration matched to the paper's settings (10 random-graph
+    /// iterations, tight solver gap). Slow; used for final numbers.
+    pub fn paper() -> Self {
+        EvalConfig {
+            solver: FleischerConfig::precise(),
+            random_graph_iterations: 10,
+            ..Default::default()
+        }
+    }
+}
+
+/// Computes the throughput of `tm` on `topo` (§II-A): the maximum `t` such
+/// that `tm · t` is feasible. Small instances use the exact LP; larger ones
+/// the FPTAS with bracketing bounds.
+pub fn evaluate_throughput(topo: &Topology, tm: &TrafficMatrix, cfg: &EvalConfig) -> ThroughputBounds {
+    let small = topo.num_switches() <= cfg.exact_switch_limit && tm.num_flows() <= 64;
+    if small {
+        if let Ok(exact) = ExactLpSolver::new().solve(&topo.graph, tm) {
+            return exact;
+        }
+    }
+    FleischerSolver::new(cfg.solver).solve(&topo.graph, tm)
+}
+
+/// The Theorem-2 lower bound on worst-case throughput: `T_A2A / 2`. Any hose
+/// model TM is feasible at half the all-to-all throughput.
+pub fn lower_bound(topo: &Topology, cfg: &EvalConfig) -> ThroughputBounds {
+    let tm = TmSpec::AllToAll.generate(topo, cfg.seed);
+    let a2a = evaluate_throughput(topo, &tm, cfg);
+    ThroughputBounds {
+        lower: a2a.lower / 2.0,
+        upper: a2a.upper / 2.0,
+    }
+}
+
+/// Result of a relative-throughput evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelativeThroughput {
+    /// Absolute throughput of the topology under test.
+    pub absolute: f64,
+    /// Throughput of each same-equipment random graph.
+    pub random_graph_samples: Vec<f64>,
+    /// Statistics of the per-sample ratios (topology / random graph).
+    pub relative: Stats,
+}
+
+/// Computes the paper's headline metric (§IV): the topology's throughput
+/// divided by the throughput of a random graph built with *exactly the same
+/// equipment*, averaged over `cfg.random_graph_iterations` random graphs.
+///
+/// The TM is re-generated for each graph from `spec` (near-worst-case traffic
+/// is worst-case *for that graph*); pass [`TmSpec::AllToAll`] etc. as needed.
+pub fn relative_throughput(topo: &Topology, spec: &TmSpec, cfg: &EvalConfig) -> RelativeThroughput {
+    let tm = spec.generate(topo, cfg.seed);
+    let absolute = evaluate_throughput(topo, &tm, cfg).value();
+
+    let iters = cfg.random_graph_iterations.max(1);
+    let samples: Vec<f64> = (0..iters)
+        .into_par_iter()
+        .map(|i| {
+            let seed = cfg.seed.wrapping_add(1000).wrapping_add(i as u64);
+            let rnd = same_equipment(topo, seed);
+            let rnd_tm = spec.generate(&rnd, seed);
+            evaluate_throughput(&rnd, &rnd_tm, cfg).value()
+        })
+        .collect();
+
+    let ratios: Vec<f64> = samples
+        .iter()
+        .map(|&r| if r > 0.0 { absolute / r } else { f64::INFINITY })
+        .collect();
+    RelativeThroughput {
+        absolute,
+        random_graph_samples: samples,
+        relative: Stats::from_samples(&ratios),
+    }
+}
+
+/// Computes relative throughput for a *fixed* TM (real-world workloads of
+/// Figs 13–14): the same matrix is applied to the topology and to every
+/// same-equipment random graph.
+pub fn relative_throughput_fixed_tm(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+) -> RelativeThroughput {
+    let absolute = evaluate_throughput(topo, tm, cfg).value();
+    let iters = cfg.random_graph_iterations.max(1);
+    let samples: Vec<f64> = (0..iters)
+        .into_par_iter()
+        .map(|i| {
+            let seed = cfg.seed.wrapping_add(2000).wrapping_add(i as u64);
+            let rnd = same_equipment(topo, seed);
+            evaluate_throughput(&rnd, tm, cfg).value()
+        })
+        .collect();
+    let ratios: Vec<f64> = samples
+        .iter()
+        .map(|&r| if r > 0.0 { absolute / r } else { f64::INFINITY })
+        .collect();
+    RelativeThroughput {
+        absolute,
+        random_graph_samples: samples,
+        relative: Stats::from_samples(&ratios),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_topology::hypercube::hypercube;
+    use tb_topology::jellyfish::jellyfish;
+
+    fn cfg() -> EvalConfig {
+        EvalConfig {
+            random_graph_iterations: 2,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn a2a_throughput_of_small_hypercube_is_positive() {
+        let topo = hypercube(3, 1);
+        let tm = TmSpec::AllToAll.generate(&topo, 1);
+        let b = evaluate_throughput(&topo, &tm, &cfg());
+        assert!(b.lower > 0.0);
+        assert!(b.lower <= b.upper + 1e-9);
+    }
+
+    #[test]
+    fn longest_matching_not_better_than_a2a() {
+        let topo = hypercube(4, 1);
+        let c = cfg();
+        let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 1), &c);
+        let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c);
+        assert!(
+            lm.lower <= a2a.upper + 0.05,
+            "LM {} should not beat A2A {}",
+            lm.lower,
+            a2a.upper
+        );
+    }
+
+    #[test]
+    fn theorem2_lower_bound_holds_for_longest_matching() {
+        let topo = hypercube(4, 1);
+        let c = cfg();
+        let lb = lower_bound(&topo, &c);
+        let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c);
+        // LM throughput must be at least T_A2A / 2 (allowing solver slack).
+        assert!(
+            lm.upper >= lb.lower * 0.93,
+            "LM {} below the Theorem-2 bound {}",
+            lm.upper,
+            lb.lower
+        );
+    }
+
+    #[test]
+    fn jellyfish_relative_throughput_is_about_one() {
+        let topo = jellyfish(24, 5, 2, 42);
+        let r = relative_throughput(&topo, &TmSpec::AllToAll, &cfg());
+        assert!(
+            (r.relative.mean - 1.0).abs() < 0.25,
+            "Jellyfish vs random graph should be ~1, got {}",
+            r.relative.mean
+        );
+    }
+
+    #[test]
+    fn relative_throughput_fixed_tm_runs() {
+        let topo = hypercube(4, 1);
+        let tm = TmSpec::AllToAll.generate(&topo, 1);
+        let r = relative_throughput_fixed_tm(&topo, &tm, &cfg());
+        assert!(r.relative.mean > 0.0);
+        assert_eq!(r.random_graph_samples.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Traffic-matrix *specifications*: recipes that can be instantiated on any
+//! topology.
+//!
+//! The relative-throughput methodology (§IV) compares a topology against a
+//! same-equipment random graph **under the same kind of traffic**. For
+//! topology-dependent TMs (longest matching, Kodialam, random matchings) the
+//! matrix must be regenerated for each graph, so experiments pass around a
+//! [`TmSpec`] rather than a concrete matrix.
+
+use serde::{Deserialize, Serialize};
+use tb_topology::Topology;
+use tb_traffic::{synthetic, TrafficMatrix};
+
+/// A recipe for generating a traffic matrix on a given topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TmSpec {
+    /// The all-to-all TM `T_{A2A}`.
+    AllToAll,
+    /// Random matching with the given number of flows per endpoint switch
+    /// ("RM(k)" in the paper's figures).
+    RandomMatching {
+        /// Flows per endpoint switch.
+        servers_per_switch: usize,
+    },
+    /// The longest-matching near-worst-case TM.
+    LongestMatching,
+    /// The Kodialam et al. average-path-length-maximizing TM.
+    Kodialam,
+    /// Longest matching with a fraction of flows scaled by `weight`
+    /// (the non-uniform TM of Figs 10–12).
+    SkewedLongestMatching {
+        /// Fraction of flows that become "large" (0..=1).
+        fraction: f64,
+        /// Multiplier applied to the large flows.
+        weight: f64,
+    },
+}
+
+impl TmSpec {
+    /// Short label used in figure/table output.
+    pub fn label(&self) -> String {
+        match self {
+            TmSpec::AllToAll => "A2A".to_string(),
+            TmSpec::RandomMatching { servers_per_switch } => format!("RM({servers_per_switch})"),
+            TmSpec::LongestMatching => "LM".to_string(),
+            TmSpec::Kodialam => "Kodialam".to_string(),
+            TmSpec::SkewedLongestMatching { fraction, weight } => {
+                format!("LM-skewed({:.0}%, w={})", fraction * 100.0, weight)
+            }
+        }
+    }
+
+    /// Instantiates the TM on a topology. All generated TMs are normalized to
+    /// the hose model (busiest switch saturated), so throughput values are
+    /// comparable across TM families on the same network (§II-A).
+    pub fn generate(&self, topo: &Topology, seed: u64) -> TrafficMatrix {
+        let servers = &topo.servers;
+        let raw = match self {
+            TmSpec::AllToAll => synthetic::all_to_all(servers),
+            TmSpec::RandomMatching { servers_per_switch } => {
+                synthetic::random_matching(servers, *servers_per_switch, seed)
+            }
+            TmSpec::LongestMatching => {
+                let exact = topo.server_switches().len() <= 1500;
+                synthetic::longest_matching(&topo.graph, servers, exact)
+            }
+            TmSpec::Kodialam => synthetic::kodialam(&topo.graph, servers),
+            TmSpec::SkewedLongestMatching { fraction, weight } => {
+                let exact = topo.server_switches().len() <= 1500;
+                let base = synthetic::longest_matching(&topo.graph, servers, exact);
+                synthetic::skewed(&base, *fraction, *weight, seed)
+            }
+        };
+        let (normalized, _) = raw.normalized_to_hose(servers);
+        normalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_topology::hypercube::hypercube;
+
+    #[test]
+    fn all_specs_generate_hose_valid_tms() {
+        let topo = hypercube(4, 2);
+        let specs = [
+            TmSpec::AllToAll,
+            TmSpec::RandomMatching { servers_per_switch: 2 },
+            TmSpec::LongestMatching,
+            TmSpec::Kodialam,
+            TmSpec::SkewedLongestMatching { fraction: 0.2, weight: 10.0 },
+        ];
+        for spec in specs {
+            let tm = spec.generate(&topo, 7);
+            assert!(tm.num_flows() > 0, "{}", spec.label());
+            assert!(
+                tm.is_hose_valid(&topo.servers, 1e-6),
+                "{} violates the hose model",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            TmSpec::AllToAll,
+            TmSpec::RandomMatching { servers_per_switch: 1 },
+            TmSpec::RandomMatching { servers_per_switch: 5 },
+            TmSpec::LongestMatching,
+            TmSpec::Kodialam,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let topo = hypercube(4, 1);
+        let a = TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 3);
+        let b = TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 3);
+        assert_eq!(a.demands(), b.demands());
+    }
+}

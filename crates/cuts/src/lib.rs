@@ -1,0 +1,28 @@
+//! # tb-cuts
+//!
+//! Cut metrics and sparsest-cut estimators (§II-B, §III-B and Appendix C of
+//! the paper).
+//!
+//! For a cut `(S, S̄)` and a traffic matrix `T`, the *sparsity* of the cut is
+//! the capacity of the links crossing it divided by the demand that must cross
+//! it; any cut's sparsity upper-bounds the concurrent throughput, and the
+//! sparsest cut is the tightest such bound — but, as the paper shows, it can
+//! still overestimate throughput by up to an `O(log n)` factor.
+//!
+//! Because finding the sparsest cut is NP-hard, the paper (Appendix C) uses a
+//! battery of heuristics and takes the best cut any of them finds; this crate
+//! reproduces that battery:
+//!
+//! * brute force (complete for ≤ ~20 nodes, capped at a cut budget otherwise),
+//! * one-node and two-node cuts,
+//! * expanding-region cuts (BFS balls around every node),
+//! * an eigenvector sweep of the normalized-Laplacian second eigenvector,
+//! * balanced bisections (for the bisection-bandwidth metric).
+
+pub mod estimators;
+pub mod refine;
+pub mod sparsity;
+
+pub use estimators::{estimate_sparsest_cut, CutEstimate, CutReport, Estimator};
+pub use refine::{estimate_and_refine, refine_cut};
+pub use sparsity::{bisection_bandwidth, cut_sparsity, CutEvaluator};

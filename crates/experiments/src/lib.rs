@@ -1,0 +1,207 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the full index). They share a tiny command-line
+//! convention:
+//!
+//! * `--full`   — run the paper-scale instance ladder (slow); the default is a
+//!   reduced ladder that finishes in minutes on a laptop,
+//! * `--seed N` — change the base RNG seed,
+//! * `--csv`    — additionally write `results/<figure>.csv`.
+//!
+//! Output is printed as aligned text tables whose rows correspond to the data
+//! series of the original figure.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use topobench::EvalConfig;
+
+pub use tb_topology::families::Scale;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Run the paper-scale ladder instead of the reduced one.
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Write a CSV copy of the output under `results/`.
+    pub csv: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { full: false, seed: 1, csv: false }
+    }
+}
+
+impl RunOptions {
+    /// Parses options from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = RunOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.full = true,
+                "--csv" => opts.csv = true,
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed requires an integer argument");
+                }
+                other => eprintln!("ignoring unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The topology instance ladder scale implied by the options.
+    pub fn scale(&self) -> Scale {
+        if self.full {
+            Scale::Full
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// The evaluation configuration implied by the options.
+    pub fn eval_config(&self) -> EvalConfig {
+        let mut cfg = if self.full {
+            EvalConfig::paper()
+        } else {
+            EvalConfig::fast()
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// A simple text table collector that can also be written to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (converted to strings).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Appends a row of pre-formatted strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Convenience: format a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Emits the table to stdout and, if requested, to CSV.
+pub fn emit(table: &Table, name: &str, opts: &RunOptions) {
+    table.print();
+    if opts.csv {
+        match table.write_csv(name) {
+            Ok(path) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("failed to write CSV: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        t.row_strings(vec!["2".into(), "y".into()]);
+        assert_eq!(t.num_rows(), 2);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn options_default() {
+        let o = RunOptions::default();
+        assert!(!o.full);
+        assert_eq!(o.scale(), Scale::Small);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

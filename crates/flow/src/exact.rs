@@ -1,0 +1,204 @@
+//! Exact throughput via the destination-aggregated arc LP, solved with the
+//! bundled simplex (`tb-lp`).
+//!
+//! Variables: `x[d][a]` = flow destined to switch `d` on arc `a`, plus the
+//! throughput scalar `t`. Constraints:
+//!
+//! * capacity: for every arc `a`, `sum_d x[d][a] <= cap(a)`;
+//! * conservation: for every destination `d` and node `v != d`,
+//!   `outflow_d(v) - inflow_d(v) = t * T(v, d)`;
+//!
+//! maximize `t`. This is the same LP the paper solves with Gurobi, aggregated
+//! by destination so the variable count is `O(n · m)` instead of `O(n^2 · m)`.
+//! Intended for small instances (a few dozen switches): it is the ground truth
+//! the FPTAS is validated against in tests, and the solver used for the small
+//! §III-B case studies.
+
+use crate::instance::FlowProblem;
+use crate::ThroughputBounds;
+use tb_graph::Graph;
+use tb_lp::{ConstraintOp, LinearProgram, LpError};
+use tb_traffic::TrafficMatrix;
+
+/// Exact LP-based throughput solver for small instances.
+#[derive(Debug, Clone, Default)]
+pub struct ExactLpSolver;
+
+impl ExactLpSolver {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        ExactLpSolver
+    }
+
+    /// Computes the exact throughput of `tm` on `graph`.
+    ///
+    /// Returns an error if the LP solver fails (which, for a well-formed
+    /// instance, only happens when the iteration limit is exceeded).
+    pub fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<ThroughputBounds, LpError> {
+        let prob = FlowProblem::new(graph, tm);
+        let n = prob.num_nodes();
+        let m = prob.num_arcs();
+
+        // Destinations that actually receive traffic.
+        let mut dest_ids: Vec<usize> = tm.demands().iter().map(|d| d.dst).collect();
+        dest_ids.sort_unstable();
+        dest_ids.dedup();
+        let dest_index: std::collections::HashMap<usize, usize> =
+            dest_ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+
+        // Demand matrix entries T(v, d) for quick lookup.
+        let mut demand_to: Vec<Vec<(usize, f64)>> = vec![Vec::new(); dest_ids.len()];
+        for d in tm.demands() {
+            demand_to[dest_index[&d.dst]].push((d.src, d.amount));
+        }
+
+        let num_dest = dest_ids.len();
+        // Variable layout: x[di][a] at index di * m + a, then t last.
+        let t_var = num_dest * m;
+        let mut lp = LinearProgram::new(t_var + 1);
+        lp.set_objective(t_var, 1.0);
+
+        // Capacity constraints.
+        for a in 0..m {
+            let coeffs: Vec<(usize, f64)> = (0..num_dest).map(|di| (di * m + a, 1.0)).collect();
+            lp.add_constraint(coeffs, ConstraintOp::Le, prob.arcs()[a].cap);
+        }
+
+        // Conservation constraints.
+        for (di, &dest) in dest_ids.iter().enumerate() {
+            for v in 0..n {
+                if v == dest {
+                    continue;
+                }
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for &(_, aid) in prob.out_arcs(v) {
+                    coeffs.push((di * m + aid, 1.0));
+                }
+                // Inflow arcs: arcs whose head is v.
+                for (aid, arc) in prob.arcs().iter().enumerate() {
+                    if arc.to == v {
+                        coeffs.push((di * m + aid, -1.0));
+                    }
+                }
+                let demand = demand_to[di]
+                    .iter()
+                    .find(|&&(src, _)| src == v)
+                    .map(|&(_, amt)| amt)
+                    .unwrap_or(0.0);
+                coeffs.push((t_var, -demand));
+                lp.add_constraint(coeffs, ConstraintOp::Eq, 0.0);
+            }
+        }
+
+        let solution = tb_lp::solve(&lp)?;
+        Ok(ThroughputBounds::exact(solution.objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleischer::{FleischerConfig, FleischerSolver};
+    use tb_graph::Graph;
+    use tb_traffic::{synthetic, Demand, TrafficMatrix};
+
+    fn demand(src: usize, dst: usize, amount: f64) -> Demand {
+        Demand { src, dst, amount }
+    }
+
+    #[test]
+    fn single_link() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let tm = TrafficMatrix::new(2, vec![demand(0, 1, 2.0)]);
+        let b = ExactLpSolver::new().solve(&g, &tm).unwrap();
+        assert!((b.lower - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_bottleneck_is_split_evenly() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let b = ExactLpSolver::new().solve(&g, &tm).unwrap();
+        assert!((b.lower - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_uses_both_directions() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 2, 1.0)]);
+        let b = ExactLpSolver::new().solve(&g, &tm).unwrap();
+        assert!((b.lower - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complete_graph_all_to_all() {
+        // K4 with one server per switch under A2A: by symmetry every demand of
+        // 1/4 can ride its direct link (capacity 1), and the volumetric bound
+        // caps throughput at total capacity / total demand·1 hop = 12 / 3 = 4.
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_unit_edge(i, j);
+            }
+        }
+        let tm = synthetic::all_to_all(&[1, 1, 1, 1]);
+        let b = ExactLpSolver::new().solve(&g, &tm).unwrap();
+        assert!(b.lower >= 4.0 - 1e-6, "got {}", b.lower);
+    }
+
+    #[test]
+    fn agrees_with_fleischer_on_small_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let fleischer = FleischerSolver::new(FleischerConfig::precise());
+        for trial in 0..4 {
+            // Small random connected graph.
+            let n = 6;
+            let g = tb_graph::random::random_regular_graph(n, 3, trial);
+            let mut demands = Vec::new();
+            for _ in 0..4 {
+                let s = rng.gen_range(0..n);
+                let mut t = rng.gen_range(0..n);
+                if t == s {
+                    t = (t + 1) % n;
+                }
+                demands.push(demand(s, t, 1.0 + rng.gen::<f64>()));
+            }
+            let tm = TrafficMatrix::new(n, demands);
+            let exact = ExactLpSolver::new().solve(&g, &tm).unwrap();
+            let approx = fleischer.solve(&g, &tm);
+            assert!(
+                approx.lower <= exact.lower + 1e-6,
+                "feasible value exceeds optimum: {} > {}",
+                approx.lower,
+                exact.lower
+            );
+            assert!(
+                approx.upper >= exact.lower - 1e-6,
+                "upper bound below optimum: {} < {}",
+                approx.upper,
+                exact.lower
+            );
+            assert!(
+                (exact.lower - approx.lower) / exact.lower < 0.05,
+                "trial {trial}: exact {} vs approx {}",
+                exact.lower,
+                approx.lower
+            );
+        }
+    }
+
+    #[test]
+    fn longest_matching_throughput_on_ring_matches_hand_computation() {
+        // C6, one server per switch, longest matching pairs antipodes
+        // (3 hops). Total demand·hops = 6*3 = 18 > capacity 12, so the
+        // volumetric bound gives t <= 12/18 = 2/3, and routing each demand
+        // half clockwise/half counterclockwise achieves it.
+        let edges: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let servers = vec![1usize; 6];
+        let tm = synthetic::longest_matching(&g, &servers, true);
+        let b = ExactLpSolver::new().solve(&g, &tm).unwrap();
+        assert!((b.lower - 2.0 / 3.0).abs() < 1e-6, "got {}", b.lower);
+    }
+}

@@ -1,0 +1,395 @@
+//! Fleischer / Garg–Könemann multiplicative-weights FPTAS for maximum
+//! concurrent flow, with a practical twist: alongside the classical
+//! guarantee, the solver maintains
+//!
+//! * a **feasible lower bound** obtained by rescaling the accumulated primal
+//!   flow to respect capacities exactly, and
+//! * a **dual upper bound** `D(l)/alpha(l)` evaluated on the current length
+//!   function (valid for any positive lengths by LP duality),
+//!
+//! and stops as soon as the two are within `target_gap` of each other (or the
+//! classical termination `D(l) >= 1` fires). On the instances the paper
+//! evaluates the bounds typically close to within a few percent long before
+//! the worst-case phase count is reached.
+
+use crate::instance::FlowProblem;
+use crate::ThroughputBounds;
+use tb_graph::Graph;
+use tb_traffic::TrafficMatrix;
+
+/// Tuning knobs for the FPTAS.
+#[derive(Debug, Clone, Copy)]
+pub struct FleischerConfig {
+    /// Multiplicative-weights step size (the classical epsilon). Smaller is
+    /// more accurate but runs more phases.
+    pub epsilon: f64,
+    /// Stop once `(upper - lower) / upper <= target_gap`.
+    pub target_gap: f64,
+    /// Hard cap on the number of phases (safety valve).
+    pub max_phases: usize,
+    /// How many phases to run between bound evaluations.
+    pub check_interval: usize,
+}
+
+impl Default for FleischerConfig {
+    fn default() -> Self {
+        FleischerConfig {
+            epsilon: 0.07,
+            target_gap: 0.03,
+            max_phases: 20_000,
+            check_interval: 8,
+        }
+    }
+}
+
+impl FleischerConfig {
+    /// A faster, slightly looser configuration for large experiment sweeps.
+    pub fn fast() -> Self {
+        FleischerConfig {
+            epsilon: 0.12,
+            target_gap: 0.05,
+            check_interval: 4,
+            ..Default::default()
+        }
+    }
+
+    /// A tighter configuration for validation against the exact LP.
+    pub fn precise() -> Self {
+        FleischerConfig {
+            epsilon: 0.03,
+            target_gap: 0.01,
+            check_interval: 16,
+            ..Default::default()
+        }
+    }
+}
+
+/// Maximum-concurrent-flow solver (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FleischerSolver {
+    config: FleischerConfig,
+}
+
+impl FleischerSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: FleischerConfig) -> Self {
+        FleischerSolver { config }
+    }
+
+    /// Computes throughput bounds for `tm` on `graph`.
+    ///
+    /// Returns `ThroughputBounds { lower: 0.0, upper: 0.0 }` if some demand
+    /// pair is disconnected (the concurrent flow is then zero).
+    pub fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> ThroughputBounds {
+        let prob = FlowProblem::new(graph, tm);
+        self.solve_problem(graph, &prob)
+    }
+
+    fn solve_problem(&self, graph: &Graph, prob: &FlowProblem) -> ThroughputBounds {
+        let cfg = &self.config;
+        let m = prob.num_arcs();
+        let eps = cfg.epsilon;
+        assert!(eps > 0.0 && eps < 0.5, "epsilon must be in (0, 0.5)");
+        if m == 0 {
+            return ThroughputBounds::exact(0.0);
+        }
+
+        // Reachability check: any unreachable demand forces throughput 0.
+        for s in prob.sources() {
+            let dist = tb_graph::bfs_distances(graph, s.src);
+            if s
+                .dests
+                .iter()
+                .any(|&(dst, _)| dist[dst] == tb_graph::shortest_path::UNREACHABLE)
+            {
+                return ThroughputBounds::exact(0.0);
+            }
+        }
+
+        // Pre-scale demands so the scaled optimum is near 1; this keeps the
+        // phase count predictable regardless of the raw demand magnitudes.
+        let scale = prob.volumetric_estimate(graph).max(1e-12);
+        let demands: Vec<Vec<f64>> = prob
+            .sources()
+            .iter()
+            .map(|s| s.dests.iter().map(|&(_, d)| d * scale).collect())
+            .collect();
+
+        let caps: Vec<f64> = prob.arcs().iter().map(|a| a.cap).collect();
+        let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
+        let mut len: Vec<f64> = caps.iter().map(|&c| delta / c).collect();
+        // D(l) = sum_a len_a * cap_a, maintained incrementally.
+        let mut d_l: f64 = len.iter().zip(&caps).map(|(l, c)| l * c).sum();
+
+        let mut flow_arc = vec![0.0f64; m];
+        let mut routed: Vec<Vec<f64>> = demands.iter().map(|d| vec![0.0; d.len()]).collect();
+
+        let mut best_lower = 0.0f64;
+        let mut best_upper = f64::INFINITY;
+
+        // Scratch buffers for the per-iteration availability bookkeeping.
+        let mut avail = caps.clone();
+        let mut used = vec![0.0f64; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        let mut phase = 0usize;
+        'phases: while phase < cfg.max_phases && d_l < 1.0 {
+            for (si, s) in prob.sources().iter().enumerate() {
+                let mut remaining = demands[si].clone();
+                loop {
+                    if d_l >= 1.0 {
+                        break 'phases;
+                    }
+                    let (dist, parent) = prob.shortest_path_tree(s.src, &len);
+                    // Route every destination with remaining demand along the
+                    // tree, never exceeding any arc's full capacity within this
+                    // single tree iteration (so each length update factor stays
+                    // <= 1 + eps).
+                    touched.clear();
+                    let mut progressed = false;
+                    for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                        if remaining[j] <= 1e-15 {
+                            continue;
+                        }
+                        debug_assert!(dist[dst].is_finite());
+                        // Collect the tree path and its bottleneck.
+                        let mut bottleneck = f64::INFINITY;
+                        let mut cur = dst;
+                        while cur != s.src {
+                            let (p, aid) = parent[cur].expect("reachable by check above");
+                            bottleneck = bottleneck.min(avail[aid]);
+                            cur = p;
+                        }
+                        let f = remaining[j].min(bottleneck);
+                        if f <= 1e-15 {
+                            continue;
+                        }
+                        let mut cur = dst;
+                        while cur != s.src {
+                            let (p, aid) = parent[cur].unwrap();
+                            if used[aid] == 0.0 {
+                                touched.push(aid);
+                            }
+                            avail[aid] -= f;
+                            used[aid] += f;
+                            cur = p;
+                        }
+                        remaining[j] -= f;
+                        routed[si][j] += f;
+                        progressed = true;
+                    }
+                    // Apply multiplicative length updates for the arcs used in
+                    // this tree iteration and restore the scratch buffers.
+                    for &aid in &touched {
+                        let u = used[aid];
+                        flow_arc[aid] += u;
+                        let old = len[aid];
+                        let new = old * (1.0 + eps * u / caps[aid]);
+                        d_l += (new - old) * caps[aid];
+                        len[aid] = new;
+                        used[aid] = 0.0;
+                        avail[aid] = caps[aid];
+                    }
+                    touched.clear();
+                    if !progressed || remaining.iter().all(|&r| r <= 1e-15) {
+                        break;
+                    }
+                }
+            }
+            phase += 1;
+            if phase % cfg.check_interval == 0 {
+                let (lo, up) = self.evaluate_bounds(prob, &demands, &routed, &flow_arc, &caps, &len, d_l);
+                best_lower = best_lower.max(lo);
+                best_upper = best_upper.min(up);
+                if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= cfg.target_gap {
+                    break 'phases;
+                }
+            }
+        }
+
+        // Final bound evaluation.
+        let (lo, up) = self.evaluate_bounds(prob, &demands, &routed, &flow_arc, &caps, &len, d_l);
+        best_lower = best_lower.max(lo);
+        best_upper = best_upper.min(up);
+        if !best_upper.is_finite() {
+            best_upper = best_lower;
+        }
+        // Undo the demand pre-scaling: bounds computed for demands d*scale are
+        // 1/scale times the bounds for d.
+        ThroughputBounds {
+            lower: best_lower * scale,
+            upper: best_upper * scale,
+        }
+    }
+
+    /// Evaluates the practical feasible lower bound and the dual upper bound
+    /// for the current state. Bounds are in the *scaled* demand space.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_bounds(
+        &self,
+        prob: &FlowProblem,
+        demands: &[Vec<f64>],
+        routed: &[Vec<f64>],
+        flow_arc: &[f64],
+        caps: &[f64],
+        len: &[f64],
+        d_l: f64,
+    ) -> (f64, f64) {
+        // Feasible lower bound: scale the accumulated flow down so that no arc
+        // exceeds its capacity, then the worst-served commodity determines the
+        // concurrent throughput.
+        let mut mu = f64::INFINITY;
+        for (f, c) in flow_arc.iter().zip(caps) {
+            if *f > 1e-15 {
+                mu = mu.min(c / f);
+            }
+        }
+        let lower = if mu.is_finite() {
+            let mut worst = f64::INFINITY;
+            for (r, d) in routed.iter().zip(demands) {
+                for (rj, dj) in r.iter().zip(d) {
+                    worst = worst.min(rj / dj);
+                }
+            }
+            if worst.is_finite() {
+                worst * mu
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        // Dual upper bound: D(l) / alpha(l) with alpha(l) the demand-weighted
+        // shortest-path distances under the current lengths.
+        let mut alpha = 0.0;
+        for (si, s) in prob.sources().iter().enumerate() {
+            let (dist, _) = prob.shortest_path_tree(s.src, len);
+            for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                alpha += demands[si][j] * dist[dst];
+            }
+        }
+        let upper = if alpha > 0.0 { d_l / alpha } else { f64::INFINITY };
+        (lower, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::Graph;
+    use tb_traffic::{Demand, TrafficMatrix};
+
+    fn solver() -> FleischerSolver {
+        FleischerSolver::new(FleischerConfig::precise())
+    }
+
+    fn demand(src: usize, dst: usize, amount: f64) -> Demand {
+        Demand { src, dst, amount }
+    }
+
+    #[test]
+    fn single_link_single_flow() {
+        // One unit-capacity link, demand 1: throughput exactly 1.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let tm = TrafficMatrix::new(2, vec![demand(0, 1, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!(b.lower <= b.upper + 1e-9);
+        assert!((b.lower - 1.0).abs() < 0.03, "lower {}", b.lower);
+        assert!((b.upper - 1.0).abs() < 0.03, "upper {}", b.upper);
+    }
+
+    #[test]
+    fn path_graph_shared_bottleneck() {
+        // Path 0-1-2, demands 0->2 and 1->2 of 1 each share link (1,2):
+        // throughput 0.5.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 0.5).abs() < 0.02, "lower {}", b.lower);
+        assert!(b.upper >= 0.5 - 1e-9);
+        assert!(b.gap() < 0.05);
+    }
+
+    #[test]
+    fn two_disjoint_paths_double_capacity() {
+        // A 4-cycle gives two disjoint 2-hop paths between opposite corners:
+        // demand 0->2 of 1 achieves throughput 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 2, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 2.0).abs() < 0.08, "lower {}", b.lower);
+    }
+
+    #[test]
+    fn disconnected_demand_gives_zero() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 3, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 0.0);
+    }
+
+    #[test]
+    fn ring_all_to_all_symmetry() {
+        // On a C4 with one server per switch, A2A throughput is the same from
+        // every node; just check bounds are consistent and positive.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let servers = vec![1usize; 4];
+        let tm = tb_traffic::synthetic::all_to_all(&servers);
+        let b = solver().solve(&g, &tm);
+        assert!(b.lower > 0.0);
+        assert!(b.lower <= b.upper + 1e-9);
+        assert!(b.gap() < 0.05, "gap {}", b.gap());
+    }
+
+    #[test]
+    fn capacity_scaling_scales_throughput() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0)]);
+        let b1 = solver().solve(&g, &tm);
+        let g2 = g.scaled_capacities(3.0);
+        let b3 = solver().solve(&g2, &tm);
+        assert!((b3.lower / b1.lower - 3.0).abs() < 0.1, "{} vs {}", b3.lower, b1.lower);
+    }
+
+    #[test]
+    fn demand_scaling_inversely_scales_throughput() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0)]);
+        let tm_half = tm.scaled(0.5);
+        let b1 = solver().solve(&g, &tm);
+        let b2 = solver().solve(&g, &tm_half);
+        assert!((b2.lower / b1.lower - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn star_graph_hose_limit() {
+        // Star with 4 leaves, each leaf sends 1 unit to the next leaf
+        // (a ring of demands): every leaf link carries 1 in and 1 out,
+        // so throughput is 1.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let tm = TrafficMatrix::new(
+            5,
+            vec![
+                demand(1, 2, 1.0),
+                demand(2, 3, 1.0),
+                demand(3, 4, 1.0),
+                demand(4, 1, 1.0),
+            ],
+        );
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 1.0).abs() < 0.03, "lower {}", b.lower);
+    }
+
+    #[test]
+    fn fast_config_still_brackets() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let b = FleischerSolver::new(FleischerConfig::fast()).solve(&g, &tm);
+        assert!(b.lower <= 0.5 + 1e-9);
+        assert!(b.upper >= 0.5 - 1e-9);
+    }
+}

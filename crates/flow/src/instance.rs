@@ -1,0 +1,271 @@
+//! The directed-arc view of a throughput instance.
+//!
+//! The switch graph is undirected, but the fluid-flow model treats every link
+//! as a pair of unidirectional arcs of the link's capacity (§II-A). Solvers
+//! work on this arc view, with commodities grouped by source switch so that a
+//! single shortest-path tree serves every destination of that source.
+
+use tb_graph::Graph;
+use tb_traffic::TrafficMatrix;
+
+/// One directed arc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Tail (origin) switch.
+    pub from: usize,
+    /// Head (destination) switch.
+    pub to: usize,
+    /// Capacity in this direction.
+    pub cap: f64,
+}
+
+/// Demands of one source switch.
+#[derive(Debug, Clone)]
+pub struct SourceDemands {
+    /// The source switch.
+    pub src: usize,
+    /// (destination switch, demand) pairs, each demand > 0.
+    pub dests: Vec<(usize, f64)>,
+}
+
+/// A throughput instance: arcs plus commodities grouped by source.
+#[derive(Debug, Clone)]
+pub struct FlowProblem {
+    num_nodes: usize,
+    arcs: Vec<Arc>,
+    /// Outgoing arcs of each node as (head, arc id).
+    out_arcs: Vec<Vec<(usize, usize)>>,
+    /// Commodities grouped by source.
+    sources: Vec<SourceDemands>,
+    /// Total demand over all commodities.
+    total_demand: f64,
+}
+
+impl FlowProblem {
+    /// Builds the arc view of `graph` with the demands of `tm`.
+    ///
+    /// # Panics
+    /// Panics if the TM references switches outside the graph or has no
+    /// demands.
+    pub fn new(graph: &Graph, tm: &TrafficMatrix) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            tm.num_switches(),
+            "traffic matrix does not match the graph size"
+        );
+        assert!(tm.num_flows() > 0, "traffic matrix has no demands");
+        let n = graph.num_nodes();
+        let mut arcs = Vec::with_capacity(2 * graph.num_edges());
+        let mut out_arcs = vec![Vec::new(); n];
+        for e in graph.edges() {
+            let a0 = arcs.len();
+            arcs.push(Arc { from: e.u, to: e.v, cap: e.cap });
+            out_arcs[e.u].push((e.v, a0));
+            let a1 = arcs.len();
+            arcs.push(Arc { from: e.v, to: e.u, cap: e.cap });
+            out_arcs[e.v].push((e.u, a1));
+        }
+        let mut by_src: std::collections::BTreeMap<usize, Vec<(usize, f64)>> =
+            std::collections::BTreeMap::new();
+        for d in tm.demands() {
+            by_src.entry(d.src).or_default().push((d.dst, d.amount));
+        }
+        let sources: Vec<SourceDemands> = by_src
+            .into_iter()
+            .map(|(src, dests)| SourceDemands { src, dests })
+            .collect();
+        let total_demand = tm.total_demand();
+        FlowProblem {
+            num_nodes: n,
+            arcs,
+            out_arcs,
+            sources,
+            total_demand,
+        }
+    }
+
+    /// Number of switches.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed arcs (twice the number of links).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc list.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Outgoing arcs of `u` as (head, arc id).
+    pub fn out_arcs(&self, u: usize) -> &[(usize, usize)] {
+        &self.out_arcs[u]
+    }
+
+    /// Commodities grouped by source.
+    pub fn sources(&self) -> &[SourceDemands] {
+        &self.sources
+    }
+
+    /// Total number of commodities (flows).
+    pub fn num_commodities(&self) -> usize {
+        self.sources.iter().map(|s| s.dests.len()).sum()
+    }
+
+    /// Sum of all demands.
+    pub fn total_demand(&self) -> f64 {
+        self.total_demand
+    }
+
+    /// Total directed capacity (sum of arc capacities).
+    pub fn total_capacity(&self) -> f64 {
+        self.arcs.iter().map(|a| a.cap).sum()
+    }
+
+    /// Dijkstra over arcs from `src` under per-arc lengths; returns distances
+    /// and, for each node, the (parent node, arc id) used to reach it.
+    pub fn shortest_path_tree(
+        &self,
+        src: usize,
+        arc_len: &[f64],
+    ) -> (Vec<f64>, Vec<Option<(usize, usize)>>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f64,
+            node: usize,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.num_nodes;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent = vec![None; n];
+        let mut heap = BinaryHeap::with_capacity(n);
+        dist[src] = 0.0;
+        heap.push(Entry { dist: 0.0, node: src });
+        while let Some(Entry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, aid) in &self.out_arcs[u] {
+                let nd = d + arc_len[aid];
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = Some((u, aid));
+                    heap.push(Entry { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// The volumetric throughput estimate of §II-B: total capacity divided by
+    /// (total demand × average hop length of the demands). Used to pre-scale
+    /// the instance so the FPTAS runs a predictable number of phases; it is
+    /// *not* a valid bound by itself (paths may be longer than shortest).
+    pub fn volumetric_estimate(&self, graph: &Graph) -> f64 {
+        let unit = vec![1.0; self.num_arcs()];
+        let _ = unit;
+        let mut weighted_hops = 0.0;
+        for s in &self.sources {
+            let dist = tb_graph::bfs_distances(graph, s.src);
+            for &(dst, d) in &s.dests {
+                let h = dist[dst];
+                if h == tb_graph::shortest_path::UNREACHABLE {
+                    return 0.0;
+                }
+                weighted_hops += d * h as f64;
+            }
+        }
+        if weighted_hops <= 0.0 {
+            return 1.0;
+        }
+        self.total_capacity() / weighted_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::Graph;
+    use tb_traffic::{Demand, TrafficMatrix};
+
+    fn tiny() -> (Graph, TrafficMatrix) {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(
+            3,
+            vec![
+                Demand { src: 0, dst: 2, amount: 1.0 },
+                Demand { src: 2, dst: 0, amount: 0.5 },
+            ],
+        );
+        (g, tm)
+    }
+
+    #[test]
+    fn arc_view() {
+        let (g, tm) = tiny();
+        let p = FlowProblem::new(&g, &tm);
+        assert_eq!(p.num_arcs(), 4);
+        assert_eq!(p.num_commodities(), 2);
+        assert_eq!(p.sources().len(), 2);
+        assert!((p.total_capacity() - 4.0).abs() < 1e-12);
+        assert!((p.total_demand() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_directions() {
+        let (g, tm) = tiny();
+        let p = FlowProblem::new(&g, &tm);
+        for &(v, aid) in p.out_arcs(1) {
+            assert_eq!(p.arcs()[aid].from, 1);
+            assert_eq!(p.arcs()[aid].to, v);
+        }
+    }
+
+    #[test]
+    fn shortest_path_tree_on_arcs() {
+        let (g, tm) = tiny();
+        let p = FlowProblem::new(&g, &tm);
+        let len = vec![1.0; p.num_arcs()];
+        let (dist, parent) = p.shortest_path_tree(0, &len);
+        assert_eq!(dist[2], 2.0);
+        let (pnode, _) = parent[2].unwrap();
+        assert_eq!(pnode, 1);
+    }
+
+    #[test]
+    fn volumetric_estimate_path() {
+        // Path of 2 links: total directed capacity 4, demand 1.0 at 2 hops +
+        // 0.5 at 2 hops = 3 weighted hops -> estimate 4/3.
+        let (g, tm) = tiny();
+        let p = FlowProblem::new(&g, &tm);
+        assert!((p.volumetric_estimate(&g) - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_tm_rejected() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let tm = TrafficMatrix::empty(2);
+        FlowProblem::new(&g, &tm);
+    }
+}

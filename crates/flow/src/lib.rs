@@ -1,0 +1,78 @@
+//! # tb-flow
+//!
+//! Throughput solvers for topobench.
+//!
+//! Throughput of a topology `G` under a traffic matrix `T` is defined (§II-A
+//! of the paper) as the largest `t` such that `T · t` is feasible as a
+//! multicommodity flow in `G` — the *maximum concurrent flow*. The paper
+//! solves the corresponding LP with Gurobi; this crate provides:
+//!
+//! * [`FleischerSolver`] — a combinatorial FPTAS (Fleischer / Garg–Könemann
+//!   multiplicative weights) that produces a *feasible* flow (lower bound) and
+//!   a dual length-function bound (upper bound), with adaptive termination
+//!   once the two are within a configurable gap. This is the workhorse used by
+//!   all experiments.
+//! * [`ExactLpSolver`] — the arc-based LP aggregated by destination, solved
+//!   exactly with the bundled simplex (`tb-lp`); practical for graphs up to a
+//!   few dozen switches and used to validate the FPTAS in tests.
+//! * [`restricted`] — path-restricted throughput (the LLSKR replication used
+//!   by Fig 15) and the subflow-counting estimator of Yuan et al.
+//!
+//! All solvers consume a [`tb_graph::Graph`] (switch-level, per-direction edge
+//! capacities) and a [`tb_traffic::TrafficMatrix`].
+
+pub mod exact;
+pub mod fleischer;
+pub mod instance;
+pub mod restricted;
+
+pub use exact::ExactLpSolver;
+pub use fleischer::{FleischerConfig, FleischerSolver};
+pub use instance::FlowProblem;
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a throughput computation: a bracketing interval around the
+/// true LP optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputBounds {
+    /// A value achieved by an explicit feasible flow (`lower <= optimum`).
+    pub lower: f64,
+    /// A dual/certified upper bound (`optimum <= upper`).
+    pub upper: f64,
+}
+
+impl ThroughputBounds {
+    /// An exact result (both bounds equal).
+    pub fn exact(value: f64) -> Self {
+        ThroughputBounds { lower: value, upper: value }
+    }
+
+    /// The feasible value; this is what experiments report as "throughput".
+    pub fn value(&self) -> f64 {
+        self.lower
+    }
+
+    /// Relative gap between the bounds (0 for exact results).
+    pub fn gap(&self) -> f64 {
+        if self.upper <= 0.0 {
+            0.0
+        } else {
+            (self.upper - self.lower) / self.upper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_gap() {
+        let b = ThroughputBounds { lower: 0.9, upper: 1.0 };
+        assert!((b.gap() - 0.1).abs() < 1e-12);
+        assert_eq!(b.value(), 0.9);
+        let e = ThroughputBounds::exact(2.0);
+        assert_eq!(e.gap(), 0.0);
+    }
+}

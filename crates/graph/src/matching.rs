@@ -1,0 +1,255 @@
+//! Maximum-weight perfect matching on a complete bipartite graph
+//! (the assignment problem).
+//!
+//! The longest-matching traffic matrix (§II-C of the paper) pairs every source
+//! with exactly one destination so as to *maximize* the total shortest-path
+//! length of the pairing. That is an assignment problem on the complete
+//! bipartite graph whose edge weights are the all-pairs shortest path lengths.
+//!
+//! Two solvers are provided:
+//!
+//! * [`max_weight_assignment`] — exact O(n³) Hungarian algorithm
+//!   (Jonker–Volgenant style shortest augmenting paths on the dual), suitable
+//!   for the sizes the paper evaluates (up to ~2k switches),
+//! * [`greedy_assignment`] — an O(n² log n) greedy 1/2-approximation used as a
+//!   cross-check in tests and as a fallback for very large instances.
+
+/// Result of an assignment: `assignment[i] = j` means row `i` is matched to
+/// column `j`; `total` is the summed weight of the matching.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Column assigned to each row.
+    pub assignment: Vec<usize>,
+    /// Total weight of the selected entries.
+    pub total: f64,
+}
+
+/// Exact maximum-weight perfect matching on an `n × n` weight matrix
+/// (`weights[i][j]` is the weight of assigning row `i` to column `j`).
+///
+/// Implemented as the classic Hungarian algorithm on the *cost* matrix
+/// `cost = max_weight - weight`, using shortest augmenting paths with dual
+/// potentials (O(n³)).
+///
+/// # Panics
+/// Panics if the matrix is empty or not square.
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
+    let n = weights.len();
+    assert!(n > 0, "empty weight matrix");
+    for row in weights {
+        assert_eq!(row.len(), n, "weight matrix must be square");
+    }
+    let max_w = weights
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Convert to a minimization problem with non-negative costs.
+    let cost: Vec<Vec<f64>> = weights
+        .iter()
+        .map(|row| row.iter().map(|&w| max_w - w).collect())
+        .collect();
+
+    // Hungarian algorithm with potentials; 1-based internal arrays.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (1-based; 0 = unmatched)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| weights[i][j])
+        .sum();
+    Assignment { assignment, total }
+}
+
+/// Greedy maximum-weight assignment: repeatedly pick the heaviest remaining
+/// entry whose row and column are both unmatched. A 1/2-approximation.
+pub fn greedy_assignment(weights: &[Vec<f64>]) -> Assignment {
+    let n = weights.len();
+    assert!(n > 0, "empty weight matrix");
+    let mut entries: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .collect();
+    entries.sort_by(|a, b| {
+        weights[b.0][b.1]
+            .partial_cmp(&weights[a.0][a.1])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut row_used = vec![false; n];
+    let mut col_used = vec![false; n];
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for (i, j) in entries {
+        if !row_used[i] && !col_used[j] {
+            row_used[i] = true;
+            col_used[j] = true;
+            assignment[i] = j;
+            total += weights[i][j];
+        }
+    }
+    Assignment { assignment, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(assign: &[usize]) -> bool {
+        let mut seen = vec![false; assign.len()];
+        for &j in assign {
+            if j >= assign.len() || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn trivial_1x1() {
+        let a = max_weight_assignment(&[vec![3.0]]);
+        assert_eq!(a.assignment, vec![0]);
+        assert!((a.total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_heavier() {
+        let w = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let a = max_weight_assignment(&w);
+        assert!(is_permutation(&a.assignment));
+        assert!((a.total - 20.0).abs() < 1e-9);
+        assert_eq!(a.assignment, vec![1, 0]);
+    }
+
+    #[test]
+    fn three_by_three_known_optimum() {
+        let w = vec![
+            vec![7.0, 4.0, 3.0],
+            vec![6.0, 8.0, 5.0],
+            vec![9.0, 4.0, 4.0],
+        ];
+        // Optimal: (0,1)? Check by brute force below.
+        let a = max_weight_assignment(&w);
+        let brute = brute_force(&w);
+        assert!((a.total - brute).abs() < 1e-9);
+        assert!(is_permutation(&a.assignment));
+    }
+
+    fn brute_force(w: &[Vec<f64>]) -> f64 {
+        let n = w.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut best = f64::NEG_INFINITY;
+        permute(&mut idx, 0, &mut |perm| {
+            let s: f64 = perm.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+            if s > best {
+                best = s;
+            }
+        });
+        best
+    }
+
+    fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == idx.len() {
+            f(idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permute(idx, k + 1, f);
+            idx.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for n in 2..=6 {
+            for _ in 0..5 {
+                let w: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect();
+                let a = max_weight_assignment(&w);
+                let b = brute_force(&w);
+                assert!(
+                    (a.total - b).abs() < 1e-6,
+                    "hungarian {} vs brute {} (n={})",
+                    a.total,
+                    b,
+                    n
+                );
+                assert!(is_permutation(&a.assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_and_at_least_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        for n in 2..=8 {
+            let w: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let g = greedy_assignment(&w);
+            let h = max_weight_assignment(&w);
+            assert!(is_permutation(&g.assignment));
+            assert!(g.total >= 0.5 * h.total - 1e-9);
+            assert!(g.total <= h.total + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Random graph models.
+//!
+//! * [`random_regular_graph`] — uniform-ish random r-regular graphs, the switch
+//!   graph of Jellyfish and the normalizer used throughout the paper,
+//! * [`configuration_model`] — a random simple graph matching an arbitrary
+//!   degree sequence exactly; this is how the framework builds the
+//!   "same equipment" random graph for relative throughput (§IV),
+//! * [`erdos_renyi`], [`watts_strogatz`], [`barabasi_albert`],
+//!   [`stochastic_block_model`] — generative stand-ins for the paper's 66
+//!   natural networks (food webs, social networks) used in the cut study.
+//!
+//! All generators are seeded and deterministic per seed.
+
+use crate::connectivity::is_connected;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+fn rng_from_seed(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Generates a random `r`-regular simple graph on `n` nodes using the pairing
+/// (configuration) model with restarts, followed by double-edge swaps to fix
+/// any remaining self-loops or parallel edges. Retries until the result is
+/// connected (Jellyfish requires a connected switch graph).
+///
+/// # Panics
+/// Panics if `n * r` is odd or `r >= n` (no simple r-regular graph exists).
+pub fn random_regular_graph(n: usize, r: usize, seed: u64) -> Graph {
+    assert!(n * r % 2 == 0, "n*r must be even for an r-regular graph");
+    assert!(r < n, "degree must be smaller than the number of nodes");
+    configuration_model(&vec![r; n], seed)
+}
+
+/// Generates a random *multigraph* whose degree sequence equals `degrees`
+/// exactly: stubs are paired uniformly at random with self-loops repaired by
+/// swaps, but parallel edges are allowed. Used as a fallback for degree
+/// sequences that no simple graph can realize (e.g. same-equipment random
+/// graphs of heavily trunked HyperX instances).
+pub fn configuration_model_multigraph(degrees: &[usize], seed: u64) -> Graph {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    assert!(total % 2 == 0, "degree sum must be even");
+    let mut rng = rng_from_seed(seed);
+    'attempt: for attempt in 0..500u64 {
+        let mut stubs: Vec<usize> = Vec::with_capacity(total);
+        for (u, &d) in degrees.iter().enumerate() {
+            stubs.extend(std::iter::repeat(u).take(d));
+        }
+        let mut attempt_rng = rng_from_seed(seed.wrapping_add(attempt).wrapping_mul(0x9e3779b97f4a7c15));
+        stubs.shuffle(&mut attempt_rng);
+        let mut pairs: Vec<(usize, usize)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
+        // Repair self-loops by swapping with random partners.
+        for i in 0..pairs.len() {
+            let mut guard = 0;
+            while pairs[i].0 == pairs[i].1 {
+                guard += 1;
+                if guard > 1000 {
+                    continue 'attempt;
+                }
+                let j = rng.gen_range(0..pairs.len());
+                if j == i {
+                    continue;
+                }
+                let (a, b) = pairs[i];
+                let (c, d) = pairs[j];
+                if a == d || c == b {
+                    continue;
+                }
+                pairs[i] = (a, d);
+                pairs[j] = (c, b);
+            }
+        }
+        let mut g = Graph::new(n);
+        for &(u, v) in &pairs {
+            g.add_unit_edge(u, v);
+        }
+        if is_connected(&g) {
+            return g;
+        }
+        if let Some(connected) = connect_by_swaps_multigraph(&g, &mut rng) {
+            return connected;
+        }
+    }
+    panic!("multigraph configuration model failed to produce a connected graph");
+}
+
+/// Degree-preserving swaps that merge components, allowing parallel edges.
+fn connect_by_swaps_multigraph(g: &Graph, rng: &mut ChaCha8Rng) -> Option<Graph> {
+    let n = g.num_nodes();
+    let mut edges: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+    for _ in 0..50 * edges.len() + 200 {
+        let mut cur = Graph::new(n);
+        for &(u, v) in &edges {
+            cur.add_unit_edge(u, v);
+        }
+        if is_connected(&cur) {
+            return Some(cur);
+        }
+        let comp = crate::connectivity::connected_components(&cur);
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        if comp[a] == comp[c] || a == d || c == b {
+            continue;
+        }
+        edges[i] = (a, d);
+        edges[j] = (c, b);
+    }
+    None
+}
+
+/// Generates a random simple graph whose degree sequence equals `degrees`
+/// exactly, via the stub-pairing configuration model followed by double edge
+/// swaps that eliminate self-loops and parallel edges while preserving every
+/// node's degree. If the graph ends up disconnected, additional edge swaps are
+/// applied to merge components (again degree-preserving). Used to build the
+/// "same equipment" random graph normalizer.
+///
+/// # Panics
+/// Panics if the degree sum is odd or some degree is >= n.
+pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    assert!(total % 2 == 0, "degree sum must be even");
+    for &d in degrees {
+        assert!(d < n, "degree {d} too large for {n} nodes");
+    }
+    let mut rng = rng_from_seed(seed);
+
+    for _attempt in 0..200 {
+        // Stub pairing.
+        let mut stubs: Vec<usize> = Vec::with_capacity(total);
+        for (u, &d) in degrees.iter().enumerate() {
+            stubs.extend(std::iter::repeat(u).take(d));
+        }
+        stubs.shuffle(&mut rng);
+        let mut pairs: Vec<(usize, usize)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
+
+        // Degree-preserving double edge swaps to remove self-loops and
+        // parallel edges.
+        if !fix_simple(&mut pairs, &mut rng) {
+            continue;
+        }
+        let mut g = Graph::new(n);
+        for &(u, v) in &pairs {
+            g.add_unit_edge(u, v);
+        }
+        // Degree-preserving swaps to connect components if needed.
+        if !is_connected(&g) {
+            if let Some(connected) = connect_by_swaps(&g, &mut rng) {
+                return connected;
+            }
+            continue;
+        }
+        debug_assert!(g.validate().is_ok());
+        return g;
+    }
+    panic!("configuration model failed to produce a connected simple graph after 200 attempts");
+}
+
+/// Tries to turn the pair list into a simple graph via double edge swaps.
+fn fix_simple(pairs: &mut [(usize, usize)], rng: &mut ChaCha8Rng) -> bool {
+    use std::collections::HashMap;
+    let m = pairs.len();
+    if m == 0 {
+        return true;
+    }
+    let key = |u: usize, v: usize| (u.min(v), u.max(v));
+    // Multiplicity of every (unordered) pair, including self-loops.
+    let mut count: HashMap<(usize, usize), usize> = HashMap::with_capacity(m);
+    for &(u, v) in pairs.iter() {
+        *count.entry(key(u, v)).or_default() += 1;
+    }
+    let is_bad = |p: (usize, usize), count: &HashMap<(usize, usize), usize>| {
+        p.0 == p.1 || count[&key(p.0, p.1)] > 1
+    };
+    for _round in 0..500 {
+        let bad: Vec<usize> = (0..m).filter(|&i| is_bad(pairs[i], &count)).collect();
+        if bad.is_empty() {
+            return true;
+        }
+        for &i in &bad {
+            if !is_bad(pairs[i], &count) {
+                continue; // fixed as a side effect of an earlier swap
+            }
+            let (a, b) = pairs[i];
+            for _try in 0..60 {
+                let j = rng.gen_range(0..m);
+                if j == i {
+                    continue;
+                }
+                let (c, d) = pairs[j];
+                // Propose the degree-preserving rewiring (a,b),(c,d) -> (a,d),(c,b).
+                if a == d || c == b {
+                    continue;
+                }
+                if count.get(&key(a, d)).copied().unwrap_or(0) > 0
+                    || count.get(&key(c, b)).copied().unwrap_or(0) > 0
+                {
+                    continue;
+                }
+                *count.get_mut(&key(a, b)).unwrap() -= 1;
+                *count.get_mut(&key(c, d)).unwrap() -= 1;
+                *count.entry(key(a, d)).or_default() += 1;
+                *count.entry(key(c, b)).or_default() += 1;
+                pairs[i] = (a, d);
+                pairs[j] = (c, b);
+                break;
+            }
+        }
+    }
+    false
+}
+
+/// Degree-preserving double edge swaps that merge connected components.
+fn connect_by_swaps(g: &Graph, rng: &mut ChaCha8Rng) -> Option<Graph> {
+    let n = g.num_nodes();
+    let mut edges: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let key = |u: usize, v: usize| (u.min(v), u.max(v));
+    for _ in 0..50 * edges.len() + 200 {
+        let mut cur = Graph::new(n);
+        let mut set: HashSet<(usize, usize)> = HashSet::new();
+        for &(u, v) in &edges {
+            cur.add_unit_edge(u, v);
+            set.insert(key(u, v));
+        }
+        if is_connected(&cur) {
+            return Some(cur);
+        }
+        let comp = crate::connectivity::connected_components(&cur);
+        // Pick two edges in different components and swap their endpoints.
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        if comp[a] == comp[c] {
+            continue;
+        }
+        if a == d || c == b {
+            continue;
+        }
+        if set.contains(&key(a, d)) || set.contains(&key(c, b)) {
+            continue;
+        }
+        edges[i] = (a, d);
+        edges[j] = (c, b);
+    }
+    None
+}
+
+/// Erdős–Rényi G(n, p) random graph (simple, undirected).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_unit_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k/2` nearest neighbors on each side, with each edge rewired with
+/// probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    let mut rng = rng_from_seed(seed);
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
+    let key = |u: usize, v: usize| (u.min(v), u.max(v));
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            let v = (u + d) % n;
+            edge_set.insert(key(u, v));
+        }
+    }
+    let original: Vec<(usize, usize)> = edge_set.iter().copied().collect();
+    for (u, v) in original {
+        if rng.gen_bool(beta.clamp(0.0, 1.0)) {
+            // Rewire the (u, v) edge to (u, w) for a random w.
+            let mut tries = 0;
+            loop {
+                let w = rng.gen_range(0..n);
+                tries += 1;
+                if tries > 100 {
+                    break;
+                }
+                if w == u || edge_set.contains(&key(u, w)) {
+                    continue;
+                }
+                edge_set.remove(&key(u, v));
+                edge_set.insert(key(u, w));
+                break;
+            }
+        }
+    }
+    let mut g = Graph::new(n);
+    for (u, v) in edge_set {
+        g.add_unit_edge(u, v);
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment graph: starts from a clique of `m`
+/// nodes, then each new node attaches to `m` existing nodes chosen with
+/// probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n");
+    let mut rng = rng_from_seed(seed);
+    let mut g = Graph::new(n);
+    // Seed clique.
+    for u in 0..m {
+        for v in u + 1..m {
+            g.add_unit_edge(u, v);
+        }
+    }
+    // Degree-proportional sampling via the repeated-endpoints list.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for e in g.edges() {
+        endpoints.push(e.u);
+        endpoints.push(e.v);
+    }
+    if endpoints.is_empty() {
+        endpoints.push(0); // m == 1 case: attach the second node to node 0.
+    }
+    for u in m.max(1)..n {
+        let mut targets: HashSet<usize> = HashSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 10_000 {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            g.add_unit_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Stochastic block model with `blocks` equal-sized communities on `n` nodes:
+/// intra-community edge probability `p_in`, inter-community `p_out`.
+pub fn stochastic_block_model(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(blocks >= 1 && blocks <= n);
+    let mut rng = rng_from_seed(seed);
+    let mut g = Graph::new(n);
+    let block_of = |u: usize| u * blocks / n;
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_unit_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn random_regular_graph_is_regular_and_connected() {
+        for (n, r, seed) in [(16, 3, 1), (20, 4, 2), (64, 5, 3), (50, 8, 4)] {
+            let g = random_regular_graph(n, r, seed);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), n * r / 2);
+            for u in 0..n {
+                assert_eq!(g.degree(u), r, "node {u} degree");
+            }
+            assert!(is_connected(&g));
+            assert!(g.validate().is_ok());
+            // simple graph: no parallel edges
+            for u in 0..n {
+                assert_eq!(g.distinct_neighbors(u).len(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_graph_is_deterministic_per_seed() {
+        let a = random_regular_graph(24, 4, 42);
+        let b = random_regular_graph(24, 4, 42);
+        let ea: Vec<_> = a.edges().iter().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.edges().iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_degree_sum_panics() {
+        random_regular_graph(5, 3, 0);
+    }
+
+    #[test]
+    fn configuration_model_matches_degree_sequence() {
+        let degs = vec![3, 3, 3, 3, 2, 2, 2, 2, 4, 4];
+        let g = configuration_model(&degs, 9);
+        assert_eq!(g.degree_sequence(), degs);
+        assert!(is_connected(&g));
+        for u in 0..g.num_nodes() {
+            assert_eq!(g.distinct_neighbors(u).len(), g.degree(u), "simple graph");
+        }
+    }
+
+    #[test]
+    fn multigraph_configuration_model_handles_high_degrees() {
+        // Degrees >= n are impossible for a simple graph but fine for a
+        // multigraph (parallel edges).
+        let degs = vec![6, 6, 4, 4, 4];
+        let g = configuration_model_multigraph(&degs, 3);
+        assert_eq!(g.degree_sequence(), degs);
+        assert!(is_connected(&g));
+        // no self-loops by construction
+        for e in g.edges() {
+            assert_ne!(e.u, e.v);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_bounds() {
+        let g = erdos_renyi(30, 0.2, 5);
+        assert_eq!(g.num_nodes(), 30);
+        assert!(g.num_edges() <= 30 * 29 / 2);
+        assert!(g.validate().is_ok());
+        let empty = erdos_renyi(10, 0.0, 5);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, 5);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let g = watts_strogatz(40, 4, 0.1, 11);
+        assert_eq!(g.num_nodes(), 40);
+        // Rewiring never changes the number of edges.
+        assert_eq!(g.num_edges(), 40 * 4 / 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn barabasi_albert_growth() {
+        let g = barabasi_albert(50, 3, 17);
+        assert_eq!(g.num_nodes(), 50);
+        assert!(g.num_edges() >= 3 + (50 - 3));
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn sbm_has_denser_blocks() {
+        let g = stochastic_block_model(60, 3, 0.5, 0.02, 23);
+        let block_of = |u: usize| u * 3 / 60;
+        let mut intra = 0;
+        let mut inter = 0;
+        for e in g.edges() {
+            if block_of(e.u) == block_of(e.v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} vs inter {inter}");
+    }
+}

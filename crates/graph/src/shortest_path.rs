@@ -1,0 +1,369 @@
+//! Shortest paths on switch graphs.
+//!
+//! Three users in the framework:
+//!
+//! * the longest-matching traffic matrix needs *unweighted* all-pairs shortest
+//!   path lengths (hop counts),
+//! * the Fleischer max-concurrent-flow solver needs single-source shortest
+//!   paths under an arbitrary positive *length function on edges* (the dual
+//!   variables), with the predecessor tree so flow can be routed back,
+//! * the expanding-region cut estimator needs BFS balls.
+
+use crate::graph::Graph;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Distance value used to mark unreachable nodes in BFS results.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Breadth-first search hop distances from `src` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u];
+        for &(v, _) in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs unweighted shortest path lengths (hop counts), row `u` is the BFS
+/// distance vector from `u`. Runs the per-source BFS in parallel with rayon.
+pub fn apsp_unweighted(g: &Graph) -> Vec<Vec<u32>> {
+    (0..g.num_nodes())
+        .into_par_iter()
+        .map(|u| bfs_distances(g, u))
+        .collect()
+}
+
+/// Average shortest path length over all ordered pairs of distinct nodes.
+///
+/// Returns `None` if the graph is disconnected (some pair is unreachable) or
+/// has fewer than two nodes.
+pub fn average_path_length(g: &Graph) -> Option<f64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    let dist = apsp_unweighted(g);
+    let mut total = 0u64;
+    for (u, row) in dist.iter().enumerate() {
+        for (v, &d) in row.iter().enumerate() {
+            if u == v {
+                continue;
+            }
+            if d == UNREACHABLE {
+                return None;
+            }
+            total += d as u64;
+        }
+    }
+    Some(total as f64 / (n as f64 * (n as f64 - 1.0)))
+}
+
+/// Diameter (max hop distance over all pairs); `None` if disconnected.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let dist = apsp_unweighted(g);
+    let mut best = 0;
+    for (u, row) in dist.iter().enumerate() {
+        for (v, &d) in row.iter().enumerate() {
+            if u == v {
+                continue;
+            }
+            if d == UNREACHABLE {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// A single-source shortest path tree under an edge length function.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// Source node the tree is rooted at.
+    pub src: usize,
+    /// Distance from the source under the length function (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor of each node on its shortest path as `(parent node, edge id)`;
+    /// `None` for the source and unreachable nodes.
+    pub parent: Vec<Option<(usize, usize)>>,
+}
+
+impl ShortestPathTree {
+    /// Reconstructs the path from the source to `dst` as a list of edge ids
+    /// (source-to-destination order). Returns `None` if `dst` is unreachable.
+    pub fn path_edges(&self, dst: usize) -> Option<Vec<usize>> {
+        if dst == self.src {
+            return Some(Vec::new());
+        }
+        self.parent[dst]?;
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != self.src {
+            let (p, e) = self.parent[cur]?;
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// Reconstructs the path from the source to `dst` as a node sequence
+    /// (including both endpoints).
+    pub fn path_nodes(&self, dst: usize) -> Option<Vec<usize>> {
+        if dst == self.src {
+            return Some(vec![dst]);
+        }
+        self.parent[dst]?;
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != self.src {
+            let (p, _) = self.parent[cur]?;
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+}
+
+#[derive(Copy, Clone, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison. Distances are finite
+        // non-NaN by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm from `src` under the per-edge length function
+/// `edge_len` (indexed by edge id; all lengths must be non-negative).
+pub fn dijkstra(g: &Graph, src: usize, edge_len: &[f64]) -> ShortestPathTree {
+    assert_eq!(edge_len.len(), g.num_edges());
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[src] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, eid) in g.neighbors(u) {
+            let len = edge_len[eid];
+            debug_assert!(len >= 0.0, "negative edge length");
+            let nd = d + len;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some((u, eid));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree { src, dist, parent }
+}
+
+/// Yen-style K shortest (simple) paths between `src` and `dst` by hop count,
+/// used by the LLSKR replication (Fig 15). Paths are returned as node
+/// sequences ordered by length; fewer than `k` paths may exist.
+pub fn k_shortest_paths(g: &Graph, src: usize, dst: usize, k: usize) -> Vec<Vec<usize>> {
+    if src == dst || k == 0 {
+        return Vec::new();
+    }
+    let unit = vec![1.0; g.num_edges()];
+    let tree = dijkstra(g, src, &unit);
+    let first = match tree.path_nodes(dst) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut paths: Vec<Vec<usize>> = vec![first];
+    let mut candidates: Vec<Vec<usize>> = Vec::new();
+
+    while paths.len() < k {
+        let last = paths.last().unwrap().clone();
+        for i in 0..last.len() - 1 {
+            let spur_node = last[i];
+            let root: Vec<usize> = last[..=i].to_vec();
+            // Edge lengths: ban edges used by previous paths sharing this root,
+            // and ban revisiting root nodes, by giving them infinite length.
+            let mut len = vec![1.0; g.num_edges()];
+            for p in &paths {
+                if p.len() > i + 1 && p[..=i] == root[..] {
+                    let (a, b) = (p[i], p[i + 1]);
+                    for &(v, eid) in g.neighbors(a) {
+                        if v == b {
+                            len[eid] = f64::INFINITY;
+                        }
+                    }
+                }
+            }
+            let mut banned = vec![false; g.num_nodes()];
+            for &node in &root[..root.len() - 1] {
+                banned[node] = true;
+            }
+            for (eid, e) in g.edges().iter().enumerate() {
+                if banned[e.u] || banned[e.v] {
+                    len[eid] = f64::INFINITY;
+                }
+            }
+            let t = dijkstra(g, spur_node, &len);
+            if t.dist[dst].is_finite() {
+                if let Some(spur) = t.path_nodes(dst) {
+                    let mut total = root.clone();
+                    total.extend_from_slice(&spur[1..]);
+                    if !paths.contains(&total) && !candidates.contains(&total) {
+                        candidates.push(total);
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by_key(|p| p.len());
+        paths.push(candidates.remove(0));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn apsp_matches_bfs() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let all = apsp_unweighted(&g);
+        for u in 0..4 {
+            assert_eq!(all[u], bfs_distances(&g, u));
+        }
+    }
+
+    #[test]
+    fn average_path_length_of_cycle() {
+        // C4: distances from any node are 1,1,2 -> average 4/3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let apl = average_path_length(&g).unwrap();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(diameter(&path_graph(6)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_has_no_apl() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        assert!(average_path_length(&g).is_none());
+        assert!(diameter(&g).is_none());
+    }
+
+    #[test]
+    fn dijkstra_respects_weights() {
+        // Triangle where the direct 0-2 edge is expensive.
+        let mut g = Graph::new(3);
+        let e01 = g.add_unit_edge(0, 1);
+        let e12 = g.add_unit_edge(1, 2);
+        let e02 = g.add_unit_edge(0, 2);
+        let mut len = vec![0.0; 3];
+        len[e01] = 1.0;
+        len[e12] = 1.0;
+        len[e02] = 5.0;
+        let t = dijkstra(&g, 0, &len);
+        assert!((t.dist[2] - 2.0).abs() < 1e-12);
+        assert_eq!(t.path_nodes(2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(t.path_edges(2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_path_to_self_is_empty() {
+        let g = path_graph(3);
+        let t = dijkstra(&g, 1, &vec![1.0; g.num_edges()]);
+        assert_eq!(t.path_edges(1).unwrap(), Vec::<usize>::new());
+        assert_eq!(t.path_nodes(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn k_shortest_paths_on_cycle() {
+        // C4 between opposite corners has exactly two 2-hop paths.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let ps = k_shortest_paths(&g, 0, 2, 4);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), 3);
+        assert_eq!(ps[1].len(), 3);
+        assert_ne!(ps[0], ps[1]);
+    }
+
+    #[test]
+    fn k_shortest_paths_simple_and_ordered() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4), (0, 4)],
+        );
+        let ps = k_shortest_paths(&g, 0, 4, 3);
+        assert_eq!(ps.len(), 3);
+        // Ordered by hop count: 1-hop, 2-hop, 3-hop.
+        assert!(ps[0].len() <= ps[1].len() && ps[1].len() <= ps[2].len());
+        for p in &ps {
+            // simple paths: no repeated nodes
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), p.len());
+        }
+    }
+}

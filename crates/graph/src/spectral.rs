@@ -1,0 +1,165 @@
+//! Spectral tools: the Fiedler-like second eigenvector of the *normalized*
+//! Laplacian, used by the eigenvector sweep cut estimator (Appendix C of the
+//! paper, citing Cheeger's inequality).
+//!
+//! We only ever need the eigenvector corresponding to the second smallest
+//! eigenvalue of `L_norm = I - D^{-1/2} A D^{-1/2}`, so a deflated power
+//! iteration on `2I - L_norm` (whose largest eigenvalue corresponds to the
+//! smallest of `L_norm`) is sufficient and keeps the crate dependency-free.
+
+use crate::graph::Graph;
+
+/// Result of the spectral computation.
+#[derive(Debug, Clone)]
+pub struct SpectralResult {
+    /// Approximation of the second smallest eigenvalue of the normalized
+    /// Laplacian (the "algebraic connectivity" analogue; 0 for disconnected
+    /// graphs).
+    pub lambda2: f64,
+    /// The corresponding eigenvector, one entry per node.
+    pub eigenvector: Vec<f64>,
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Multiplies `M = 2I - L_norm = I + D^{-1/2} A D^{-1/2}` by `v`.
+/// Isolated nodes (degree 0) only get the identity part.
+fn apply_shifted(g: &Graph, inv_sqrt_deg: &[f64], v: &[f64], out: &mut [f64]) {
+    let n = g.num_nodes();
+    for i in 0..n {
+        out[i] = v[i];
+    }
+    for e in g.edges() {
+        let w = e.cap * inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v];
+        out[e.u] += w * v[e.v];
+        out[e.v] += w * v[e.u];
+    }
+}
+
+/// Computes (an approximation of) the eigenvector of the normalized Laplacian
+/// associated with its second smallest eigenvalue, via deflated power
+/// iteration.
+///
+/// Weighted degrees (sums of incident capacities) are used, so parallel edges
+/// and non-unit capacities are handled. The iteration is deterministic.
+pub fn second_smallest_normalized_laplacian(g: &Graph, iterations: usize) -> SpectralResult {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need at least two nodes");
+    // Weighted degree.
+    let mut deg = vec![0.0f64; n];
+    for e in g.edges() {
+        deg[e.u] += e.cap;
+        deg[e.v] += e.cap;
+    }
+    let inv_sqrt_deg: Vec<f64> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    // Trivial eigenvector of L_norm for eigenvalue 0 is D^{1/2} * 1.
+    let mut trivial: Vec<f64> = deg.iter().map(|&d| d.sqrt()).collect();
+    normalize(&mut trivial);
+
+    // Deterministic pseudo-random start, orthogonalized against the trivial
+    // eigenvector.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.754877666 + 0.1).fract();
+            x - 0.5
+        })
+        .collect();
+    let t = dot(&v, &trivial);
+    for i in 0..n {
+        v[i] -= t * trivial[i];
+    }
+    normalize(&mut v);
+
+    let mut next = vec![0.0; n];
+    let mut rayleigh_shifted = 0.0;
+    for _ in 0..iterations {
+        apply_shifted(g, &inv_sqrt_deg, &v, &mut next);
+        // Deflate the trivial eigenvector (its eigenvalue under 2I - L is 2,
+        // the largest, so it must be removed every step).
+        let t = dot(&next, &trivial);
+        for i in 0..n {
+            next[i] -= t * trivial[i];
+        }
+        normalize(&mut next);
+        std::mem::swap(&mut v, &mut next);
+    }
+    // Rayleigh quotient of the shifted operator.
+    apply_shifted(g, &inv_sqrt_deg, &v, &mut next);
+    let t = dot(&next, &trivial);
+    for i in 0..n {
+        next[i] -= t * trivial[i];
+    }
+    rayleigh_shifted += dot(&v, &next);
+    let lambda2 = 2.0 - rayleigh_shifted;
+    SpectralResult {
+        lambda2,
+        eigenvector: v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_large_lambda2() {
+        // K_n has normalized-Laplacian eigenvalues {0, n/(n-1), ...}.
+        let n = 8;
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_unit_edge(i, j);
+            }
+        }
+        let r = second_smallest_normalized_laplacian(&g, 400);
+        assert!((r.lambda2 - n as f64 / (n as f64 - 1.0)).abs() < 0.05, "{}", r.lambda2);
+    }
+
+    #[test]
+    fn barbell_eigenvector_separates_the_two_cliques() {
+        // Two K5s joined by a single edge: the second eigenvector should take
+        // opposite signs on the two cliques.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                g.add_unit_edge(i, j);
+                g.add_unit_edge(5 + i, 5 + j);
+            }
+        }
+        g.add_unit_edge(0, 5);
+        let r = second_smallest_normalized_laplacian(&g, 2000);
+        let left_sign = r.eigenvector[1].signum();
+        for i in 1..5 {
+            assert_eq!(r.eigenvector[i].signum(), left_sign);
+        }
+        for i in 6..10 {
+            assert_eq!(r.eigenvector[i].signum(), -left_sign);
+        }
+        assert!(r.lambda2 < 0.5, "barbell should have small lambda2, got {}", r.lambda2);
+    }
+
+    #[test]
+    fn cycle_lambda2_matches_formula() {
+        // C_n normalized Laplacian eigenvalues: 1 - cos(2*pi*k/n).
+        let n = 16;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let expected = 1.0 - (2.0 * std::f64::consts::PI / n as f64).cos();
+        let r = second_smallest_normalized_laplacian(&g, 4000);
+        assert!((r.lambda2 - expected).abs() < 0.02, "{} vs {}", r.lambda2, expected);
+    }
+}

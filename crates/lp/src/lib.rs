@@ -1,0 +1,25 @@
+//! # tb-lp
+//!
+//! A small, self-contained linear-programming solver.
+//!
+//! The paper computes throughput with Gurobi; this repository replaces it with
+//! two components: a combinatorial FPTAS (in `tb-flow`) for large instances and
+//! this exact dense **two-phase primal simplex** for small instances, used to
+//! validate the FPTAS in tests, to solve the Kodialam traffic-matrix LP on
+//! small networks, and for the sparsest-cut LP relaxation experiments.
+//!
+//! The solver handles problems of the form
+//!
+//! ```text
+//!   maximize    c' x
+//!   subject to  a_i' x  {<=, =, >=}  b_i     (i = 1..m)
+//!               x >= 0
+//! ```
+//!
+//! It is a dense tableau implementation with Bland's anti-cycling rule engaged
+//! after a run of degenerate pivots, intended for instances with up to a few
+//! thousand variables and constraints.
+
+mod simplex;
+
+pub use simplex::{solve, Constraint, ConstraintOp, LinearProgram, LpError, LpResult, Solution};

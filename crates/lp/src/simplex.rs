@@ -1,0 +1,523 @@
+//! Dense two-phase primal simplex.
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a' x <= b`
+    Le,
+    /// `a' x = b`
+    Eq,
+    /// `a' x >= b`
+    Ge,
+}
+
+/// A single linear constraint `sum_j coeffs[j].1 * x[coeffs[j].0]  op  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficients as (variable index, coefficient) pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: maximize `objective' x` subject to `constraints`, `x >= 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Objective coefficients (length `num_vars`), to be maximized.
+    pub objective: Vec<f64>,
+    /// Constraint list.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an LP with `num_vars` variables and a zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars);
+        self.objective[var] = coeff;
+    }
+
+    /// Adds a constraint. Coefficients with duplicate variable indices are
+    /// summed.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.num_vars, "constraint references unknown variable {v}");
+        }
+        self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal objective value (of the maximization).
+    pub objective: f64,
+    /// Values of the decision variables.
+    pub values: Vec<f64>,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Result alias for LP solves.
+pub type LpResult = Result<Solution, LpError>;
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// rows x cols dense matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length cols; last entry is the negated
+    /// objective value.
+    obj: Vec<f64>,
+    /// Basis: for each row, the index of its basic column.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for x in self.a[row].iter_mut() {
+            *x *= inv;
+        }
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() > EPS {
+                for c in 0..self.cols {
+                    self.a[r][c] -= factor * self.a[row][c];
+                }
+                self.a[r][col] = 0.0;
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for c in 0..self.cols {
+                self.obj[c] -= factor * self.a[row][c];
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex method on the current objective row. `allowed_cols`
+    /// limits which columns may enter the basis (used to keep artificial
+    /// variables out in phase 2).
+    fn optimize(&mut self, allowed: usize, max_iters: usize) -> Result<(), LpError> {
+        let mut degenerate_run = 0usize;
+        for _iter in 0..max_iters {
+            // Entering column: Dantzig rule (most positive reduced cost for a
+            // maximization tableau where obj holds c_j - z_j), switching to
+            // Bland's rule after a run of degenerate pivots.
+            let use_bland = degenerate_run > 50;
+            let mut enter = None;
+            if use_bland {
+                for c in 0..allowed {
+                    if self.obj[c] > EPS {
+                        enter = Some(c);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = EPS;
+                for c in 0..allowed {
+                    if self.obj[c] > best {
+                        best = self.obj[c];
+                        enter = Some(c);
+                    }
+                }
+            }
+            let enter = match enter {
+                Some(c) => c,
+                None => return Ok(()),
+            };
+            // Leaving row: minimum ratio test.
+            let mut leave = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.a[r][enter];
+                if a > EPS {
+                    let ratio = self.a[r][self.cols - 1] / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.map_or(true, |lr: usize| self.basis[r] < self.basis[lr]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let leave = match leave {
+                Some(r) => r,
+                None => return Err(LpError::Unbounded),
+            };
+            if best_ratio < EPS {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(leave, enter);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solves the linear program with the two-phase primal simplex method.
+pub fn solve(lp: &LinearProgram) -> LpResult {
+    let n = lp.num_vars;
+    let m = lp.constraints.len();
+
+    // Count auxiliary variables: one slack/surplus per inequality, one
+    // artificial per >= or = constraint (and per <= with negative rhs after
+    // normalization).
+    // First normalize constraints so rhs >= 0.
+    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let mut dense = vec![0.0; n];
+        for &(v, coef) in &c.coeffs {
+            dense[v] += coef;
+        }
+        let (dense, op, rhs) = if c.rhs < 0.0 {
+            let flipped_op = match c.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+            (dense.iter().map(|x| -x).collect::<Vec<_>>(), flipped_op, -c.rhs)
+        } else {
+            (dense, c.op, c.rhs)
+        };
+        rows.push((dense, op, rhs));
+    }
+
+    let num_slack = rows
+        .iter()
+        .filter(|(_, op, _)| *op != ConstraintOp::Eq)
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|(_, op, _)| *op != ConstraintOp::Le)
+        .count();
+    let cols = n + num_slack + num_art + 1;
+    let slack_base = n;
+    let art_base = n + num_slack;
+
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = 0usize;
+    let mut art_idx = 0usize;
+    for (r, (dense, op, rhs)) in rows.iter().enumerate() {
+        a[r][..n].copy_from_slice(dense);
+        a[r][cols - 1] = *rhs;
+        match op {
+            ConstraintOp::Le => {
+                a[r][slack_base + slack_idx] = 1.0;
+                basis[r] = slack_base + slack_idx;
+                slack_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                a[r][slack_base + slack_idx] = -1.0;
+                slack_idx += 1;
+                a[r][art_base + art_idx] = 1.0;
+                basis[r] = art_base + art_idx;
+                art_idx += 1;
+            }
+            ConstraintOp::Eq => {
+                a[r][art_base + art_idx] = 1.0;
+                basis[r] = art_base + art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let max_iters = 50 * (m + cols) + 5000;
+
+    // Phase 1: minimize the sum of artificial variables, i.e. maximize the
+    // negated sum. Build the phase-1 objective row as c_j - z_j.
+    let mut tab = Tableau {
+        a,
+        obj: vec![0.0; cols],
+        basis,
+        rows: m,
+        cols,
+    };
+
+    if num_art > 0 {
+        // phase-1 cost: -1 for artificials, 0 otherwise (maximization).
+        // reduced costs: c_j - sum over basic rows of c_B * a_rj.
+        let mut obj = vec![0.0; cols];
+        for c in art_base..art_base + num_art {
+            obj[c] = -1.0;
+        }
+        // Price out the basic artificial columns.
+        for r in 0..m {
+            if tab.basis[r] >= art_base {
+                for c in 0..cols {
+                    obj[c] += tab.a[r][c];
+                }
+            }
+        }
+        // The artificial columns themselves end with reduced cost 0 in the
+        // rows where they are basic; ensure exactly that.
+        tab.obj = obj;
+        tab.optimize(cols - 1, max_iters)?;
+        // The objective row's RHS entry holds the negated objective value, so
+        // the achieved maximum of -(sum of artificials) is -obj[rhs]; any
+        // strictly negative optimum means some artificial stayed positive.
+        let phase1_value = -tab.obj[cols - 1];
+        if phase1_value < -1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining artificial variables out of the basis.
+        for r in 0..m {
+            if tab.basis[r] >= art_base {
+                // Find a non-artificial column with a nonzero coefficient.
+                let mut found = None;
+                for c in 0..art_base {
+                    if tab.a[r][c].abs() > 1e-7 {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                if let Some(c) = found {
+                    tab.pivot(r, c);
+                }
+                // If none found the row is redundant; leave the artificial at
+                // value ~0, it cannot re-enter because phase 2 restricts
+                // entering columns to non-artificials.
+            }
+        }
+    }
+
+    // Phase 2: maximize the real objective.
+    let mut obj = vec![0.0; cols];
+    obj[..n].copy_from_slice(&lp.objective);
+    // Price out basic columns: obj = c - c_B * B^{-1} A.
+    for r in 0..m {
+        let b = tab.basis[r];
+        let cb = if b < n { lp.objective[b] } else { 0.0 };
+        if cb != 0.0 {
+            for c in 0..cols {
+                obj[c] -= cb * tab.a[r][c];
+            }
+        }
+    }
+    tab.obj = obj;
+    tab.optimize(art_base, max_iters)?;
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        if tab.basis[r] < n {
+            values[tab.basis[r]] = tab.a[r][cols - 1];
+        }
+    }
+    let objective = lp
+        .objective
+        .iter()
+        .zip(&values)
+        .map(|(c, x)| c * x)
+        .sum();
+    Ok(Solution { objective, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_two_var_max() {
+        // max 3x + 2y ; x + y <= 4; x + 3y <= 6; x,y >= 0 -> x=4, y=0, obj=12
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 3.0)], ConstraintOp::Le, 6.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 12.0);
+        assert_close(s.values[0], 4.0);
+        assert_close(s.values[1], 0.0);
+    }
+
+    #[test]
+    fn classic_product_mix() {
+        // max 5x + 4y; 6x + 4y <= 24; x + 2y <= 6 -> x=3, y=1.5, obj=21
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 5.0);
+        lp.set_objective(1, 4.0);
+        lp.add_constraint(vec![(0, 6.0), (1, 4.0)], ConstraintOp::Le, 24.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Le, 6.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 21.0);
+        assert_close(s.values[0], 3.0);
+        assert_close(s.values[1], 1.5);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y; x + y = 5; x <= 3 -> obj = 5
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 3.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 5.0);
+        assert!(s.values[0] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn ge_constraints_and_minimization_style() {
+        // "minimize 2x + 3y s.t. x + y >= 10, x >= 2" expressed as maximizing
+        // the negation.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -2.0);
+        lp.set_objective(1, -3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 10.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, -20.0);
+        assert_close(s.values[0], 10.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 5.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -1 with x,y>=0 means y >= x + 1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Le, -1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 10.0);
+        let s = solve(&lp).unwrap();
+        // best is x=3, y=4 -> obj = -1
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A problem known to cause cycling without anti-cycling rules
+        // (Beale's example, stated as maximization).
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, 0.75);
+        lp.set_objective(1, -150.0);
+        lp.set_objective(2, 0.02);
+        lp.set_objective(3, -6.0);
+        lp.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn max_flow_as_lp() {
+        // Max s-t flow on a small directed graph encoded as an LP.
+        // s=0, t=3. arcs: (0,1,c=2),(0,2,c=2),(1,3,c=1),(2,3,c=3),(1,2,c=1)
+        // max flow = 4 (paths 0-1-3: 1, 0-1-2-3: 1, 0-2-3: 2).
+        // variables: f per arc (5 vars). maximize f(0,1)+f(0,2)
+        // conservation at 1: f01 = f13 + f12 ; at 2: f02 + f12 = f23
+        let mut lp = LinearProgram::new(5);
+        // order: f01, f02, f13, f23, f12
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        for (i, cap) in [(0usize, 2.0), (1, 2.0), (2, 1.0), (3, 3.0), (4, 1.0)] {
+            lp.add_constraint(vec![(i, 1.0)], ConstraintOp::Le, cap);
+        }
+        lp.add_constraint(
+            vec![(0, 1.0), (2, -1.0), (4, -1.0)],
+            ConstraintOp::Eq,
+            0.0,
+        );
+        lp.add_constraint(vec![(1, 1.0), (4, 1.0), (3, -1.0)], ConstraintOp::Eq, 0.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], ConstraintOp::Eq, 4.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn zero_rhs_equalities() {
+        // max x s.t. x - y = 0, y <= 7
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 0.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 7.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 7.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Enumeration of the ten topology families benchmarked in the paper, with
+//! pre-chosen instance ladders used by the scaling experiments (Figs 5–9) and
+//! representative mid-size instances used by the per-family experiments
+//! (Figs 4, 10–14, Table II).
+//!
+//! Instance parameters are chosen so that each family spans roughly the
+//! tens-to-thousands-of-servers range the paper plots while staying solvable
+//! with the bundled LP/FPTAS solvers on a single machine.
+
+use crate::{
+    bcube::bcube,
+    dcell::dcell,
+    dragonfly::balanced_dragonfly,
+    fattree::fat_tree,
+    flattened_butterfly::flattened_butterfly,
+    hypercube::hypercube,
+    hyperx::{build_design, design_search},
+    jellyfish::jellyfish,
+    longhop::long_hop,
+    slimfly::{canonical_servers_per_router, slim_fly},
+    topology::Topology,
+};
+use serde::{Deserialize, Serialize};
+
+/// The ten computer-network topology families of §III-A3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// BCube (server-centric, 2-ary in the paper's Table I).
+    BCube,
+    /// DCell (server-centric, 5-ary in the paper's Table I).
+    DCell,
+    /// Dragonfly (balanced: a = 2h, p = h).
+    Dragonfly,
+    /// Three-level fat tree.
+    FatTree,
+    /// Flattened butterfly.
+    FlattenedButterfly,
+    /// Hypercube.
+    Hypercube,
+    /// HyperX (design-searched for a target bisection).
+    HyperX,
+    /// Jellyfish (uniform random regular graph).
+    Jellyfish,
+    /// Long Hop network.
+    LongHop,
+    /// Slim Fly (MMS graph).
+    SlimFly,
+}
+
+/// All families, in the display order used by the paper's figures.
+pub const ALL_FAMILIES: [Family; 10] = [
+    Family::BCube,
+    Family::DCell,
+    Family::Dragonfly,
+    Family::FatTree,
+    Family::FlattenedButterfly,
+    Family::Hypercube,
+    Family::HyperX,
+    Family::Jellyfish,
+    Family::LongHop,
+    Family::SlimFly,
+];
+
+/// How large an instance ladder to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small instances only (tests, smoke runs, criterion benches).
+    Small,
+    /// The full ladder used to regenerate the paper's scaling figures.
+    Full,
+}
+
+impl Family {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::BCube => "BCube",
+            Family::DCell => "DCell",
+            Family::Dragonfly => "Dragonfly",
+            Family::FatTree => "Fat tree",
+            Family::FlattenedButterfly => "Flattened BF",
+            Family::Hypercube => "Hypercube",
+            Family::HyperX => "HyperX",
+            Family::Jellyfish => "Jellyfish",
+            Family::LongHop => "Long Hop",
+            Family::SlimFly => "Slim Fly",
+        }
+    }
+
+    /// Whether the family prescribes server locations (server-centric or
+    /// tree-structured designs); all other families attach servers to every
+    /// switch (§III-A2).
+    pub fn has_prescribed_server_locations(&self) -> bool {
+        matches!(self, Family::BCube | Family::DCell | Family::FatTree)
+    }
+
+    /// The instance ladder used for scaling experiments, ordered by size.
+    pub fn instances(&self, scale: Scale, seed: u64) -> Vec<Topology> {
+        let full = scale == Scale::Full;
+        match self {
+            Family::BCube => {
+                let mut v = vec![bcube(2, 2), bcube(2, 3), bcube(4, 1), bcube(4, 2)];
+                if full {
+                    v.push(bcube(2, 5));
+                    v.push(bcube(4, 3));
+                }
+                v
+            }
+            Family::DCell => {
+                let mut v = vec![dcell(3, 1), dcell(4, 1), dcell(5, 1), dcell(3, 2)];
+                if full {
+                    v.push(dcell(4, 2));
+                    v.push(dcell(5, 2));
+                }
+                v
+            }
+            Family::Dragonfly => {
+                let mut v = vec![balanced_dragonfly(1), balanced_dragonfly(2), balanced_dragonfly(3)];
+                if full {
+                    v.push(balanced_dragonfly(4));
+                }
+                v
+            }
+            Family::FatTree => {
+                let mut v = vec![fat_tree(4), fat_tree(6), fat_tree(8)];
+                if full {
+                    v.push(fat_tree(10));
+                    v.push(fat_tree(12));
+                    v.push(fat_tree(14));
+                }
+                v
+            }
+            Family::FlattenedButterfly => {
+                let mut v = vec![flattened_butterfly(3, 3), flattened_butterfly(4, 3), flattened_butterfly(5, 3)];
+                if full {
+                    v.push(flattened_butterfly(6, 3));
+                    v.push(flattened_butterfly(8, 3));
+                    v.push(flattened_butterfly(10, 3));
+                }
+                v
+            }
+            Family::Hypercube => {
+                let mut v = vec![hypercube(4, 2), hypercube(5, 3), hypercube(6, 3)];
+                if full {
+                    v.push(hypercube(7, 4));
+                    v.push(hypercube(8, 4));
+                    v.push(hypercube(9, 5));
+                }
+                v
+            }
+            Family::HyperX => {
+                // Targets start at a few hundred servers so the design search
+                // returns multi-dimensional HyperX instances (very small
+                // targets degenerate into a handful of heavily trunked
+                // switches, which are not representative of the family).
+                let targets: &[usize] = if full {
+                    &[256, 400, 512, 648, 864, 1024]
+                } else {
+                    &[256, 400, 512]
+                };
+                targets
+                    .iter()
+                    .filter_map(|&n| design_search(24, n, 0.4))
+                    .map(|d| build_design(&d))
+                    .collect()
+            }
+            Family::Jellyfish => {
+                let params: &[(usize, usize, usize)] = if full {
+                    &[(25, 6, 3), (50, 8, 4), (100, 10, 5), (200, 12, 6), (400, 14, 7)]
+                } else {
+                    &[(25, 6, 3), (50, 8, 4), (100, 10, 5)]
+                };
+                params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(n, r, s))| jellyfish(n, r, s, seed.wrapping_add(i as u64)))
+                    .collect()
+            }
+            Family::LongHop => {
+                let mut v = vec![long_hop(5, 8, 2), long_hop(6, 9, 3)];
+                if full {
+                    v.push(long_hop(7, 10, 4));
+                    v.push(long_hop(8, 11, 5));
+                }
+                v
+            }
+            Family::SlimFly => {
+                let mut v = vec![slim_fly(5, canonical_servers_per_router(5))];
+                if full {
+                    v.push(slim_fly(13, canonical_servers_per_router(13)));
+                    v.push(slim_fly(17, canonical_servers_per_router(17)));
+                }
+                v
+            }
+        }
+    }
+
+    /// A representative mid-size instance used by the per-family (non-scaling)
+    /// experiments: Fig 4, Figs 10–14 and Table II.
+    pub fn representative(&self, seed: u64) -> Topology {
+        match self {
+            Family::BCube => bcube(4, 2),
+            Family::DCell => dcell(4, 1),
+            Family::Dragonfly => balanced_dragonfly(2),
+            Family::FatTree => fat_tree(8),
+            Family::FlattenedButterfly => flattened_butterfly(5, 3),
+            Family::Hypercube => hypercube(6, 3),
+            Family::HyperX => design_search(24, 256, 0.4)
+                .map(|d| build_design(&d))
+                .expect("HyperX design search must succeed for the representative size"),
+            Family::Jellyfish => jellyfish(64, 8, 4, seed),
+            Family::LongHop => long_hop(6, 9, 3),
+            Family::SlimFly => slim_fly(5, canonical_servers_per_router(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::connectivity::is_connected;
+
+    #[test]
+    fn all_families_produce_small_instances() {
+        for f in ALL_FAMILIES {
+            let instances = f.instances(Scale::Small, 1);
+            assert!(!instances.is_empty(), "{} has no instances", f.name());
+            for t in &instances {
+                assert!(is_connected(&t.graph), "{} instance disconnected", t.describe());
+                assert!(t.num_servers() > 0);
+                assert!(t.graph.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn instance_ladders_are_increasing_in_size() {
+        for f in ALL_FAMILIES {
+            let instances = f.instances(Scale::Small, 1);
+            for w in instances.windows(2) {
+                assert!(
+                    w[0].num_servers() <= w[1].num_servers(),
+                    "{}: ladder not sorted by servers",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_are_connected_and_modest() {
+        for f in ALL_FAMILIES {
+            let t = f.representative(3);
+            assert!(is_connected(&t.graph));
+            assert!(t.num_switches() <= 1200, "{} representative too large", f.name());
+        }
+    }
+
+    #[test]
+    fn prescribed_server_locations_flag() {
+        assert!(Family::FatTree.has_prescribed_server_locations());
+        assert!(Family::BCube.has_prescribed_server_locations());
+        assert!(!Family::Jellyfish.has_prescribed_server_locations());
+    }
+}

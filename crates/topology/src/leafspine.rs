@@ -1,0 +1,82 @@
+//! Two-level leaf–spine (folded Clos) topology.
+//!
+//! The most common production data-center fabric; a useful baseline next to
+//! the three-level fat tree, and the smallest member of the Clos family the
+//! paper's fat-tree results generalize to.
+
+use crate::topology::Topology;
+use tb_graph::Graph;
+
+/// Builds a leaf–spine fabric: `leaves` leaf switches, `spines` spine
+/// switches, every leaf connected to every spine by `trunking` parallel links,
+/// and `servers_per_leaf` servers on each leaf. Spine switches carry no
+/// servers.
+pub fn leaf_spine(leaves: usize, spines: usize, trunking: usize, servers_per_leaf: usize) -> Topology {
+    assert!(leaves >= 2 && spines >= 1 && trunking >= 1);
+    let n = leaves + spines;
+    let mut g = Graph::new(n);
+    for l in 0..leaves {
+        for s in 0..spines {
+            for _ in 0..trunking {
+                g.add_unit_edge(l, leaves + s);
+            }
+        }
+    }
+    let mut servers = vec![0usize; n];
+    for srv in servers.iter_mut().take(leaves) {
+        *srv = servers_per_leaf;
+    }
+    Topology::new(
+        "leaf-spine",
+        format!("{leaves} leaves x {spines} spines, trunk={trunking}"),
+        g,
+        servers,
+    )
+}
+
+/// The oversubscription ratio of a leaf–spine design: downlink capacity per
+/// leaf (servers) divided by uplink capacity per leaf (spines × trunking).
+/// 1.0 means non-blocking; larger values are oversubscribed.
+pub fn oversubscription(leaves: usize, spines: usize, trunking: usize, servers_per_leaf: usize) -> f64 {
+    let _ = leaves;
+    servers_per_leaf as f64 / (spines as f64 * trunking as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::connectivity::is_connected;
+    use tb_graph::shortest_path::diameter;
+
+    #[test]
+    fn structure() {
+        let t = leaf_spine(8, 4, 1, 4);
+        assert_eq!(t.num_switches(), 12);
+        assert_eq!(t.num_links(), 32);
+        assert_eq!(t.num_servers(), 32);
+        assert!(is_connected(&t.graph));
+        assert_eq!(diameter(&t.graph), Some(2));
+        for l in 0..8 {
+            assert_eq!(t.graph.degree(l), 4);
+            assert_eq!(t.servers[l], 4);
+        }
+        for s in 8..12 {
+            assert_eq!(t.graph.degree(s), 8);
+            assert_eq!(t.servers[s], 0);
+        }
+    }
+
+    #[test]
+    fn trunking_multiplies_links() {
+        let t = leaf_spine(4, 2, 3, 2);
+        assert_eq!(t.num_links(), 4 * 2 * 3);
+        assert_eq!(t.graph.edge_multiplicity(0, 4), 3);
+    }
+
+    #[test]
+    fn oversubscription_ratio() {
+        assert_eq!(oversubscription(8, 4, 1, 4), 1.0);
+        assert_eq!(oversubscription(8, 2, 1, 4), 2.0);
+        assert_eq!(oversubscription(8, 4, 2, 4), 0.5);
+    }
+}

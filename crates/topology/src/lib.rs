@@ -1,0 +1,50 @@
+//! # tb-topology
+//!
+//! Generators for every network topology family evaluated in the paper
+//! (§III-A3), plus the auxiliary constructions used in its analysis:
+//!
+//! | Family | Module | Reference |
+//! |---|---|---|
+//! | BCube | [`bcube`] | Guo et al., SIGCOMM 2009 |
+//! | DCell | [`dcell`] | Guo et al., SIGCOMM 2008 |
+//! | Dragonfly | [`dragonfly`] | Kim et al., ISCA 2008 |
+//! | Fat tree | [`fattree`] | Al-Fares et al., SIGCOMM 2008 / Leiserson 1985 |
+//! | Flattened butterfly | [`flattened_butterfly`] | Kim et al., ISCA 2007 |
+//! | Hypercube | [`hypercube`] | Bhuyan & Agrawal 1984 |
+//! | HyperX | [`hyperx`] | Ahn et al., SC 2009 |
+//! | Jellyfish (random regular) | [`jellyfish`] | Singla et al., NSDI 2012 |
+//! | Long Hop | [`longhop`] | Tomic, ANCS 2013 |
+//! | Slim Fly | [`slimfly`] | Besta & Hoefler, SC 2014 |
+//! | Natural-network stand-ins | [`natural`] | §III-B (66 natural networks) |
+//! | Theorem-1 constructions | [`expander`] | §II-B / Appendix A |
+//!
+//! Beyond the paper's ten families, the crate also provides torus/mesh
+//! ([`torus`]), Xpander ([`xpander`], cited by the paper as [44]) and
+//! leaf–spine ([`leafspine`]) generators for extension studies.
+//!
+//! Every generator returns a [`Topology`]: a switch [`Graph`](tb_graph::Graph)
+//! plus the number of servers attached to each switch. Server placement
+//! follows §III-A2: structured networks (fat tree, BCube, DCell) attach
+//! servers only at their prescribed locations; all other networks attach
+//! servers to every switch.
+
+pub mod bcube;
+pub mod dcell;
+pub mod dragonfly;
+pub mod expander;
+pub mod families;
+pub mod fattree;
+pub mod flattened_butterfly;
+pub mod hypercube;
+pub mod hyperx;
+pub mod jellyfish;
+pub mod leafspine;
+pub mod longhop;
+pub mod natural;
+pub mod slimfly;
+pub mod topology;
+pub mod torus;
+pub mod xpander;
+
+pub use families::{Family, ALL_FAMILIES};
+pub use topology::Topology;

@@ -1,0 +1,113 @@
+//! Stand-ins for the paper's 66 "natural networks" (food webs, social
+//! networks, ...) used in the cut-vs-throughput study (§III-B, Table II).
+//!
+//! The original datasets are not redistributable, so this module generates a
+//! diverse collection of synthetic graphs with the qualitative property the
+//! paper relies on — a denser core with sparser edges — using standard
+//! generative models (documented substitution, see `DESIGN.md`).
+
+use crate::topology::Topology;
+use tb_graph::connectivity::is_connected;
+use tb_graph::random::{barabasi_albert, erdos_renyi, stochastic_block_model, watts_strogatz};
+use tb_graph::Graph;
+
+fn largest_component(g: &Graph) -> Graph {
+    if is_connected(g) {
+        return g.clone();
+    }
+    let comp = tb_graph::connectivity::connected_components(g);
+    let num = comp.iter().copied().max().unwrap_or(0) + 1;
+    let mut sizes = vec![0usize; num];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let big = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut remap = vec![usize::MAX; g.num_nodes()];
+    let mut next = 0usize;
+    for u in 0..g.num_nodes() {
+        if comp[u] == big {
+            remap[u] = next;
+            next += 1;
+        }
+    }
+    let mut out = Graph::new(next);
+    for e in g.edges() {
+        if comp[e.u] == big && comp[e.v] == big {
+            out.add_edge(remap[e.u], remap[e.v], e.cap);
+        }
+    }
+    out
+}
+
+/// Generates `count` natural-network stand-ins of varying size and structure,
+/// each attached with one traffic endpoint per node. The collection cycles
+/// through scale-free (Barabási–Albert), small-world (Watts–Strogatz),
+/// community-structured (stochastic block model) and Erdős–Rényi graphs.
+pub fn natural_networks(count: usize, seed: u64) -> Vec<Topology> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let s = seed.wrapping_add(i as u64);
+        let n = 12 + (i % 8) * 6; // sizes 12..54
+        let (name, g) = match i % 4 {
+            0 => (
+                "natural/scale-free",
+                barabasi_albert(n, 2 + (i / 4) % 3, s),
+            ),
+            1 => (
+                "natural/small-world",
+                watts_strogatz(n, 4, 0.2, s),
+            ),
+            2 => (
+                "natural/community",
+                stochastic_block_model(n, 2 + i % 3, 0.5, 0.05, s),
+            ),
+            _ => ("natural/erdos-renyi", erdos_renyi(n, 0.15, s)),
+        };
+        let g = largest_component(&g);
+        if g.num_nodes() < 4 || g.num_edges() < 3 {
+            continue;
+        }
+        out.push(Topology::with_uniform_servers(
+            name,
+            format!("n={}, instance={i}", g.num_nodes()),
+            g,
+            1,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_connected_diverse_graphs() {
+        let nets = natural_networks(16, 11);
+        assert!(nets.len() >= 12);
+        let mut names: Vec<&str> = nets.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert!(names.len() >= 3, "should produce several model families");
+        for t in &nets {
+            assert!(is_connected(&t.graph), "{} must be connected", t.describe());
+            assert!(t.num_servers() == t.num_switches());
+            assert!(t.graph.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = natural_networks(8, 5);
+        let b = natural_networks(8, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.num_links(), y.num_links());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! k-ary n-cube (torus / mesh) topologies.
+//!
+//! Tori are the traditional HPC interconnect the paper's cited worst-case
+//! traffic literature (Towles & Dally) analyzes; they are included as an
+//! extension of the benchmark beyond the ten headline families, and they pair
+//! naturally with the stencil traffic patterns in `tb_traffic::stencils`
+//! (tornado traffic is the classical torus adversary).
+
+use crate::topology::Topology;
+use tb_graph::Graph;
+
+/// Builds a k-ary n-dimensional torus (`radix^dims` switches, wrap-around
+/// links in every dimension) with `servers_per_switch` servers per switch.
+///
+/// For `radix == 2` the wrap-around link would duplicate the mesh link, so a
+/// single link is used (the graph stays simple).
+pub fn torus(dims: usize, radix: usize, servers_per_switch: usize) -> Topology {
+    assert!(dims >= 1 && radix >= 2, "need dims >= 1 and radix >= 2");
+    let n = radix.pow(dims as u32);
+    assert!(n <= 1 << 20, "torus instance too large");
+    // Connect each node to its +1 neighbor (wrap-around) in every dimension;
+    // this covers each undirected link exactly once. For radix 2 the +1 and -1
+    // neighbors coincide, so the wrap edge is skipped when it would duplicate
+    // the mesh edge.
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        let mut stride = 1;
+        for _d in 0..dims {
+            let digit = (u / stride) % radix;
+            let next = (digit + 1) % radix;
+            let v = u - digit * stride + next * stride;
+            if v != u && !(radix == 2 && v < u) {
+                g.add_unit_edge(u, v);
+            }
+            stride *= radix;
+        }
+    }
+    Topology::with_uniform_servers(
+        "torus",
+        format!("{radix}-ary {dims}-cube"),
+        g,
+        servers_per_switch,
+    )
+}
+
+/// Builds a mesh (torus without the wrap-around links).
+pub fn mesh(dims: usize, radix: usize, servers_per_switch: usize) -> Topology {
+    assert!(dims >= 1 && radix >= 2);
+    let n = radix.pow(dims as u32);
+    assert!(n <= 1 << 20, "mesh instance too large");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        let mut stride = 1;
+        for _d in 0..dims {
+            let digit = (u / stride) % radix;
+            if digit + 1 < radix {
+                g.add_unit_edge(u, u + stride);
+            }
+            stride *= radix;
+        }
+    }
+    Topology::with_uniform_servers(
+        "mesh",
+        format!("{radix}-ary {dims}-mesh"),
+        g,
+        servers_per_switch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::connectivity::is_connected;
+    use tb_graph::shortest_path::diameter;
+
+    #[test]
+    fn ring_is_a_one_dimensional_torus() {
+        let t = torus(1, 8, 1);
+        assert_eq!(t.num_switches(), 8);
+        assert_eq!(t.num_links(), 8);
+        for u in 0..8 {
+            assert_eq!(t.graph.degree(u), 2);
+        }
+        assert_eq!(diameter(&t.graph), Some(4));
+    }
+
+    #[test]
+    fn torus_2d_counts() {
+        let t = torus(2, 4, 2);
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_links(), 32);
+        for u in 0..16 {
+            assert_eq!(t.graph.degree(u), 4);
+        }
+        assert!(is_connected(&t.graph));
+        assert_eq!(t.num_servers(), 32);
+        // max distance: 2 + 2
+        assert_eq!(diameter(&t.graph), Some(4));
+    }
+
+    #[test]
+    fn binary_torus_equals_hypercube() {
+        // radix-2 torus has no doubled wrap links: it is exactly the
+        // hypercube of the same dimension.
+        let t = torus(3, 2, 1);
+        let h = crate::hypercube::hypercube(3, 1);
+        assert_eq!(t.num_links(), h.num_links());
+        assert_eq!(diameter(&t.graph), diameter(&h.graph));
+    }
+
+    #[test]
+    fn mesh_has_no_wraparound() {
+        let m = mesh(1, 6, 1);
+        assert_eq!(m.num_links(), 5);
+        assert_eq!(diameter(&m.graph), Some(5));
+        let t = torus(1, 6, 1);
+        assert_eq!(t.num_links(), 6);
+    }
+
+    #[test]
+    fn mesh_2d_structure() {
+        let m = mesh(2, 3, 1);
+        assert_eq!(m.num_switches(), 9);
+        assert_eq!(m.num_links(), 12);
+        assert!(is_connected(&m.graph));
+        // corner nodes have degree 2, center has 4
+        assert_eq!(m.graph.degree(0), 2);
+        assert_eq!(m.graph.degree(4), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Xpander topology (Valadarsky, Dinitz & Schapira, HotNets 2015).
+//!
+//! The paper cites Xpander as a recent confirmation that expander-based
+//! designs win with scale; this generator provides it as an additional
+//! expander family alongside Jellyfish, Long Hop and Slim Fly.
+//!
+//! Construction: an Xpander is built by *lifting* a complete graph `K_{d+1}`:
+//! each of the `d + 1` meta-nodes becomes a group of `lift` switches, and for
+//! every meta-edge a random perfect matching connects the two groups. Every
+//! switch has exactly `d` inter-switch links, and the result is a good
+//! expander with high probability.
+
+use crate::topology::Topology;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tb_graph::connectivity::is_connected;
+use tb_graph::Graph;
+
+/// Builds an Xpander with meta-degree `d` (so `d + 1` groups), `lift` switches
+/// per group and `servers_per_switch` servers per switch. Retries the random
+/// lift until the graph is connected.
+pub fn xpander(d: usize, lift: usize, servers_per_switch: usize, seed: u64) -> Topology {
+    assert!(d >= 2, "meta-degree must be at least 2");
+    assert!(lift >= 1, "lift must be at least 1");
+    let groups = d + 1;
+    let n = groups * lift;
+    for attempt in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9e37)));
+        let mut g = Graph::new(n);
+        let node = |grp: usize, i: usize| grp * lift + i;
+        for g1 in 0..groups {
+            for g2 in g1 + 1..groups {
+                // Random perfect matching between the two groups.
+                let mut perm: Vec<usize> = (0..lift).collect();
+                perm.shuffle(&mut rng);
+                for (i, &j) in perm.iter().enumerate() {
+                    g.add_unit_edge(node(g1, i), node(g2, j));
+                }
+            }
+        }
+        if is_connected(&g) {
+            return Topology::with_uniform_servers(
+                "Xpander",
+                format!("d={d}, lift={lift}, seed={seed}"),
+                g,
+                servers_per_switch,
+            );
+        }
+    }
+    panic!("failed to build a connected Xpander after 100 lifts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::shortest_path::average_path_length;
+
+    #[test]
+    fn xpander_is_d_regular() {
+        let t = xpander(5, 8, 3, 1);
+        assert_eq!(t.num_switches(), 48);
+        assert_eq!(t.num_links(), 48 * 5 / 2);
+        for u in 0..t.num_switches() {
+            assert_eq!(t.graph.degree(u), 5);
+        }
+        assert_eq!(t.num_servers(), 48 * 3);
+        assert!(is_connected(&t.graph));
+    }
+
+    #[test]
+    fn lift_one_is_a_complete_graph() {
+        let t = xpander(4, 1, 1, 3);
+        assert_eq!(t.num_switches(), 5);
+        assert_eq!(t.num_links(), 10);
+    }
+
+    #[test]
+    fn no_intra_group_links() {
+        let d = 4;
+        let lift = 6;
+        let t = xpander(d, lift, 1, 9);
+        for e in t.graph.edges() {
+            assert_ne!(e.u / lift, e.v / lift, "intra-group link {e:?}");
+        }
+    }
+
+    #[test]
+    fn xpander_paths_are_short_like_a_random_graph() {
+        let t = xpander(6, 10, 1, 5);
+        let rnd = tb_graph::random::random_regular_graph(70, 6, 5);
+        let apl_x = average_path_length(&t.graph).unwrap();
+        let apl_r = average_path_length(&rnd).unwrap();
+        assert!((apl_x / apl_r - 1.0).abs() < 0.25, "{apl_x} vs {apl_r}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = xpander(4, 5, 1, 11);
+        let b = xpander(4, 5, 1, 11);
+        let ea: Vec<_> = a.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,122 @@
+//! Operators on traffic matrices: shuffling rack placement, downsampling to a
+//! smaller rack count, and mapping a rack-level TM onto a topology's endpoint
+//! switches (§IV-B of the paper).
+
+use crate::matrix::{Demand, TrafficMatrix};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Randomly permutes which switch plays which role in the TM (the paper's
+/// "Shuffled" placement): demand `T(u, v)` becomes `T(p(u), p(v))` for a
+/// uniform random permutation `p` of the switches that appear in the TM.
+pub fn shuffle(tm: &TrafficMatrix, seed: u64) -> TrafficMatrix {
+    let mut used: Vec<usize> = tm
+        .demands()
+        .iter()
+        .flat_map(|d| [d.src, d.dst])
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let mut shuffled = used.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let mut map = vec![usize::MAX; tm.num_switches()];
+    for (&from, &to) in used.iter().zip(&shuffled) {
+        map[from] = to;
+    }
+    let demands = tm.demands().iter().map(|d| Demand {
+        src: map[d.src],
+        dst: map[d.dst],
+        amount: d.amount,
+    });
+    TrafficMatrix::new(tm.num_switches(), demands)
+}
+
+/// Downsamples a rack-level TM to `target_racks` racks by keeping the first
+/// `target_racks` racks' sub-matrix (the paper downsamples the 64-rack
+/// Facebook TMs "to the nearest valid size" when a topology cannot host 64
+/// ToRs).
+pub fn downsample(tm: &TrafficMatrix, target_racks: usize) -> TrafficMatrix {
+    assert!(target_racks >= 2);
+    assert!(target_racks <= tm.num_switches());
+    let demands = tm
+        .demands()
+        .iter()
+        .filter(|d| d.src < target_racks && d.dst < target_racks)
+        .copied();
+    TrafficMatrix::new(target_racks, demands)
+}
+
+/// Maps a rack-level TM (indexed `0..racks`) onto a topology: rack `i` is
+/// placed on `endpoint_switches[i]`, and the result is a TM over
+/// `num_switches` switches. Panics if there are fewer endpoint switches than
+/// racks.
+pub fn map_onto(tm: &TrafficMatrix, endpoint_switches: &[usize], num_switches: usize) -> TrafficMatrix {
+    assert!(
+        endpoint_switches.len() >= tm.num_switches(),
+        "not enough endpoint switches ({}) for {} racks",
+        endpoint_switches.len(),
+        tm.num_switches()
+    );
+    let demands = tm.demands().iter().map(|d| Demand {
+        src: endpoint_switches[d.src],
+        dst: endpoint_switches[d.dst],
+        amount: d.amount,
+    });
+    TrafficMatrix::new(num_switches, demands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facebook::{skew_ratio, tm_f};
+    use crate::matrix::Demand;
+
+    fn d(src: usize, dst: usize, amount: f64) -> Demand {
+        Demand { src, dst, amount }
+    }
+
+    #[test]
+    fn shuffle_preserves_totals_and_flow_count() {
+        let tm = tm_f(16, 1);
+        let sh = shuffle(&tm, 5);
+        assert_eq!(sh.num_flows(), tm.num_flows());
+        assert!((sh.total_demand() - tm.total_demand()).abs() < 1e-6);
+        assert!((skew_ratio(&sh) - skew_ratio(&tm)).abs() / skew_ratio(&tm) < 1e-9);
+        // but the per-switch loads move around
+        assert_ne!(sh.out_demand(), tm.out_demand());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let tm = tm_f(16, 1);
+        assert_eq!(shuffle(&tm, 5).demands(), shuffle(&tm, 5).demands());
+    }
+
+    #[test]
+    fn downsample_keeps_prefix() {
+        let tm = TrafficMatrix::new(6, vec![d(0, 1, 1.0), d(4, 5, 2.0), d(1, 3, 3.0)]);
+        let ds = downsample(&tm, 4);
+        assert_eq!(ds.num_switches(), 4);
+        assert_eq!(ds.num_flows(), 2);
+        assert_eq!(ds.demand_between(0, 1), 1.0);
+        assert_eq!(ds.demand_between(1, 3), 3.0);
+    }
+
+    #[test]
+    fn map_onto_relabels_endpoints() {
+        let tm = TrafficMatrix::new(3, vec![d(0, 1, 1.0), d(1, 2, 2.0)]);
+        let mapped = map_onto(&tm, &[10, 20, 30, 40], 50);
+        assert_eq!(mapped.num_switches(), 50);
+        assert_eq!(mapped.demand_between(10, 20), 1.0);
+        assert_eq!(mapped.demand_between(20, 30), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn map_onto_with_too_few_switches_panics() {
+        let tm = TrafficMatrix::new(3, vec![d(0, 1, 1.0)]);
+        map_onto(&tm, &[1, 2], 10);
+    }
+}

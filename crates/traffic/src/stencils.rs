@@ -1,0 +1,271 @@
+//! Classic HPC / data-center permutation traffic patterns ("stencils").
+//!
+//! The paper motivates the worst-case methodology by noting that known
+//! worst-case patterns for specific topologies (Towles & Dally [43], Prisacari
+//! et al. [34]) can be avoided by careful task placement, but a *mix* of
+//! applications can still produce difficult TMs. These standard permutations
+//! are the patterns that literature refers to; they are useful both as
+//! realistic single-application workloads and as sanity checks for the
+//! near-worst-case heuristic (none of them should be harder than the
+//! longest-matching TM by more than the Theorem-2 factor of 2).
+//!
+//! All generators produce one flow per endpoint switch (demand = its server
+//! count), indexing endpoints `0..k` in the order of [`endpoint_switches`].
+
+use crate::matrix::{Demand, TrafficMatrix};
+
+/// Switches that host at least one server, in increasing switch id order.
+pub fn endpoint_switches(servers: &[usize]) -> Vec<usize> {
+    (0..servers.len()).filter(|&u| servers[u] > 0).collect()
+}
+
+fn permutation_tm(servers: &[usize], map: impl Fn(usize, usize) -> usize) -> TrafficMatrix {
+    let n = servers.len();
+    let eps = endpoint_switches(servers);
+    let k = eps.len();
+    assert!(k > 1, "need at least two endpoint switches");
+    let demands = eps.iter().enumerate().filter_map(|(i, &src)| {
+        let j = map(i, k) % k;
+        let dst = eps[j];
+        (dst != src).then_some(Demand {
+            src,
+            dst,
+            amount: servers[src] as f64,
+        })
+    });
+    TrafficMatrix::new(n, demands)
+}
+
+/// Width of the bit-addressed endpoint prefix: `floor(log2 k)`. Bit-defined
+/// permutations (complement, reversal, transpose) act on the first `2^bits`
+/// endpoints; any endpoints beyond that power-of-two prefix stay idle, which
+/// keeps the pattern a valid (partial) permutation for any endpoint count.
+fn index_bits(k: usize) -> u32 {
+    usize::BITS - 1 - k.leading_zeros()
+}
+
+/// Bit-complement permutation: endpoint `i` sends to `~i` (within the index
+/// width). The classical worst case for meshes and tori.
+pub fn bit_complement(servers: &[usize]) -> TrafficMatrix {
+    permutation_tm(servers, |i, k| {
+        let bits = index_bits(k);
+        let mask = (1usize << bits) - 1;
+        if i > mask {
+            return i;
+        }
+        (!i) & mask
+    })
+}
+
+/// Bit-reversal permutation: endpoint `i` sends to the endpoint whose index is
+/// the bit-reversal of `i`. A standard adversarial pattern for butterflies.
+pub fn bit_reversal(servers: &[usize]) -> TrafficMatrix {
+    permutation_tm(servers, |i, k| {
+        let bits = index_bits(k);
+        if i >= (1usize << bits) {
+            return i;
+        }
+        let mut r = 0usize;
+        for b in 0..bits {
+            if i & (1 << b) != 0 {
+                r |= 1 << (bits - 1 - b);
+            }
+        }
+        r
+    })
+}
+
+/// Transpose permutation: the index is split into two halves that are swapped
+/// (matrix-transpose communication).
+pub fn transpose(servers: &[usize]) -> TrafficMatrix {
+    permutation_tm(servers, |i, k| {
+        let bits = index_bits(k);
+        let half = bits / 2;
+        if half == 0 || i >= (1usize << bits) {
+            return i;
+        }
+        let low = i & ((1 << half) - 1);
+        let high = i >> half;
+        (low << (bits - half)) | high
+    })
+}
+
+/// Tornado permutation: endpoint `i` sends to `(i + k/2 - 1) mod k` —
+/// adversarial for rings and tori with minimal routing.
+pub fn tornado(servers: &[usize]) -> TrafficMatrix {
+    permutation_tm(servers, |i, k| (i + k / 2 - 1 + k) % k)
+}
+
+/// Neighbor shift: endpoint `i` sends to `(i + stride) mod k` — the nearest
+/// neighbor exchange of stencil codes.
+pub fn shift(servers: &[usize], stride: usize) -> TrafficMatrix {
+    assert!(stride > 0, "stride must be positive");
+    permutation_tm(servers, move |i, k| (i + stride) % k)
+}
+
+/// Hot-spot traffic: every endpoint sends to a single hot destination (the
+/// endpoint with index `hot`), with the rest of their demand spread uniformly.
+/// `hot_fraction` is the fraction of each endpoint's demand aimed at the hot
+/// spot (the rest is all-to-all). The hot switch receives far more than its
+/// hose allowance by design; normalize with
+/// [`TrafficMatrix::normalized_to_hose`] before computing throughput.
+pub fn hot_spot(servers: &[usize], hot: usize, hot_fraction: f64) -> TrafficMatrix {
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    let n = servers.len();
+    let eps = endpoint_switches(servers);
+    let k = eps.len();
+    assert!(k > 1);
+    let hot_switch = eps[hot % k];
+    let total: usize = servers.iter().sum();
+    let mut demands = Vec::new();
+    for &src in &eps {
+        let budget = servers[src] as f64;
+        if src != hot_switch && hot_fraction > 0.0 {
+            demands.push(Demand {
+                src,
+                dst: hot_switch,
+                amount: budget * hot_fraction,
+            });
+        }
+        let uniform = budget * (1.0 - hot_fraction);
+        if uniform > 0.0 {
+            for &dst in &eps {
+                if dst == src {
+                    continue;
+                }
+                demands.push(Demand {
+                    src,
+                    dst,
+                    amount: uniform * servers[dst] as f64 / total as f64,
+                });
+            }
+        }
+    }
+    TrafficMatrix::new(n, demands)
+}
+
+/// All named single-permutation stencils, for sweep experiments.
+pub fn all_permutation_stencils(servers: &[usize]) -> Vec<(&'static str, TrafficMatrix)> {
+    vec![
+        ("bit-complement", bit_complement(servers)),
+        ("bit-reversal", bit_reversal(servers)),
+        ("transpose", transpose(servers)),
+        ("tornado", tornado(servers)),
+        ("shift-1", shift(servers, 1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: usize) -> Vec<usize> {
+        vec![1; n]
+    }
+
+    #[test]
+    fn bit_patterns_on_non_power_of_two_stay_valid() {
+        // 12 endpoints: only the first 8 take part in bit-defined patterns.
+        let s = servers(12);
+        for tm in [bit_complement(&s), bit_reversal(&s), transpose(&s)] {
+            assert!(tm.is_hose_valid(&s, 1e-9));
+            for d in tm.demands() {
+                assert!(d.src < 8 && d.dst < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let s = servers(16);
+        let tm = bit_complement(&s);
+        assert_eq!(tm.num_flows(), 16);
+        for d in tm.demands() {
+            // complement of the complement is the original
+            assert_eq!(tm.demand_between(d.dst, d.src), d.amount);
+        }
+        assert!(tm.is_hose_valid(&s, 1e-9));
+    }
+
+    #[test]
+    fn bit_reversal_on_power_of_two() {
+        let s = servers(8);
+        let tm = bit_reversal(&s);
+        // 0b001 -> 0b100: endpoint 1 sends to endpoint 4.
+        assert_eq!(tm.demand_between(1, 4), 1.0);
+        assert_eq!(tm.demand_between(3, 6), 1.0); // 0b011 -> 0b110
+        // palindromic indices (0, 2->0b010, 5, 7) have no self flow
+        assert_eq!(tm.demand_between(2, 2), 0.0);
+    }
+
+    #[test]
+    fn transpose_swaps_halves() {
+        let s = servers(16);
+        let tm = transpose(&s);
+        // 4-bit index: i = hhll -> llhh. 0b0001 -> 0b0100.
+        assert_eq!(tm.demand_between(1, 4), 1.0);
+        assert_eq!(tm.demand_between(6, 9), 1.0); // 0b0110 -> 0b1001
+    }
+
+    #[test]
+    fn tornado_shifts_by_almost_half() {
+        let s = servers(10);
+        let tm = tornado(&s);
+        assert_eq!(tm.demand_between(0, 4), 1.0);
+        assert_eq!(tm.demand_between(7, 1), 1.0);
+        assert_eq!(tm.num_flows(), 10);
+    }
+
+    #[test]
+    fn shift_wraps_around() {
+        let s = servers(5);
+        let tm = shift(&s, 2);
+        assert_eq!(tm.demand_between(4, 1), 1.0);
+        assert_eq!(tm.num_flows(), 5);
+        assert!(tm.is_hose_valid(&s, 1e-9));
+    }
+
+    #[test]
+    fn stencils_respect_server_counts_and_skip_empty_switches() {
+        let s = vec![2, 0, 2, 0, 2, 0, 2, 0];
+        let tm = shift(&s, 1);
+        assert!(tm.is_hose_valid(&s, 1e-9));
+        for d in tm.demands() {
+            assert_eq!(d.amount, 2.0);
+            assert_eq!(d.src % 2, 0);
+            assert_eq!(d.dst % 2, 0);
+        }
+    }
+
+    #[test]
+    fn hot_spot_concentrates_traffic() {
+        let s = servers(8);
+        let tm = hot_spot(&s, 0, 0.8);
+        let in_demand = tm.in_demand();
+        let max_in = in_demand.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(in_demand[0], max_in);
+        assert!(in_demand[0] > 3.0 * in_demand[1]);
+        // Senders respect their budget; the receive side needs normalization.
+        for (&o, &srv) in tm.out_demand().iter().zip(&s) {
+            assert!(o <= srv as f64 + 1e-9);
+        }
+        let (norm, _) = tm.normalized_to_hose(&s);
+        assert!(norm.is_hose_valid(&s, 1e-9));
+    }
+
+    #[test]
+    fn hot_spot_zero_fraction_is_all_to_all_like() {
+        let s = servers(6);
+        let tm = hot_spot(&s, 2, 0.0);
+        assert_eq!(tm.num_flows(), 30);
+    }
+
+    #[test]
+    fn all_stencils_produce_valid_tms() {
+        let s = servers(12);
+        for (name, tm) in all_permutation_stencils(&s) {
+            assert!(tm.num_flows() > 0, "{name}");
+            assert!(tm.is_hose_valid(&s, 1e-9), "{name}");
+        }
+    }
+}

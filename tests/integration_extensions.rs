@@ -1,0 +1,89 @@
+//! Integration tests for the extension modules (beyond the paper's headline
+//! evaluation): stencil TMs, torus/Xpander/leaf-spine topologies, max-flow
+//! based min cuts, and cut refinement.
+
+use tb_cuts::{estimate_and_refine, estimate_sparsest_cut};
+use tb_graph::{max_flow_value, min_st_cut};
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
+use tb_topology::{leafspine::leaf_spine, torus::torus, xpander::xpander};
+use tb_traffic::stencils;
+
+fn cfg() -> EvalConfig {
+    EvalConfig::fast()
+}
+
+#[test]
+fn tornado_is_hard_on_a_ring_torus_but_not_on_an_expander() {
+    let c = cfg();
+    let ring = torus(1, 12, 1);
+    let expander = xpander(5, 12, 1, 1);
+    let tornado_ring = stencils::tornado(&ring.servers).normalized_to_hose(&ring.servers).0;
+    let tornado_x = stencils::tornado(&expander.servers).normalized_to_hose(&expander.servers).0;
+    let t_ring = evaluate_throughput(&ring, &tornado_ring, &c).value();
+    let t_x = evaluate_throughput(&expander, &tornado_x, &c).value();
+    assert!(
+        t_x > 1.5 * t_ring,
+        "tornado should hurt the ring ({t_ring}) much more than the expander ({t_x})"
+    );
+}
+
+#[test]
+fn longest_matching_is_at_least_as_hard_as_named_stencils() {
+    // The near-worst-case heuristic should not be beaten by any classical
+    // permutation (it may tie), on a torus where those permutations are the
+    // traditional adversaries.
+    let c = cfg();
+    let topo = torus(2, 4, 1);
+    let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c).value();
+    for (name, tm) in stencils::all_permutation_stencils(&topo.servers) {
+        let (tm, _) = tm.normalized_to_hose(&topo.servers);
+        let t = evaluate_throughput(&topo, &tm, &c).value();
+        assert!(
+            lm <= t * 1.10,
+            "{name} ({t}) should not be harder than longest matching ({lm})"
+        );
+    }
+}
+
+#[test]
+fn nonblocking_leaf_spine_sustains_full_throughput() {
+    let topo = leaf_spine(8, 4, 1, 4); // oversubscription 1.0
+    let tm = TmSpec::AllToAll.generate(&topo, 1);
+    let t = evaluate_throughput(&topo, &tm, &cfg());
+    assert!(t.upper >= 0.99 && t.lower >= 0.90, "bounds {t:?}");
+    // Oversubscribing 2:1 halves the worst-case throughput.
+    let over = leaf_spine(8, 2, 1, 4);
+    let tm2 = TmSpec::AllToAll.generate(&over, 1);
+    let t2 = evaluate_throughput(&over, &tm2, &cfg());
+    assert!((t2.lower / t.lower - 0.5).abs() < 0.12, "{} vs {}", t2.lower, t.lower);
+}
+
+#[test]
+fn min_cut_from_max_flow_bounds_two_terminal_throughput() {
+    // For a single commodity, throughput * demand = max flow = min cut.
+    let topo = torus(2, 4, 1);
+    let g = &topo.graph;
+    let (cut, side) = min_st_cut(g, 0, 10);
+    let flow = max_flow_value(g, 0, 10);
+    assert!((cut - flow).abs() < 1e-9);
+    assert!((g.cut_capacity(&side) - cut).abs() < 1e-9);
+    let tm = tb_traffic::TrafficMatrix::new(
+        g.num_nodes(),
+        vec![tb_traffic::Demand { src: 0, dst: 10, amount: 1.0 }],
+    );
+    let t = evaluate_throughput(&topo, &tm, &EvalConfig::default());
+    assert!((t.lower - flow).abs() / flow < 0.05, "throughput {} vs max flow {}", t.lower, flow);
+}
+
+#[test]
+fn cut_refinement_tightens_but_never_crosses_throughput() {
+    let c = cfg();
+    let topo = xpander(4, 8, 1, 3);
+    let tm = TmSpec::LongestMatching.generate(&topo, 3);
+    let report = estimate_sparsest_cut(&topo.graph, &tm);
+    let (before, after, _) = estimate_and_refine(&topo.graph, &tm, 8);
+    assert!((before - report.best_sparsity).abs() < 1e-9);
+    assert!(after <= before + 1e-12);
+    let t = evaluate_throughput(&topo, &tm, &c);
+    assert!(after >= t.lower * 0.99 - 1e-9);
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: throughput computation end-to-end on real
+//! topologies, validating the solver stack against hand-computable and
+//! paper-stated facts.
+
+use topobench::{evaluate_throughput, lower_bound, EvalConfig, TmSpec};
+use tb_flow::ExactLpSolver;
+use tb_topology::{fattree::fat_tree, flattened_butterfly::flattened_butterfly, hypercube::hypercube};
+
+fn cfg() -> EvalConfig {
+    EvalConfig {
+        random_graph_iterations: 2,
+        ..EvalConfig::default()
+    }
+}
+
+#[test]
+fn fat_tree_is_nonblocking_under_a2a() {
+    // A fat tree is non-blocking: per-server A2A throughput should be ~1
+    // (each server can send its full unit).
+    let topo = fat_tree(4);
+    let tm = TmSpec::AllToAll.generate(&topo, 1);
+    let t = evaluate_throughput(&topo, &tm, &cfg());
+    assert!(t.upper >= 0.99, "fat tree A2A upper {}", t.upper);
+    assert!(t.lower >= 0.90, "fat tree A2A lower {}", t.lower);
+    // And it cannot exceed 1 because edge uplink capacity equals server count.
+    assert!(t.lower <= 1.01, "fat tree A2A lower {}", t.lower);
+}
+
+#[test]
+fn fat_tree_longest_matching_equals_a2a() {
+    // §III-C: in fat trees, throughput under A2A and longest matching are
+    // equal (all symmetric TMs look the same from the ToR uplinks).
+    let topo = fat_tree(4);
+    let c = cfg();
+    let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 1), &c);
+    let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c);
+    assert!(
+        (a2a.lower - lm.lower).abs() / a2a.lower < 0.08,
+        "A2A {} vs LM {}",
+        a2a.lower,
+        lm.lower
+    );
+}
+
+#[test]
+fn hypercube_longest_matching_hits_the_volumetric_limit() {
+    // §II-C: in a d-dimensional hypercube the longest matching pairs antipodes
+    // (d hops), and total flow = n*d exactly fills the n*d unidirectional
+    // links, so throughput is ~1 (with one server per switch).
+    let topo = hypercube(4, 1);
+    let tm = TmSpec::LongestMatching.generate(&topo, 1);
+    let t = evaluate_throughput(&topo, &tm, &cfg());
+    assert!((t.lower - 1.0).abs() < 0.07, "got {}", t.lower);
+}
+
+#[test]
+fn hypercube_a2a_is_twice_the_longest_matching() {
+    // The same volumetric argument: A2A average path length is d/2, so A2A
+    // throughput is ~2 while LM is ~1 (d=4, one server per switch).
+    let topo = hypercube(4, 1);
+    let c = cfg();
+    let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 1), &c);
+    let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c);
+    let ratio = a2a.lower / lm.lower;
+    assert!((ratio - 2.0).abs() < 0.35, "A2A/LM ratio {}", ratio);
+}
+
+#[test]
+fn theorem2_bound_is_valid_across_tms_and_topologies() {
+    let c = cfg();
+    for topo in [hypercube(4, 1), fat_tree(4), flattened_butterfly(3, 3)] {
+        let bound = lower_bound(&topo, &c);
+        for spec in [
+            TmSpec::RandomMatching { servers_per_switch: 1 },
+            TmSpec::LongestMatching,
+            TmSpec::Kodialam,
+        ] {
+            let tm = spec.generate(&topo, 3);
+            let t = evaluate_throughput(&topo, &tm, &c);
+            assert!(
+                t.upper >= bound.lower * 0.92,
+                "{} under {} ({}) below the Theorem-2 bound ({})",
+                topo.name,
+                spec.label(),
+                t.upper,
+                bound.lower
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_and_fptas_agree_on_a_real_topology() {
+    // Flattened butterfly 3-ary 3-stage: 9 switches, small enough for the LP.
+    let topo = flattened_butterfly(3, 3);
+    let tm = TmSpec::LongestMatching.generate(&topo, 1);
+    let exact = ExactLpSolver::new().solve(&topo.graph, &tm).expect("LP solves");
+    let approx = evaluate_throughput(&topo, &tm, &EvalConfig::fast());
+    assert!(approx.lower <= exact.lower * 1.01 + 1e-9);
+    assert!(approx.upper >= exact.lower * 0.99 - 1e-9);
+}
+
+#[test]
+fn tm_difficulty_ordering_matches_figure4() {
+    // Figure 4: T_A2A >= T_RM(5) >= T_RM(1) >= T_LM (allowing solver slack).
+    let topo = hypercube(5, 1);
+    let c = cfg();
+    let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 1), &c).lower;
+    let rm5 = evaluate_throughput(
+        &topo,
+        &TmSpec::RandomMatching { servers_per_switch: 5 }.generate(&topo, 1),
+        &c,
+    )
+    .lower;
+    let rm1 = evaluate_throughput(
+        &topo,
+        &TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 1),
+        &c,
+    )
+    .lower;
+    let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c).lower;
+    let slack = 1.07;
+    assert!(a2a * slack >= rm5, "A2A {a2a} vs RM5 {rm5}");
+    assert!(rm5 * slack >= rm1, "RM5 {rm5} vs RM1 {rm1}");
+    assert!(rm1 * slack >= lm, "RM1 {rm1} vs LM {lm}");
+}

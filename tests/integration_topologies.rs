@@ -1,0 +1,93 @@
+//! Integration tests over the topology generators: structural invariants that
+//! the throughput framework relies on, checked for every family.
+
+use tb_graph::connectivity::is_connected;
+use tb_graph::shortest_path::diameter;
+use tb_topology::families::{Scale, ALL_FAMILIES};
+use tb_topology::jellyfish::same_equipment;
+use tb_topology::slimfly::{network_degree, slim_fly};
+use tb_topology::{bcube::bcube, dcell::dcell, fattree::fat_tree};
+
+#[test]
+fn every_family_small_ladder_is_well_formed() {
+    for family in ALL_FAMILIES {
+        for topo in family.instances(Scale::Small, 7) {
+            assert!(topo.graph.validate().is_ok(), "{}", topo.describe());
+            assert!(is_connected(&topo.graph), "{} disconnected", topo.describe());
+            assert!(topo.num_servers() >= 2, "{} too few servers", topo.describe());
+            assert_eq!(topo.servers.len(), topo.num_switches());
+        }
+    }
+}
+
+#[test]
+fn server_placement_follows_the_paper() {
+    // Fat tree: servers only at edge switches. BCube/DCell: servers only at
+    // relay (server) nodes. Everything else: servers on every switch.
+    let ft = fat_tree(4);
+    assert!(ft.servers.iter().filter(|&&s| s > 0).count() < ft.num_switches());
+    let bc = bcube(4, 1);
+    assert_eq!(bc.servers.iter().filter(|&&s| s > 0).count(), 16);
+    let dc = dcell(4, 1);
+    assert_eq!(dc.servers.iter().filter(|&&s| s > 0).count(), 20);
+    for family in ALL_FAMILIES {
+        if !family.has_prescribed_server_locations() {
+            let topo = family.representative(3);
+            assert!(
+                topo.servers.iter().all(|&s| s > 0),
+                "{}: expected servers on every switch",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn same_equipment_random_graph_matches_every_family() {
+    for family in ALL_FAMILIES {
+        let topo = family.instances(Scale::Small, 5).into_iter().next().unwrap();
+        let rnd = same_equipment(&topo, 11);
+        assert_eq!(rnd.graph.degree_sequence(), topo.graph.degree_sequence(), "{}", family.name());
+        assert_eq!(rnd.servers, topo.servers, "{}", family.name());
+        assert_eq!(rnd.num_links(), topo.num_links(), "{}", family.name());
+        assert!(is_connected(&rnd.graph), "{}", family.name());
+    }
+}
+
+#[test]
+fn slim_fly_has_diameter_two_and_correct_degree() {
+    for q in [5usize, 13] {
+        let topo = slim_fly(q, 1);
+        assert_eq!(diameter(&topo.graph), Some(2), "q={q}");
+        for u in 0..topo.num_switches() {
+            assert_eq!(topo.graph.degree(u), network_degree(q));
+        }
+    }
+}
+
+#[test]
+fn representative_instances_have_comparable_scale() {
+    // Figures 4 and 10-14 compare representatives head-to-head; they should
+    // all fall in the same order of magnitude of switch count.
+    let sizes: Vec<usize> = ALL_FAMILIES
+        .iter()
+        .map(|f| f.representative(1).num_switches())
+        .collect();
+    let min = *sizes.iter().min().unwrap();
+    let max = *sizes.iter().max().unwrap();
+    assert!(min >= 20, "representatives too small: {min}");
+    assert!(max <= 1200, "representatives too large: {max}");
+}
+
+#[test]
+fn instance_ladders_grow() {
+    for family in ALL_FAMILIES {
+        let ladder = family.instances(Scale::Small, 1);
+        assert!(
+            ladder.last().unwrap().num_servers() > ladder.first().unwrap().num_servers()
+                || ladder.len() == 1,
+            "{} ladder does not grow",
+            family.name()
+        );
+    }
+}

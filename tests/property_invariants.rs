@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the core invariants of the framework:
+//! hose-model validity of generated TMs, solver bracketing, cut/throughput
+//! ordering, Theorem 2, and graph-model guarantees.
+
+use proptest::prelude::*;
+use tb_cuts::estimate_sparsest_cut;
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
+use tb_graph::matching::{greedy_assignment, max_weight_assignment};
+use tb_graph::random::random_regular_graph;
+use tb_graph::Graph;
+use tb_traffic::synthetic::{all_to_all, kodialam, longest_matching, random_matching};
+use tb_traffic::{Demand, TrafficMatrix};
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    // Random regular graphs over a small parameter grid: always connected and
+    // simple by construction.
+    (4usize..14, 2usize..5, 0u64..1000).prop_map(|(n, r, seed)| {
+        let r = r.min(n - 1);
+        let n = if n * r % 2 == 1 { n + 1 } else { n };
+        random_regular_graph(n, r, seed)
+    })
+}
+
+fn arb_tm(n: usize) -> impl Strategy<Value = TrafficMatrix> {
+    proptest::collection::vec((0..n, 0..n, 0.1f64..3.0), 1..12).prop_map(move |raw| {
+        let demands: Vec<Demand> = raw
+            .into_iter()
+            .filter(|(s, d, _)| s != d)
+            .map(|(src, dst, amount)| Demand { src, dst, amount })
+            .collect();
+        TrafficMatrix::new(n, demands)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthetic_tms_respect_the_hose_model(
+        graph in arb_connected_graph(),
+        servers_per_switch in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let servers = vec![servers_per_switch; graph.num_nodes()];
+        for tm in [
+            all_to_all(&servers),
+            random_matching(&servers, servers_per_switch, seed),
+            longest_matching(&graph, &servers, true),
+            kodialam(&graph, &servers),
+        ] {
+            prop_assert!(tm.is_hose_valid(&servers, 1e-6));
+            prop_assert!(tm.num_flows() > 0);
+        }
+    }
+
+    #[test]
+    fn fptas_brackets_are_ordered_and_positive(
+        graph in arb_connected_graph(),
+        seed in 0u64..50,
+    ) {
+        let servers = vec![1usize; graph.num_nodes()];
+        let tm = random_matching(&servers, 1, seed);
+        if tm.num_flows() == 0 { return Ok(()); }
+        let b = FleischerSolver::new(FleischerConfig::fast()).solve(&graph, &tm);
+        prop_assert!(b.lower > 0.0);
+        prop_assert!(b.lower <= b.upper * 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fptas_never_exceeds_exact_lp(
+        seed in 0u64..40,
+    ) {
+        let graph = random_regular_graph(8, 3, seed);
+        let servers = vec![1usize; 8];
+        let tm = longest_matching(&graph, &servers, true);
+        let exact = ExactLpSolver::new().solve(&graph, &tm).unwrap();
+        let approx = FleischerSolver::new(FleischerConfig::default()).solve(&graph, &tm);
+        prop_assert!(approx.lower <= exact.lower + 1e-6);
+        prop_assert!(approx.upper >= exact.lower - 1e-6);
+        prop_assert!((exact.lower - approx.lower) / exact.lower < 0.10);
+    }
+
+    #[test]
+    fn any_cut_upper_bounds_throughput(
+        graph in arb_connected_graph(),
+        tm_seed in 0u64..50,
+    ) {
+        let servers = vec![1usize; graph.num_nodes()];
+        let tm = random_matching(&servers, 1, tm_seed);
+        if tm.num_flows() == 0 { return Ok(()); }
+        let throughput = FleischerSolver::new(FleischerConfig::fast()).solve(&graph, &tm);
+        let cut = estimate_sparsest_cut(&graph, &tm).best_sparsity;
+        prop_assert!(cut >= throughput.lower * 0.99 - 1e-9,
+            "cut {} < throughput {}", cut, throughput.lower);
+    }
+
+    #[test]
+    fn theorem2_any_hose_tm_is_at_least_half_a2a(
+        graph in arb_connected_graph(),
+        tm in (4usize..14).prop_flat_map(arb_tm),
+        ) {
+        // Regenerate the TM on the right node count, normalize to the hose
+        // model, and check T(tm) >= T(A2A)/2 (within solver slack).
+        let n = graph.num_nodes();
+        let demands: Vec<Demand> = tm.demands().iter()
+            .map(|d| Demand { src: d.src % n, dst: d.dst % n, amount: d.amount })
+            .filter(|d| d.src != d.dst)
+            .collect();
+        if demands.is_empty() { return Ok(()); }
+        let servers = vec![1usize; n];
+        let tm = TrafficMatrix::new(n, demands).normalized_to_hose(&servers).0;
+        let solver = FleischerSolver::new(FleischerConfig::fast());
+        let a2a = solver.solve(&graph, &all_to_all(&servers));
+        let t = solver.solve(&graph, &tm);
+        prop_assert!(t.upper >= a2a.lower / 2.0 * 0.93,
+            "throughput {} below half of A2A {}", t.upper, a2a.lower);
+    }
+
+    #[test]
+    fn hungarian_dominates_greedy_and_is_a_permutation(
+        n in 2usize..7,
+        seed in 0u64..200,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..5.0)).collect()).collect();
+        let exact = max_weight_assignment(&w);
+        let greedy = greedy_assignment(&w);
+        prop_assert!(exact.total + 1e-9 >= greedy.total);
+        prop_assert!(greedy.total >= exact.total * 0.5 - 1e-9);
+        let mut seen = vec![false; n];
+        for &j in &exact.assignment {
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn random_regular_graphs_are_simple_regular_connected(
+        n in 6usize..30,
+        r in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let r = r.min(n - 1);
+        let n = if n * r % 2 == 1 { n + 1 } else { n };
+        let g = random_regular_graph(n, r, seed);
+        prop_assert!(tb_graph::connectivity::is_connected(&g));
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), r);
+            prop_assert_eq!(g.distinct_neighbors(u).len(), r);
+        }
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_capacity(
+        graph in arb_connected_graph(),
+        factor in 1.5f64..4.0,
+        seed in 0u64..50,
+    ) {
+        let servers = vec![1usize; graph.num_nodes()];
+        let tm = random_matching(&servers, 1, seed);
+        if tm.num_flows() == 0 { return Ok(()); }
+        let solver = FleischerSolver::new(FleischerConfig::default());
+        let base = solver.solve(&graph, &tm);
+        let scaled = solver.solve(&graph.scaled_capacities(factor), &tm);
+        let ratio = scaled.lower / base.lower;
+        prop_assert!((ratio - factor).abs() / factor < 0.08,
+            "expected ~{factor}, got {ratio}");
+    }
+}
