@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::hypercube::hypercube;
+use topobench::{evaluate_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for spec in [
         TmSpec::AllToAll,
-        TmSpec::RandomMatching { servers_per_switch: 1 },
+        TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        },
         TmSpec::LongestMatching,
         TmSpec::Kodialam,
     ] {

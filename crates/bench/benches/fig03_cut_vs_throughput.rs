@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
 use tb_cuts::estimate_sparsest_cut;
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::jellyfish::jellyfish;
+use topobench::{evaluate_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{evaluate_throughput, lower_bound, TmSpec};
 use tb_topology::families::Family;
+use topobench::{evaluate_throughput, lower_bound, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();

@@ -3,15 +3,17 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::families::Family;
+use topobench::{relative_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
     let mut group = c.benchmark_group("fig05_06");
     group.sample_size(10);
     for family in [Family::Hypercube, Family::FatTree, Family::Jellyfish] {
-        let topo = family.instances(tb_topology::families::Scale::Small, 1).remove(0);
+        let topo = family
+            .instances(tb_topology::families::Scale::Small, 1)
+            .remove(0);
         group.bench_function(format!("relative_lm_{}", family.name()), |b| {
             b.iter(|| relative_throughput(&topo, &TmSpec::LongestMatching, &cfg))
         });

@@ -2,16 +2,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::hyperx::{build_design, design_search};
+use topobench::{relative_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
     let mut group = c.benchmark_group("fig07");
     group.sample_size(10);
-    group.bench_function("design_search", |b| {
-        b.iter(|| design_search(24, 256, 0.4))
-    });
+    group.bench_function("design_search", |b| b.iter(|| design_search(24, 256, 0.4)));
     let topo = build_design(&design_search(24, 64, 0.4).unwrap());
     group.bench_function("relative_lm", |b| {
         b.iter(|| relative_throughput(&topo, &TmSpec::LongestMatching, &cfg))

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::longhop::long_hop;
+use topobench::{relative_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();

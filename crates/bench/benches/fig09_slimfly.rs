@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
 use tb_graph::shortest_path::average_path_length;
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
+use topobench::{relative_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();

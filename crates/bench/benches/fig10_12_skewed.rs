@@ -3,15 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::{fattree::fat_tree, hypercube::hypercube};
+use topobench::{evaluate_throughput, TmSpec};
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();
     let mut group = c.benchmark_group("fig10_12");
     group.sample_size(10);
     for (name, topo) in [("hypercube", hypercube(5, 2)), ("fat_tree", fat_tree(6))] {
-        let spec = TmSpec::SkewedLongestMatching { fraction: 0.1, weight: 10.0 };
+        let spec = TmSpec::SkewedLongestMatching {
+            fraction: 0.1,
+            weight: 10.0,
+        };
         let tm = spec.generate(&topo, 1);
         group.bench_function(format!("skewed_lm_{name}"), |b| {
             b.iter(|| evaluate_throughput(&topo, &tm, &cfg))

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::bench_config;
-use topobench::evaluate_throughput;
 use tb_topology::jellyfish::jellyfish;
 use tb_traffic::{facebook, ops};
+use topobench::evaluate_throughput;
 
 fn bench(c: &mut Criterion) {
     let cfg = bench_config();

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
-use topobench::TmSpec;
 use tb_topology::fattree::fat_tree;
+use topobench::TmSpec;
 
 fn bench(c: &mut Criterion) {
     let topo = fat_tree(4);

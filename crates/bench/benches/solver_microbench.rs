@@ -1,15 +1,81 @@
-//! Microbenchmarks of the solver stack: exact LP vs FPTAS at the crossover
+//! Microbenchmarks of the solver stack: the current Fleischer kernel against
+//! a frozen copy of the pre-refactor kernel, the exact LP at the crossover
 //! sizes, the Hungarian assignment used by the longest-matching TM, and the
 //! same-equipment random-graph constructor.
+//!
+//! Run with `TB_BENCH_JSON=BENCH_solver.json cargo bench --bench
+//! solver_microbench` to (re)generate the committed baseline file.
+//!
+//! The new-vs-legacy pairs cover the hot-path refactor's behavior space
+//! (see `tb_bench::legacy` for what the baseline is):
+//!
+//! * sparse single-destination TMs (longest-matching, random-permutation),
+//!   where the goal-directed early-exit SSSP prunes most of the graph —
+//!   the big wins, up to >3x on the 256-switch jellyfish;
+//! * the hypercube is the adversarial case for goal direction (every node
+//!   lies on some antipodal geodesic, so nothing can be pruned without
+//!   giving up exact shortest-path routing) — longest-matching there is
+//!   expected to hover near 1x;
+//! * dense all-to-all, which is dominated by the per-source full Dijkstra
+//!   sweep that both kernels share — near parity by construction, kept
+//!   honest here rather than hidden.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
+use tb_bench::legacy;
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, ThroughputBounds};
 use tb_graph::matching::max_weight_assignment;
 use tb_graph::shortest_path::apsp_unweighted;
-use tb_topology::{hypercube::hypercube, jellyfish::same_equipment};
-use tb_traffic::synthetic::longest_matching;
+use tb_graph::Graph;
+use tb_topology::{hypercube::hypercube, jellyfish::jellyfish, jellyfish::same_equipment};
+use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
+use tb_traffic::TrafficMatrix;
+
+/// Bound quality must be unchanged by the refactor: no worse a gap than the
+/// legacy kernel (small slack for their differing — equally valid — routing
+/// choices), overlapping brackets, and feasible values within the configured
+/// gap of each other.
+fn assert_same_quality(
+    name: &str,
+    cfg: &FleischerConfig,
+    new: ThroughputBounds,
+    old: ThroughputBounds,
+) {
+    assert!(
+        new.gap() <= old.gap() + 0.01,
+        "{name}: refactored kernel lost bound quality: new {new:?} vs legacy {old:?}"
+    );
+    assert!(
+        new.lower <= old.upper * (1.0 + 1e-9) && old.lower <= new.upper * (1.0 + 1e-9),
+        "{name}: kernel brackets do not overlap: new {new:?} vs legacy {old:?}"
+    );
+    let rel = (new.lower - old.lower).abs() / old.lower.max(1e-12);
+    assert!(
+        rel <= 2.0 * cfg.target_gap,
+        "{name}: feasible values diverged by {rel:.4}: new {new:?} vs legacy {old:?}"
+    );
+}
+
+fn versus_legacy(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    cfg: FleischerConfig,
+    g: &Graph,
+    tm: &TrafficMatrix,
+) {
+    let new = FleischerSolver::new(cfg).solve(g, tm);
+    let old = legacy::solve(&cfg, g, tm);
+    assert_same_quality(name, &cfg, new, old);
+    group.bench_function(format!("fptas_{name}"), |b| {
+        b.iter(|| FleischerSolver::new(cfg).solve(g, tm))
+    });
+    group.bench_function(format!("fptas_legacy_{name}"), |b| {
+        b.iter(|| legacy::solve(&cfg, g, tm))
+    });
+}
 
 fn bench(c: &mut Criterion) {
+    let cfg_fast = FleischerConfig::fast();
+
     let mut group = c.benchmark_group("solver");
     group.sample_size(10);
 
@@ -22,13 +88,42 @@ fn bench(c: &mut Criterion) {
         b.iter(|| FleischerSolver::new(FleischerConfig::default()).solve(&small.graph, &small_tm))
     });
 
+    // 64-switch topologies: the hypercube (structured, geodesic-rich) and a
+    // same-degree jellyfish (the paper's central random-graph object).
     let medium = hypercube(6, 1);
-    let medium_tm = longest_matching(&medium.graph, &medium.servers, true);
-    group.bench_function("fptas_hypercube_d6_lm", |b| {
-        b.iter(|| FleischerSolver::new(FleischerConfig::fast()).solve(&medium.graph, &medium_tm))
-    });
+    let jelly = jellyfish(64, 6, 1, 42);
+    versus_legacy(
+        &mut group,
+        "hypercube_d6_lm",
+        cfg_fast,
+        &medium.graph,
+        &longest_matching(&medium.graph, &medium.servers, true),
+    );
+    versus_legacy(
+        &mut group,
+        "hypercube_d6_perm",
+        cfg_fast,
+        &medium.graph,
+        &random_permutation(&medium.servers, 3),
+    );
+    versus_legacy(
+        &mut group,
+        "hypercube_d6_a2a",
+        cfg_fast,
+        &medium.graph,
+        &all_to_all(&medium.servers),
+    );
+    versus_legacy(
+        &mut group,
+        "jellyfish64_lm",
+        cfg_fast,
+        &jelly.graph,
+        &longest_matching(&jelly.graph, &jelly.servers, true),
+    );
 
-    group.bench_function("apsp_hypercube_d6", |b| b.iter(|| apsp_unweighted(&medium.graph)));
+    group.bench_function("apsp_hypercube_d6", |b| {
+        b.iter(|| apsp_unweighted(&medium.graph))
+    });
 
     let dist = apsp_unweighted(&medium.graph);
     let weights: Vec<Vec<f64>> = dist
@@ -43,6 +138,20 @@ fn bench(c: &mut Criterion) {
         b.iter(|| same_equipment(&medium, 5))
     });
     group.finish();
+
+    // Paper-scale sparse instance: this is where the goal-directed kernel's
+    // pruning compounds with the allocation-free workspace.
+    let mut large = c.benchmark_group("solver_large");
+    large.sample_size(3);
+    let jelly256 = jellyfish(256, 8, 1, 42);
+    versus_legacy(
+        &mut large,
+        "jellyfish256_lm",
+        cfg_fast,
+        &jelly256.graph,
+        &longest_matching(&jelly256.graph, &jelly256.servers, true),
+    );
+    large.finish();
 }
 
 criterion_group!(benches, bench);

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_cuts::estimate_sparsest_cut;
-use topobench::TmSpec;
 use tb_topology::{hypercube::hypercube, natural::natural_networks};
+use topobench::TmSpec;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table02");

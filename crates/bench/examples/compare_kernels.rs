@@ -1,0 +1,117 @@
+//! Side-by-side wall-clock comparison of the current Fleischer kernel against
+//! the frozen pre-refactor copy (`tb_bench::legacy`) across topology × TM
+//! shapes, for picking and sanity-checking the committed benchmark instances.
+//!
+//! Run: `cargo run --release -p tb_bench --example compare_kernels`
+
+use std::time::Instant;
+use tb_bench::legacy;
+use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
+use tb_graph::Graph;
+use tb_topology::hypercube::hypercube;
+use tb_topology::jellyfish::jellyfish;
+use tb_topology::torus::torus;
+use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
+use tb_traffic::TrafficMatrix;
+
+fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warmup
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
+    let cfg = FleischerConfig::fast();
+    let solver = FleischerSolver::new(cfg);
+    let mut ws = SolverWorkspace::new();
+    let new_b = solver.solve_with(g, tm, &mut ws);
+    let old_b = legacy::solve(&cfg, g, tm);
+    let t_new = time(
+        || {
+            let _ = solver.solve_with(g, tm, &mut ws);
+        },
+        reps,
+    );
+    let t_old = time(
+        || {
+            let _ = legacy::solve(&cfg, g, tm);
+        },
+        reps,
+    );
+    println!(
+        "{name:<28} new {t_new:9.3} ms  legacy {t_old:9.3} ms  speedup {:5.2}x  bounds new=({:.4},{:.4}) old=({:.4},{:.4})",
+        t_old / t_new,
+        new_b.lower,
+        new_b.upper,
+        old_b.lower,
+        old_b.upper,
+    );
+}
+
+fn main() {
+    let h6 = hypercube(6, 1);
+    compare(
+        "hypercube64/lm",
+        &h6.graph,
+        &longest_matching(&h6.graph, &h6.servers, true),
+        5,
+    );
+    compare(
+        "hypercube64/perm",
+        &h6.graph,
+        &random_permutation(&h6.servers, 3),
+        5,
+    );
+    compare("hypercube64/a2a", &h6.graph, &all_to_all(&h6.servers), 3);
+
+    let j64 = jellyfish(64, 6, 1, 42);
+    compare(
+        "jellyfish64x6/lm",
+        &j64.graph,
+        &longest_matching(&j64.graph, &j64.servers, true),
+        5,
+    );
+    compare(
+        "jellyfish64x6/perm",
+        &j64.graph,
+        &random_permutation(&j64.servers, 3),
+        5,
+    );
+    compare(
+        "jellyfish64x6/a2a",
+        &j64.graph,
+        &all_to_all(&j64.servers),
+        3,
+    );
+
+    let j256 = jellyfish(256, 8, 1, 42);
+    compare(
+        "jellyfish256x8/lm",
+        &j256.graph,
+        &longest_matching(&j256.graph, &j256.servers, true),
+        3,
+    );
+    compare(
+        "jellyfish256x8/a2a",
+        &j256.graph,
+        &all_to_all(&j256.servers),
+        2,
+    );
+
+    let t256 = torus(2, 16, 1);
+    compare(
+        "torus16x16/lm",
+        &t256.graph,
+        &longest_matching(&t256.graph, &t256.servers, true),
+        3,
+    );
+    compare(
+        "torus16x16/perm",
+        &t256.graph,
+        &random_permutation(&t256.servers, 3),
+        3,
+    );
+}

@@ -5,6 +5,8 @@
 //! regeneration lives in the `experiments` binaries); in addition,
 //! `solver_microbench` tracks the raw performance of the throughput solvers.
 
+pub mod legacy;
+
 use topobench::EvalConfig;
 
 /// The evaluation configuration used by all benches: the fast solver profile

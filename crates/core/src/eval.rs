@@ -5,7 +5,7 @@ use crate::spec::TmSpec;
 use crate::stats::Stats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, ThroughputBounds};
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, SolverWorkspace, ThroughputBounds};
 use tb_topology::jellyfish::same_equipment;
 use tb_topology::Topology;
 use tb_traffic::TrafficMatrix;
@@ -61,14 +61,30 @@ impl EvalConfig {
 /// Computes the throughput of `tm` on `topo` (§II-A): the maximum `t` such
 /// that `tm · t` is feasible. Small instances use the exact LP; larger ones
 /// the FPTAS with bracketing bounds.
-pub fn evaluate_throughput(topo: &Topology, tm: &TrafficMatrix, cfg: &EvalConfig) -> ThroughputBounds {
+pub fn evaluate_throughput(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+) -> ThroughputBounds {
+    let mut ws = SolverWorkspace::new();
+    evaluate_throughput_with(topo, tm, cfg, &mut ws)
+}
+
+/// [`evaluate_throughput`] with a caller-provided FPTAS workspace, so sweeps
+/// that evaluate many instances amortize the solver's scratch allocations.
+pub fn evaluate_throughput_with(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+    ws: &mut SolverWorkspace,
+) -> ThroughputBounds {
     let small = topo.num_switches() <= cfg.exact_switch_limit && tm.num_flows() <= 64;
     if small {
         if let Ok(exact) = ExactLpSolver::new().solve(&topo.graph, tm) {
             return exact;
         }
     }
-    FleischerSolver::new(cfg.solver).solve(&topo.graph, tm)
+    FleischerSolver::new(cfg.solver).solve_with(&topo.graph, tm, ws)
 }
 
 /// The Theorem-2 lower bound on worst-case throughput: `T_A2A / 2`. Any hose
@@ -106,11 +122,11 @@ pub fn relative_throughput(topo: &Topology, spec: &TmSpec, cfg: &EvalConfig) -> 
     let iters = cfg.random_graph_iterations.max(1);
     let samples: Vec<f64> = (0..iters)
         .into_par_iter()
-        .map(|i| {
+        .map_init(SolverWorkspace::new, |ws, i| {
             let seed = cfg.seed.wrapping_add(1000).wrapping_add(i as u64);
             let rnd = same_equipment(topo, seed);
             let rnd_tm = spec.generate(&rnd, seed);
-            evaluate_throughput(&rnd, &rnd_tm, cfg).value()
+            evaluate_throughput_with(&rnd, &rnd_tm, cfg, ws).value()
         })
         .collect();
 
@@ -137,10 +153,10 @@ pub fn relative_throughput_fixed_tm(
     let iters = cfg.random_graph_iterations.max(1);
     let samples: Vec<f64> = (0..iters)
         .into_par_iter()
-        .map(|i| {
+        .map_init(SolverWorkspace::new, |ws, i| {
             let seed = cfg.seed.wrapping_add(2000).wrapping_add(i as u64);
             let rnd = same_equipment(topo, seed);
-            evaluate_throughput(&rnd, tm, cfg).value()
+            evaluate_throughput_with(&rnd, tm, cfg, ws).value()
         })
         .collect();
     let ratios: Vec<f64> = samples

@@ -40,8 +40,8 @@ pub mod spec;
 pub mod stats;
 
 pub use eval::{
-    evaluate_throughput, lower_bound, relative_throughput, relative_throughput_fixed_tm,
-    EvalConfig, RelativeThroughput,
+    evaluate_throughput, evaluate_throughput_with, lower_bound, relative_throughput,
+    relative_throughput_fixed_tm, EvalConfig, RelativeThroughput,
 };
 pub use spec::TmSpec;
 pub use stats::Stats;

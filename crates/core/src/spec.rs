@@ -86,10 +86,15 @@ mod tests {
         let topo = hypercube(4, 2);
         let specs = [
             TmSpec::AllToAll,
-            TmSpec::RandomMatching { servers_per_switch: 2 },
+            TmSpec::RandomMatching {
+                servers_per_switch: 2,
+            },
             TmSpec::LongestMatching,
             TmSpec::Kodialam,
-            TmSpec::SkewedLongestMatching { fraction: 0.2, weight: 10.0 },
+            TmSpec::SkewedLongestMatching {
+                fraction: 0.2,
+                weight: 10.0,
+            },
         ];
         for spec in specs {
             let tm = spec.generate(&topo, 7);
@@ -106,8 +111,12 @@ mod tests {
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             TmSpec::AllToAll,
-            TmSpec::RandomMatching { servers_per_switch: 1 },
-            TmSpec::RandomMatching { servers_per_switch: 5 },
+            TmSpec::RandomMatching {
+                servers_per_switch: 1,
+            },
+            TmSpec::RandomMatching {
+                servers_per_switch: 5,
+            },
             TmSpec::LongestMatching,
             TmSpec::Kodialam,
         ]
@@ -123,8 +132,14 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let topo = hypercube(4, 1);
-        let a = TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 3);
-        let b = TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 3);
+        let a = TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        }
+        .generate(&topo, 3);
+        let b = TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        }
+        .generate(&topo, 3);
         assert_eq!(a.demands(), b.demands());
     }
 }

@@ -105,12 +105,7 @@ fn brute_force(ev: &CutEvaluator, budget: usize) -> (f64, Vec<bool>) {
     }
     if n <= 20 {
         let limit: u64 = 1u64 << (n - 1); // fix node n-1 outside the set
-        let mut examined = 0usize;
-        for mask in 1..limit {
-            if examined >= budget {
-                break;
-            }
-            examined += 1;
+        for mask in (1..limit).take(budget) {
             let mut cut = vec![false; n];
             for (u, c) in cut.iter_mut().enumerate().take(n - 1) {
                 *c = (mask >> u) & 1 == 1;
@@ -126,8 +121,8 @@ fn brute_force(ev: &CutEvaluator, budget: usize) -> (f64, Vec<bool>) {
         let mut mask: u64 = 1;
         while examined < budget {
             let mut cut = vec![false; n];
-            for u in 0..63.min(n) {
-                cut[u] = (mask >> u) & 1 == 1;
+            for (u, c) in cut.iter_mut().enumerate().take(63.min(n)) {
+                *c = (mask >> u) & 1 == 1;
             }
             if cut.iter().any(|&b| b) && !cut.iter().all(|&b| b) {
                 let s = ev.sparsity(&cut);
@@ -226,7 +221,11 @@ pub fn estimate_sparsest_cut(graph: &Graph, tm: &TrafficMatrix) -> CutReport {
             Estimator::ExpandingRegion => expanding_region_cuts(&ev, graph),
             Estimator::Eigenvector => eigenvector_sweep(&ev, graph),
         };
-        estimates.push(CutEstimate { estimator: est, sparsity, cut });
+        estimates.push(CutEstimate {
+            estimator: est,
+            sparsity,
+            cut,
+        });
     }
     let best = estimates
         .iter()
@@ -263,7 +262,11 @@ mod tests {
         let tm = all_to_all(&[1usize; 8]);
         let report = estimate_sparsest_cut(&g, &tm);
         // Bridge cut: capacity 1, crossing demand 16/8 = 2 -> sparsity 0.5.
-        assert!((report.best_sparsity - 0.5).abs() < 1e-9, "{}", report.best_sparsity);
+        assert!(
+            (report.best_sparsity - 0.5).abs() < 1e-9,
+            "{}",
+            report.best_sparsity
+        );
         let found = report.found_by(1e-9);
         assert!(found.contains(&Estimator::BruteForce));
         assert!(found.contains(&Estimator::Eigenvector));
@@ -275,7 +278,15 @@ mod tests {
         // Star: node 0 center; demand only to/from leaf 1. The cut isolating
         // leaf 1 is the sparsest (capacity 1, demand 1).
         let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let tm = TrafficMatrix::new(5, vec![demand(1, 2, 1.0), demand(2, 1, 1.0), demand(3, 4, 0.2), demand(4, 3, 0.2)]);
+        let tm = TrafficMatrix::new(
+            5,
+            vec![
+                demand(1, 2, 1.0),
+                demand(2, 1, 1.0),
+                demand(3, 4, 0.2),
+                demand(4, 3, 0.2),
+            ],
+        );
         let report = estimate_sparsest_cut(&g, &tm);
         assert!((report.best_sparsity - 1.0).abs() < 1e-9);
         assert!(report.found_by(1e-9).contains(&Estimator::OneNode));
@@ -286,7 +297,7 @@ mod tests {
         // For any graph the combined estimate can only be <= each individual
         // estimator's value.
         let g = tb_graph::random::random_regular_graph(16, 3, 5);
-        let tm = all_to_all(&vec![1usize; 16]);
+        let tm = all_to_all(&[1usize; 16]);
         let report = estimate_sparsest_cut(&g, &tm);
         for e in &report.estimates {
             assert!(report.best_sparsity <= e.sparsity + 1e-12);
@@ -297,7 +308,7 @@ mod tests {
     #[test]
     fn found_by_contains_at_least_one_estimator() {
         let g = tb_graph::random::random_regular_graph(12, 3, 9);
-        let tm = all_to_all(&vec![1usize; 12]);
+        let tm = all_to_all(&[1usize; 12]);
         let report = estimate_sparsest_cut(&g, &tm);
         assert!(!report.found_by(1e-9).is_empty());
     }

@@ -51,7 +51,11 @@ pub fn refine_cut(
 
 /// Runs the full estimator battery and then refines the winning cut; returns
 /// `(sparsity_before, sparsity_after, refined_cut)`.
-pub fn estimate_and_refine(graph: &Graph, tm: &TrafficMatrix, max_passes: usize) -> (f64, f64, Vec<bool>) {
+pub fn estimate_and_refine(
+    graph: &Graph,
+    tm: &TrafficMatrix,
+    max_passes: usize,
+) -> (f64, f64, Vec<bool>) {
     let report = crate::estimators::estimate_sparsest_cut(graph, tm);
     let (refined, after) = refine_cut(graph, tm, &report.best_cut, max_passes);
     (report.best_sparsity, after, refined)
@@ -78,7 +82,7 @@ mod tests {
     #[test]
     fn refinement_never_worsens_the_cut() {
         let g = barbell();
-        let tm = all_to_all(&vec![1usize; 10]);
+        let tm = all_to_all(&[1usize; 10]);
         let ev = CutEvaluator::new(&g, &tm);
         // Start from a bad cut: a single node.
         let mut start = vec![false; 10];
@@ -92,13 +96,12 @@ mod tests {
     #[test]
     fn refinement_finds_the_bridge_from_a_lopsided_start() {
         let g = barbell();
-        let tm = all_to_all(&vec![1usize; 10]);
+        let tm = all_to_all(&[1usize; 10]);
         // Start with one clique plus one node of the other: the greedy move
         // should push that node back across the bridge.
         let mut start = vec![false; 10];
-        for u in 0..6 {
-            start[u] = true;
-        }
+        start[..6].fill(true);
+
         let (_, after) = refine_cut(&g, &tm, &start, 20);
         // Optimal bridge cut: capacity 1, crossing demand 25/10 = 2.5.
         assert!((after - 0.4).abs() < 1e-9, "got {after}");
@@ -107,7 +110,7 @@ mod tests {
     #[test]
     fn estimate_and_refine_is_at_least_as_good_as_the_battery() {
         let g = tb_graph::random::random_regular_graph(20, 3, 4);
-        let tm = all_to_all(&vec![1usize; 20]);
+        let tm = all_to_all(&[1usize; 20]);
         let (before, after, cut) = estimate_and_refine(&g, &tm, 10);
         assert!(after <= before + 1e-12);
         assert_eq!(cut.len(), 20);
@@ -121,6 +124,10 @@ mod tests {
         let tm = tb_traffic::synthetic::longest_matching(&g, &servers, true);
         let (_, after, _) = estimate_and_refine(&g, &tm, 10);
         let t = FleischerSolver::new(FleischerConfig::default()).solve(&g, &tm);
-        assert!(after >= t.lower * 0.99 - 1e-9, "cut {after} vs throughput {}", t.lower);
+        assert!(
+            after >= t.lower * 0.99 - 1e-9,
+            "cut {after} vs throughput {}",
+            t.lower
+        );
     }
 }

@@ -6,8 +6,8 @@
 //! Kodialam TM, Longest Matching, and the Theorem-2 lower bound `T_A2A / 2`.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::{fattree::fat_tree, hypercube::hypercube, jellyfish::jellyfish, Topology};
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn with_servers(topo: &Topology, per_switch: usize) -> Topology {
     // Replace the server attachment (used to vary the RM(k) concentration on
@@ -17,7 +17,12 @@ fn with_servers(topo: &Topology, per_switch: usize) -> Topology {
         .iter()
         .map(|&s| if s > 0 { per_switch } else { 0 })
         .collect();
-    Topology::new(topo.name.clone(), topo.params.clone(), topo.graph.clone(), servers)
+    Topology::new(
+        topo.name.clone(),
+        topo.params.clone(),
+        topo.graph.clone(),
+        servers,
+    )
 }
 
 fn evaluate_series(topo: &Topology, cfg: &EvalConfig, seed: u64) -> Vec<(String, f64)> {
@@ -26,7 +31,10 @@ fn evaluate_series(topo: &Topology, cfg: &EvalConfig, seed: u64) -> Vec<(String,
     out.push(("A2A".to_string(), a2a));
     for k in [10usize, 2, 1] {
         let t = with_servers(topo, k);
-        let tm = TmSpec::RandomMatching { servers_per_switch: k }.generate(&t, seed);
+        let tm = TmSpec::RandomMatching {
+            servers_per_switch: k,
+        }
+        .generate(&t, seed);
         let v = evaluate_throughput(&t, &tm, cfg).value();
         out.push((format!("RM({k})"), v));
     }
@@ -42,14 +50,26 @@ fn main() {
     let opts = RunOptions::from_args();
     let cfg = opts.eval_config();
     let header = [
-        "topology", "size-param", "A2A", "RM(10)", "RM(2)", "RM(1)", "Kodialam", "LM", "LowerBound",
+        "topology",
+        "size-param",
+        "A2A",
+        "RM(10)",
+        "RM(2)",
+        "RM(1)",
+        "Kodialam",
+        "LM",
+        "LowerBound",
     ];
     let mut table = Table::new(
         "Figure 2: absolute throughput of TM families vs topology degree",
         &header,
     );
 
-    let hyper_degrees: Vec<usize> = if opts.full { (3..=9).collect() } else { (3..=6).collect() };
+    let hyper_degrees: Vec<usize> = if opts.full {
+        (3..=9).collect()
+    } else {
+        (3..=6).collect()
+    };
     for d in hyper_degrees {
         let topo = hypercube(d, 1);
         let series = evaluate_series(&topo, &cfg, opts.seed);
@@ -58,7 +78,11 @@ fn main() {
         table.row_strings(row);
     }
 
-    let rrg_degrees: Vec<usize> = if opts.full { (3..=9).collect() } else { (3..=6).collect() };
+    let rrg_degrees: Vec<usize> = if opts.full {
+        (3..=9).collect()
+    } else {
+        (3..=6).collect()
+    };
     for d in rrg_degrees {
         // Same switch count as the matching hypercube for a familiar scale.
         let n = 1usize << if opts.full { 7 } else { 5 };
@@ -69,7 +93,11 @@ fn main() {
         table.row_strings(row);
     }
 
-    let fat_ks: Vec<usize> = if opts.full { vec![4, 6, 8, 10, 12] } else { vec![4, 6, 8] };
+    let fat_ks: Vec<usize> = if opts.full {
+        vec![4, 6, 8, 10, 12]
+    } else {
+        vec![4, 6, 8]
+    };
     for k in fat_ks {
         let topo = fat_tree(k);
         let series = evaluate_series(&topo, &cfg, opts.seed);

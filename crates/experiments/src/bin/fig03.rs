@@ -6,15 +6,24 @@
 
 use experiments::{emit, f3, RunOptions, Table};
 use tb_cuts::estimate_sparsest_cut;
+use tb_topology::{
+    families::ALL_FAMILIES, flattened_butterfly::flattened_butterfly, natural::natural_networks,
+};
 use topobench::{evaluate_throughput, TmSpec};
-use tb_topology::{families::ALL_FAMILIES, flattened_butterfly::flattened_butterfly, natural::natural_networks};
 
 fn main() {
     let opts = RunOptions::from_args();
     let cfg = opts.eval_config();
     let mut table = Table::new(
         "Figure 3: throughput vs sparse cut (longest-matching TM)",
-        &["network", "params", "switches", "sparse-cut", "throughput", "cut/throughput"],
+        &[
+            "network",
+            "params",
+            "switches",
+            "sparse-cut",
+            "throughput",
+            "cut/throughput",
+        ],
     );
 
     let mut networks = Vec::new();
@@ -34,7 +43,11 @@ fn main() {
         let tm = TmSpec::LongestMatching.generate(topo, opts.seed);
         let throughput = evaluate_throughput(topo, &tm, &cfg).value();
         let report = estimate_sparsest_cut(&topo.graph, &tm);
-        let ratio = if throughput > 0.0 { report.best_sparsity / throughput } else { f64::NAN };
+        let ratio = if throughput > 0.0 {
+            report.best_sparsity / throughput
+        } else {
+            f64::NAN
+        };
         table.row_strings(vec![
             topo.name.clone(),
             topo.params.clone(),

@@ -4,8 +4,8 @@
 //! paper observes `A2A >= RM(5) >= RM(1) >= LM >= 1` for every family.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::families::ALL_FAMILIES;
+use topobench::{evaluate_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -17,13 +17,18 @@ fn main() {
 
     for family in ALL_FAMILIES {
         let topo = family.representative(opts.seed);
-        let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, opts.seed), &cfg).value();
+        let a2a =
+            evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, opts.seed), &cfg).value();
         let bound = a2a / 2.0;
         let mut normalized = Vec::new();
         normalized.push(a2a / bound); // = 2 by construction
         for spec in [
-            TmSpec::RandomMatching { servers_per_switch: 5 },
-            TmSpec::RandomMatching { servers_per_switch: 1 },
+            TmSpec::RandomMatching {
+                servers_per_switch: 5,
+            },
+            TmSpec::RandomMatching {
+                servers_per_switch: 1,
+            },
             TmSpec::LongestMatching,
         ] {
             let v = evaluate_throughput(&topo, &spec.generate(&topo, opts.seed), &cfg).value();

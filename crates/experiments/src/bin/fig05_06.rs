@@ -5,21 +5,30 @@
 //! family's curve.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::families::ALL_FAMILIES;
+use topobench::{relative_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
     let cfg = opts.eval_config();
     let specs = [
         TmSpec::AllToAll,
-        TmSpec::RandomMatching { servers_per_switch: 1 },
+        TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        },
         TmSpec::LongestMatching,
     ];
 
     let mut table = Table::new(
         "Figures 5/6: relative throughput vs number of servers",
-        &["topology", "params", "servers", "TM", "rel-throughput", "ci95"],
+        &[
+            "topology",
+            "params",
+            "servers",
+            "TM",
+            "rel-throughput",
+            "ci95",
+        ],
     );
     // Table I: relative throughput of the largest instance per family.
     let mut table1 = Table::new(

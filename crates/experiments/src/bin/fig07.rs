@@ -4,15 +4,23 @@
 //! guarantee high achieved throughput.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::hyperx::{build_design, design_search};
+use topobench::{relative_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
     let cfg = opts.eval_config();
     let mut table = Table::new(
         "Figure 7: HyperX relative throughput (longest matching) vs servers, by target bisection",
-        &["bisection", "servers-target", "design", "servers", "switches", "rel-throughput", "ci95"],
+        &[
+            "bisection",
+            "servers-target",
+            "design",
+            "servers",
+            "switches",
+            "rel-throughput",
+            "ci95",
+        ],
     );
 
     let targets: Vec<usize> = if opts.full {
@@ -30,7 +38,10 @@ fn main() {
             table.row_strings(vec![
                 format!("{beta:.1}"),
                 servers.to_string(),
-                format!("L={} S={} K={} T={}", design.dims, design.s, design.k, design.t),
+                format!(
+                    "L={} S={} K={} T={}",
+                    design.dims, design.s, design.k, design.t
+                ),
                 topo.num_servers().to_string(),
                 topo.num_switches().to_string(),
                 f3(r.relative.mean),

@@ -4,8 +4,8 @@
 //! (relative throughput approaches but does not exceed 1).
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::longhop::long_hop;
+use topobench::{relative_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -14,7 +14,11 @@ fn main() {
         "Figure 8: Long Hop relative throughput under longest matching",
         &["dimension", "degree", "servers", "rel-throughput", "ci95"],
     );
-    let dims: Vec<usize> = if opts.full { vec![5, 6, 7, 8] } else { vec![5, 6, 7] };
+    let dims: Vec<usize> = if opts.full {
+        vec![5, 6, 7, 8]
+    } else {
+        vec![5, 6, 7]
+    };
     for d in dims {
         // Degree and concentration grow mildly with dimension, mirroring the
         // equipment assumptions of the instance ladder.

@@ -5,18 +5,29 @@
 
 use experiments::{emit, f3, RunOptions, Table};
 use tb_graph::shortest_path::average_path_length;
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::jellyfish::same_equipment;
 use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
+use topobench::{relative_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
     let cfg = opts.eval_config();
     let mut table = Table::new(
         "Figure 9: Slim Fly relative throughput and relative path length (longest matching)",
-        &["q", "switches", "servers", "rel-throughput", "ci95", "rel-path-length"],
+        &[
+            "q",
+            "switches",
+            "servers",
+            "rel-throughput",
+            "ci95",
+            "rel-path-length",
+        ],
     );
-    let qs: Vec<usize> = if opts.full { vec![5, 13, 17] } else { vec![5, 13] };
+    let qs: Vec<usize> = if opts.full {
+        vec![5, 13, 17]
+    } else {
+        vec![5, 13]
+    };
     for q in qs {
         let topo = slim_fly(q, canonical_servers_per_router(q));
         let r = relative_throughput(&topo, &TmSpec::LongestMatching, &cfg);

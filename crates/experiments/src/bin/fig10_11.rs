@@ -4,8 +4,8 @@
 //! which dip sharply when only a few flows are large.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{relative_throughput, TmSpec};
 use tb_topology::families::ALL_FAMILIES;
+use topobench::{relative_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -22,7 +22,10 @@ fn main() {
     for family in ALL_FAMILIES {
         let topo = family.representative(opts.seed);
         for &p in &percents {
-            let spec = TmSpec::SkewedLongestMatching { fraction: p / 100.0, weight: 10.0 };
+            let spec = TmSpec::SkewedLongestMatching {
+                fraction: p / 100.0,
+                weight: 10.0,
+            };
             let r = relative_throughput(&topo, &spec, &cfg);
             table.row_strings(vec![
                 family.name().to_string(),

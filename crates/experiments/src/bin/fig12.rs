@@ -4,8 +4,8 @@
 //! absolute terms.
 
 use experiments::{emit, f3, RunOptions, Table};
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::{fattree::fat_tree, hypercube::hypercube, jellyfish::same_equipment, Topology};
+use topobench::{evaluate_throughput, TmSpec};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -14,7 +14,11 @@ fn main() {
         "Figure 12: absolute throughput vs percentage of large flows (weight 10, longest matching)",
         &["network", "%large", "abs-throughput"],
     );
-    let cube = if opts.full { hypercube(7, 4) } else { hypercube(6, 3) };
+    let cube = if opts.full {
+        hypercube(7, 4)
+    } else {
+        hypercube(6, 3)
+    };
     let ft = if opts.full { fat_tree(10) } else { fat_tree(8) };
     let jelly_cube = same_equipment(&cube, opts.seed.wrapping_add(11));
     let jelly_ft = same_equipment(&ft, opts.seed.wrapping_add(12));
@@ -31,7 +35,10 @@ fn main() {
     };
     for (name, topo) in networks {
         for &p in &percents {
-            let spec = TmSpec::SkewedLongestMatching { fraction: p / 100.0, weight: 10.0 };
+            let spec = TmSpec::SkewedLongestMatching {
+                fraction: p / 100.0,
+                weight: 10.0,
+            };
             let tm = spec.generate(topo, opts.seed);
             let v = evaluate_throughput(topo, &tm, &cfg).value();
             table.row_strings(vec![name.to_string(), format!("{p:.0}"), f3(v)]);

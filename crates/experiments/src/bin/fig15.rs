@@ -12,9 +12,9 @@
 
 use experiments::{emit, f3, RunOptions, Table};
 use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
-use topobench::TmSpec;
 use tb_topology::{fattree::fat_tree, jellyfish::jellyfish, Topology};
 use tb_traffic::TrafficMatrix;
+use topobench::TmSpec;
 
 const K_PATHS: usize = 8;
 

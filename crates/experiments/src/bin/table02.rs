@@ -4,8 +4,8 @@
 
 use experiments::{emit, RunOptions, Table};
 use tb_cuts::{estimate_sparsest_cut, Estimator};
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::{families::ALL_FAMILIES, natural::natural_networks, Topology};
+use topobench::{evaluate_throughput, TmSpec};
 
 #[derive(Default, Clone)]
 struct Row {

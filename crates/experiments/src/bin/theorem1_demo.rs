@@ -12,9 +12,9 @@
 
 use experiments::{emit, f3, RunOptions, Table};
 use tb_cuts::estimate_sparsest_cut;
-use topobench::{evaluate_throughput, TmSpec};
 use tb_topology::expander::{clustered_random, subdivided_expander};
 use tb_topology::Topology;
+use topobench::{evaluate_throughput, TmSpec};
 
 fn measure(topo: &Topology, opts: &RunOptions) -> (f64, f64) {
     let cfg = opts.eval_config();
@@ -37,7 +37,11 @@ fn main() {
     // Base expander has N nodes and N*d edges; subdividing adds N*d*(p-1)
     // nodes, so total nodes = N + N*d*(p-1). Choose N so totals are close to n.
     let base_n = (n as f64 / (1.0 + d as f64 * (p as f64 - 1.0))).round() as usize;
-    let base_n = if (base_n * 2 * d) % 2 == 1 { base_n + 1 } else { base_n.max(4) };
+    let base_n = if (base_n * 2 * d) % 2 == 1 {
+        base_n + 1
+    } else {
+        base_n.max(4)
+    };
     let graph_b = subdivided_expander(base_n, d, p, opts.seed);
 
     let (ta, ca) = measure(&graph_a, &opts);
@@ -45,7 +49,14 @@ fn main() {
 
     let mut table = Table::new(
         "Theorem 1 demo: sparsest cut can rank networks opposite to throughput",
-        &["graph", "nodes", "links", "A2A throughput", "sparse cut", "cut/throughput"],
+        &[
+            "graph",
+            "nodes",
+            "links",
+            "A2A throughput",
+            "sparse cut",
+            "cut/throughput",
+        ],
     );
     table.row_strings(vec![
         "A: clustered random".into(),

@@ -32,7 +32,11 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { full: false, seed: 1, csv: false }
+        RunOptions {
+            full: false,
+            seed: 1,
+            csv: false,
+        }
     }
 }
 
@@ -102,7 +106,8 @@ impl Table {
     /// Appends a row (converted to strings).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
     }
 
     /// Appends a row of pre-formatted strings.
@@ -129,7 +134,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }

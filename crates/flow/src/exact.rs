@@ -71,7 +71,7 @@ impl ExactLpSolver {
                     continue;
                 }
                 let mut coeffs: Vec<(usize, f64)> = Vec::new();
-                for &(_, aid) in prob.out_arcs(v) {
+                for (_, aid) in prob.out_arcs(v) {
                     coeffs.push((di * m + aid, 1.0));
                 }
                 // Inflow arcs: arcs whose head is v.

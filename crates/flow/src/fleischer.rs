@@ -11,11 +11,63 @@
 //! classical termination `D(l) >= 1` fires). On the instances the paper
 //! evaluates the bounds typically close to within a few percent long before
 //! the worst-case phase count is reached.
+//!
+//! ## Hot-path layout
+//!
+//! The inner loop is a shortest-path computation per source per iteration, so
+//! the solver is built around the shared `tb_graph` SSSP kernel:
+//!
+//! * arcs live in a CSR view ([`FlowProblem::csr`]); no nested adjacency
+//!   vectors are chased,
+//! * all per-iteration state (Dijkstra arrays and heap, remaining demand,
+//!   availability bookkeeping, the recorded routing path) lives in a
+//!   [`SolverWorkspace`] that is allocated once and reset in O(1) via
+//!   generation counters,
+//! * every SSSP call passes the source's destination set, so Dijkstra stops
+//!   as soon as the last relevant node is settled,
+//! * a tree is **reused** across a source's capacity-limited iterations while
+//!   the walked path stays within a small factor of the tree's recorded
+//!   distance (sound because arc lengths only ever grow, so the recorded
+//!   distance lower-bounds the current one — the classical Fleischer
+//!   argument),
+//! * the dual bound's per-source SSSP sweep is read-only over the length
+//!   function and fans out with rayon once the instance is large enough to
+//!   amortize the pool.
+//!
+//! ## Goal-directed routing for sparse TMs
+//!
+//! Monotone lengths yield one more structural win: shortest-path distances
+//! *to* a node, computed under any earlier (pointwise smaller) length
+//! function, form a **consistent A\* potential** for the current lengths.
+//! For every source with a single destination — the shape of matching-style
+//! near-worst-case TMs, where each switch talks to one peer — the solver
+//! caches reverse distances to that destination (refreshed on a fixed phase
+//! cadence, in parallel for large instances) and runs the goal-directed
+//! kernel [`tb_graph::sssp_csr_goal`] instead of a full Dijkstra. Distances
+//! and routed paths remain *exact*; once the length function differentiates,
+//! the search expands little beyond the shortest path itself, instead of
+//! settling the whole graph per iteration.
 
 use crate::instance::FlowProblem;
 use crate::ThroughputBounds;
-use tb_graph::Graph;
+use rayon::prelude::*;
+use tb_graph::{sssp_csr, sssp_csr_goal, Graph, SsspWorkspace};
 use tb_traffic::TrafficMatrix;
+
+/// Per-arc routing state, interleaved so the walk/update loops touch one
+/// cache line per arc instead of three parallel arrays. Lengths deliberately
+/// stay in their own dense `Vec<f64>`: the SSSP relax loop reads *every*
+/// arc's length and wants 8 of them per cache line, while only routed-path
+/// arcs touch this struct.
+#[derive(Debug, Clone, Copy, Default)]
+struct RouteState {
+    /// Capacity still available within the current tree iteration.
+    avail: f64,
+    /// Flow placed within the current tree iteration.
+    used: f64,
+    /// Arc capacity.
+    cap: f64,
+}
 
 /// Tuning knobs for the FPTAS.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +79,8 @@ pub struct FleischerConfig {
     pub target_gap: f64,
     /// Hard cap on the number of phases (safety valve).
     pub max_phases: usize,
-    /// How many phases to run between bound evaluations.
+    /// How many phases to run between bound evaluations (also the refresh
+    /// cadence of the goal-direction potentials).
     pub check_interval: usize,
 }
 
@@ -64,6 +117,46 @@ impl FleischerConfig {
     }
 }
 
+/// Reusable scratch state for [`FleischerSolver`]: the SSSP workspace plus
+/// the per-iteration buffers. Sized lazily and reusable across `solve` calls:
+/// once the largest instance has been seen, the buffers held here stop
+/// allocating (per-solve setup such as the `FlowProblem` arc view and demand
+/// tables still allocates), and results are identical to fresh-workspace runs
+/// (see the determinism tests).
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Dijkstra state shared by routing iterations and sequential bound
+    /// sweeps.
+    sssp: SsspWorkspace,
+    /// Remaining un-routed demand of the current source's destinations.
+    remaining: Vec<f64>,
+    /// Current multiplicative-weights lengths (dense; the SSSP hot read).
+    lens: Vec<f64>,
+    /// Interleaved per-arc routing state (availability, use, capacity).
+    arc_state: Vec<RouteState>,
+    /// Arcs touched in the current tree iteration (sparse undo list).
+    touched: Vec<usize>,
+    /// Arc ids of the path being routed (recorded once, applied linearly).
+    path: Vec<usize>,
+    /// Goal-direction potentials, one row of `num_nodes` per single-dest
+    /// source (reverse distances to its destination).
+    potentials: Vec<f64>,
+    /// Reversed per-arc lengths (partner-arc view) for potential refreshes.
+    rev_lens: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Fan SSSP sweeps out to the thread pool only when `sweeps * num_arcs`
+/// clears this much work — below it, pool handoff costs more than it saves.
+const PAR_MIN_SWEEP_WORK: usize = 1 << 17;
+
 /// Maximum-concurrent-flow solver (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct FleischerSolver {
@@ -81,12 +174,31 @@ impl FleischerSolver {
     /// Returns `ThroughputBounds { lower: 0.0, upper: 0.0 }` if some demand
     /// pair is disconnected (the concurrent flow is then zero).
     pub fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> ThroughputBounds {
-        let prob = FlowProblem::new(graph, tm);
-        self.solve_problem(graph, &prob)
+        let mut ws = SolverWorkspace::new();
+        self.solve_with(graph, tm, &mut ws)
     }
 
-    fn solve_problem(&self, graph: &Graph, prob: &FlowProblem) -> ThroughputBounds {
+    /// Like [`solve`](Self::solve), but drives a caller-provided workspace so
+    /// buffers amortize across many solves (sweeps, relative-throughput
+    /// sampling). Results are identical to [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        ws: &mut SolverWorkspace,
+    ) -> ThroughputBounds {
+        let prob = FlowProblem::new(graph, tm);
+        self.solve_problem(graph, &prob, ws)
+    }
+
+    fn solve_problem(
+        &self,
+        graph: &Graph,
+        prob: &FlowProblem,
+        ws: &mut SolverWorkspace,
+    ) -> ThroughputBounds {
         let cfg = &self.config;
+        let n = prob.num_nodes();
         let m = prob.num_arcs();
         let eps = cfg.epsilon;
         assert!(eps > 0.0 && eps < 0.5, "epsilon must be in (0, 0.5)");
@@ -94,32 +206,58 @@ impl FleischerSolver {
             return ThroughputBounds::exact(0.0);
         }
 
-        // Reachability check: any unreachable demand forces throughput 0.
-        for s in prob.sources() {
-            let dist = tb_graph::bfs_distances(graph, s.src);
-            if s
-                .dests
-                .iter()
-                .any(|&(dst, _)| dist[dst] == tb_graph::shortest_path::UNREACHABLE)
-            {
-                return ThroughputBounds::exact(0.0);
-            }
-        }
-
         // Pre-scale demands so the scaled optimum is near 1; this keeps the
         // phase count predictable regardless of the raw demand magnitudes.
-        let scale = prob.volumetric_estimate(graph).max(1e-12);
+        // The estimate doubles as the reachability check (0 iff some demand
+        // pair is disconnected, which forces throughput 0) — one BFS sweep
+        // instead of the former two.
+        let est = prob.volumetric_estimate(graph);
+        if est <= 0.0 {
+            return ThroughputBounds::exact(0.0);
+        }
+        let scale = est.max(1e-12);
         let demands: Vec<Vec<f64>> = prob
             .sources()
             .iter()
             .map(|s| s.dests.iter().map(|&(_, d)| d * scale).collect())
             .collect();
+        // Destination node list per source, for early-exit SSSP.
+        let targets: Vec<Vec<usize>> = prob
+            .sources()
+            .iter()
+            .map(|s| s.dests.iter().map(|&(dst, _)| dst).collect())
+            .collect();
+        // Goal-direction bookkeeping: sources with exactly one destination
+        // get an A* potential row (see module docs).
 
-        let caps: Vec<f64> = prob.arcs().iter().map(|a| a.cap).collect();
+        let single_dest: Vec<Option<usize>> = prob
+            .sources()
+            .iter()
+            .map(|s| {
+                if s.dests.len() == 1 {
+                    Some(s.dests[0].0)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let pot_rows: Vec<usize> = {
+            let mut next = 0usize;
+            single_dest
+                .iter()
+                .map(|d| {
+                    if d.is_some() {
+                        next += 1;
+                        next - 1
+                    } else {
+                        usize::MAX
+                    }
+                })
+                .collect()
+        };
+        let num_single = single_dest.iter().filter(|d| d.is_some()).count();
+
         let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
-        let mut len: Vec<f64> = caps.iter().map(|&c| delta / c).collect();
-        // D(l) = sum_a len_a * cap_a, maintained incrementally.
-        let mut d_l: f64 = len.iter().zip(&caps).map(|(l, c)| l * c).sum();
 
         let mut flow_arc = vec![0.0f64; m];
         let mut routed: Vec<Vec<f64>> = demands.iter().map(|d| vec![0.0; d.len()]).collect();
@@ -127,88 +265,261 @@ impl FleischerSolver {
         let mut best_lower = 0.0f64;
         let mut best_upper = f64::INFINITY;
 
-        // Scratch buffers for the per-iteration availability bookkeeping.
-        let mut avail = caps.clone();
-        let mut used = vec![0.0f64; m];
-        let mut touched: Vec<usize> = Vec::with_capacity(m);
+        let SolverWorkspace {
+            sssp,
+            remaining,
+            lens,
+            arc_state,
+            touched,
+            path,
+            potentials,
+            rev_lens,
+        } = ws;
+        // Lengths and routing state, sized to this instance.
+        lens.clear();
+        lens.extend(prob.arcs().iter().map(|a| delta / a.cap));
+        let len: &mut [f64] = lens;
+        arc_state.clear();
+        arc_state.extend(prob.arcs().iter().map(|a| RouteState {
+            avail: a.cap,
+            used: 0.0,
+            cap: a.cap,
+        }));
+        let st: &mut [RouteState] = arc_state;
+        touched.clear();
+        // D(l) = sum_a len_a * cap_a, maintained incrementally.
+        let mut d_l: f64 = len.iter().zip(st.iter()).map(|(l, a)| l * a.cap).sum();
+        if num_single > 0 {
+            potentials.clear();
+            potentials.resize(num_single * n, f64::INFINITY);
+        }
 
+        // Reuse a tree across a source's capacity-limited iterations while
+        // the walked path is within this factor of the tree's recorded
+        // distance; a quarter step keeps routed paths well inside the slack
+        // the analysis absorbs. (Precomputing whole *blocks* of trees to
+        // parallelize this loop was tried and reverted: cross-source
+        // staleness either gets rejected here — doubling the SSSP work — or,
+        // with a looser slack, measurably slows the multiplicative-weights
+        // convergence. See CHANGES.md.)
+        let reuse_slack = 1.0 + 0.25 * eps;
+        // A zero `check_interval` would otherwise silently disable every
+        // mid-run bound evaluation (and with it early termination).
+        let check_interval = cfg.check_interval.max(1);
+        let pot_refresh = check_interval;
+        // Goal direction is kept on for the whole solve whenever any source
+        // qualifies: switching kernels mid-solve was tried and reverted — it
+        // changes tie-breaking, and with it the routing trajectory, enough to
+        // slow convergence on some topologies.
+        let goal_enabled = num_single > 0;
         let mut phase = 0usize;
         'phases: while phase < cfg.max_phases && d_l < 1.0 {
+            if goal_enabled && phase.is_multiple_of(pot_refresh) {
+                refresh_potentials(
+                    prob,
+                    &single_dest,
+                    &pot_rows,
+                    len,
+                    rev_lens,
+                    potentials,
+                    sssp,
+                    num_single,
+                );
+            }
             for (si, s) in prob.sources().iter().enumerate() {
-                let mut remaining = demands[si].clone();
+                if d_l >= 1.0 {
+                    break 'phases;
+                }
+                remaining.clear();
+                remaining.extend_from_slice(&demands[si]);
+                // Compute this source's tree at the current lengths, goal-
+                // directed when it has a single destination.
+                compute_tree(
+                    prob,
+                    s,
+                    si,
+                    &single_dest,
+                    &pot_rows,
+                    potentials,
+                    goal_enabled,
+                    len,
+                    &targets,
+                    sssp,
+                );
+                let mut tree_exact = true;
                 loop {
                     if d_l >= 1.0 {
                         break 'phases;
                     }
-                    let (dist, parent) = prob.shortest_path_tree(s.src, &len);
                     // Route every destination with remaining demand along the
                     // tree, never exceeding any arc's full capacity within this
                     // single tree iteration (so each length update factor stays
                     // <= 1 + eps).
-                    touched.clear();
                     let mut progressed = false;
+                    let mut need_fresh = false;
                     for (j, &(dst, _)) in s.dests.iter().enumerate() {
                         if remaining[j] <= 1e-15 {
                             continue;
                         }
-                        debug_assert!(dist[dst].is_finite());
-                        // Collect the tree path and its bottleneck.
+                        let tree_dist = sssp.dist(dst);
+                        debug_assert!(tree_dist.is_finite());
+                        // Optimistic single-pass walk: apply the full
+                        // remaining demand while chasing parents (recording
+                        // the arc ids), tracking the bottleneck as it was
+                        // *before* this application. If the bottleneck turns
+                        // out to bind — rare, demands are small against
+                        // capacities — a linear corrective pass over the
+                        // recorded arcs removes the excess, so the committed
+                        // amounts equal the classic
+                        // `min(remaining, bottleneck)` exactly.
+                        path.clear();
+                        let f0 = remaining[j];
+                        let mut path_len = 0.0;
                         let mut bottleneck = f64::INFINITY;
                         let mut cur = dst;
                         while cur != s.src {
-                            let (p, aid) = parent[cur].expect("reachable by check above");
-                            bottleneck = bottleneck.min(avail[aid]);
-                            cur = p;
-                        }
-                        let f = remaining[j].min(bottleneck);
-                        if f <= 1e-15 {
-                            continue;
-                        }
-                        let mut cur = dst;
-                        while cur != s.src {
-                            let (p, aid) = parent[cur].unwrap();
-                            if used[aid] == 0.0 {
+                            let (p, aid) = sssp.parent_unchecked(cur);
+                            path.push(aid);
+                            if !tree_exact {
+                                path_len += len[aid];
+                            }
+                            let a = &mut st[aid];
+                            if a.used == 0.0 {
                                 touched.push(aid);
                             }
-                            avail[aid] -= f;
-                            used[aid] += f;
+                            bottleneck = bottleneck.min(a.avail);
+                            a.avail -= f0;
+                            a.used += f0;
                             cur = p;
                         }
-                        remaining[j] -= f;
-                        routed[si][j] += f;
+                        // Reuse rule: `tree_dist` lower-bounds the current
+                        // shortest distance (lengths are monotone), so within
+                        // the slack this path is approximately shortest. Past
+                        // it, undo this application and recompute. Exact
+                        // (just-computed) trees skip the check — float noise
+                        // must not re-trigger it.
+                        if !tree_exact && path_len > reuse_slack * tree_dist {
+                            for &aid in path.iter() {
+                                let a = &mut st[aid];
+                                a.avail += f0;
+                                a.used -= f0;
+                            }
+                            need_fresh = true;
+                            break;
+                        }
+                        let f = f0.min(bottleneck);
+                        // Commit `min(remaining, bottleneck)` exactly as the
+                        // classic two-pass scheme would; negligible amounts
+                        // are rolled back entirely. Stray `touched` entries
+                        // left with zero `used` are benign in the update loop
+                        // below.
+                        let commit = if f > 1e-15 { f } else { 0.0 };
+                        if commit < f0 {
+                            let excess = f0 - commit;
+                            for &aid in path.iter() {
+                                let a = &mut st[aid];
+                                a.avail += excess;
+                                a.used -= excess;
+                            }
+                        }
+                        if commit == 0.0 {
+                            continue;
+                        }
+                        remaining[j] -= commit;
+                        routed[si][j] += commit;
                         progressed = true;
                     }
                     // Apply multiplicative length updates for the arcs used in
                     // this tree iteration and restore the scratch buffers.
-                    for &aid in &touched {
-                        let u = used[aid];
+                    for &aid in touched.iter() {
+                        let a = &mut st[aid];
+                        let u = a.used;
                         flow_arc[aid] += u;
                         let old = len[aid];
-                        let new = old * (1.0 + eps * u / caps[aid]);
-                        d_l += (new - old) * caps[aid];
+                        let new = old * (1.0 + eps * u / a.cap);
+                        d_l += (new - old) * a.cap;
                         len[aid] = new;
-                        used[aid] = 0.0;
-                        avail[aid] = caps[aid];
+                        a.used = 0.0;
+                        a.avail = a.cap;
                     }
                     touched.clear();
+                    if need_fresh {
+                        compute_tree(
+                            prob,
+                            s,
+                            si,
+                            &single_dest,
+                            &pot_rows,
+                            potentials,
+                            goal_enabled,
+                            len,
+                            &targets,
+                            sssp,
+                        );
+                        tree_exact = true;
+                        continue;
+                    }
                     if !progressed || remaining.iter().all(|&r| r <= 1e-15) {
                         break;
                     }
+                    // Routing moved the lengths; the tree must pass the
+                    // staleness check before further reuse.
+                    tree_exact = false;
                 }
             }
             phase += 1;
-            if phase % cfg.check_interval == 0 {
-                let (lo, up) = self.evaluate_bounds(prob, &demands, &routed, &flow_arc, &caps, &len, d_l);
+            if phase.is_multiple_of(check_interval) {
+                let (lo, up) = evaluate_bounds(
+                    prob,
+                    &targets,
+                    &single_dest,
+                    &pot_rows,
+                    potentials,
+                    goal_enabled,
+                    &demands,
+                    &routed,
+                    &flow_arc,
+                    len,
+                    st,
+                    d_l,
+                    sssp,
+                );
                 best_lower = best_lower.max(lo);
                 best_upper = best_upper.min(up);
-                if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= cfg.target_gap {
+                if best_upper.is_finite()
+                    && (best_upper - best_lower) / best_upper <= cfg.target_gap
+                {
                     break 'phases;
                 }
             }
         }
 
+        // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters
+        // (cumulative across solves in the process) when tuning the kernel.
+        if std::env::var_os("TB_SOLVER_TRACE").is_some() {
+            eprintln!(
+                "TB_SOLVER_TRACE phases={phase} trees={} pot_refreshes={} d_l={d_l:.4}",
+                TREE_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+                POT_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+
         // Final bound evaluation.
-        let (lo, up) = self.evaluate_bounds(prob, &demands, &routed, &flow_arc, &caps, &len, d_l);
+        let (lo, up) = evaluate_bounds(
+            prob,
+            &targets,
+            &single_dest,
+            &pot_rows,
+            potentials,
+            goal_enabled,
+            &demands,
+            &routed,
+            &flow_arc,
+            len,
+            st,
+            d_l,
+            sssp,
+        );
         best_lower = best_lower.max(lo);
         best_upper = best_upper.min(up);
         if !best_upper.is_finite() {
@@ -221,57 +532,197 @@ impl FleischerSolver {
             upper: best_upper * scale,
         }
     }
+}
 
-    /// Evaluates the practical feasible lower bound and the dual upper bound
-    /// for the current state. Bounds are in the *scaled* demand space.
-    #[allow(clippy::too_many_arguments)]
-    fn evaluate_bounds(
-        &self,
-        prob: &FlowProblem,
-        demands: &[Vec<f64>],
-        routed: &[Vec<f64>],
-        flow_arc: &[f64],
-        caps: &[f64],
-        len: &[f64],
-        d_l: f64,
-    ) -> (f64, f64) {
-        // Feasible lower bound: scale the accumulated flow down so that no arc
-        // exceeds its capacity, then the worst-served commodity determines the
-        // concurrent throughput.
-        let mut mu = f64::INFINITY;
-        for (f, c) in flow_arc.iter().zip(caps) {
-            if *f > 1e-15 {
-                mu = mu.min(c / f);
+/// Process-cumulative counters surfaced by `TB_SOLVER_TRACE` (diagnostics
+/// only; relaxed increments cost nothing measurable on the hot path).
+static TREE_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static POT_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Computes the routing tree for source `s` at the current lengths: the
+/// goal-directed kernel when the source has one destination and a finite
+/// potential row, the early-exit Dijkstra otherwise.
+#[allow(clippy::too_many_arguments)]
+fn compute_tree(
+    prob: &FlowProblem,
+    s: &crate::instance::SourceDemands,
+    si: usize,
+    single_dest: &[Option<usize>],
+    pot_rows: &[usize],
+    potentials: &[f64],
+    goal_enabled: bool,
+    len: &[f64],
+    targets: &[Vec<usize>],
+    sssp: &mut SsspWorkspace,
+) {
+    let n = prob.num_nodes();
+    TREE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if let (true, Some(dst)) = (goal_enabled, single_dest[si]) {
+        let row = &potentials[pot_rows[si] * n..(pot_rows[si] + 1) * n];
+        sssp_csr_goal(prob.csr(), s.src, len, dst, row, sssp);
+    } else {
+        // Target bookkeeping only pays when the destination set is a small
+        // fraction of the graph; dense sets (all-to-all) settle everything
+        // anyway.
+        let ts = &targets[si];
+        let early = if ts.len() * 2 < n {
+            Some(ts.as_slice())
+        } else {
+            None
+        };
+        sssp_csr(prob.csr(), s.src, len, early, sssp);
+    }
+}
+
+/// Refreshes the goal-direction potential rows: one full reverse SSSP per
+/// single-destination source's target, against the partner-arc length view.
+/// Row values are exact reverse distances at refresh time and remain
+/// consistent (admissible) as lengths grow. Fans out to the pool for large
+/// instances; row contents do not depend on the thread count.
+#[allow(clippy::too_many_arguments)]
+fn refresh_potentials(
+    prob: &FlowProblem,
+    single_dest: &[Option<usize>],
+    pot_rows: &[usize],
+    len: &[f64],
+    rev_lens: &mut Vec<f64>,
+    potentials: &mut [f64],
+    sssp: &mut SsspWorkspace,
+    num_single: usize,
+) {
+    let n = prob.num_nodes();
+    let m = prob.num_arcs();
+    POT_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    // Reverse view: arcs are created in (forward, backward) pairs, so the
+    // partner of arc `aid` is `aid ^ 1` and reverse-graph distances are plain
+    // distances under the partner's length.
+    rev_lens.clear();
+    debug_assert!(
+        (0..m).step_by(2).all(|aid| {
+            let (f, b) = (prob.arcs()[aid], prob.arcs()[aid ^ 1]);
+            f.from == b.to && f.to == b.from
+        }),
+        "FlowProblem arcs must come in (forward, backward) pairs for the partner view"
+    );
+    rev_lens.extend((0..m).map(|aid| len[aid ^ 1]));
+    let rev: &[f64] = rev_lens;
+    // Rows are handed out in source order; a source's row index from
+    // `pot_rows` matches its position in this filtered sequence.
+    let jobs: Vec<(&mut [f64], usize)> = potentials
+        .chunks_mut(n)
+        .zip(single_dest.iter().filter(|d| d.is_some()))
+        .map(|(row, d)| (row, d.expect("filtered to Some")))
+        .collect();
+    debug_assert_eq!(jobs.len(), num_single);
+    debug_assert!(pot_rows.iter().filter(|&&r| r != usize::MAX).count() == num_single);
+    if num_single * m >= PAR_MIN_SWEEP_WORK && rayon::current_num_threads() > 1 {
+        let _: Vec<()> = jobs
+            .into_par_iter()
+            .map_init(SsspWorkspace::new, |sw, (row, dst)| {
+                sssp_csr(prob.csr(), dst, rev, None, sw);
+                for (v, slot) in row.iter_mut().enumerate() {
+                    *slot = sw.dist(v);
+                }
+            })
+            .collect();
+    } else {
+        for (row, dst) in jobs {
+            sssp_csr(prob.csr(), dst, rev, None, sssp);
+            for (v, slot) in row.iter_mut().enumerate() {
+                *slot = sssp.dist(v);
             }
         }
-        let lower = if mu.is_finite() {
-            let mut worst = f64::INFINITY;
-            for (r, d) in routed.iter().zip(demands) {
-                for (rj, dj) in r.iter().zip(d) {
-                    worst = worst.min(rj / dj);
-                }
+    }
+}
+
+/// Evaluates the practical feasible lower bound and the dual upper bound
+/// for the current state. Bounds are in the *scaled* demand space.
+///
+/// The dual bound needs one shortest-path computation per source under the
+/// current lengths (goal-directed where a potential row exists); the sweep is
+/// read-only over `len`, so for larger instances it fans out across threads
+/// (each worker carries its own SSSP workspace via `map_init`), with a fixed
+/// summation order keeping the result independent of thread count.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_bounds(
+    prob: &FlowProblem,
+    targets: &[Vec<usize>],
+    single_dest: &[Option<usize>],
+    pot_rows: &[usize],
+    potentials: &[f64],
+    goal_enabled: bool,
+    demands: &[Vec<f64>],
+    routed: &[Vec<f64>],
+    flow_arc: &[f64],
+    len: &[f64],
+    st: &[RouteState],
+    d_l: f64,
+    sssp: &mut SsspWorkspace,
+) -> (f64, f64) {
+    // Feasible lower bound: scale the accumulated flow down so that no arc
+    // exceeds its capacity, then the worst-served commodity determines the
+    // concurrent throughput.
+    let mut mu = f64::INFINITY;
+    for (f, a) in flow_arc.iter().zip(st) {
+        if *f > 1e-15 {
+            mu = mu.min(a.cap / f);
+        }
+    }
+    let lower = if mu.is_finite() {
+        let mut worst = f64::INFINITY;
+        for (r, d) in routed.iter().zip(demands) {
+            for (rj, dj) in r.iter().zip(d) {
+                worst = worst.min(rj / dj);
             }
-            if worst.is_finite() {
-                worst * mu
-            } else {
-                0.0
-            }
+        }
+        if worst.is_finite() {
+            worst * mu
         } else {
             0.0
-        };
-
-        // Dual upper bound: D(l) / alpha(l) with alpha(l) the demand-weighted
-        // shortest-path distances under the current lengths.
-        let mut alpha = 0.0;
-        for (si, s) in prob.sources().iter().enumerate() {
-            let (dist, _) = prob.shortest_path_tree(s.src, len);
-            for (j, &(dst, _)) in s.dests.iter().enumerate() {
-                alpha += demands[si][j] * dist[dst];
-            }
         }
-        let upper = if alpha > 0.0 { d_l / alpha } else { f64::INFINITY };
-        (lower, upper)
-    }
+    } else {
+        0.0
+    };
+
+    // Dual upper bound: D(l) / alpha(l) with alpha(l) the demand-weighted
+    // shortest-path distances under the current lengths.
+    let alpha_of = |sw: &mut SsspWorkspace, si: usize| -> f64 {
+        let s = &prob.sources()[si];
+        compute_tree(
+            prob,
+            s,
+            si,
+            single_dest,
+            pot_rows,
+            potentials,
+            goal_enabled,
+            len,
+            targets,
+            sw,
+        );
+        s.dests
+            .iter()
+            .enumerate()
+            .map(|(j, &(dst, _))| demands[si][j] * sw.dist(dst))
+            .sum()
+    };
+    let num_sources = prob.sources().len();
+    let alpha: f64 = if num_sources * prob.num_arcs() >= PAR_MIN_SWEEP_WORK
+        && rayon::current_num_threads() > 1
+    {
+        (0..num_sources)
+            .into_par_iter()
+            .map_init(SsspWorkspace::new, |sw, si| alpha_of(sw, si))
+            .sum()
+    } else {
+        (0..num_sources).map(|si| alpha_of(sssp, si)).sum()
+    };
+    let upper = if alpha > 0.0 {
+        d_l / alpha
+    } else {
+        f64::INFINITY
+    };
+    (lower, upper)
 }
 
 #[cfg(test)]
@@ -352,7 +803,12 @@ mod tests {
         let b1 = solver().solve(&g, &tm);
         let g2 = g.scaled_capacities(3.0);
         let b3 = solver().solve(&g2, &tm);
-        assert!((b3.lower / b1.lower - 3.0).abs() < 0.1, "{} vs {}", b3.lower, b1.lower);
+        assert!(
+            (b3.lower / b1.lower - 3.0).abs() < 0.1,
+            "{} vs {}",
+            b3.lower,
+            b1.lower
+        );
     }
 
     #[test]
@@ -391,5 +847,29 @@ mod tests {
         let b = FleischerSolver::new(FleischerConfig::fast()).solve(&g, &tm);
         assert!(b.lower <= 0.5 + 1e-9);
         assert!(b.upper >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_solves() {
+        // A single workspace driven across different graphs and TMs (of
+        // different sizes, in both directions) must reproduce fresh-workspace
+        // results bit-for-bit.
+        let g1 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm1 = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let g2 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let servers = vec![1usize; 4];
+        let tm2 = tb_traffic::synthetic::all_to_all(&servers);
+        let s = solver();
+        let fresh1 = s.solve(&g1, &tm1);
+        let fresh2 = s.solve(&g2, &tm2);
+        let mut ws = SolverWorkspace::new();
+        for _ in 0..3 {
+            let b1 = s.solve_with(&g1, &tm1, &mut ws);
+            assert_eq!(b1.lower, fresh1.lower);
+            assert_eq!(b1.upper, fresh1.upper);
+            let b2 = s.solve_with(&g2, &tm2, &mut ws);
+            assert_eq!(b2.lower, fresh2.lower);
+            assert_eq!(b2.upper, fresh2.upper);
+        }
     }
 }

@@ -4,8 +4,13 @@
 //! as a pair of unidirectional arcs of the link's capacity (§II-A). Solvers
 //! work on this arc view, with commodities grouped by source switch so that a
 //! single shortest-path tree serves every destination of that source.
+//!
+//! Adjacency is stored as a [`CsrGraph`] (flat offsets + arc arrays) whose
+//! length indices are the arc ids, so the shared `tb_graph` SSSP kernel runs
+//! directly over it with the solver's per-arc length function.
 
-use tb_graph::Graph;
+use rayon::prelude::*;
+use tb_graph::{CsrGraph, Graph};
 use tb_traffic::TrafficMatrix;
 
 /// One directed arc.
@@ -33,13 +38,18 @@ pub struct SourceDemands {
 pub struct FlowProblem {
     num_nodes: usize,
     arcs: Vec<Arc>,
-    /// Outgoing arcs of each node as (head, arc id).
-    out_arcs: Vec<Vec<(usize, usize)>>,
+    /// CSR over the directed arcs; length indices are arc ids.
+    csr: CsrGraph,
     /// Commodities grouped by source.
     sources: Vec<SourceDemands>,
     /// Total demand over all commodities.
     total_demand: f64,
 }
+
+/// Run the per-source pre-pass in parallel only past this source count (the
+/// vendored rayon spawns scoped threads per call, so tiny instances are
+/// cheaper sequentially).
+const PAR_SOURCES_MIN: usize = 32;
 
 impl FlowProblem {
     /// Builds the arc view of `graph` with the demands of `tm`.
@@ -56,15 +66,22 @@ impl FlowProblem {
         assert!(tm.num_flows() > 0, "traffic matrix has no demands");
         let n = graph.num_nodes();
         let mut arcs = Vec::with_capacity(2 * graph.num_edges());
-        let mut out_arcs = vec![Vec::new(); n];
         for e in graph.edges() {
-            let a0 = arcs.len();
-            arcs.push(Arc { from: e.u, to: e.v, cap: e.cap });
-            out_arcs[e.u].push((e.v, a0));
-            let a1 = arcs.len();
-            arcs.push(Arc { from: e.v, to: e.u, cap: e.cap });
-            out_arcs[e.v].push((e.u, a1));
+            arcs.push(Arc {
+                from: e.u,
+                to: e.v,
+                cap: e.cap,
+            });
+            arcs.push(Arc {
+                from: e.v,
+                to: e.u,
+                cap: e.cap,
+            });
         }
+        let csr = CsrGraph::from_directed_arcs(
+            n,
+            arcs.iter().enumerate().map(|(aid, a)| (a.from, a.to, aid)),
+        );
         let mut by_src: std::collections::BTreeMap<usize, Vec<(usize, f64)>> =
             std::collections::BTreeMap::new();
         for d in tm.demands() {
@@ -78,7 +95,7 @@ impl FlowProblem {
         FlowProblem {
             num_nodes: n,
             arcs,
-            out_arcs,
+            csr,
             sources,
             total_demand,
         }
@@ -99,9 +116,15 @@ impl FlowProblem {
         &self.arcs
     }
 
-    /// Outgoing arcs of `u` as (head, arc id).
-    pub fn out_arcs(&self, u: usize) -> &[(usize, usize)] {
-        &self.out_arcs[u]
+    /// The CSR adjacency over the directed arcs (length indices = arc ids);
+    /// this is what the SSSP kernel traverses.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Outgoing arcs of `u` as `(head, arc id)` pairs.
+    pub fn out_arcs(&self, u: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.csr.neighbors(u)
     }
 
     /// Commodities grouped by source.
@@ -126,74 +149,49 @@ impl FlowProblem {
 
     /// Dijkstra over arcs from `src` under per-arc lengths; returns distances
     /// and, for each node, the (parent node, arc id) used to reach it.
+    ///
+    /// Compatibility wrapper over the shared `tb_graph` kernel that allocates
+    /// the result vectors; the solver hot path drives
+    /// [`tb_graph::sssp_csr`] with a reused workspace instead.
     pub fn shortest_path_tree(
         &self,
         src: usize,
         arc_len: &[f64],
     ) -> (Vec<f64>, Vec<Option<(usize, usize)>>) {
-        use std::cmp::Ordering;
-        use std::collections::BinaryHeap;
-
-        #[derive(PartialEq)]
-        struct Entry {
-            dist: f64,
-            node: usize,
-        }
-        impl Eq for Entry {}
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| other.node.cmp(&self.node))
-            }
-        }
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-
-        let n = self.num_nodes;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent = vec![None; n];
-        let mut heap = BinaryHeap::with_capacity(n);
-        dist[src] = 0.0;
-        heap.push(Entry { dist: 0.0, node: src });
-        while let Some(Entry { dist: d, node: u }) = heap.pop() {
-            if d > dist[u] {
-                continue;
-            }
-            for &(v, aid) in &self.out_arcs[u] {
-                let nd = d + arc_len[aid];
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    parent[v] = Some((u, aid));
-                    heap.push(Entry { dist: nd, node: v });
-                }
-            }
-        }
-        (dist, parent)
+        let mut ws = tb_graph::SsspWorkspace::new();
+        tb_graph::sssp_csr(&self.csr, src, arc_len, None, &mut ws);
+        let tree = ws.to_tree(self.num_nodes);
+        (tree.dist, tree.parent)
     }
 
     /// The volumetric throughput estimate of §II-B: total capacity divided by
     /// (total demand × average hop length of the demands). Used to pre-scale
     /// the instance so the FPTAS runs a predictable number of phases; it is
     /// *not* a valid bound by itself (paths may be longer than shortest).
+    ///
+    /// Returns `0.0` iff some demand pair is disconnected — the solver uses
+    /// this to fold the reachability check into the same BFS sweep (which
+    /// runs across sources in parallel for larger instances).
     pub fn volumetric_estimate(&self, graph: &Graph) -> f64 {
-        let unit = vec![1.0; self.num_arcs()];
-        let _ = unit;
-        let mut weighted_hops = 0.0;
-        for s in &self.sources {
+        let per_source = |s: &SourceDemands| -> f64 {
             let dist = tb_graph::bfs_distances(graph, s.src);
+            let mut hops = 0.0;
             for &(dst, d) in &s.dests {
                 let h = dist[dst];
                 if h == tb_graph::shortest_path::UNREACHABLE {
-                    return 0.0;
+                    return f64::NAN; // flags a disconnected pair
                 }
-                weighted_hops += d * h as f64;
+                hops += d * h as f64;
             }
+            hops
+        };
+        let weighted_hops: f64 = if self.sources.len() >= PAR_SOURCES_MIN {
+            self.sources.par_iter().map(per_source).sum()
+        } else {
+            self.sources.iter().map(per_source).sum()
+        };
+        if weighted_hops.is_nan() {
+            return 0.0;
         }
         if weighted_hops <= 0.0 {
             return 1.0;
@@ -213,8 +211,16 @@ mod tests {
         let tm = TrafficMatrix::new(
             3,
             vec![
-                Demand { src: 0, dst: 2, amount: 1.0 },
-                Demand { src: 2, dst: 0, amount: 0.5 },
+                Demand {
+                    src: 0,
+                    dst: 2,
+                    amount: 1.0,
+                },
+                Demand {
+                    src: 2,
+                    dst: 0,
+                    amount: 0.5,
+                },
             ],
         );
         (g, tm)
@@ -235,9 +241,25 @@ mod tests {
     fn arc_directions() {
         let (g, tm) = tiny();
         let p = FlowProblem::new(&g, &tm);
-        for &(v, aid) in p.out_arcs(1) {
+        let mut seen = 0;
+        for (v, aid) in p.out_arcs(1) {
             assert_eq!(p.arcs()[aid].from, 1);
             assert_eq!(p.arcs()[aid].to, v);
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn csr_matches_arc_list() {
+        let (g, tm) = tiny();
+        let p = FlowProblem::new(&g, &tm);
+        assert_eq!(p.csr().num_arcs(), p.num_arcs());
+        for u in 0..p.num_nodes() {
+            for (v, aid) in p.csr().neighbors(u) {
+                assert_eq!(p.arcs()[aid].from, u);
+                assert_eq!(p.arcs()[aid].to, v);
+            }
         }
     }
 
@@ -259,6 +281,23 @@ mod tests {
         let (g, tm) = tiny();
         let p = FlowProblem::new(&g, &tm);
         assert!((p.volumetric_estimate(&g) - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumetric_estimate_zero_when_disconnected() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(
+            4,
+            vec![Demand {
+                src: 0,
+                dst: 3,
+                amount: 1.0,
+            }],
+        );
+        let p = FlowProblem::new(&g, &tm);
+        assert_eq!(p.volumetric_estimate(&g), 0.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod instance;
 pub mod restricted;
 
 pub use exact::ExactLpSolver;
-pub use fleischer::{FleischerConfig, FleischerSolver};
+pub use fleischer::{FleischerConfig, FleischerSolver, SolverWorkspace};
 pub use instance::FlowProblem;
 
 use serde::{Deserialize, Serialize};
@@ -45,7 +45,10 @@ pub struct ThroughputBounds {
 impl ThroughputBounds {
     /// An exact result (both bounds equal).
     pub fn exact(value: f64) -> Self {
-        ThroughputBounds { lower: value, upper: value }
+        ThroughputBounds {
+            lower: value,
+            upper: value,
+        }
     }
 
     /// The feasible value; this is what experiments report as "throughput".
@@ -69,7 +72,10 @@ mod tests {
 
     #[test]
     fn bounds_gap() {
-        let b = ThroughputBounds { lower: 0.9, upper: 1.0 };
+        let b = ThroughputBounds {
+            lower: 0.9,
+            upper: 1.0,
+        };
         assert!((b.gap() - 0.1).abs() < 1e-12);
         assert_eq!(b.value(), 0.9);
         let e = ThroughputBounds::exact(2.0);

@@ -137,7 +137,10 @@ impl PathRestrictedSolver {
         if commodities.is_empty() {
             return ThroughputBounds::exact(0.0);
         }
-        if commodities.iter().any(|c| c.paths.is_empty() || c.demand <= 0.0) {
+        if commodities
+            .iter()
+            .any(|c| c.paths.is_empty() || c.demand <= 0.0)
+        {
             return ThroughputBounds::exact(0.0);
         }
         // Directed link capacities from the graph (sum of parallel edges).
@@ -184,7 +187,11 @@ impl PathRestrictedSolver {
             weighted_hops += c.demand * min_hops;
         }
         let total_cap: f64 = link_caps.iter().sum();
-        let scale = if weighted_hops > 0.0 { total_cap / weighted_hops } else { 1.0 };
+        let scale = if weighted_hops > 0.0 {
+            total_cap / weighted_hops
+        } else {
+            1.0
+        };
         let demands: Vec<f64> = commodities.iter().map(|c| c.demand * scale).collect();
 
         let mut best_lower = 0.0f64;
@@ -223,16 +230,34 @@ impl PathRestrictedSolver {
                 }
             }
             phase += 1;
-            if phase % 8 == 0 || d_l >= 1.0 {
-                let (lo, up) = self.bounds(&paths_as_links, &demands, &routed, &flow_link, &link_caps, &len, d_l);
+            if phase.is_multiple_of(8) || d_l >= 1.0 {
+                let (lo, up) = self.bounds(
+                    &paths_as_links,
+                    &demands,
+                    &routed,
+                    &flow_link,
+                    &link_caps,
+                    &len,
+                    d_l,
+                );
                 best_lower = best_lower.max(lo);
                 best_upper = best_upper.min(up);
-                if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= self.target_gap {
+                if best_upper.is_finite()
+                    && (best_upper - best_lower) / best_upper <= self.target_gap
+                {
                     break 'phases;
                 }
             }
         }
-        let (lo, up) = self.bounds(&paths_as_links, &demands, &routed, &flow_link, &link_caps, &len, d_l);
+        let (lo, up) = self.bounds(
+            &paths_as_links,
+            &demands,
+            &routed,
+            &flow_link,
+            &link_caps,
+            &len,
+            d_l,
+        );
         best_lower = best_lower.max(lo);
         best_upper = best_upper.min(up);
         if !best_upper.is_finite() {
@@ -283,7 +308,11 @@ impl PathRestrictedSolver {
                 .fold(f64::INFINITY, f64::min);
             alpha += demands[ci] * min_cost;
         }
-        let upper = if alpha > 0.0 { d_l / alpha } else { f64::INFINITY };
+        let upper = if alpha > 0.0 {
+            d_l / alpha
+        } else {
+            f64::INFINITY
+        };
         (lower, upper)
     }
 }
@@ -333,7 +362,12 @@ mod tests {
     #[test]
     fn missing_path_means_zero() {
         let g = Graph::from_edges(2, &[(0, 1)]);
-        let c = vec![CommodityPaths { src: 0, dst: 1, demand: 1.0, paths: vec![] }];
+        let c = vec![CommodityPaths {
+            src: 0,
+            dst: 1,
+            demand: 1.0,
+            paths: vec![],
+        }];
         assert_eq!(PathRestrictedSolver::new().solve(&g, &c).lower, 0.0);
     }
 
@@ -341,8 +375,18 @@ mod tests {
     fn subflow_counting_on_shared_link() {
         // Two flows forced over the same single link: each gets 1/2.
         let commodities = vec![
-            CommodityPaths { src: 0, dst: 1, demand: 1.0, paths: vec![vec![0, 1]] },
-            CommodityPaths { src: 2, dst: 1, demand: 1.0, paths: vec![vec![2, 0, 1]] },
+            CommodityPaths {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+                paths: vec![vec![0, 1]],
+            },
+            CommodityPaths {
+                src: 2,
+                dst: 1,
+                demand: 1.0,
+                paths: vec![vec![2, 0, 1]],
+            },
         ];
         let est = SubflowCountingEstimator::new().estimate(&commodities);
         assert!((est - 0.5).abs() < 1e-9);

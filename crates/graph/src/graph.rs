@@ -196,20 +196,22 @@ impl Graph {
             if e.u == e.v {
                 return Err(format!("edge {i} is a self-loop"));
             }
-            if !(e.cap > 0.0) {
+            if e.cap <= 0.0 || e.cap.is_nan() {
                 return Err(format!("edge {i} has non-positive capacity"));
             }
             incident[e.u] += 1;
             incident[e.v] += 1;
         }
-        for u in 0..self.n {
-            if self.adj[u].len() != incident[u] {
+        for (u, expected) in incident.iter().enumerate() {
+            if self.adj[u].len() != *expected {
                 return Err(format!("adjacency of node {u} inconsistent with edge list"));
             }
             for &(v, id) in &self.adj[u] {
                 let e = self.edges[id];
                 if !((e.u == u && e.v == v) || (e.v == u && e.u == v)) {
-                    return Err(format!("adjacency entry ({u},{v},{id}) does not match edge"));
+                    return Err(format!(
+                        "adjacency entry ({u},{v},{id}) does not match edge"
+                    ));
                 }
             }
         }

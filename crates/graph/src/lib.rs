@@ -7,8 +7,11 @@
 //!
 //! * [`Graph`] — an undirected, capacitated multigraph over switch nodes with a
 //!   compact edge list + adjacency representation,
-//! * shortest paths ([`shortest_path`]) — unweighted BFS, weighted Dijkstra,
-//!   and (optionally parallel) all-pairs variants,
+//! * CSR adjacency ([`csr`]) — the flat arc layout every shortest-path hot
+//!   path traverses,
+//! * shortest paths ([`shortest_path`]) — unweighted BFS, the single shared
+//!   Dijkstra kernel ([`sssp_csr`], reusable-workspace, early-exit), and
+//!   (optionally parallel) all-pairs variants,
 //! * maximum-weight perfect matchings ([`matching`]) — the Hungarian /
 //!   Jonker–Volgenant algorithm used by the longest-matching traffic matrix,
 //! * spectral tools ([`spectral`]) — the second eigenvector of the normalized
@@ -23,6 +26,7 @@
 //! a given seed, so experiments are reproducible.
 
 pub mod connectivity;
+pub mod csr;
 pub mod graph;
 pub mod matching;
 pub mod maxflow;
@@ -30,6 +34,10 @@ pub mod random;
 pub mod shortest_path;
 pub mod spectral;
 
+pub use csr::CsrGraph;
 pub use graph::{Edge, Graph};
 pub use maxflow::{max_flow_value, min_st_cut, MaxFlow};
-pub use shortest_path::{apsp_unweighted, bfs_distances, dijkstra, ShortestPathTree};
+pub use shortest_path::{
+    apsp_unweighted, bfs_distances, dijkstra, sssp_csr, sssp_csr_by, sssp_csr_goal,
+    sssp_csr_goal_by, ShortestPathTree, SsspWorkspace,
+};

@@ -121,9 +121,8 @@ pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
 pub fn greedy_assignment(weights: &[Vec<f64>]) -> Assignment {
     let n = weights.len();
     assert!(n > 0, "empty weight matrix");
-    let mut entries: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..n).map(move |j| (i, j)))
-        .collect();
+    let mut entries: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
     entries.sort_by(|a, b| {
         weights[b.0][b.1]
             .partial_cmp(&weights[a.0][a.1])

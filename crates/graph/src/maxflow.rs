@@ -51,8 +51,18 @@ impl MaxFlow {
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64, rev_cap: f64) {
         assert!(u < self.n && v < self.n && u != v);
         let a = self.arcs.len();
-        self.arcs.push(FlowArc { to: v, cap, flow: 0.0, rev: a + 1 });
-        self.arcs.push(FlowArc { to: u, cap: rev_cap, flow: 0.0, rev: a });
+        self.arcs.push(FlowArc {
+            to: v,
+            cap,
+            flow: 0.0,
+            rev: a + 1,
+        });
+        self.arcs.push(FlowArc {
+            to: u,
+            cap: rev_cap,
+            flow: 0.0,
+            rev: a,
+        });
         self.head[u].push(a);
         self.head[v].push(a + 1);
     }
@@ -78,7 +88,14 @@ impl MaxFlow {
         }
     }
 
-    fn dfs_push(&mut self, u: usize, t: usize, pushed: f64, level: &[i32], it: &mut [usize]) -> f64 {
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> f64 {
         if u == t {
             return pushed;
         }

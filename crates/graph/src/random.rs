@@ -30,7 +30,10 @@ fn rng_from_seed(seed: u64) -> ChaCha8Rng {
 /// # Panics
 /// Panics if `n * r` is odd or `r >= n` (no simple r-regular graph exists).
 pub fn random_regular_graph(n: usize, r: usize, seed: u64) -> Graph {
-    assert!(n * r % 2 == 0, "n*r must be even for an r-regular graph");
+    assert!(
+        (n * r).is_multiple_of(2),
+        "n*r must be even for an r-regular graph"
+    );
     assert!(r < n, "degree must be smaller than the number of nodes");
     configuration_model(&vec![r; n], seed)
 }
@@ -43,14 +46,15 @@ pub fn random_regular_graph(n: usize, r: usize, seed: u64) -> Graph {
 pub fn configuration_model_multigraph(degrees: &[usize], seed: u64) -> Graph {
     let n = degrees.len();
     let total: usize = degrees.iter().sum();
-    assert!(total % 2 == 0, "degree sum must be even");
+    assert!(total.is_multiple_of(2), "degree sum must be even");
     let mut rng = rng_from_seed(seed);
     'attempt: for attempt in 0..500u64 {
         let mut stubs: Vec<usize> = Vec::with_capacity(total);
         for (u, &d) in degrees.iter().enumerate() {
-            stubs.extend(std::iter::repeat(u).take(d));
+            stubs.extend(std::iter::repeat_n(u, d));
         }
-        let mut attempt_rng = rng_from_seed(seed.wrapping_add(attempt).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut attempt_rng =
+            rng_from_seed(seed.wrapping_add(attempt).wrapping_mul(0x9e3779b97f4a7c15));
         stubs.shuffle(&mut attempt_rng);
         let mut pairs: Vec<(usize, usize)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
         // Repair self-loops by swapping with random partners.
@@ -126,7 +130,7 @@ fn connect_by_swaps_multigraph(g: &Graph, rng: &mut ChaCha8Rng) -> Option<Graph>
 pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
     let n = degrees.len();
     let total: usize = degrees.iter().sum();
-    assert!(total % 2 == 0, "degree sum must be even");
+    assert!(total.is_multiple_of(2), "degree sum must be even");
     for &d in degrees {
         assert!(d < n, "degree {d} too large for {n} nodes");
     }
@@ -136,7 +140,7 @@ pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
         // Stub pairing.
         let mut stubs: Vec<usize> = Vec::with_capacity(total);
         for (u, &d) in degrees.iter().enumerate() {
-            stubs.extend(std::iter::repeat(u).take(d));
+            stubs.extend(std::iter::repeat_n(u, d));
         }
         stubs.shuffle(&mut rng);
         let mut pairs: Vec<(usize, usize)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
@@ -271,7 +275,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 /// to its `k/2` nearest neighbors on each side, with each edge rewired with
 /// probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    assert!(k.is_multiple_of(2) && k < n, "k must be even and < n");
     let mut rng = rng_from_seed(seed);
     let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
     let key = |u: usize, v: usize| (u.min(v), u.max(v));
@@ -358,7 +362,11 @@ pub fn stochastic_block_model(n: usize, blocks: usize, p_in: f64, p_out: f64, se
     let block_of = |u: usize| u * blocks / n;
     for u in 0..n {
         for v in u + 1..n {
-            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 g.add_unit_edge(u, v);
             }

@@ -5,14 +5,26 @@
 //! * the longest-matching traffic matrix needs *unweighted* all-pairs shortest
 //!   path lengths (hop counts),
 //! * the Fleischer max-concurrent-flow solver needs single-source shortest
-//!   paths under an arbitrary positive *length function on edges* (the dual
+//!   paths under an arbitrary positive *length function on arcs* (the dual
 //!   variables), with the predecessor tree so flow can be routed back,
 //! * the expanding-region cut estimator needs BFS balls.
+//!
+//! The weighted case is served by **one** Dijkstra kernel, [`sssp_csr`],
+//! shared by this crate (the [`dijkstra`] wrapper, [`k_shortest_paths`]) and
+//! by `tb_flow`'s solvers. The kernel runs over a flat [`CsrGraph`] view,
+//! keeps all of its state in a reusable [`SsspWorkspace`] (no allocation per
+//! call — a generation counter invalidates old state in O(1)), and supports
+//! destination-aware early exit: when the caller only needs distances to a
+//! known target set, the search stops as soon as the last target is settled.
+//! For sparse traffic matrices (e.g. longest-matching, where each source has
+//! a single destination) this prunes most of the graph from every inner
+//! solver iteration.
 
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 use rayon::prelude::*;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Distance value used to mark unreachable nodes in BFS results.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -140,18 +152,27 @@ impl ShortestPathTree {
     }
 }
 
-#[derive(Copy, Clone, PartialEq)]
+#[derive(Debug, Copy, Clone, PartialEq)]
 struct HeapEntry {
+    /// Tentative distance (or `dist + potential` for the goal-directed
+    /// kernel).
+    ///
+    /// Deliberately the *only* float key: an A*-style "largest raw distance
+    /// first" secondary key was tried here and made the flow solver's
+    /// multiplicative-weights loop converge an order of magnitude slower —
+    /// diving along one extreme geodesic concentrates flow that the
+    /// node-id tie-break naturally spreads.
     dist: f64,
-    node: usize,
+    node: u32,
 }
 
 impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance: reverse the comparison. Distances are finite
-        // non-NaN by construction.
+        // Min-heap on `dist`: reverse the comparison. Keys are finite non-NaN
+        // by construction; ties towards the smaller node id keep tree shapes
+        // deterministic.
         other
             .dist
             .partial_cmp(&self.dist)
@@ -166,58 +187,369 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Dijkstra's algorithm from `src` under the per-edge length function
-/// `edge_len` (indexed by edge id; all lengths must be non-negative).
-pub fn dijkstra(g: &Graph, src: usize, edge_len: &[f64]) -> ShortestPathTree {
-    assert_eq!(edge_len.len(), g.num_edges());
-    let n = g.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent = vec![None; n];
-    let mut heap = BinaryHeap::with_capacity(n);
-    dist[src] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u] {
-            continue;
+/// Sentinel for "no parent" in [`SsspWorkspace`].
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable state for the [`sssp_csr`] kernel: distance/parent arrays, the
+/// binary heap, and the generation stamps that make resets O(1).
+///
+/// A workspace may be reused across runs, sources, length functions, and even
+/// graphs of different sizes; each run bumps a generation counter, so stale
+/// entries from previous runs are never observed and never need clearing.
+/// Allocation happens only when a run needs more capacity than any before it.
+#[derive(Debug, Clone, Default)]
+pub struct SsspWorkspace {
+    /// Tentative/final distances; valid only where `seen` matches the current
+    /// generation.
+    dist: Vec<f64>,
+    /// Packed `[parent node, arc/edge length index]` per node (one cache line
+    /// access on path walks); parent `NO_PARENT` for the source.
+    parents: Vec<[u32; 2]>,
+    /// Generation stamp: `dist`/`parent_*` for a node are valid iff its stamp
+    /// equals `generation`.
+    seen: Vec<u32>,
+    /// Generation stamp marking nodes whose distance is final (popped).
+    settled: Vec<u32>,
+    /// Generation stamp marking early-exit targets of the current run.
+    target: Vec<u32>,
+    /// Current generation.
+    generation: u32,
+    /// Nodes settled by the last run.
+    settled_count: u32,
+    /// The Dijkstra priority queue (kept allocated between runs).
+    heap: BinaryHeap<HeapEntry>,
+    /// Source node of the most recent run.
+    src: usize,
+}
+
+impl SsspWorkspace {
+    /// Creates an empty workspace; arrays are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a new run over `n` nodes: grows arrays if needed and bumps the
+    /// generation so all previous state is invalidated in O(1).
+    fn begin(&mut self, n: usize, src: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parents.resize(n, [NO_PARENT, NO_PARENT]);
+            self.seen.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.target.resize(n, 0);
         }
-        for &(v, eid) in g.neighbors(u) {
-            let len = edge_len[eid];
-            debug_assert!(len >= 0.0, "negative edge length");
+        if self.generation == u32::MAX {
+            // Stamp wrap-around (once per 2^32 runs): clear stamps explicitly.
+            self.seen.fill(0);
+            self.settled.fill(0);
+            self.target.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.settled_count = 0;
+        self.heap.clear();
+        self.src = src;
+    }
+
+    /// Number of nodes the last run settled — how much of the graph the
+    /// search had to explore. Callers use this to judge whether goal
+    /// direction is paying off.
+    #[inline]
+    pub fn settled_count(&self) -> usize {
+        self.settled_count as usize
+    }
+
+    /// Distance from the source of the last run (`f64::INFINITY` if the node
+    /// was not reached, or not settled before an early exit).
+    #[inline]
+    pub fn dist(&self, v: usize) -> f64 {
+        if self.settled[v] == self.generation {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Predecessor `(parent node, length index)` of `v` on its shortest path;
+    /// `None` for the source and for unreached/unsettled nodes.
+    #[inline]
+    pub fn parent(&self, v: usize) -> Option<(usize, usize)> {
+        if self.settled[v] == self.generation && self.parents[v][0] != NO_PARENT {
+            Some((self.parents[v][0] as usize, self.parents[v][1] as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Predecessor of a node known to be settled and different from the
+    /// source — the hot-path variant used by routing walks, touching exactly
+    /// one array. Debug-asserts the precondition.
+    #[inline]
+    pub fn parent_unchecked(&self, v: usize) -> (usize, usize) {
+        debug_assert!(self.settled[v] == self.generation && self.parents[v][0] != NO_PARENT);
+        (self.parents[v][0] as usize, self.parents[v][1] as usize)
+    }
+
+    /// Reconstructs the path from the last run's source to `dst` as a node
+    /// sequence (both endpoints included); `None` if unreached.
+    pub fn path_nodes(&self, dst: usize) -> Option<Vec<usize>> {
+        if dst == self.src {
+            return Some(vec![dst]);
+        }
+        if self.settled[dst] != self.generation || self.parents[dst][0] == NO_PARENT {
+            return None;
+        }
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != self.src {
+            let (p, _) = self.parent(cur)?;
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+
+    /// Materializes the last run into a [`ShortestPathTree`] (allocates; used
+    /// by the convenience wrapper, not by hot paths).
+    pub fn to_tree(&self, n: usize) -> ShortestPathTree {
+        let dist = (0..n).map(|v| self.dist(v)).collect();
+        let parent = (0..n).map(|v| self.parent(v)).collect();
+        ShortestPathTree {
+            src: self.src,
+            dist,
+            parent,
+        }
+    }
+}
+
+/// THE Dijkstra kernel of the workspace: single-source shortest paths from
+/// `src` over the CSR adjacency `csr`, with the per-arc length function
+/// `len_of(lid)` (indexed by each arc's length index; all lengths must be
+/// non-negative, `f64::INFINITY` bans an arc).
+///
+/// Taking the lengths as a closure lets callers keep lengths in whatever
+/// layout their hot path wants (a plain slice, or interleaved with other
+/// per-arc state as the flow solver does) at zero cost — the closure inlines.
+///
+/// If `targets` is given, the search stops as soon as every (reachable)
+/// target is settled; distances and parents are then final for all settled
+/// nodes — in particular for every reachable target — and
+/// [`SsspWorkspace::dist`] reports `INFINITY` for anything not settled.
+/// With `targets = None` the whole reachable component is settled.
+///
+/// All state lives in `ws`; the call allocates nothing once the workspace has
+/// reached the graph's size.
+pub fn sssp_csr_by<L: Fn(usize) -> f64>(
+    csr: &CsrGraph,
+    src: usize,
+    len_of: L,
+    targets: Option<&[usize]>,
+    ws: &mut SsspWorkspace,
+) {
+    ws.begin(csr.num_nodes(), src);
+    let generation = ws.generation;
+    let mut pending = 0usize;
+    if let Some(ts) = targets {
+        for &t in ts {
+            if ws.target[t] != generation {
+                ws.target[t] = generation;
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            return;
+        }
+    }
+    ws.dist[src] = 0.0;
+    ws.seen[src] = generation;
+    ws.parents[src] = [NO_PARENT, NO_PARENT];
+    ws.heap.push(HeapEntry {
+        dist: 0.0,
+        node: src as u32,
+    });
+    while let Some(HeapEntry { dist: d, node, .. }) = ws.heap.pop() {
+        let u = node as usize;
+        if ws.settled[u] == generation {
+            continue; // stale heap entry
+        }
+        ws.settled[u] = generation;
+        ws.settled_count += 1;
+        if targets.is_some() && ws.target[u] == generation {
+            pending -= 1;
+            if pending == 0 {
+                break; // every target settled; ancestors are settled too
+            }
+        }
+        for (v, lid) in csr.neighbors(u) {
+            let len = len_of(lid);
+            debug_assert!(len >= 0.0, "negative arc length");
             let nd = d + len;
-            if nd < dist[v] {
-                dist[v] = nd;
-                parent[v] = Some((u, eid));
-                heap.push(HeapEntry { dist: nd, node: v });
+            let cur = if ws.seen[v] == generation {
+                ws.dist[v]
+            } else {
+                f64::INFINITY
+            };
+            if nd < cur {
+                ws.seen[v] = generation;
+                ws.dist[v] = nd;
+                ws.parents[v] = [u as u32, lid as u32];
+                ws.heap.push(HeapEntry {
+                    dist: nd,
+                    node: v as u32,
+                });
             }
         }
     }
-    ShortestPathTree { src, dist, parent }
+    ws.heap.clear();
+}
+
+/// [`sssp_csr_by`] with lengths in a plain slice (the common case).
+pub fn sssp_csr(
+    csr: &CsrGraph,
+    src: usize,
+    lens: &[f64],
+    targets: Option<&[usize]>,
+    ws: &mut SsspWorkspace,
+) {
+    sssp_csr_by(csr, src, |lid| lens[lid], targets, ws)
+}
+
+/// Goal-directed variant of the kernel (A* with a feasible potential):
+/// single-source shortest path from `src` to one `target`, expanding nodes in
+/// order of `dist + potential[node]`.
+///
+/// `potential` must be **consistent** for the current lengths:
+/// `potential[u] <= lens[lid] + potential[v]` for every arc `u -> v`, and
+/// `potential[target]` must be 0 (up to additive shift). Exact distances to
+/// `target` computed under an *older, everywhere-smaller-or-equal* length
+/// function satisfy this — the property the flow solver exploits, since its
+/// lengths only ever grow. An inconsistent potential would silently produce
+/// wrong distances; callers own that invariant.
+///
+/// On return, settled nodes (in particular `target`, if reachable) have exact
+/// distances and parents in `ws`, like [`sssp_csr`] with an early exit at
+/// `target`; with a sharp potential the search expands little beyond the
+/// shortest path itself.
+pub fn sssp_csr_goal_by<L: Fn(usize) -> f64>(
+    csr: &CsrGraph,
+    src: usize,
+    len_of: L,
+    target: usize,
+    potential: &[f64],
+    ws: &mut SsspWorkspace,
+) {
+    ws.begin(csr.num_nodes(), src);
+    let generation = ws.generation;
+    if potential[src].is_infinite() {
+        return; // target unreachable from src
+    }
+    ws.dist[src] = 0.0;
+    ws.seen[src] = generation;
+    ws.parents[src] = [NO_PARENT, NO_PARENT];
+    ws.heap.push(HeapEntry {
+        dist: potential[src],
+        node: src as u32,
+    });
+    while let Some(HeapEntry { node, .. }) = ws.heap.pop() {
+        let u = node as usize;
+        if ws.settled[u] == generation {
+            continue; // stale heap entry
+        }
+        ws.settled[u] = generation;
+        ws.settled_count += 1;
+        if u == target {
+            break;
+        }
+        let d = ws.dist[u];
+        for (v, lid) in csr.neighbors(u) {
+            let len = len_of(lid);
+            debug_assert!(len >= 0.0, "negative arc length");
+            let nd = d + len;
+            let cur = if ws.seen[v] == generation {
+                ws.dist[v]
+            } else {
+                f64::INFINITY
+            };
+            if nd < cur && !potential[v].is_infinite() {
+                ws.seen[v] = generation;
+                ws.dist[v] = nd;
+                ws.parents[v] = [u as u32, lid as u32];
+                ws.heap.push(HeapEntry {
+                    dist: nd + potential[v],
+                    node: v as u32,
+                });
+            }
+        }
+    }
+    ws.heap.clear();
+}
+
+/// [`sssp_csr_goal_by`] with lengths in a plain slice.
+pub fn sssp_csr_goal(
+    csr: &CsrGraph,
+    src: usize,
+    lens: &[f64],
+    target: usize,
+    potential: &[f64],
+    ws: &mut SsspWorkspace,
+) {
+    sssp_csr_goal_by(csr, src, |lid| lens[lid], target, potential, ws)
+}
+
+/// Dijkstra's algorithm from `src` under the per-edge length function
+/// `edge_len` (indexed by edge id; all lengths must be non-negative).
+///
+/// Convenience wrapper over the shared [`sssp_csr`] kernel that builds a
+/// one-shot CSR view and materializes the full tree. Repeated callers should
+/// build a [`CsrGraph`] once and drive the kernel with a reused
+/// [`SsspWorkspace`] instead.
+pub fn dijkstra(g: &Graph, src: usize, edge_len: &[f64]) -> ShortestPathTree {
+    assert_eq!(edge_len.len(), g.num_edges());
+    let csr = CsrGraph::from_graph(g);
+    let mut ws = SsspWorkspace::new();
+    sssp_csr(&csr, src, edge_len, None, &mut ws);
+    ws.to_tree(g.num_nodes())
 }
 
 /// Yen-style K shortest (simple) paths between `src` and `dst` by hop count,
 /// used by the LLSKR replication (Fig 15). Paths are returned as node
 /// sequences ordered by length; fewer than `k` paths may exist.
+///
+/// The CSR view and SSSP workspace are built once and reused across all spur
+/// computations; candidate paths are deduplicated through a hash set and
+/// ordered in a min-heap instead of the former `Vec::contains` /
+/// `sort + remove(0)` combination, which was quadratic in the number of
+/// generated candidates.
 pub fn k_shortest_paths(g: &Graph, src: usize, dst: usize, k: usize) -> Vec<Vec<usize>> {
     if src == dst || k == 0 {
         return Vec::new();
     }
-    let unit = vec![1.0; g.num_edges()];
-    let tree = dijkstra(g, src, &unit);
-    let first = match tree.path_nodes(dst) {
+    let csr = CsrGraph::from_graph(g);
+    let mut ws = SsspWorkspace::new();
+    let mut len = vec![1.0; g.num_edges()];
+    sssp_csr(&csr, src, &len, Some(&[dst]), &mut ws);
+    let first = match ws.path_nodes(dst) {
         Some(p) => p,
         None => return Vec::new(),
     };
-    let mut paths: Vec<Vec<usize>> = vec![first];
-    let mut candidates: Vec<Vec<usize>> = Vec::new();
+    let mut paths: Vec<Vec<usize>> = vec![first.clone()];
+    // Every path ever enqueued (accepted or still a candidate), for O(1)
+    // duplicate rejection.
+    let mut enqueued: HashSet<Vec<usize>> = HashSet::from([first]);
+    // Min-heap of candidates ordered by (hop count, node sequence): pops are
+    // deterministic and O(log c) instead of a full sort per accepted path.
+    let mut candidates: BinaryHeap<std::cmp::Reverse<(usize, Vec<usize>)>> = BinaryHeap::new();
+    let mut banned_node = vec![false; g.num_nodes()];
 
     while paths.len() < k {
         let last = paths.last().unwrap().clone();
         for i in 0..last.len() - 1 {
             let spur_node = last[i];
-            let root: Vec<usize> = last[..=i].to_vec();
+            let root = &last[..=i];
             // Edge lengths: ban edges used by previous paths sharing this root,
             // and ban revisiting root nodes, by giving them infinite length.
-            let mut len = vec![1.0; g.num_edges()];
+            len.fill(1.0);
             for p in &paths {
                 if p.len() > i + 1 && p[..=i] == root[..] {
                     let (a, b) = (p[i], p[i + 1]);
@@ -228,31 +560,31 @@ pub fn k_shortest_paths(g: &Graph, src: usize, dst: usize, k: usize) -> Vec<Vec<
                     }
                 }
             }
-            let mut banned = vec![false; g.num_nodes()];
             for &node in &root[..root.len() - 1] {
-                banned[node] = true;
+                banned_node[node] = true;
             }
             for (eid, e) in g.edges().iter().enumerate() {
-                if banned[e.u] || banned[e.v] {
+                if banned_node[e.u] || banned_node[e.v] {
                     len[eid] = f64::INFINITY;
                 }
             }
-            let t = dijkstra(g, spur_node, &len);
-            if t.dist[dst].is_finite() {
-                if let Some(spur) = t.path_nodes(dst) {
-                    let mut total = root.clone();
-                    total.extend_from_slice(&spur[1..]);
-                    if !paths.contains(&total) && !candidates.contains(&total) {
-                        candidates.push(total);
-                    }
+            for &node in &root[..root.len() - 1] {
+                banned_node[node] = false;
+            }
+            sssp_csr(&csr, spur_node, &len, Some(&[dst]), &mut ws);
+            if let Some(spur) = ws.path_nodes(dst) {
+                let mut total = root.to_vec();
+                total.extend_from_slice(&spur[1..]);
+                if !enqueued.contains(&total) {
+                    enqueued.insert(total.clone());
+                    candidates.push(std::cmp::Reverse((total.len(), total)));
                 }
             }
         }
-        if candidates.is_empty() {
-            break;
+        match candidates.pop() {
+            Some(std::cmp::Reverse((_, p))) => paths.push(p),
+            None => break,
         }
-        candidates.sort_by_key(|p| p.len());
-        paths.push(candidates.remove(0));
     }
     paths
 }
@@ -285,8 +617,8 @@ mod tests {
     fn apsp_matches_bfs() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let all = apsp_unweighted(&g);
-        for u in 0..4 {
-            assert_eq!(all[u], bfs_distances(&g, u));
+        for (u, row) in all.iter().enumerate() {
+            assert_eq!(*row, bfs_distances(&g, u));
         }
     }
 
@@ -338,6 +670,144 @@ mod tests {
     }
 
     #[test]
+    fn kernel_reuse_across_runs_matches_fresh() {
+        // The same workspace driven across different sources and graphs gives
+        // the same answers as fresh runs.
+        let g1 = path_graph(6);
+        let g2 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let csr1 = CsrGraph::from_graph(&g1);
+        let csr2 = CsrGraph::from_graph(&g2);
+        let len1 = vec![1.0; g1.num_edges()];
+        let len2 = vec![1.0; g2.num_edges()];
+        let mut ws = SsspWorkspace::new();
+        for _ in 0..3 {
+            for src in 0..g1.num_nodes() {
+                sssp_csr(&csr1, src, &len1, None, &mut ws);
+                let fresh = dijkstra(&g1, src, &len1);
+                for v in 0..g1.num_nodes() {
+                    assert_eq!(ws.dist(v), fresh.dist[v]);
+                }
+            }
+            for src in 0..g2.num_nodes() {
+                sssp_csr(&csr2, src, &len2, None, &mut ws);
+                let fresh = dijkstra(&g2, src, &len2);
+                for v in 0..g2.num_nodes() {
+                    assert_eq!(ws.dist(v), fresh.dist[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_settles_all_targets() {
+        // A long path: early exit at node 2 must still give exact distances
+        // for nodes 1 and 2, and must not claim final distances beyond.
+        let g = path_graph(10);
+        let csr = CsrGraph::from_graph(&g);
+        let len = vec![1.0; g.num_edges()];
+        let mut ws = SsspWorkspace::new();
+        sssp_csr(&csr, 0, &len, Some(&[2]), &mut ws);
+        assert_eq!(ws.dist(1), 1.0);
+        assert_eq!(ws.dist(2), 2.0);
+        assert_eq!(ws.path_nodes(2).unwrap(), vec![0, 1, 2]);
+        // Node 9 was certainly not settled before the early exit.
+        assert_eq!(ws.dist(9), f64::INFINITY);
+    }
+
+    #[test]
+    fn early_exit_with_multiple_targets() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4), (0, 4)]);
+        let csr = CsrGraph::from_graph(&g);
+        let len = vec![1.0; g.num_edges()];
+        let mut ws = SsspWorkspace::new();
+        sssp_csr(&csr, 0, &len, Some(&[4, 3]), &mut ws);
+        assert_eq!(ws.dist(4), 1.0);
+        assert_eq!(ws.dist(3), 2.0);
+        let full = dijkstra(&g, 0, &len);
+        assert_eq!(ws.dist(4), full.dist[4]);
+        assert_eq!(ws.dist(3), full.dist[3]);
+    }
+
+    #[test]
+    fn early_exit_unreachable_target_terminates() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let csr = CsrGraph::from_graph(&g);
+        let len = vec![1.0; g.num_edges()];
+        let mut ws = SsspWorkspace::new();
+        sssp_csr(&csr, 0, &len, Some(&[3]), &mut ws);
+        assert_eq!(ws.dist(3), f64::INFINITY);
+        assert!(ws.path_nodes(3).is_none());
+        // Reachable side is fully settled.
+        assert_eq!(ws.dist(1), 1.0);
+    }
+
+    #[test]
+    fn infinite_lengths_ban_arcs() {
+        let mut g = Graph::new(3);
+        let e01 = g.add_unit_edge(0, 1);
+        let _e12 = g.add_unit_edge(1, 2);
+        let e02 = g.add_unit_edge(0, 2);
+        let csr = CsrGraph::from_graph(&g);
+        let mut len = vec![1.0; 3];
+        len[e01] = f64::INFINITY;
+        len[e02] = f64::INFINITY;
+        let mut ws = SsspWorkspace::new();
+        sssp_csr(&csr, 0, &len, None, &mut ws);
+        assert_eq!(ws.dist(0), 0.0);
+        assert_eq!(ws.dist(1), f64::INFINITY);
+        assert_eq!(ws.dist(2), f64::INFINITY);
+    }
+
+    #[test]
+    fn goal_directed_matches_plain_with_stale_consistent_potential() {
+        // Potentials computed under older, smaller lengths stay consistent
+        // once lengths grow, and the goal-directed kernel must then produce
+        // exactly the plain kernel's distances.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 5),
+                (0, 3),
+                (3, 4),
+                (4, 5),
+                (1, 4),
+                (0, 5),
+            ],
+        );
+        let csr = CsrGraph::from_graph(&g);
+        let lens0: Vec<f64> = (0..g.num_edges()).map(|e| 1.0 + 0.1 * e as f64).collect();
+        // Undirected edge lengths: distance to the target equals the distance
+        // from the target, so a forward run provides the reverse potential.
+        let target = 5;
+        let pot = dijkstra(&g, target, &lens0).dist;
+        // Grow a few lengths (monotone update, as the flow solver's are).
+        let mut lens1 = lens0.clone();
+        lens1[0] *= 3.0;
+        lens1[7] *= 10.0;
+        lens1[3] *= 1.5;
+        let mut ws_goal = SsspWorkspace::new();
+        let mut ws_plain = SsspWorkspace::new();
+        for src in 0..5 {
+            sssp_csr_goal(&csr, src, &lens1, target, &pot, &mut ws_goal);
+            sssp_csr(&csr, src, &lens1, Some(&[target]), &mut ws_plain);
+            assert!(
+                (ws_goal.dist(target) - ws_plain.dist(target)).abs() < 1e-12,
+                "src {src}: goal {} vs plain {}",
+                ws_goal.dist(target),
+                ws_plain.dist(target)
+            );
+            // The goal-directed parent chain is a genuine path of that length.
+            let nodes = ws_goal.path_nodes(target).unwrap();
+            assert_eq!(nodes.first(), Some(&src));
+            assert_eq!(nodes.last(), Some(&target));
+        }
+    }
+
+    #[test]
     fn k_shortest_paths_on_cycle() {
         // C4 between opposite corners has exactly two 2-hop paths.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
@@ -350,10 +820,7 @@ mod tests {
 
     #[test]
     fn k_shortest_paths_simple_and_ordered() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4), (0, 4)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4), (0, 4)]);
         let ps = k_shortest_paths(&g, 0, 4, 3);
         assert_eq!(ps.len(), 3);
         // Ordered by hop count: 1-hop, 2-hop, 3-hop.
@@ -365,5 +832,31 @@ mod tests {
             q.dedup();
             assert_eq!(q.len(), p.len());
         }
+    }
+
+    #[test]
+    fn k_shortest_paths_are_distinct() {
+        // Dense graph with many equal-length paths: all returned paths must be
+        // pairwise distinct (the hash-set dedup at work).
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (0, 5),
+            ],
+        );
+        let ps = k_shortest_paths(&g, 0, 5, 6);
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j]);
+            }
+        }
+        assert!(ps.len() >= 4);
     }
 }

@@ -37,9 +37,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Isolated nodes (degree 0) only get the identity part.
 fn apply_shifted(g: &Graph, inv_sqrt_deg: &[f64], v: &[f64], out: &mut [f64]) {
     let n = g.num_nodes();
-    for i in 0..n {
-        out[i] = v[i];
-    }
+    out[..n].copy_from_slice(&v[..n]);
     for e in g.edges() {
         let w = e.cap * inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v];
         out[e.u] += w * v[e.v];
@@ -126,7 +124,11 @@ mod tests {
             }
         }
         let r = second_smallest_normalized_laplacian(&g, 400);
-        assert!((r.lambda2 - n as f64 / (n as f64 - 1.0)).abs() < 0.05, "{}", r.lambda2);
+        assert!(
+            (r.lambda2 - n as f64 / (n as f64 - 1.0)).abs() < 0.05,
+            "{}",
+            r.lambda2
+        );
     }
 
     #[test]
@@ -149,7 +151,11 @@ mod tests {
         for i in 6..10 {
             assert_eq!(r.eigenvector[i].signum(), -left_sign);
         }
-        assert!(r.lambda2 < 0.5, "barbell should have small lambda2, got {}", r.lambda2);
+        assert!(
+            r.lambda2 < 0.5,
+            "barbell should have small lambda2, got {}",
+            r.lambda2
+        );
     }
 
     #[test]
@@ -160,6 +166,11 @@ mod tests {
         let g = Graph::from_edges(n, &edges);
         let expected = 1.0 - (2.0 * std::f64::consts::PI / n as f64).cos();
         let r = second_smallest_normalized_laplacian(&g, 4000);
-        assert!((r.lambda2 - expected).abs() < 0.02, "{} vs {}", r.lambda2, expected);
+        assert!(
+            (r.lambda2 - expected).abs() < 0.02,
+            "{} vs {}",
+            r.lambda2,
+            expected
+        );
     }
 }

@@ -53,7 +53,10 @@ impl LinearProgram {
     /// summed.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
         for &(v, _) in &coeffs {
-            assert!(v < self.num_vars, "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_vars,
+                "constraint references unknown variable {v}"
+            );
         }
         self.constraints.push(Constraint { coeffs, op, rhs });
     }
@@ -178,7 +181,7 @@ impl Tableau {
                     let ratio = self.a[r][self.cols - 1] / a;
                     if ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |lr: usize| self.basis[r] < self.basis[lr]))
+                            && leave.is_none_or(|lr: usize| self.basis[r] < self.basis[lr]))
                     {
                         best_ratio = ratio;
                         leave = Some(r);
@@ -221,7 +224,11 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
                 ConstraintOp::Ge => ConstraintOp::Le,
                 ConstraintOp::Eq => ConstraintOp::Eq,
             };
-            (dense.iter().map(|x| -x).collect::<Vec<_>>(), flipped_op, -c.rhs)
+            (
+                dense.iter().map(|x| -x).collect::<Vec<_>>(),
+                flipped_op,
+                -c.rhs,
+            )
         } else {
             (dense, c.op, c.rhs)
         };
@@ -284,14 +291,14 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
         // phase-1 cost: -1 for artificials, 0 otherwise (maximization).
         // reduced costs: c_j - sum over basic rows of c_B * a_rj.
         let mut obj = vec![0.0; cols];
-        for c in art_base..art_base + num_art {
-            obj[c] = -1.0;
+        for slot in &mut obj[art_base..art_base + num_art] {
+            *slot = -1.0;
         }
         // Price out the basic artificial columns.
         for r in 0..m {
             if tab.basis[r] >= art_base {
-                for c in 0..cols {
-                    obj[c] += tab.a[r][c];
+                for (slot, a) in obj.iter_mut().zip(&tab.a[r]) {
+                    *slot += a;
                 }
             }
         }
@@ -335,8 +342,8 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
         let b = tab.basis[r];
         let cb = if b < n { lp.objective[b] } else { 0.0 };
         if cb != 0.0 {
-            for c in 0..cols {
-                obj[c] -= cb * tab.a[r][c];
+            for (slot, a) in obj.iter_mut().zip(&tab.a[r]) {
+                *slot -= cb * a;
             }
         }
     }
@@ -349,12 +356,7 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
             values[tab.basis[r]] = tab.a[r][cols - 1];
         }
     }
-    let objective = lp
-        .objective
-        .iter()
-        .zip(&values)
-        .map(|(c, x)| c * x)
-        .sum();
+    let objective = lp.objective.iter().zip(&values).map(|(c, x)| c * x).sum();
     Ok(Solution { objective, values })
 }
 
@@ -490,11 +492,7 @@ mod tests {
         for (i, cap) in [(0usize, 2.0), (1, 2.0), (2, 1.0), (3, 3.0), (4, 1.0)] {
             lp.add_constraint(vec![(i, 1.0)], ConstraintOp::Le, cap);
         }
-        lp.add_constraint(
-            vec![(0, 1.0), (2, -1.0), (4, -1.0)],
-            ConstraintOp::Eq,
-            0.0,
-        );
+        lp.add_constraint(vec![(0, 1.0), (2, -1.0), (4, -1.0)], ConstraintOp::Eq, 0.0);
         lp.add_constraint(vec![(1, 1.0), (4, 1.0), (3, -1.0)], ConstraintOp::Eq, 0.0);
         let s = solve(&lp).unwrap();
         assert_close(s.objective, 4.0);

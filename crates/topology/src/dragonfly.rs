@@ -13,7 +13,10 @@ use tb_graph::Graph;
 /// `p` servers per router, `a` routers per group, `h` global links per router.
 /// The number of groups is `a*h + 1` (one global link between each group pair).
 pub fn dragonfly(p: usize, a: usize, h: usize) -> Topology {
-    assert!(a >= 1 && h >= 1, "need at least one router and one global link");
+    assert!(
+        a >= 1 && h >= 1,
+        "need at least one router and one global link"
+    );
     let groups = a * h + 1;
     let n = groups * a;
     let mut g = Graph::new(n);

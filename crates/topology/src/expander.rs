@@ -21,10 +21,13 @@ use tb_graph::Graph;
 /// cluster and `beta` edges to random nodes of the other cluster (degrees are
 /// met exactly by construction of random regular/bipartite-regular layers).
 pub fn clustered_random(n: usize, alpha: usize, beta: usize, seed: u64) -> Topology {
-    assert!(n >= 4 && n % 2 == 0, "n must be even and >= 4");
+    assert!(n >= 4 && n.is_multiple_of(2), "n must be even and >= 4");
     let half = n / 2;
-    assert!(alpha < half && beta <= half, "degrees too large for the cluster size");
-    assert!(half * alpha % 2 == 0, "alpha * n/2 must be even");
+    assert!(
+        alpha < half && beta <= half,
+        "degrees too large for the cluster size"
+    );
+    assert!((half * alpha).is_multiple_of(2), "alpha * n/2 must be even");
     let mut g = Graph::new(n);
     // Intra-cluster: an alpha-regular random graph in each cluster.
     for (offset, s) in [(0usize, seed), (half, seed.wrapping_add(1))] {

@@ -115,7 +115,11 @@ impl Family {
                 v
             }
             Family::Dragonfly => {
-                let mut v = vec![balanced_dragonfly(1), balanced_dragonfly(2), balanced_dragonfly(3)];
+                let mut v = vec![
+                    balanced_dragonfly(1),
+                    balanced_dragonfly(2),
+                    balanced_dragonfly(3),
+                ];
                 if full {
                     v.push(balanced_dragonfly(4));
                 }
@@ -131,7 +135,11 @@ impl Family {
                 v
             }
             Family::FlattenedButterfly => {
-                let mut v = vec![flattened_butterfly(3, 3), flattened_butterfly(4, 3), flattened_butterfly(5, 3)];
+                let mut v = vec![
+                    flattened_butterfly(3, 3),
+                    flattened_butterfly(4, 3),
+                    flattened_butterfly(5, 3),
+                ];
                 if full {
                     v.push(flattened_butterfly(6, 3));
                     v.push(flattened_butterfly(8, 3));
@@ -166,7 +174,13 @@ impl Family {
             }
             Family::Jellyfish => {
                 let params: &[(usize, usize, usize)] = if full {
-                    &[(25, 6, 3), (50, 8, 4), (100, 10, 5), (200, 12, 6), (400, 14, 7)]
+                    &[
+                        (25, 6, 3),
+                        (50, 8, 4),
+                        (100, 10, 5),
+                        (200, 12, 6),
+                        (400, 14, 7),
+                    ]
                 } else {
                     &[(25, 6, 3), (50, 8, 4), (100, 10, 5)]
                 };
@@ -226,7 +240,11 @@ mod tests {
             let instances = f.instances(Scale::Small, 1);
             assert!(!instances.is_empty(), "{} has no instances", f.name());
             for t in &instances {
-                assert!(is_connected(&t.graph), "{} instance disconnected", t.describe());
+                assert!(
+                    is_connected(&t.graph),
+                    "{} instance disconnected",
+                    t.describe()
+                );
                 assert!(t.num_servers() > 0);
                 assert!(t.graph.validate().is_ok());
             }
@@ -252,7 +270,11 @@ mod tests {
         for f in ALL_FAMILIES {
             let t = f.representative(3);
             assert!(is_connected(&t.graph));
-            assert!(t.num_switches() <= 1200, "{} representative too large", f.name());
+            assert!(
+                t.num_switches() <= 1200,
+                "{} representative too large",
+                f.name()
+            );
         }
     }
 

@@ -17,7 +17,10 @@ use tb_graph::Graph;
 /// # Panics
 /// Panics if `k` is odd or `k < 2`.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree requires even k >= 2"
+    );
     let half = k / 2;
     let num_edge = k * half;
     let num_agg = k * half;

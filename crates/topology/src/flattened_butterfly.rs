@@ -19,7 +19,11 @@ pub fn flattened_butterfly(k: usize, n_stages: usize) -> Topology {
 
 /// Same as [`flattened_butterfly`] but with an explicit concentration
 /// (servers per switch).
-pub fn flattened_butterfly_with_servers(k: usize, n_stages: usize, servers_per_switch: usize) -> Topology {
+pub fn flattened_butterfly_with_servers(
+    k: usize,
+    n_stages: usize,
+    servers_per_switch: usize,
+) -> Topology {
     assert!(k >= 2, "need k >= 2");
     assert!(n_stages >= 2, "need at least 2 stages (1 dimension)");
     let dims = n_stages - 1;

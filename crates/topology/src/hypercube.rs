@@ -60,9 +60,9 @@ mod tests {
     fn distances_are_hamming_distances() {
         let t = hypercube(4, 1);
         let dist = apsp_unweighted(&t.graph);
-        for u in 0..16usize {
-            for v in 0..16usize {
-                assert_eq!(dist[u][v], (u ^ v).count_ones());
+        for (u, row) in dist.iter().enumerate() {
+            for (v, d) in row.iter().enumerate() {
+                assert_eq!(*d, (u ^ v).count_ones());
             }
         }
     }

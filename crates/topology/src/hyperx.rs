@@ -34,12 +34,7 @@ pub fn hyperx(dims: usize, s: usize, k: usize, t: usize) -> Topology {
             stride *= s;
         }
     }
-    Topology::with_uniform_servers(
-        "HyperX",
-        format!("L={dims}, S={s}, K={k}, T={t}"),
-        g,
-        t,
-    )
+    Topology::with_uniform_servers("HyperX", format!("L={dims}, S={s}, K={k}, T={t}"), g, t)
 }
 
 /// A candidate produced by [`design_search`].
@@ -69,7 +64,11 @@ pub struct HyperXDesign {
 /// the parameters can lead to a significant difference in HyperX construction
 /// and hence throughput": the discrete search space makes the output jumpy in
 /// `min_servers`.
-pub fn design_search(radix: usize, min_servers: usize, target_bisection: f64) -> Option<HyperXDesign> {
+pub fn design_search(
+    radix: usize,
+    min_servers: usize,
+    target_bisection: f64,
+) -> Option<HyperXDesign> {
     let mut best: Option<HyperXDesign> = None;
     for dims in 1..=5usize {
         for s in 2..=radix {

@@ -72,7 +72,10 @@ mod tests {
         assert_eq!(rnd.num_switches(), reference.num_switches());
         assert_eq!(rnd.num_links(), reference.num_links());
         assert_eq!(rnd.num_servers(), reference.num_servers());
-        assert_eq!(rnd.graph.degree_sequence(), reference.graph.degree_sequence());
+        assert_eq!(
+            rnd.graph.degree_sequence(),
+            reference.graph.degree_sequence()
+        );
         assert_eq!(rnd.servers, reference.servers);
         assert!(is_connected(&rnd.graph));
     }
@@ -84,7 +87,10 @@ mod tests {
         // the configuration model must match it exactly.
         let reference = fat_tree(4);
         let rnd = same_equipment(&reference, 3);
-        assert_eq!(rnd.graph.degree_sequence(), reference.graph.degree_sequence());
+        assert_eq!(
+            rnd.graph.degree_sequence(),
+            reference.graph.degree_sequence()
+        );
         assert!(is_connected(&rnd.graph));
     }
 

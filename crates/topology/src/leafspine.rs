@@ -11,7 +11,12 @@ use tb_graph::Graph;
 /// switches, every leaf connected to every spine by `trunking` parallel links,
 /// and `servers_per_leaf` servers on each leaf. Spine switches carry no
 /// servers.
-pub fn leaf_spine(leaves: usize, spines: usize, trunking: usize, servers_per_leaf: usize) -> Topology {
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    trunking: usize,
+    servers_per_leaf: usize,
+) -> Topology {
     assert!(leaves >= 2 && spines >= 1 && trunking >= 1);
     let n = leaves + spines;
     let mut g = Graph::new(n);
@@ -37,7 +42,12 @@ pub fn leaf_spine(leaves: usize, spines: usize, trunking: usize, servers_per_lea
 /// The oversubscription ratio of a leaf–spine design: downlink capacity per
 /// leaf (servers) divided by uplink capacity per leaf (spines × trunking).
 /// 1.0 means non-blocking; larger values are oversubscribed.
-pub fn oversubscription(leaves: usize, spines: usize, trunking: usize, servers_per_leaf: usize) -> f64 {
+pub fn oversubscription(
+    leaves: usize,
+    spines: usize,
+    trunking: usize,
+    servers_per_leaf: usize,
+) -> f64 {
     let _ = leaves;
     servers_per_leaf as f64 / (spines as f64 * trunking as f64)
 }

@@ -36,7 +36,7 @@ fn choose_long_hop_generators(dim: usize, extra: usize) -> Vec<u64> {
                 .unwrap_or(u32::MAX);
             let weight = cand.count_ones();
             let key = (min_dist, weight, u64::MAX - cand);
-            if best.map_or(true, |(d, w, v)| key > (d, w, v)) {
+            if best.is_none_or(|(d, w, v)| key > (d, w, v)) {
                 best = Some(key);
             }
         }
@@ -52,7 +52,7 @@ fn choose_long_hop_generators(dim: usize, extra: usize) -> Vec<u64> {
 /// (`degree >= dim`; the first `dim` generators are the hypercube generators)
 /// and `servers_per_switch` servers per switch.
 pub fn long_hop(dim: usize, degree: usize, servers_per_switch: usize) -> Topology {
-    assert!(dim >= 2 && dim <= 16, "dimension out of range");
+    assert!((2..=16).contains(&dim), "dimension out of range");
     assert!(degree >= dim, "degree must be at least the dimension");
     assert!(
         degree < (1usize << dim),

@@ -54,14 +54,8 @@ pub fn natural_networks(count: usize, seed: u64) -> Vec<Topology> {
         let s = seed.wrapping_add(i as u64);
         let n = 12 + (i % 8) * 6; // sizes 12..54
         let (name, g) = match i % 4 {
-            0 => (
-                "natural/scale-free",
-                barabasi_albert(n, 2 + (i / 4) % 3, s),
-            ),
-            1 => (
-                "natural/small-world",
-                watts_strogatz(n, 4, 0.2, s),
-            ),
+            0 => ("natural/scale-free", barabasi_albert(n, 2 + (i / 4) % 3, s)),
+            1 => ("natural/small-world", watts_strogatz(n, 4, 0.2, s)),
             2 => (
                 "natural/community",
                 stochastic_block_model(n, 2 + i % 3, 0.5, 0.05, s),

@@ -25,7 +25,7 @@ fn is_prime(q: usize) -> bool {
     }
     let mut d = 2;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -40,9 +40,9 @@ fn primitive_root(q: usize) -> usize {
     let mut m = phi;
     let mut d = 2;
     while d * d <= m {
-        if m % d == 0 {
+        if m.is_multiple_of(d) {
             factors.push(d);
-            while m % d == 0 {
+            while m.is_multiple_of(d) {
                 m /= d;
             }
         }
@@ -144,12 +144,7 @@ pub fn slim_fly(q: usize, servers_per_router: usize) -> Topology {
         }
     }
 
-    Topology::with_uniform_servers(
-        "Slim Fly",
-        format!("q={q}"),
-        g,
-        servers_per_router,
-    )
+    Topology::with_uniform_servers("Slim Fly", format!("q={q}"), g, servers_per_router)
 }
 
 /// The canonical server count per router used by the Slim Fly paper:
@@ -183,10 +178,16 @@ mod tests {
             assert_eq!(even.len(), (q - 1) / 2);
             assert_eq!(odd.len(), (q - 1) / 2);
             for &v in &even {
-                assert!(even.contains(&((q - v) % q)), "even set not symmetric for q={q}");
+                assert!(
+                    even.contains(&((q - v) % q)),
+                    "even set not symmetric for q={q}"
+                );
             }
             for &v in &odd {
-                assert!(odd.contains(&((q - v) % q)), "odd set not symmetric for q={q}");
+                assert!(
+                    odd.contains(&((q - v) % q)),
+                    "odd set not symmetric for q={q}"
+                );
             }
         }
     }

@@ -24,7 +24,12 @@ pub struct Topology {
 
 impl Topology {
     /// Creates a topology, checking that the server vector matches the graph.
-    pub fn new(name: impl Into<String>, params: impl Into<String>, graph: Graph, servers: Vec<usize>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        params: impl Into<String>,
+        graph: Graph,
+        servers: Vec<usize>,
+    ) -> Self {
         assert_eq!(
             servers.len(),
             graph.num_nodes(),

@@ -39,7 +39,11 @@ pub fn tm_h(racks: usize, seed: u64) -> TrafficMatrix {
             }
             // weights in [1e3, 1e4): one log-decade, near uniform.
             let exp = 3.0 + rng.gen::<f64>();
-            demands.push(Demand { src, dst, amount: 10f64.powf(exp) });
+            demands.push(Demand {
+                src,
+                dst,
+                amount: 10f64.powf(exp),
+            });
         }
     }
     TrafficMatrix::new(racks, demands)
@@ -89,7 +93,11 @@ pub fn tm_f(racks: usize, seed: u64) -> TrafficMatrix {
                 (Role::Web, Role::Web) => 3.0,
             };
             let exp = decade + rng.gen::<f64>();
-            demands.push(Demand { src, dst, amount: 10f64.powf(exp) });
+            demands.push(Demand {
+                src,
+                dst,
+                amount: 10f64.powf(exp),
+            });
         }
     }
     TrafficMatrix::new(racks, demands)
@@ -114,7 +122,11 @@ mod tests {
     fn tm_h_is_nearly_uniform() {
         let tm = tm_h(FACEBOOK_RACKS, 1);
         assert_eq!(tm.num_flows(), 64 * 63);
-        assert!(skew_ratio(&tm) < 15.0, "TM-H should be near uniform: {}", skew_ratio(&tm));
+        assert!(
+            skew_ratio(&tm) < 15.0,
+            "TM-H should be near uniform: {}",
+            skew_ratio(&tm)
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl TrafficMatrix {
 
     /// An empty TM over `n` switches.
     pub fn empty(n: usize) -> Self {
-        TrafficMatrix { n, demands: Vec::new() }
+        TrafficMatrix {
+            n,
+            demands: Vec::new(),
+        }
     }
 
     /// Number of switches this TM is defined over.
@@ -97,7 +100,10 @@ impl TrafficMatrix {
             demands: self
                 .demands
                 .iter()
-                .map(|d| Demand { amount: d.amount * factor, ..*d })
+                .map(|d| Demand {
+                    amount: d.amount * factor,
+                    ..*d
+                })
                 .collect(),
         }
     }

@@ -11,11 +11,7 @@ use rand_chacha::ChaCha8Rng;
 /// "Shuffled" placement): demand `T(u, v)` becomes `T(p(u), p(v))` for a
 /// uniform random permutation `p` of the switches that appear in the TM.
 pub fn shuffle(tm: &TrafficMatrix, seed: u64) -> TrafficMatrix {
-    let mut used: Vec<usize> = tm
-        .demands()
-        .iter()
-        .flat_map(|d| [d.src, d.dst])
-        .collect();
+    let mut used: Vec<usize> = tm.demands().iter().flat_map(|d| [d.src, d.dst]).collect();
     used.sort_unstable();
     used.dedup();
     let mut shuffled = used.clone();
@@ -52,7 +48,11 @@ pub fn downsample(tm: &TrafficMatrix, target_racks: usize) -> TrafficMatrix {
 /// placed on `endpoint_switches[i]`, and the result is a TM over
 /// `num_switches` switches. Panics if there are fewer endpoint switches than
 /// racks.
-pub fn map_onto(tm: &TrafficMatrix, endpoint_switches: &[usize], num_switches: usize) -> TrafficMatrix {
+pub fn map_onto(
+    tm: &TrafficMatrix,
+    endpoint_switches: &[usize],
+    num_switches: usize,
+) -> TrafficMatrix {
     assert!(
         endpoint_switches.len() >= tm.num_switches(),
         "not enough endpoint switches ({}) for {} racks",

@@ -194,7 +194,7 @@ mod tests {
         // 0b001 -> 0b100: endpoint 1 sends to endpoint 4.
         assert_eq!(tm.demand_between(1, 4), 1.0);
         assert_eq!(tm.demand_between(3, 6), 1.0); // 0b011 -> 0b110
-        // palindromic indices (0, 2->0b010, 5, 7) have no self flow
+                                                  // palindromic indices (0, 2->0b010, 5, 7) have no self flow
         assert_eq!(tm.demand_between(2, 2), 0.0);
     }
 

@@ -47,7 +47,10 @@ pub fn all_to_all(servers: &[usize]) -> TrafficMatrix {
 pub fn random_matching(servers: &[usize], servers_per_switch: usize, seed: u64) -> TrafficMatrix {
     let n = servers.len();
     let eps = endpoint_switches(servers);
-    assert!(eps.len() > 1, "random matching needs at least two endpoint switches");
+    assert!(
+        eps.len() > 1,
+        "random matching needs at least two endpoint switches"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut demands = Vec::new();
     for round in 0..servers_per_switch {
@@ -66,7 +69,11 @@ pub fn random_matching(servers: &[usize], servers_per_switch: usize, seed: u64) 
             if src == dst {
                 continue; // unlucky leftover fixed point; drop this flow
             }
-            demands.push(Demand { src, dst, amount: 1.0 });
+            demands.push(Demand {
+                src,
+                dst,
+                amount: 1.0,
+            });
         }
         let _ = round;
     }
@@ -85,7 +92,10 @@ pub fn longest_matching(graph: &Graph, servers: &[usize], exact: bool) -> Traffi
     let n = servers.len();
     assert_eq!(graph.num_nodes(), n);
     let eps = endpoint_switches(servers);
-    assert!(eps.len() > 1, "longest matching needs at least two endpoint switches");
+    assert!(
+        eps.len() > 1,
+        "longest matching needs at least two endpoint switches"
+    );
     let dist = apsp_unweighted(graph);
     let m = eps.len();
     let mut weights = vec![vec![0.0; m]; m];
@@ -153,7 +163,11 @@ pub fn kodialam(graph: &Graph, servers: &[usize]) -> TrafficMatrix {
             // farthest destination with remaining receive capacity
             if let Some(&v) = pref[i].iter().find(|&&v| recv_left[v] > 1e-12) {
                 let amount = unit.min(send_left[u]).min(recv_left[v]);
-                demands.push(Demand { src: u, dst: v, amount });
+                demands.push(Demand {
+                    src: u,
+                    dst: v,
+                    amount,
+                });
                 send_left[u] -= amount;
                 recv_left[v] -= amount;
                 progressed = true;
@@ -177,7 +191,11 @@ pub fn skewed(base: &TrafficMatrix, fraction: f64, weight: f64, seed: u64) -> Tr
     let demands = base.demands().iter().enumerate().map(|(i, d)| Demand {
         src: d.src,
         dst: d.dst,
-        amount: if large.contains(&i) { d.amount * weight } else { d.amount },
+        amount: if large.contains(&i) {
+            d.amount * weight
+        } else {
+            d.amount
+        },
     });
     TrafficMatrix::new(base.num_switches(), demands)
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness used
+//! by this workspace (`harness = false` bench targets calling
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`).
+//!
+//! Measurement model: each benchmark is warmed up once, then `sample_size`
+//! samples are taken; a sample runs the closure enough times to cover a
+//! minimum measurement window and reports the per-iteration wall time.
+//! Reported statistics are min / median / mean over the samples.
+//!
+//! When the environment variable `TB_BENCH_JSON` names a file, the collected
+//! results are additionally written there as JSON (one object with a
+//! `benchmarks` array) when the `criterion_main!`-generated `main` finishes —
+//! this is how the committed `BENCH_solver.json` baseline is produced.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall time one sample should cover, to amortize timer overhead.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(5);
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Closure iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// All records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes the JSON report to `$TB_BENCH_JSON` (if set) and prints a
+    /// closing line. Called by the `criterion_main!`-generated `main`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("TB_BENCH_JSON") {
+            if !path.is_empty() {
+                match std::fs::write(&path, self.to_json()) {
+                    Ok(()) => eprintln!("wrote benchmark JSON to {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Serializes the collected records as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"name\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                r.group, r.name, r.min_ns, r.median_ns, r.mean_ns, r.samples, r.iters_per_sample, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures `f`, which receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.as_ref();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut ns: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|(d, iters)| d.as_nanos() as f64 / *iters as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let iters_per_sample = b.samples.first().map(|&(_, i)| i).unwrap_or(0);
+        let min = ns.first().copied().unwrap_or(0.0);
+        let median = if ns.is_empty() {
+            0.0
+        } else if ns.len() % 2 == 1 {
+            ns[ns.len() / 2]
+        } else {
+            (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+        };
+        let mean = if ns.is_empty() {
+            0.0
+        } else {
+            ns.iter().sum::<f64>() / ns.len() as f64
+        };
+        println!(
+            "{}/{name:<40} median {:>12} min {:>12} ({} samples x {} iters)",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(min),
+            ns.len(),
+            iters_per_sample
+        );
+        self.harness.records.push(BenchRecord {
+            group: self.name.clone(),
+            name: name.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            samples: ns.len(),
+            iters_per_sample,
+        });
+        self
+    }
+
+    /// Ends the group (markers only; statistics are recorded eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Passed to the closure given to `bench_function`; its [`iter`](Bencher::iter)
+/// runs and times the workload.
+pub struct Bencher {
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: one untimed run, then pick iterations per
+        // sample so each sample covers the minimum window.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters: u64 = if once >= MIN_SAMPLE_WINDOW {
+            1
+        } else {
+            (MIN_SAMPLE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+}
+
+/// Declares a bench entry point: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filter strings) to the
+            // target; this minimal harness runs everything regardless.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn records_are_collected() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.group, "unit");
+        assert_eq!(r.name, "noop");
+        assert!(r.median_ns >= 0.0);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+        let j = c.to_json();
+        assert!(j.contains("\"benchmarks\""));
+        assert!(j.contains("\"noop\""));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,270 @@
+//! Minimal, offline stand-in for the subset of the `rand` crate API that
+//! topobench uses: [`RngCore`], [`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`] and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! external dependencies are vendored as small local crates implementing
+//! exactly the API surface the workspace needs. Streams are *not* bit-compatible
+//! with upstream `rand`; they are deterministic for a given seed, which is the
+//! only property the framework relies on (every experiment takes an explicit
+//! seed).
+
+/// Low-level uniform bit source. Implemented by the concrete generators (see
+/// the `rand_chacha` stand-in crate).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full range by [`Rng::gen`].
+pub trait Standard: Sized {
+    #[doc(hidden)]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Primitive types [`Rng::gen_range`] can sample uniformly from a range of.
+pub trait SampleUniform: Copy + PartialOrd {
+    #[doc(hidden)]
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+/// Uniform `u64` in `[0, bound]` (inclusive) without modulo bias, via
+/// Lemire-style rejection on the widening multiply.
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == u64::MAX {
+        return rng.next_u64();
+    }
+    let range = bound + 1;
+    // Reject the low word below `2^64 mod range`, which exactly removes the
+    // bias of the widening multiply.
+    let threshold = range.wrapping_neg() % range;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(range as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                let span = (high_incl as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+        low + f64::sample_standard(rng) * (high_incl - low)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    #[doc(hidden)]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + num_helpers::HasPredecessor> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        T::sample_in(rng, self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        T::sample_in(rng, lo, hi)
+    }
+}
+
+mod num_helpers {
+    /// The largest value strictly below `self` (identity for floats, where a
+    /// half-open range is sampled directly).
+    pub trait HasPredecessor {
+        fn predecessor(self) -> Self;
+    }
+    macro_rules! impl_pred_int {
+        ($($t:ty),*) => {$(
+            impl HasPredecessor for $t {
+                fn predecessor(self) -> Self { self - 1 }
+            }
+        )*};
+    }
+    impl_pred_int!(usize, u64, u32, u16, u8);
+    impl HasPredecessor for f64 {
+        fn predecessor(self) -> Self {
+            self
+        }
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` over its standard distribution (`[0, 1)` for
+    /// `f64`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators. Upstream `rand` keys off an associated seed type; the
+/// workspace only ever seeds from a `u64`, so that is all the stand-in offers.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod seq {
+    //! Sequence-related sampling (Fisher–Yates shuffle).
+
+    use crate::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, `O(n)`).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` for an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.gen_range(0..=4);
+            assert!(y <= 4);
+            let f: f64 = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for the subset of `rayon` the workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small, genuinely parallel data-parallelism layer with the same call shapes
+//! as rayon: `into_par_iter()` / `par_iter()` followed by `map` or `map_init`
+//! and `collect` / `sum` / `for_each`. Work is split into one contiguous
+//! chunk per worker and executed on a **persistent thread pool** (spawning
+//! OS threads per call costs tens of microseconds per thread, which would
+//! dwarf fine-grained jobs like the flow solver's per-phase SSSP blocks).
+//! Results preserve input order, so `collect` is deterministic regardless of
+//! thread count.
+//!
+//! Not implemented (because unused here): work stealing, nested chain fusion
+//! beyond a single map stage, `reduce`, custom thread pools. Nested parallel
+//! calls from inside a worker run sequentially on that worker (a simple
+//! reentrancy guard; real rayon would work-steal instead), which keeps the
+//! fixed-size pool deadlock-free.
+
+pub mod pool;
+
+pub mod prelude {
+    //! The rayon-style glob import surface.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of threads the pool runs (rayon-compatible API).
+pub fn current_num_threads() -> usize {
+    pool::num_workers()
+}
+
+/// Number of worker chunks to use for a job of `len` items.
+fn num_threads(len: usize) -> usize {
+    pool::num_workers().min(len).max(1)
+}
+
+/// Runs `f` over `items` in parallel, preserving order. `init` is invoked
+/// once per worker chunk and the resulting state threaded through that
+/// chunk's items (rayon's `map_init` contract).
+fn run_parallel<T, U, I, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> U + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 || pool::in_worker() {
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let mut results: Vec<Option<Vec<U>>> = (0..chunks.len()).map(|_| None).collect();
+    {
+        let init = &init;
+        let f = &f;
+        let jobs: Vec<pool::ScopedJob<'_>> = results
+            .iter_mut()
+            .zip(chunks)
+            .map(|(slot, chunk)| {
+                let job: pool::ScopedJob<'_> = Box::new(move || {
+                    let mut state = init();
+                    *slot = Some(chunk.into_iter().map(|x| f(&mut state, x)).collect());
+                });
+                job
+            })
+            .collect();
+        pool::run_scope(jobs);
+    }
+    results
+        .into_iter()
+        .flat_map(|r| r.expect("worker chunk did not run"))
+        .collect()
+}
+
+/// The entry half of the API: things that can become a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on references (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send + 'a;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// An order-preserving parallel iterator. Unlike real rayon this is eager and
+/// backed by a materialized item vector; `map`/`map_init` are recorded lazily
+/// and executed by the terminal operation.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// Terminal and adaptor operations shared by all parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Executes the pipeline, returning results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> MappedRun<Self, U, F> {
+        MappedRun { inner: self, f }
+    }
+
+    /// rayon's `map_init`: `init` runs once per worker; `f` receives the
+    /// worker state and the item.
+    fn map_init<U, S, INIT, F>(self, init: INIT, f: F) -> MapInitRun<Self, U, S, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> U + Sync,
+    {
+        MapInitRun {
+            inner: self,
+            init,
+            f,
+        }
+    }
+
+    /// Collects results (order-preserving, deterministic).
+    fn collect<C: FromParallelResults<Self::Item>>(self) -> C {
+        C::from_results(self.run())
+    }
+
+    /// Sums results in input order (deterministic for a fixed input).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Runs `f` for every item (effects only).
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self::Item: Send,
+    {
+        let f_ref = &f;
+        let _ = run_parallel(self.run_input(), || (), move |_, x| f_ref(x));
+    }
+
+    #[doc(hidden)]
+    fn run_input(self) -> Vec<Self::Item> {
+        self.run()
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelResults<T> {
+    /// Builds the collection from the ordered result vector.
+    fn from_results(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelResults<T> for Vec<T> {
+    fn from_results(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// A pipeline of `inner` followed by a parallel `map`.
+pub struct MappedRun<P: ParallelIterator, U: Send, F: Fn(P::Item) -> U + Sync> {
+    inner: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, U: Send, F: Fn(P::Item) -> U + Sync> ParallelIterator
+    for MappedRun<P, U, F>
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let f = self.f;
+        run_parallel(self.inner.run_input(), || (), |_, x| f(x))
+    }
+}
+
+/// A pipeline of `inner` followed by a parallel `map_init`.
+pub struct MapInitRun<P, U, S, INIT, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, P::Item) -> U + Sync,
+{
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, U, S, INIT, F> ParallelIterator for MapInitRun<P, U, S, INIT, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let f = self.f;
+        run_parallel(self.inner.run_input(), self.init, |s, x| f(s, x))
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_runs_init_per_worker() {
+        // The per-worker counter must never observe interleaving from other
+        // workers: each worker sees its own monotonically increasing state.
+        let v: Vec<(usize, usize)> = (0..64)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    (i, *count)
+                },
+            )
+            .collect();
+        assert_eq!(v.len(), 64);
+        // Input order preserved.
+        for (k, (i, _)) in v.iter().enumerate() {
+            assert_eq!(*i, k);
+        }
+        // Per-chunk counters restart at 1 and increase by 1 within a chunk.
+        let mut prev = 0usize;
+        for &(_, c) in &v {
+            assert!(c == prev + 1 || c == 1);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: usize = (0..10_000).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, (0..10_000).sum::<usize>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The persistent worker pool behind the parallel iterators.
+//!
+//! A fixed set of worker threads (one per core, overridable with
+//! `RAYON_NUM_THREADS`) is spawned on first use and lives for the process.
+//! [`run_scope`] submits a batch of borrowing closures and blocks until every
+//! one has completed, which is what makes handing out non-`'static` borrows
+//! sound (see the safety comment on [`run_scope`]).
+//!
+//! Nested submission from inside a worker would deadlock a fixed-size pool
+//! (outer jobs would occupy every worker while waiting on inner latches), so
+//! [`run_scope`] detects that case via a thread-local flag and runs the batch
+//! inline on the calling worker instead.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A borrowing job: valid only until the `run_scope` call that submitted it
+/// returns.
+pub type ScopedJob<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A `'static` job as stored in the pool's queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared job queue. Deliberately *not* an `mpsc` channel behind a mutex:
+/// a worker must never block on job arrival while holding the queue lock, or
+/// dispatching N jobs degrades into N serialized lock hand-offs.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    queue: Arc<Queue>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is one of the pool's workers.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Number of worker threads the pool runs (≥ 1). Reads `RAYON_NUM_THREADS`
+/// once at first use; `RAYON_NUM_THREADS=1` disables parallelism entirely.
+pub fn num_workers() -> usize {
+    pool().workers.max(1)
+}
+
+fn configured_workers() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = configured_workers();
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut guard = queue.jobs.lock().unwrap();
+                    loop {
+                        if let Some(job) = guard.pop_front() {
+                            drop(guard);
+                            job();
+                            guard = queue.jobs.lock().unwrap();
+                        } else {
+                            guard = queue.available.wait(guard).unwrap();
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+        }
+        Pool { queue, workers }
+    })
+}
+
+/// Countdown latch a scope blocks on until its jobs finish.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        while *rem > 0 {
+            rem = self.done.wait(rem).unwrap();
+        }
+    }
+}
+
+/// Runs a batch of borrowing jobs on the pool and blocks until all complete.
+/// Panics (after the whole batch has finished) if any job panicked.
+///
+/// Called from inside a pool worker, the batch runs inline on that worker —
+/// see the module docs.
+pub fn run_scope(jobs: Vec<ScopedJob<'_>>) {
+    if jobs.is_empty() {
+        return;
+    }
+    if in_worker() || num_workers() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let latch = Arc::new(Latch::new(jobs.len()));
+    let pool = pool();
+    let count = jobs.len();
+    {
+        let mut queue = pool.queue.jobs.lock().unwrap();
+        for job in jobs {
+            // SAFETY: `job` borrows data from the caller's stack frame with
+            // some lifetime 'a. The transmute erases 'a so the job can sit in
+            // the pool's 'static queue. This is sound because `run_scope`
+            // does not return until the latch has counted every job down, and
+            // the latch is counted down only after the job has run (or
+            // panicked): no borrow escapes the frame it came from. The
+            // wrapper below owns the only other reference (the Arc'd latch),
+            // which is 'static.
+            let job: Job = unsafe { std::mem::transmute::<ScopedJob<'_>, ScopedJob<'static>>(job) };
+            let latch = Arc::clone(&latch);
+            queue.push_back(Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    latch.panicked.store(true, Ordering::SeqCst);
+                }
+                latch.count_down();
+            }));
+        }
+    }
+    if count >= pool.workers {
+        pool.queue.available.notify_all();
+    } else {
+        for _ in 0..count {
+            pool.queue.available.notify_one();
+        }
+    }
+    latch.wait();
+    if latch.panicked.load(Ordering::SeqCst) {
+        panic!("a rayon pool job panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_every_job_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<ScopedJob<'_>> = (0..32)
+            .map(|_| {
+                let job: ScopedJob<'_> = Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                job
+            })
+            .collect();
+        run_scope(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_blocks_until_jobs_finish() {
+        let mut data = vec![0usize; 100];
+        {
+            let jobs: Vec<ScopedJob<'_>> = data
+                .chunks_mut(10)
+                .map(|chunk| {
+                    let job: ScopedJob<'_> = Box::new(move || {
+                        for x in chunk {
+                            *x += 1;
+                        }
+                    });
+                    job
+                })
+                .collect();
+            run_scope(jobs);
+        }
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_poisoning_the_pool() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<ScopedJob<'_>> = vec![Box::new(|| panic!("boom"))];
+            run_scope(jobs);
+        }));
+        assert!(caught.is_err());
+        // The pool still works afterwards.
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<ScopedJob<'_>> = (0..4)
+            .map(|_| {
+                let job: ScopedJob<'_> = Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                job
+            })
+            .collect();
+        run_scope(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace annotates data types with `#[derive(Serialize, Deserialize)]`
+//! so they are ready for JSON export, but no code path currently serializes
+//! through serde at runtime (JSON artifacts are written by hand, e.g. the
+//! bench baseline). With no crates.io access, this crate supplies the two
+//! marker traits and re-exports no-op derive macros under the same names, so
+//! the annotations compile unchanged and can be swapped for real serde by
+//! flipping one path dependency.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in. The companion `serde` crate blanket-implements both marker
+//! traits, so the derives only need to exist syntactically and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with optional `#[serde(...)]` attributes)
+/// and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with optional `#[serde(...)]`
+/// attributes) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

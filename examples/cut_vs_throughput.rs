@@ -5,11 +5,11 @@
 //! Run with: `cargo run --release --example cut_vs_throughput`
 
 use tb_cuts::estimate_sparsest_cut;
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::{
-    expander::subdivided_expander, flattened_butterfly::flattened_butterfly,
-    hypercube::hypercube, jellyfish::jellyfish, Topology,
+    expander::subdivided_expander, flattened_butterfly::flattened_butterfly, hypercube::hypercube,
+    jellyfish::jellyfish, Topology,
 };
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn main() {
     let cfg = EvalConfig::default();

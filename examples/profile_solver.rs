@@ -1,0 +1,63 @@
+//! Quick wall-clock breakdown of the Fleischer solve on the microbench
+//! instances. Not a rigorous profiler — just enough to see where the time
+//! goes when tuning the hot path.
+//!
+//! Run: `cargo run --release --example profile_solver`
+
+use std::time::Instant;
+use tb_flow::{FleischerConfig, FleischerSolver, FlowProblem};
+use tb_graph::{sssp_csr, SsspWorkspace};
+use tb_topology::hypercube::hypercube;
+use tb_traffic::synthetic::{all_to_all, longest_matching};
+
+fn main() {
+    let topo = hypercube(6, 1);
+    let lm = longest_matching(&topo.graph, &topo.servers, true);
+    let a2a = all_to_all(&topo.servers);
+    let cfg = FleischerConfig::fast();
+
+    for (name, tm) in [("lm", &lm), ("a2a", &a2a)] {
+        let t0 = Instant::now();
+        let prob = FlowProblem::new(&topo.graph, tm);
+        let t_build = t0.elapsed();
+
+        let t0 = Instant::now();
+        let est = prob.volumetric_estimate(&topo.graph);
+        let t_vol = t0.elapsed();
+
+        // One SSSP per source, full settle vs early exit.
+        let len = vec![1.0f64; prob.num_arcs()];
+        let mut ws = SsspWorkspace::new();
+        let t0 = Instant::now();
+        for s in prob.sources() {
+            sssp_csr(prob.csr(), s.src, &len, None, &mut ws);
+        }
+        let t_sssp_full = t0.elapsed();
+        let targets: Vec<Vec<usize>> = prob
+            .sources()
+            .iter()
+            .map(|s| s.dests.iter().map(|&(d, _)| d).collect())
+            .collect();
+        let t0 = Instant::now();
+        for (si, s) in prob.sources().iter().enumerate() {
+            sssp_csr(prob.csr(), s.src, &len, Some(&targets[si]), &mut ws);
+        }
+        let t_sssp_early = t0.elapsed();
+
+        let t0 = Instant::now();
+        let b = FleischerSolver::new(cfg).solve(&topo.graph, tm);
+        let t_solve = t0.elapsed();
+
+        println!(
+            "{name}: sources={} flows={} est={est:.3} bounds=({:.4},{:.4})",
+            prob.sources().len(),
+            prob.num_commodities(),
+            b.lower,
+            b.upper
+        );
+        println!(
+            "  build={t_build:?} vol={t_vol:?} sssp_full_sweep={t_sssp_full:?} \
+             sssp_early_sweep={t_sssp_early:?} solve={t_solve:?}"
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use topobench::{evaluate_throughput, lower_bound, relative_throughput, EvalConfig, TmSpec};
 use tb_topology::fattree::fat_tree;
+use topobench::{evaluate_throughput, lower_bound, relative_throughput, EvalConfig, TmSpec};
 
 fn main() {
     // A k=8 fat tree: 80 switches, 128 servers, non-blocking by construction.

@@ -10,9 +10,9 @@
 //!
 //! Run with: `cargo run --release --example stencil_workloads`
 
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::{fattree::fat_tree, torus::torus, xpander::xpander, Topology};
 use tb_traffic::stencils;
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn evaluate_all(topo: &Topology, cfg: &EvalConfig) {
     println!("\n{}", topo.describe());
@@ -26,16 +26,15 @@ fn evaluate_all(topo: &Topology, cfg: &EvalConfig) {
         let value = evaluate_throughput(topo, &tm, cfg).value();
         println!("  {:<16} {:>10.3}", name, value);
     }
-    println!("  {:<16} {:>10.3}   <- near-worst-case", "longest match", lm_value);
+    println!(
+        "  {:<16} {:>10.3}   <- near-worst-case",
+        "longest match", lm_value
+    );
 }
 
 fn main() {
     let cfg = EvalConfig::default();
-    let networks = vec![
-        torus(2, 6, 1),
-        fat_tree(6),
-        xpander(6, 9, 3, cfg.seed),
-    ];
+    let networks = vec![torus(2, 6, 1), fat_tree(6), xpander(6, 9, 3, cfg.seed)];
     for topo in &networks {
         evaluate_all(topo, &cfg);
     }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example topology_comparison`
 
-use topobench::{relative_throughput, EvalConfig, TmSpec};
 use tb_topology::families::{Scale, ALL_FAMILIES};
+use topobench::{relative_throughput, EvalConfig, TmSpec};
 
 fn main() {
     let cfg = EvalConfig::fast();

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example worst_case_tm`
 
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::hypercube::hypercube;
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn main() {
     let topo = hypercube(6, 1);
@@ -17,14 +17,22 @@ fn main() {
 
     let specs = [
         TmSpec::AllToAll,
-        TmSpec::RandomMatching { servers_per_switch: 10 },
-        TmSpec::RandomMatching { servers_per_switch: 1 },
+        TmSpec::RandomMatching {
+            servers_per_switch: 10,
+        },
+        TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        },
         TmSpec::Kodialam,
         TmSpec::LongestMatching,
     ];
 
-    let a2a_value = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, cfg.seed), &cfg).lower;
-    println!("{:<12} {:>12} {:>24}", "TM", "throughput", "normalized (A2A/2 = 1)");
+    let a2a_value =
+        evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, cfg.seed), &cfg).lower;
+    println!(
+        "{:<12} {:>12} {:>24}",
+        "TM", "throughput", "normalized (A2A/2 = 1)"
+    );
     for spec in specs {
         let tm = spec.generate(&topo, cfg.seed);
         let t = evaluate_throughput(&topo, &tm, &cfg).lower;

@@ -2,10 +2,10 @@
 //! cuts upper-bound throughput, and the gap is real.
 
 use tb_cuts::{bisection_bandwidth, estimate_sparsest_cut};
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::families::{Family, Scale};
 use tb_topology::flattened_butterfly::flattened_butterfly;
 use tb_topology::natural::natural_networks;
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn cfg() -> EvalConfig {
     EvalConfig::fast()
@@ -15,7 +15,12 @@ fn cfg() -> EvalConfig {
 fn sparse_cut_upper_bounds_throughput_everywhere() {
     let c = cfg();
     let mut networks = Vec::new();
-    for family in [Family::Hypercube, Family::DCell, Family::Jellyfish, Family::FlattenedButterfly] {
+    for family in [
+        Family::Hypercube,
+        Family::DCell,
+        Family::Jellyfish,
+        Family::FlattenedButterfly,
+    ] {
         networks.push(family.instances(Scale::Small, 3).remove(0));
     }
     networks.extend(natural_networks(6, 3));

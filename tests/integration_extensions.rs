@@ -4,9 +4,9 @@
 
 use tb_cuts::{estimate_and_refine, estimate_sparsest_cut};
 use tb_graph::{max_flow_value, min_st_cut};
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 use tb_topology::{leafspine::leaf_spine, torus::torus, xpander::xpander};
 use tb_traffic::stencils;
+use topobench::{evaluate_throughput, EvalConfig, TmSpec};
 
 fn cfg() -> EvalConfig {
     EvalConfig::fast()
@@ -17,8 +17,12 @@ fn tornado_is_hard_on_a_ring_torus_but_not_on_an_expander() {
     let c = cfg();
     let ring = torus(1, 12, 1);
     let expander = xpander(5, 12, 1, 1);
-    let tornado_ring = stencils::tornado(&ring.servers).normalized_to_hose(&ring.servers).0;
-    let tornado_x = stencils::tornado(&expander.servers).normalized_to_hose(&expander.servers).0;
+    let tornado_ring = stencils::tornado(&ring.servers)
+        .normalized_to_hose(&ring.servers)
+        .0;
+    let tornado_x = stencils::tornado(&expander.servers)
+        .normalized_to_hose(&expander.servers)
+        .0;
     let t_ring = evaluate_throughput(&ring, &tornado_ring, &c).value();
     let t_x = evaluate_throughput(&expander, &tornado_x, &c).value();
     assert!(
@@ -55,7 +59,12 @@ fn nonblocking_leaf_spine_sustains_full_throughput() {
     let over = leaf_spine(8, 2, 1, 4);
     let tm2 = TmSpec::AllToAll.generate(&over, 1);
     let t2 = evaluate_throughput(&over, &tm2, &cfg());
-    assert!((t2.lower / t.lower - 0.5).abs() < 0.12, "{} vs {}", t2.lower, t.lower);
+    assert!(
+        (t2.lower / t.lower - 0.5).abs() < 0.12,
+        "{} vs {}",
+        t2.lower,
+        t.lower
+    );
 }
 
 #[test]
@@ -69,10 +78,19 @@ fn min_cut_from_max_flow_bounds_two_terminal_throughput() {
     assert!((g.cut_capacity(&side) - cut).abs() < 1e-9);
     let tm = tb_traffic::TrafficMatrix::new(
         g.num_nodes(),
-        vec![tb_traffic::Demand { src: 0, dst: 10, amount: 1.0 }],
+        vec![tb_traffic::Demand {
+            src: 0,
+            dst: 10,
+            amount: 1.0,
+        }],
     );
     let t = evaluate_throughput(&topo, &tm, &EvalConfig::default());
-    assert!((t.lower - flow).abs() / flow < 0.05, "throughput {} vs max flow {}", t.lower, flow);
+    assert!(
+        (t.lower - flow).abs() / flow < 0.05,
+        "throughput {} vs max flow {}",
+        t.lower,
+        flow
+    );
 }
 
 #[test]

@@ -2,9 +2,11 @@
 //! topologies, validating the solver stack against hand-computable and
 //! paper-stated facts.
 
-use topobench::{evaluate_throughput, lower_bound, EvalConfig, TmSpec};
 use tb_flow::ExactLpSolver;
-use tb_topology::{fattree::fat_tree, flattened_butterfly::flattened_butterfly, hypercube::hypercube};
+use tb_topology::{
+    fattree::fat_tree, flattened_butterfly::flattened_butterfly, hypercube::hypercube,
+};
+use topobench::{evaluate_throughput, lower_bound, EvalConfig, TmSpec};
 
 fn cfg() -> EvalConfig {
     EvalConfig {
@@ -71,7 +73,9 @@ fn theorem2_bound_is_valid_across_tms_and_topologies() {
     for topo in [hypercube(4, 1), fat_tree(4), flattened_butterfly(3, 3)] {
         let bound = lower_bound(&topo, &c);
         for spec in [
-            TmSpec::RandomMatching { servers_per_switch: 1 },
+            TmSpec::RandomMatching {
+                servers_per_switch: 1,
+            },
             TmSpec::LongestMatching,
             TmSpec::Kodialam,
         ] {
@@ -94,7 +98,9 @@ fn exact_and_fptas_agree_on_a_real_topology() {
     // Flattened butterfly 3-ary 3-stage: 9 switches, small enough for the LP.
     let topo = flattened_butterfly(3, 3);
     let tm = TmSpec::LongestMatching.generate(&topo, 1);
-    let exact = ExactLpSolver::new().solve(&topo.graph, &tm).expect("LP solves");
+    let exact = ExactLpSolver::new()
+        .solve(&topo.graph, &tm)
+        .expect("LP solves");
     let approx = evaluate_throughput(&topo, &tm, &EvalConfig::fast());
     assert!(approx.lower <= exact.lower * 1.01 + 1e-9);
     assert!(approx.upper >= exact.lower * 0.99 - 1e-9);
@@ -108,13 +114,19 @@ fn tm_difficulty_ordering_matches_figure4() {
     let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 1), &c).lower;
     let rm5 = evaluate_throughput(
         &topo,
-        &TmSpec::RandomMatching { servers_per_switch: 5 }.generate(&topo, 1),
+        &TmSpec::RandomMatching {
+            servers_per_switch: 5,
+        }
+        .generate(&topo, 1),
         &c,
     )
     .lower;
     let rm1 = evaluate_throughput(
         &topo,
-        &TmSpec::RandomMatching { servers_per_switch: 1 }.generate(&topo, 1),
+        &TmSpec::RandomMatching {
+            servers_per_switch: 1,
+        }
+        .generate(&topo, 1),
         &c,
     )
     .lower;

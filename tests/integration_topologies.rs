@@ -13,8 +13,16 @@ fn every_family_small_ladder_is_well_formed() {
     for family in ALL_FAMILIES {
         for topo in family.instances(Scale::Small, 7) {
             assert!(topo.graph.validate().is_ok(), "{}", topo.describe());
-            assert!(is_connected(&topo.graph), "{} disconnected", topo.describe());
-            assert!(topo.num_servers() >= 2, "{} too few servers", topo.describe());
+            assert!(
+                is_connected(&topo.graph),
+                "{} disconnected",
+                topo.describe()
+            );
+            assert!(
+                topo.num_servers() >= 2,
+                "{} too few servers",
+                topo.describe()
+            );
             assert_eq!(topo.servers.len(), topo.num_switches());
         }
     }
@@ -45,9 +53,18 @@ fn server_placement_follows_the_paper() {
 #[test]
 fn same_equipment_random_graph_matches_every_family() {
     for family in ALL_FAMILIES {
-        let topo = family.instances(Scale::Small, 5).into_iter().next().unwrap();
+        let topo = family
+            .instances(Scale::Small, 5)
+            .into_iter()
+            .next()
+            .unwrap();
         let rnd = same_equipment(&topo, 11);
-        assert_eq!(rnd.graph.degree_sequence(), topo.graph.degree_sequence(), "{}", family.name());
+        assert_eq!(
+            rnd.graph.degree_sequence(),
+            topo.graph.degree_sequence(),
+            "{}",
+            family.name()
+        );
         assert_eq!(rnd.servers, topo.servers, "{}", family.name());
         assert_eq!(rnd.num_links(), topo.num_links(), "{}", family.name());
         assert!(is_connected(&rnd.graph), "{}", family.name());

@@ -2,8 +2,8 @@
 //! the longest-matching TM must be at least as hard as all-to-all and random
 //! matchings, and no hose-model TM may fall below the Theorem-2 bound.
 
-use topobench::{evaluate_throughput, lower_bound, EvalConfig, TmSpec};
 use tb_topology::families::{Family, ALL_FAMILIES};
+use topobench::{evaluate_throughput, lower_bound, EvalConfig, TmSpec};
 
 fn cfg() -> EvalConfig {
     EvalConfig::fast()
@@ -25,7 +25,9 @@ fn quick_families() -> Vec<Family> {
 fn longest_matching_is_the_hardest_synthetic_tm() {
     let c = cfg();
     for family in quick_families() {
-        let topo = family.instances(tb_topology::families::Scale::Small, 2).remove(0);
+        let topo = family
+            .instances(tb_topology::families::Scale::Small, 2)
+            .remove(0);
         let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, 2), &c).lower;
         let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 2), &c).lower;
         assert!(
@@ -40,7 +42,9 @@ fn longest_matching_is_the_hardest_synthetic_tm() {
 fn longest_matching_respects_theorem2_for_all_families() {
     let c = cfg();
     for family in ALL_FAMILIES {
-        let topo = family.instances(tb_topology::families::Scale::Small, 2).remove(0);
+        let topo = family
+            .instances(tb_topology::families::Scale::Small, 2)
+            .remove(0);
         let bound = lower_bound(&topo, &c).lower;
         let lm = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 2), &c).upper;
         assert!(
@@ -56,7 +60,9 @@ fn kodialam_and_longest_matching_are_comparable() {
     // §II-C: the two near-worst-case heuristics land in the same ballpark,
     // with longest matching using far fewer flows.
     let c = cfg();
-    let topo = Family::Hypercube.instances(tb_topology::families::Scale::Small, 1).remove(1);
+    let topo = Family::Hypercube
+        .instances(tb_topology::families::Scale::Small, 1)
+        .remove(1);
     let lm_tm = TmSpec::LongestMatching.generate(&topo, 1);
     let kd_tm = TmSpec::Kodialam.generate(&topo, 1);
     assert!(lm_tm.num_flows() <= kd_tm.num_flows());
@@ -77,16 +83,25 @@ fn skewed_tm_at_100_percent_matches_uniform_longest_matching() {
     let c = cfg();
     let topo = Family::Hypercube.representative(1);
     let uniform = evaluate_throughput(&topo, &TmSpec::LongestMatching.generate(&topo, 1), &c).lower;
-    let full = TmSpec::SkewedLongestMatching { fraction: 1.0, weight: 10.0 };
+    let full = TmSpec::SkewedLongestMatching {
+        fraction: 1.0,
+        weight: 10.0,
+    };
     let skewed_full = evaluate_throughput(&topo, &full.generate(&topo, 1), &c).lower;
     assert!(
         (skewed_full - uniform).abs() / uniform < 0.08,
         "100% large flows ({skewed_full}) should equal the uniform LM ({uniform})"
     );
     for fraction in [0.05, 0.25, 0.75] {
-        let spec = TmSpec::SkewedLongestMatching { fraction, weight: 10.0 };
+        let spec = TmSpec::SkewedLongestMatching {
+            fraction,
+            weight: 10.0,
+        };
         let skewed = evaluate_throughput(&topo, &spec.generate(&topo, 1), &c).lower;
-        assert!(skewed.is_finite() && skewed > 0.0, "skewed({fraction}) = {skewed}");
+        assert!(
+            skewed.is_finite() && skewed > 0.0,
+            "skewed({fraction}) = {skewed}"
+        );
     }
 }
 
@@ -98,7 +113,10 @@ fn fat_tree_is_vulnerable_to_a_few_large_flows() {
     let c = cfg();
     let ft = Family::FatTree.representative(1);
     let hc = Family::Hypercube.representative(1);
-    let spec = TmSpec::SkewedLongestMatching { fraction: 0.05, weight: 10.0 };
+    let spec = TmSpec::SkewedLongestMatching {
+        fraction: 0.05,
+        weight: 10.0,
+    };
     let ft_uniform = evaluate_throughput(&ft, &TmSpec::LongestMatching.generate(&ft, 1), &c).lower;
     let ft_skewed = evaluate_throughput(&ft, &spec.generate(&ft, 1), &c).lower;
     let hc_uniform = evaluate_throughput(&hc, &TmSpec::LongestMatching.generate(&hc, 1), &c).lower;

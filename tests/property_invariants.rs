@@ -1,8 +1,15 @@
-//! Property-based tests (proptest) over the core invariants of the framework:
-//! hose-model validity of generated TMs, solver bracketing, cut/throughput
-//! ordering, Theorem 2, and graph-model guarantees.
+//! Property-based tests over the core invariants of the framework: hose-model
+//! validity of generated TMs, solver bracketing, cut/throughput ordering,
+//! Theorem 2, and graph-model guarantees.
+//!
+//! The original version of this suite used `proptest`; the offline build has
+//! no crates.io access, so the same properties are exercised by an explicit
+//! seeded case loop over the vendored ChaCha8 generator — fully deterministic
+//! and, unlike shrinking-based frameworks, trivially reproducible from the
+//! printed case seed.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use tb_cuts::estimate_sparsest_cut;
 use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
 use tb_graph::matching::{greedy_assignment, max_weight_assignment};
@@ -11,36 +18,39 @@ use tb_graph::Graph;
 use tb_traffic::synthetic::{all_to_all, kodialam, longest_matching, random_matching};
 use tb_traffic::{Demand, TrafficMatrix};
 
-fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    // Random regular graphs over a small parameter grid: always connected and
-    // simple by construction.
-    (4usize..14, 2usize..5, 0u64..1000).prop_map(|(n, r, seed)| {
-        let r = r.min(n - 1);
-        let n = if n * r % 2 == 1 { n + 1 } else { n };
-        random_regular_graph(n, r, seed)
-    })
+/// Number of randomized cases per property (matches the old proptest config).
+const CASES: u64 = 24;
+
+/// A connected, simple, random regular graph from a small parameter grid.
+fn arb_connected_graph(rng: &mut ChaCha8Rng) -> Graph {
+    let n = rng.gen_range(4usize..14);
+    let r = rng.gen_range(2usize..5).min(n - 1);
+    let n = if n * r % 2 == 1 { n + 1 } else { n };
+    random_regular_graph(n, r, rng.gen::<u64>())
 }
 
-fn arb_tm(n: usize) -> impl Strategy<Value = TrafficMatrix> {
-    proptest::collection::vec((0..n, 0..n, 0.1f64..3.0), 1..12).prop_map(move |raw| {
-        let demands: Vec<Demand> = raw
-            .into_iter()
-            .filter(|(s, d, _)| s != d)
-            .map(|(src, dst, amount)| Demand { src, dst, amount })
-            .collect();
-        TrafficMatrix::new(n, demands)
-    })
+/// A small arbitrary TM on `n` switches (may be empty after self-loop
+/// filtering).
+fn arb_tm(rng: &mut ChaCha8Rng, n: usize) -> TrafficMatrix {
+    let flows = rng.gen_range(1usize..12);
+    let demands: Vec<Demand> = (0..flows)
+        .map(|_| Demand {
+            src: rng.gen_range(0..n),
+            dst: rng.gen_range(0..n),
+            amount: rng.gen_range(0.1f64..3.0),
+        })
+        .filter(|d| d.src != d.dst)
+        .collect();
+    TrafficMatrix::new(n, demands)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn synthetic_tms_respect_the_hose_model(
-        graph in arb_connected_graph(),
-        servers_per_switch in 1usize..4,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn synthetic_tms_respect_the_hose_model() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xA0 + case);
+        let graph = arb_connected_graph(&mut rng);
+        let servers_per_switch = rng.gen_range(1usize..4);
+        let seed = rng.gen_range(0u64..100);
         let servers = vec![servers_per_switch; graph.num_nodes()];
         for tm in [
             all_to_all(&servers),
@@ -48,123 +58,159 @@ proptest! {
             longest_matching(&graph, &servers, true),
             kodialam(&graph, &servers),
         ] {
-            prop_assert!(tm.is_hose_valid(&servers, 1e-6));
-            prop_assert!(tm.num_flows() > 0);
+            assert!(tm.is_hose_valid(&servers, 1e-6), "case {case}");
+            assert!(tm.num_flows() > 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn fptas_brackets_are_ordered_and_positive(
-        graph in arb_connected_graph(),
-        seed in 0u64..50,
-    ) {
+#[test]
+fn fptas_brackets_are_ordered_and_positive() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB0 + case);
+        let graph = arb_connected_graph(&mut rng);
         let servers = vec![1usize; graph.num_nodes()];
-        let tm = random_matching(&servers, 1, seed);
-        if tm.num_flows() == 0 { return Ok(()); }
+        let tm = random_matching(&servers, 1, rng.gen_range(0u64..50));
+        if tm.num_flows() == 0 {
+            continue;
+        }
         let b = FleischerSolver::new(FleischerConfig::fast()).solve(&graph, &tm);
-        prop_assert!(b.lower > 0.0);
-        prop_assert!(b.lower <= b.upper * 1.0 + 1e-9);
+        assert!(b.lower > 0.0, "case {case}");
+        assert!(b.lower <= b.upper + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn fptas_never_exceeds_exact_lp(
-        seed in 0u64..40,
-    ) {
-        let graph = random_regular_graph(8, 3, seed);
+#[test]
+fn fptas_never_exceeds_exact_lp() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0 + case);
+        let graph = random_regular_graph(8, 3, rng.gen_range(0u64..40));
         let servers = vec![1usize; 8];
         let tm = longest_matching(&graph, &servers, true);
         let exact = ExactLpSolver::new().solve(&graph, &tm).unwrap();
         let approx = FleischerSolver::new(FleischerConfig::default()).solve(&graph, &tm);
-        prop_assert!(approx.lower <= exact.lower + 1e-6);
-        prop_assert!(approx.upper >= exact.lower - 1e-6);
-        prop_assert!((exact.lower - approx.lower) / exact.lower < 0.10);
+        assert!(approx.lower <= exact.lower + 1e-6, "case {case}");
+        assert!(approx.upper >= exact.lower - 1e-6, "case {case}");
+        assert!(
+            (exact.lower - approx.lower) / exact.lower < 0.10,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn any_cut_upper_bounds_throughput(
-        graph in arb_connected_graph(),
-        tm_seed in 0u64..50,
-    ) {
+#[test]
+fn any_cut_upper_bounds_throughput() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD0 + case);
+        let graph = arb_connected_graph(&mut rng);
         let servers = vec![1usize; graph.num_nodes()];
-        let tm = random_matching(&servers, 1, tm_seed);
-        if tm.num_flows() == 0 { return Ok(()); }
+        let tm = random_matching(&servers, 1, rng.gen_range(0u64..50));
+        if tm.num_flows() == 0 {
+            continue;
+        }
         let throughput = FleischerSolver::new(FleischerConfig::fast()).solve(&graph, &tm);
         let cut = estimate_sparsest_cut(&graph, &tm).best_sparsity;
-        prop_assert!(cut >= throughput.lower * 0.99 - 1e-9,
-            "cut {} < throughput {}", cut, throughput.lower);
+        assert!(
+            cut >= throughput.lower * 0.99 - 1e-9,
+            "case {case}: cut {} < throughput {}",
+            cut,
+            throughput.lower
+        );
     }
+}
 
-    #[test]
-    fn theorem2_any_hose_tm_is_at_least_half_a2a(
-        graph in arb_connected_graph(),
-        tm in (4usize..14).prop_flat_map(arb_tm),
-        ) {
+#[test]
+fn theorem2_any_hose_tm_is_at_least_half_a2a() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE0 + case);
+        let graph = arb_connected_graph(&mut rng);
+        let n = graph.num_nodes();
+        let raw = arb_tm(&mut rng, 14);
         // Regenerate the TM on the right node count, normalize to the hose
         // model, and check T(tm) >= T(A2A)/2 (within solver slack).
-        let n = graph.num_nodes();
-        let demands: Vec<Demand> = tm.demands().iter()
-            .map(|d| Demand { src: d.src % n, dst: d.dst % n, amount: d.amount })
+        let demands: Vec<Demand> = raw
+            .demands()
+            .iter()
+            .map(|d| Demand {
+                src: d.src % n,
+                dst: d.dst % n,
+                amount: d.amount,
+            })
             .filter(|d| d.src != d.dst)
             .collect();
-        if demands.is_empty() { return Ok(()); }
+        if demands.is_empty() {
+            continue;
+        }
         let servers = vec![1usize; n];
-        let tm = TrafficMatrix::new(n, demands).normalized_to_hose(&servers).0;
+        let tm = TrafficMatrix::new(n, demands)
+            .normalized_to_hose(&servers)
+            .0;
         let solver = FleischerSolver::new(FleischerConfig::fast());
         let a2a = solver.solve(&graph, &all_to_all(&servers));
         let t = solver.solve(&graph, &tm);
-        prop_assert!(t.upper >= a2a.lower / 2.0 * 0.93,
-            "throughput {} below half of A2A {}", t.upper, a2a.lower);
+        assert!(
+            t.upper >= a2a.lower / 2.0 * 0.93,
+            "case {case}: throughput {} below half of A2A {}",
+            t.upper,
+            a2a.lower
+        );
     }
+}
 
-    #[test]
-    fn hungarian_dominates_greedy_and_is_a_permutation(
-        n in 2usize..7,
-        seed in 0u64..200,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let w: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..5.0)).collect()).collect();
+#[test]
+fn hungarian_dominates_greedy_and_is_a_permutation() {
+    for case in 0..CASES * 4 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF0 + case);
+        let n = rng.gen_range(2usize..7);
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..5.0)).collect())
+            .collect();
         let exact = max_weight_assignment(&w);
         let greedy = greedy_assignment(&w);
-        prop_assert!(exact.total + 1e-9 >= greedy.total);
-        prop_assert!(greedy.total >= exact.total * 0.5 - 1e-9);
+        assert!(exact.total + 1e-9 >= greedy.total, "case {case}");
+        assert!(greedy.total >= exact.total * 0.5 - 1e-9, "case {case}");
         let mut seen = vec![false; n];
         for &j in &exact.assignment {
-            prop_assert!(!seen[j]);
+            assert!(!seen[j], "case {case}");
             seen[j] = true;
         }
     }
+}
 
-    #[test]
-    fn random_regular_graphs_are_simple_regular_connected(
-        n in 6usize..30,
-        r in 2usize..6,
-        seed in 0u64..100,
-    ) {
-        let r = r.min(n - 1);
+#[test]
+fn random_regular_graphs_are_simple_regular_connected() {
+    for case in 0..CASES * 2 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1A0 + case);
+        let n = rng.gen_range(6usize..30);
+        let r = rng.gen_range(2usize..6).min(n - 1);
         let n = if n * r % 2 == 1 { n + 1 } else { n };
-        let g = random_regular_graph(n, r, seed);
-        prop_assert!(tb_graph::connectivity::is_connected(&g));
+        let g = random_regular_graph(n, r, rng.gen_range(0u64..100));
+        assert!(tb_graph::connectivity::is_connected(&g), "case {case}");
         for u in 0..n {
-            prop_assert_eq!(g.degree(u), r);
-            prop_assert_eq!(g.distinct_neighbors(u).len(), r);
+            assert_eq!(g.degree(u), r, "case {case}");
+            assert_eq!(g.distinct_neighbors(u).len(), r, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn throughput_scales_linearly_with_capacity(
-        graph in arb_connected_graph(),
-        factor in 1.5f64..4.0,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn throughput_scales_linearly_with_capacity() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1B0 + case);
+        let graph = arb_connected_graph(&mut rng);
+        let factor = rng.gen_range(1.5f64..4.0);
         let servers = vec![1usize; graph.num_nodes()];
-        let tm = random_matching(&servers, 1, seed);
-        if tm.num_flows() == 0 { return Ok(()); }
+        let tm = random_matching(&servers, 1, rng.gen_range(0u64..50));
+        if tm.num_flows() == 0 {
+            continue;
+        }
         let solver = FleischerSolver::new(FleischerConfig::default());
         let base = solver.solve(&graph, &tm);
         let scaled = solver.solve(&graph.scaled_capacities(factor), &tm);
         let ratio = scaled.lower / base.lower;
-        prop_assert!((ratio - factor).abs() / factor < 0.08,
-            "expected ~{factor}, got {ratio}");
+        assert!(
+            (ratio - factor).abs() / factor < 0.08,
+            "case {case}: expected ~{factor}, got {ratio}"
+        );
     }
 }

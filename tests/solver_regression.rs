@@ -1,0 +1,131 @@
+//! Cross-solver regression tests guarding the Fleischer hot-path refactor
+//! (CSR arcs, reusable workspace, early-exit SSSP, parallel dual bounds):
+//!
+//! * on small instances where the exact arc LP is tractable, the FPTAS
+//!   brackets must contain the exact optimum and close to within the
+//!   configured `target_gap` of it, across topology and TM families with
+//!   very different sparsity (A2A: dense; longest-matching and
+//!   random-permutation: one destination per source — the early-exit fast
+//!   path);
+//! * repeated solves through one reused [`SolverWorkspace`] must reproduce
+//!   fresh-workspace results bit-for-bit, in any interleaving order.
+
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, SolverWorkspace};
+use tb_topology::hypercube::hypercube;
+use tb_topology::jellyfish::jellyfish;
+use tb_topology::Topology;
+use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
+use tb_traffic::TrafficMatrix;
+
+/// The small instance grid: every (topology, TM family) pair exercised by the
+/// regression. Kept small enough for the exact LP.
+fn instances() -> Vec<(String, Topology, TrafficMatrix)> {
+    let mut out = Vec::new();
+    let topos: Vec<(&str, Topology)> = vec![
+        ("hypercube_d3", hypercube(3, 1)),
+        ("hypercube_d4", hypercube(4, 1)),
+        ("jellyfish_10x3", jellyfish(10, 3, 1, 7)),
+        ("jellyfish_12x4", jellyfish(12, 4, 1, 11)),
+    ];
+    for (tname, topo) in topos {
+        let tms: Vec<(&str, TrafficMatrix)> = vec![
+            ("a2a", all_to_all(&topo.servers)),
+            (
+                "longest_matching",
+                longest_matching(&topo.graph, &topo.servers, true),
+            ),
+            ("random_permutation", random_permutation(&topo.servers, 3)),
+        ];
+        for (mname, tm) in tms {
+            out.push((format!("{tname}/{mname}"), topo.clone(), tm));
+        }
+    }
+    out
+}
+
+#[test]
+fn fptas_stays_within_target_gap_of_exact_lp() {
+    let cfg = FleischerConfig::precise();
+    let solver = FleischerSolver::new(cfg);
+    for (name, topo, tm) in instances() {
+        let exact = ExactLpSolver::new()
+            .solve(&topo.graph, &tm)
+            .unwrap_or_else(|e| panic!("{name}: exact LP failed: {e:?}"))
+            .lower;
+        assert!(exact > 0.0, "{name}: exact throughput not positive");
+        let b = solver.solve(&topo.graph, &tm);
+        // The bracket must contain the exact optimum...
+        assert!(
+            b.lower <= exact * (1.0 + 1e-6),
+            "{name}: feasible bound {} exceeds exact optimum {exact}",
+            b.lower
+        );
+        assert!(
+            b.upper >= exact * (1.0 - 1e-6),
+            "{name}: dual bound {} below exact optimum {exact}",
+            b.upper
+        );
+        // ...and the feasible value must be within the configured gap of it
+        // (small slack for the gap being measured against `upper`, not
+        // `exact`).
+        let rel_err = (exact - b.lower) / exact;
+        assert!(
+            rel_err <= cfg.target_gap + 0.005,
+            "{name}: FPTAS lower bound {} misses exact {exact} by {rel_err:.4} \
+             (target_gap {})",
+            b.lower,
+            cfg.target_gap
+        );
+    }
+}
+
+#[test]
+fn reused_workspace_reproduces_fresh_results_across_instance_mix() {
+    // One workspace is driven across the whole instance grid three times
+    // (growing and shrinking between topologies); every result must equal the
+    // fresh-workspace solve bit-for-bit.
+    let solver = FleischerSolver::new(FleischerConfig::default());
+    let grid = instances();
+    let fresh: Vec<_> = grid
+        .iter()
+        .map(|(_, t, tm)| solver.solve(&t.graph, tm))
+        .collect();
+    let mut ws = SolverWorkspace::new();
+    for round in 0..3 {
+        for ((name, topo, tm), expect) in grid.iter().zip(&fresh) {
+            let b = solver.solve_with(&topo.graph, tm, &mut ws);
+            assert_eq!(
+                (b.lower, b.upper),
+                (expect.lower, expect.upper),
+                "{name}: reused-workspace solve diverged in round {round}"
+            );
+        }
+    }
+    // Reverse order too: workspace shrink/grow transitions in the other
+    // direction.
+    for ((name, topo, tm), expect) in grid.iter().zip(&fresh).rev() {
+        let b = solver.solve_with(&topo.graph, tm, &mut ws);
+        assert_eq!(
+            (b.lower, b.upper),
+            (expect.lower, expect.upper),
+            "{name}: reused-workspace solve diverged in reverse sweep"
+        );
+    }
+}
+
+#[test]
+fn sparse_and_dense_tms_agree_with_exact_on_jellyfish() {
+    // Focused check of the early-exit fast path: a sparse permutation TM on an
+    // irregular random graph, compared against the exact LP at the tight
+    // configuration.
+    let topo = jellyfish(14, 4, 1, 3);
+    let tm = random_permutation(&topo.servers, 9);
+    let exact = ExactLpSolver::new().solve(&topo.graph, &tm).unwrap().lower;
+    let b = FleischerSolver::new(FleischerConfig::precise()).solve(&topo.graph, &tm);
+    assert!(b.lower <= exact * (1.0 + 1e-6) && exact <= b.upper * (1.0 + 1e-6));
+    assert!(
+        (exact - b.lower) / exact <= 0.015,
+        "lower {} vs exact {exact}",
+        b.lower
+    );
+}
