@@ -14,46 +14,22 @@
 //!   the big wins, up to >3x on the 256-switch jellyfish;
 //! * the hypercube is the adversarial case for goal direction (every node
 //!   lies on some antipodal geodesic, so nothing can be pruned without
-//!   giving up exact shortest-path routing) — longest-matching there is
-//!   expected to hover near 1x;
-//! * dense all-to-all, which is dominated by the per-source full Dijkstra
-//!   sweep that both kernels share — near parity by construction, kept
-//!   honest here rather than hidden.
+//!   giving up exact shortest-path routing) — longest-matching there leans
+//!   on the decrease-key SSSP heap alone;
+//! * dense all-to-all (hypercube and jellyfish), where the aggregated
+//!   bottom-up tree routing loads each tree arc once per iteration instead
+//!   of walking every destination's path, on top of the shared kernel wins
+//!   — the dense-TM shapes the PR 1 kernel left at parity.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tb_bench::legacy;
-use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, ThroughputBounds};
+use tb_bench::{assert_same_quality, legacy};
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
 use tb_graph::matching::max_weight_assignment;
 use tb_graph::shortest_path::apsp_unweighted;
 use tb_graph::Graph;
 use tb_topology::{hypercube::hypercube, jellyfish::jellyfish, jellyfish::same_equipment};
 use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
 use tb_traffic::TrafficMatrix;
-
-/// Bound quality must be unchanged by the refactor: no worse a gap than the
-/// legacy kernel (small slack for their differing — equally valid — routing
-/// choices), overlapping brackets, and feasible values within the configured
-/// gap of each other.
-fn assert_same_quality(
-    name: &str,
-    cfg: &FleischerConfig,
-    new: ThroughputBounds,
-    old: ThroughputBounds,
-) {
-    assert!(
-        new.gap() <= old.gap() + 0.01,
-        "{name}: refactored kernel lost bound quality: new {new:?} vs legacy {old:?}"
-    );
-    assert!(
-        new.lower <= old.upper * (1.0 + 1e-9) && old.lower <= new.upper * (1.0 + 1e-9),
-        "{name}: kernel brackets do not overlap: new {new:?} vs legacy {old:?}"
-    );
-    let rel = (new.lower - old.lower).abs() / old.lower.max(1e-12);
-    assert!(
-        rel <= 2.0 * cfg.target_gap,
-        "{name}: feasible values diverged by {rel:.4}: new {new:?} vs legacy {old:?}"
-    );
-}
 
 fn versus_legacy(
     group: &mut criterion::BenchmarkGroup<'_>,
@@ -119,6 +95,13 @@ fn bench(c: &mut Criterion) {
         cfg_fast,
         &jelly.graph,
         &longest_matching(&jelly.graph, &jelly.servers, true),
+    );
+    versus_legacy(
+        &mut group,
+        "jellyfish64_a2a",
+        cfg_fast,
+        &jelly.graph,
+        &all_to_all(&jelly.servers),
     );
 
     group.bench_function("apsp_hypercube_d6", |b| {

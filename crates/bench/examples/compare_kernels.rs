@@ -1,11 +1,15 @@
 //! Side-by-side wall-clock comparison of the current Fleischer kernel against
 //! the frozen pre-refactor copy (`tb_bench::legacy`) across topology × TM
 //! shapes, for picking and sanity-checking the committed benchmark instances.
+//! Every pair also asserts the bounds stayed equal-quality, so this doubles
+//! as the kernel-equivalence check: `--quick` runs a reduced shape set (a few
+//! seconds) and is wired into CI to catch drift between the kernels on every
+//! PR.
 //!
-//! Run: `cargo run --release -p tb_bench --example compare_kernels`
+//! Run: `cargo run --release -p tb_bench --example compare_kernels [-- --quick]`
 
 use std::time::Instant;
-use tb_bench::legacy;
+use tb_bench::{assert_same_quality, legacy};
 use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
 use tb_graph::Graph;
 use tb_topology::hypercube::hypercube;
@@ -24,11 +28,14 @@ fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
 }
 
 fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
-    let cfg = FleischerConfig::fast();
+    // Mirror the eval plumbing: the aggregation threshold is auto-picked from
+    // the graph size, so dense TMs exercise the aggregated tree kernel.
+    let cfg = FleischerConfig::fast().with_auto_aggregation(g.num_nodes());
     let solver = FleischerSolver::new(cfg);
     let mut ws = SolverWorkspace::new();
     let new_b = solver.solve_with(g, tm, &mut ws);
     let old_b = legacy::solve(&cfg, g, tm);
+    assert_same_quality(name, &cfg, new_b, old_b);
     let t_new = time(
         || {
             let _ = solver.solve_with(g, tm, &mut ws);
@@ -52,22 +59,35 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
     let h6 = hypercube(6, 1);
     compare(
         "hypercube64/lm",
         &h6.graph,
         &longest_matching(&h6.graph, &h6.servers, true),
-        5,
+        if quick { 2 } else { 5 },
     );
+    compare("hypercube64/a2a", &h6.graph, &all_to_all(&h6.servers), 3);
+
+    let j64 = jellyfish(64, 6, 1, 42);
+    compare(
+        "jellyfish64x6/a2a",
+        &j64.graph,
+        &all_to_all(&j64.servers),
+        3,
+    );
+
+    if quick {
+        return;
+    }
+
     compare(
         "hypercube64/perm",
         &h6.graph,
         &random_permutation(&h6.servers, 3),
         5,
     );
-    compare("hypercube64/a2a", &h6.graph, &all_to_all(&h6.servers), 3);
-
-    let j64 = jellyfish(64, 6, 1, 42);
     compare(
         "jellyfish64x6/lm",
         &j64.graph,
@@ -79,12 +99,6 @@ fn main() {
         &j64.graph,
         &random_permutation(&j64.servers, 3),
         5,
-    );
-    compare(
-        "jellyfish64x6/a2a",
-        &j64.graph,
-        &all_to_all(&j64.servers),
-        3,
     );
 
     let j256 = jellyfish(256, 8, 1, 42);

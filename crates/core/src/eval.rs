@@ -84,7 +84,11 @@ pub fn evaluate_throughput_with(
             return exact;
         }
     }
-    FleischerSolver::new(cfg.solver).solve_with(&topo.graph, tm, ws)
+    // Auto-pick the dense-TM aggregation threshold from the graph size
+    // (sources with that many destinations route via the aggregated
+    // bottom-up tree kernel); explicit overrides in `cfg.solver` win.
+    let solver_cfg = cfg.solver.with_auto_aggregation(topo.num_switches());
+    FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws)
 }
 
 /// The Theorem-2 lower bound on worst-case throughput: `T_A2A / 2`. Any hose

@@ -195,11 +195,7 @@ fn eigenvector_sweep(ev: &CutEvaluator, graph: &Graph) -> (f64, Vec<bool>) {
     }
     let spec = tb_graph::spectral::second_smallest_normalized_laplacian(graph, 500);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        spec.eigenvector[a]
-            .partial_cmp(&spec.eigenvector[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| spec.eigenvector[a].total_cmp(&spec.eigenvector[b]));
     let mut cut = vec![false; n];
     for &u in order.iter().take(n - 1) {
         cut[u] = true;
@@ -229,7 +225,7 @@ pub fn estimate_sparsest_cut(graph: &Graph, tm: &TrafficMatrix) -> CutReport {
     }
     let best = estimates
         .iter()
-        .min_by(|a, b| a.sparsity.partial_cmp(&b.sparsity).unwrap())
+        .min_by(|a, b| a.sparsity.total_cmp(&b.sparsity))
         .expect("at least one estimator");
     CutReport {
         best_sparsity: best.sparsity,

@@ -47,6 +47,26 @@
 //! and routed paths remain *exact*; once the length function differentiates,
 //! the search expands little beyond the shortest path itself, instead of
 //! settling the whole graph per iteration.
+//!
+//! ## Aggregated tree routing for dense TMs
+//!
+//! At the opposite end of the TM spectrum (all-to-all and friends, where one
+//! source talks to most of the graph), walking every destination's path
+//! individually costs O(sum of path lengths) per tree iteration and re-touches
+//! the arcs near the source once per destination. Sources whose destination
+//! count reaches [`FleischerConfig::aggregate_min_dests`] instead route *all*
+//! remaining demands in one bottom-up pass: the SSSP workspace exposes its
+//! settle order ([`SsspWorkspace::settle_order`]), a reverse walk over that
+//! order folds per-node subtree demand into the parent, and each tree arc is
+//! loaded exactly once with its aggregate. If some arc's aggregate load
+//! exceeds its capacity, the whole batch is scaled by the binding `cap/load`
+//! ratio and the tree iteration repeats, so the per-iteration length-update
+//! factor stays within `1 + eps` exactly as in the per-destination walk.
+//! Reused trees are revalidated by one forward pass over the settle order
+//! (re-deriving current path lengths) against the same staleness slack.
+//! Sparse TMs keep the per-destination walk, where goal direction wins;
+//! `tb_core`'s evaluation plumbing auto-picks the threshold from the graph
+//! size via [`FleischerConfig::with_auto_aggregation`].
 
 use crate::instance::FlowProblem;
 use crate::ThroughputBounds;
@@ -67,6 +87,9 @@ struct RouteState {
     used: f64,
     /// Arc capacity.
     cap: f64,
+    /// Reciprocal capacity: the length-update loops run one of these per
+    /// loaded arc, and a multiply beats a divide several times over there.
+    inv_cap: f64,
 }
 
 /// Tuning knobs for the FPTAS.
@@ -82,7 +105,22 @@ pub struct FleischerConfig {
     /// How many phases to run between bound evaluations (also the refresh
     /// cadence of the goal-direction potentials).
     pub check_interval: usize,
+    /// Route a source's demands with the aggregated bottom-up tree kernel
+    /// (one pass over the settle order per tree iteration instead of one
+    /// parent walk per destination) once its destination count reaches this.
+    /// `None` means "unset": the solver falls back to
+    /// [`DEFAULT_AGGREGATE_MIN_DESTS`], and
+    /// [`FleischerConfig::with_auto_aggregation`] may fill in a
+    /// graph-size-aware value. `Some(usize::MAX)` disables aggregation, and
+    /// any explicit `Some` survives the auto-pick.
+    pub aggregate_min_dests: Option<usize>,
 }
+
+/// The aggregation threshold used when [`FleischerConfig::aggregate_min_dests`]
+/// is unset: aggregation starts to pay once a source's destination count is a
+/// sizable fraction of the graph (the tree then covers most settled nodes, so
+/// per-destination walks re-touch the same arcs many times over).
+pub const DEFAULT_AGGREGATE_MIN_DESTS: usize = 32;
 
 impl Default for FleischerConfig {
     fn default() -> Self {
@@ -91,6 +129,7 @@ impl Default for FleischerConfig {
             target_gap: 0.03,
             max_phases: 20_000,
             check_interval: 8,
+            aggregate_min_dests: None,
         }
     }
 }
@@ -113,6 +152,23 @@ impl FleischerConfig {
             target_gap: 0.01,
             check_interval: 16,
             ..Default::default()
+        }
+    }
+
+    /// Returns this configuration with an unset aggregation threshold picked
+    /// for a graph of `num_switches` switches: a quarter of the switch count,
+    /// clamped to `[8, DEFAULT_AGGREGATE_MIN_DESTS]`. Once a source talks to
+    /// that fraction of the graph, its shortest-path tree spans most settled
+    /// nodes and the bottom-up kernel is strictly less work than
+    /// per-destination walks. An explicit `Some` threshold (tests forcing one
+    /// kernel, callers that tuned their own) is left untouched.
+    pub fn with_auto_aggregation(self, num_switches: usize) -> Self {
+        if self.aggregate_min_dests.is_some() {
+            return self;
+        }
+        FleischerConfig {
+            aggregate_min_dests: Some((num_switches / 4).clamp(8, DEFAULT_AGGREGATE_MIN_DESTS)),
+            ..self
         }
     }
 }
@@ -143,6 +199,12 @@ pub struct SolverWorkspace {
     potentials: Vec<f64>,
     /// Reversed per-arc lengths (partner-arc view) for potential refreshes.
     rev_lens: Vec<f64>,
+    /// Per-node remaining subtree demand, folded bottom-up over the settle
+    /// order by the aggregated routing kernel.
+    subtree: Vec<f64>,
+    /// Per-node current tree-path length, re-derived top-down over the settle
+    /// order when the aggregated kernel revalidates a reused tree.
+    cur_len: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -205,6 +267,19 @@ impl FleischerSolver {
         if m == 0 {
             return ThroughputBounds::exact(0.0);
         }
+        // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters when
+        // tuning the kernel. The global counters are process-cumulative, so
+        // snapshot them here and print deltas: the trace line then pairs
+        // tree/potential counts with the per-solve `phases=`/`d_l=` values.
+        let trace = std::env::var_os("TB_SOLVER_TRACE").is_some();
+        let trace_start = if trace {
+            (
+                TREE_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+                POT_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        } else {
+            (0, 0)
+        };
 
         // Pre-scale demands so the scaled optimum is near 1; this keeps the
         // phase count predictable regardless of the raw demand magnitudes.
@@ -274,6 +349,8 @@ impl FleischerSolver {
             path,
             potentials,
             rev_lens,
+            subtree,
+            cur_len,
         } = ws;
         // Lengths and routing state, sized to this instance.
         lens.clear();
@@ -284,6 +361,7 @@ impl FleischerSolver {
             avail: a.cap,
             used: 0.0,
             cap: a.cap,
+            inv_cap: 1.0 / a.cap,
         }));
         let st: &mut [RouteState] = arc_state;
         touched.clear();
@@ -292,6 +370,23 @@ impl FleischerSolver {
         if num_single > 0 {
             potentials.clear();
             potentials.resize(num_single * n, f64::INFINITY);
+        }
+        // Sources at or above the aggregation threshold route all their
+        // remaining demands in one bottom-up pass over the tree's settle
+        // order instead of one parent walk per destination (see module docs).
+        let agg_min_dests = cfg
+            .aggregate_min_dests
+            .unwrap_or(DEFAULT_AGGREGATE_MIN_DESTS)
+            .max(1);
+        if prob
+            .sources()
+            .iter()
+            .any(|s| s.dests.len() >= agg_min_dests)
+        {
+            subtree.clear();
+            subtree.resize(n, 0.0);
+            cur_len.clear();
+            cur_len.resize(n, 0.0);
         }
 
         // Reuse a tree across a source's capacity-limited iterations while
@@ -313,6 +408,7 @@ impl FleischerSolver {
         // slow convergence on some topologies.
         let goal_enabled = num_single > 0;
         let mut phase = 0usize;
+        let mut state_evaluated = false;
         'phases: while phase < cfg.max_phases && d_l < 1.0 {
             if goal_enabled && phase.is_multiple_of(pot_refresh) {
                 refresh_potentials(
@@ -346,6 +442,150 @@ impl FleischerSolver {
                     &targets,
                     sssp,
                 );
+                if s.dests.len() >= agg_min_dests {
+                    // Aggregated bottom-up routing for dense destination
+                    // sets: instead of chasing parents once per destination
+                    // (O(sum of path lengths) per tree iteration), fold each
+                    // node's remaining subtree demand over the settle order
+                    // in reverse and load every tree arc exactly once. When
+                    // some arc's aggregate load exceeds its capacity, the
+                    // whole batch is scaled by the binding `cap/load` ratio
+                    // and the loop repeats, so no arc exceeds its capacity
+                    // within one tree iteration and every length-update
+                    // factor stays <= 1 + eps — the same invariant the
+                    // per-destination walk maintains. (Persisting these
+                    // trees across phases behind cheap revalidation was
+                    // tried and reverted: a phase's average arc utilization
+                    // is ~1, so lengths drift enough per phase that any
+                    // slack loose enough to admit reuse measurably slowed
+                    // the multiplicative-weights convergence — the same
+                    // trade the phase-blocked stale-tree experiment hit.)
+                    let mut revalidate = false;
+                    loop {
+                        if d_l >= 1.0 {
+                            break 'phases;
+                        }
+                        if revalidate {
+                            // Reuse rule, tree-wide: the previous batch's
+                            // apply pass left every settled node's *current*
+                            // tree-path length in `cur_len` (maintained
+                            // top-down for free while loading arcs);
+                            // recompute the tree once any destination with
+                            // remaining demand drifts past the slack.
+                            // Recorded distances lower-bound current ones
+                            // (lengths are monotone), so within the slack
+                            // the tree paths remain approximately shortest —
+                            // exactly the per-destination reuse argument.
+                            let stale = s.dests.iter().enumerate().any(|(j, &(dst, _))| {
+                                remaining[j] > 1e-15 && cur_len[dst] > reuse_slack * sssp.dist(dst)
+                            });
+                            if stale {
+                                compute_tree(
+                                    prob,
+                                    s,
+                                    si,
+                                    &single_dest,
+                                    &pot_rows,
+                                    potentials,
+                                    goal_enabled,
+                                    len,
+                                    &targets,
+                                    sssp,
+                                );
+                            }
+                        }
+                        // Deposit remaining demands at their destinations.
+                        for &v in sssp.settle_order() {
+                            subtree[v as usize] = 0.0;
+                        }
+                        let mut pending = false;
+                        for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                            if remaining[j] <= 1e-15 {
+                                continue;
+                            }
+                            if dst == s.src {
+                                // A self-demand consumes no capacity.
+                                routed[si][j] += remaining[j];
+                                remaining[j] = 0.0;
+                            } else {
+                                // Every destination is a target of the tree
+                                // computation, so it is always settled (early
+                                // exit stops only after the last target).
+                                debug_assert!(sssp.dist(dst).is_finite());
+                                subtree[dst] += remaining[j];
+                                pending = true;
+                            }
+                        }
+                        if !pending {
+                            break;
+                        }
+                        // Bottom-up fold: children settle after their parent,
+                        // so the reverse settle order visits them first and
+                        // `subtree[v]` is complete — the total remaining
+                        // demand crossing v's parent arc — when v is visited.
+                        // Only arcs whose load exceeds capacity can bind, so
+                        // the `cap/load` divide is confined to them.
+                        let mut ratio = f64::INFINITY;
+                        for &v in sssp.settle_order().iter().rev() {
+                            let v = v as usize;
+                            if v == s.src {
+                                continue;
+                            }
+                            let load = subtree[v];
+                            if load <= 0.0 {
+                                continue;
+                            }
+                            let (p, aid) = sssp.parent_unchecked(v);
+                            subtree[p] += load;
+                            let cap = st[aid].cap;
+                            if load > cap {
+                                ratio = ratio.min(cap / load);
+                            }
+                        }
+                        let theta = ratio.min(1.0);
+                        // Apply the (scaled) batch — each tree arc is loaded
+                        // exactly once, with at most its full capacity — and
+                        // refresh `cur_len` (the current tree-path lengths)
+                        // in the same top-down pass, so the next iteration's
+                        // staleness check needs no extra walk.
+                        for &v in sssp.settle_order() {
+                            let v = v as usize;
+                            if v == s.src {
+                                cur_len[v] = 0.0;
+                                continue;
+                            }
+                            let (p, aid) = sssp.parent_unchecked(v);
+                            let load = subtree[v];
+                            if load > 0.0 {
+                                apply_length_update(
+                                    eps,
+                                    aid,
+                                    theta * load,
+                                    &st[aid],
+                                    len,
+                                    &mut flow_arc,
+                                    &mut d_l,
+                                );
+                            }
+                            cur_len[v] = cur_len[p] + len[aid];
+                        }
+                        for (j, r) in remaining.iter_mut().enumerate() {
+                            if *r > 1e-15 {
+                                let commit = theta * *r;
+                                routed[si][j] += commit;
+                                *r -= commit;
+                            }
+                        }
+                        if theta == 1.0 {
+                            break; // every remaining demand fully routed
+                        }
+                        // A capacity-limited batch saturated the binding arc
+                        // (its length grew by the full 1 + eps factor);
+                        // revalidate the tree before further reuse.
+                        revalidate = true;
+                    }
+                    continue;
+                }
                 let mut tree_exact = true;
                 loop {
                     if d_l >= 1.0 {
@@ -432,13 +672,16 @@ impl FleischerSolver {
                     // Apply multiplicative length updates for the arcs used in
                     // this tree iteration and restore the scratch buffers.
                     for &aid in touched.iter() {
+                        apply_length_update(
+                            eps,
+                            aid,
+                            st[aid].used,
+                            &st[aid],
+                            len,
+                            &mut flow_arc,
+                            &mut d_l,
+                        );
                         let a = &mut st[aid];
-                        let u = a.used;
-                        flow_arc[aid] += u;
-                        let old = len[aid];
-                        let new = old * (1.0 + eps * u / a.cap);
-                        d_l += (new - old) * a.cap;
-                        len[aid] = new;
                         a.used = 0.0;
                         a.avail = a.cap;
                     }
@@ -489,39 +732,48 @@ impl FleischerSolver {
                 if best_upper.is_finite()
                     && (best_upper - best_lower) / best_upper <= cfg.target_gap
                 {
+                    // No routing has happened since this evaluation, so the
+                    // closing sweep below would recompute the same bounds;
+                    // skip it.
+                    state_evaluated = true;
                     break 'phases;
                 }
             }
         }
 
-        // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters
-        // (cumulative across solves in the process) when tuning the kernel.
-        if std::env::var_os("TB_SOLVER_TRACE").is_some() {
+        if trace {
             eprintln!(
                 "TB_SOLVER_TRACE phases={phase} trees={} pot_refreshes={} d_l={d_l:.4}",
-                TREE_COUNT.load(std::sync::atomic::Ordering::Relaxed),
-                POT_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+                TREE_COUNT
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .wrapping_sub(trace_start.0),
+                POT_COUNT
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .wrapping_sub(trace_start.1),
             );
         }
 
-        // Final bound evaluation.
-        let (lo, up) = evaluate_bounds(
-            prob,
-            &targets,
-            &single_dest,
-            &pot_rows,
-            potentials,
-            goal_enabled,
-            &demands,
-            &routed,
-            &flow_arc,
-            len,
-            st,
-            d_l,
-            sssp,
-        );
-        best_lower = best_lower.max(lo);
-        best_upper = best_upper.min(up);
+        // Final bound evaluation (unless the state was already evaluated by
+        // the gap check that ended the run).
+        if !state_evaluated {
+            let (lo, up) = evaluate_bounds(
+                prob,
+                &targets,
+                &single_dest,
+                &pot_rows,
+                potentials,
+                goal_enabled,
+                &demands,
+                &routed,
+                &flow_arc,
+                len,
+                st,
+                d_l,
+                sssp,
+            );
+            best_lower = best_lower.max(lo);
+            best_upper = best_upper.min(up);
+        }
         if !best_upper.is_finite() {
             best_upper = best_lower;
         }
@@ -534,10 +786,36 @@ impl FleischerSolver {
     }
 }
 
-/// Process-cumulative counters surfaced by `TB_SOLVER_TRACE` (diagnostics
-/// only; relaxed increments cost nothing measurable on the hot path).
+/// Process-cumulative counters behind `TB_SOLVER_TRACE` (diagnostics only;
+/// relaxed increments cost nothing measurable on the hot path). Each solve
+/// snapshots them on entry and prints the per-solve delta; concurrent solves
+/// in one process can still bleed counts into each other's deltas, which the
+/// single-threaded tuning workflow the trace exists for never does.
 static TREE_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 static POT_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The multiplicative-weights update for routing `u` units over arc `aid`:
+/// accumulate the flow, grow the arc's length by `1 + eps * u / cap`
+/// (reciprocal form — see [`RouteState::inv_cap`]), and maintain
+/// `D(l) = sum_a len_a * cap_a` incrementally. One definition serves both
+/// routing kernels, keeping the per-destination walk and the aggregated
+/// batch apply arithmetically identical.
+#[inline]
+fn apply_length_update(
+    eps: f64,
+    aid: usize,
+    u: f64,
+    a: &RouteState,
+    len: &mut [f64],
+    flow_arc: &mut [f64],
+    d_l: &mut f64,
+) {
+    flow_arc[aid] += u;
+    let old = len[aid];
+    let new = old * (1.0 + eps * u * a.inv_cap);
+    *d_l += (new - old) * a.cap;
+    len[aid] = new;
+}
 
 /// Computes the routing tree for source `s` at the current lengths: the
 /// goal-directed kernel when the source has one destination and a finite
@@ -847,6 +1125,56 @@ mod tests {
         let b = FleischerSolver::new(FleischerConfig::fast()).solve(&g, &tm);
         assert!(b.lower <= 0.5 + 1e-9);
         assert!(b.upper >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn auto_aggregation_threshold_scales_with_graph_size() {
+        // A quarter of the switch count, clamped to [8, default].
+        let base = FleischerConfig::default();
+        assert_eq!(base.with_auto_aggregation(16).aggregate_min_dests, Some(8));
+        assert_eq!(base.with_auto_aggregation(64).aggregate_min_dests, Some(16));
+        assert_eq!(
+            base.with_auto_aggregation(4096).aggregate_min_dests,
+            Some(DEFAULT_AGGREGATE_MIN_DESTS)
+        );
+        // Explicit settings — disabled, forced, or exactly the default value —
+        // survive the auto-pick.
+        for explicit in [usize::MAX, 2, DEFAULT_AGGREGATE_MIN_DESTS] {
+            let cfg = FleischerConfig {
+                aggregate_min_dests: Some(explicit),
+                ..base
+            };
+            assert_eq!(
+                cfg.with_auto_aggregation(64).aggregate_min_dests,
+                Some(explicit)
+            );
+        }
+    }
+
+    #[test]
+    fn aggregated_ring_a2a_matches_per_destination_walk() {
+        // Small dense instance driven through both routing kernels: when no
+        // capacity binds within a tree iteration the two are arithmetically
+        // identical, so the bounds must agree to the last bit here.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let servers = vec![1usize; 6];
+        let tm = tb_traffic::synthetic::all_to_all(&servers);
+        let agg = FleischerSolver::new(FleischerConfig {
+            aggregate_min_dests: Some(2),
+            ..FleischerConfig::precise()
+        })
+        .solve(&g, &tm);
+        let walk = FleischerSolver::new(FleischerConfig {
+            aggregate_min_dests: Some(usize::MAX),
+            ..FleischerConfig::precise()
+        })
+        .solve(&g, &tm);
+        assert!(agg.lower > 0.0);
+        assert!(
+            (agg.lower - walk.lower).abs() <= 1e-12 * walk.lower
+                && (agg.upper - walk.upper).abs() <= 1e-12 * walk.upper,
+            "aggregated {agg:?} vs per-destination {walk:?}"
+        );
     }
 
     #[test]

@@ -180,10 +180,15 @@ impl PathRestrictedSolver {
         let mut routed = vec![0.0f64; commodities.len()];
 
         // Pre-scale demands so the optimum is around 1 (volumetric estimate
-        // over the shortest allowed path).
+        // over the shortest allowed path). Path sets are non-empty here (the
+        // guard above returned zero otherwise), but stay panic-free anyway.
         let mut weighted_hops = 0.0;
         for (ci, c) in commodities.iter().enumerate() {
-            let min_hops = paths_as_links[ci].iter().map(|p| p.len()).min().unwrap() as f64;
+            let min_hops = paths_as_links[ci]
+                .iter()
+                .map(|p| p.len())
+                .min()
+                .unwrap_or(0) as f64;
             weighted_hops += c.demand * min_hops;
         }
         let total_cap: f64 = link_caps.iter().sum();
@@ -204,20 +209,31 @@ impl PathRestrictedSolver {
                     if d_l >= 1.0 {
                         break 'phases;
                     }
-                    // Cheapest allowed path under current lengths.
-                    let (best_path, _) = plinks
+                    // Cheapest allowed path under current lengths. `total_cmp`
+                    // gives a total order even if a cost ever became NaN, and
+                    // the path set is non-empty (guarded at entry), but an
+                    // empty set still must not panic: skip the commodity.
+                    let Some((best_path, _)) = plinks
                         .iter()
                         .map(|ids| {
                             let cost: f64 = ids.iter().map(|&i| len[i]).sum();
                             (ids, cost)
                         })
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                        .unwrap();
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                    else {
+                        break;
+                    };
                     let bottleneck = best_path
                         .iter()
                         .map(|&i| link_caps[i])
                         .fold(f64::INFINITY, f64::min);
                     let f = remaining.min(bottleneck);
+                    // A zero-capacity (or otherwise degenerate, e.g. NaN)
+                    // bottleneck routes nothing; without this guard the
+                    // `while remaining > 1e-15` loop would never progress.
+                    if f.is_nan() || f <= 1e-15 {
+                        break;
+                    }
                     for &i in best_path {
                         flow_link[i] += f;
                         let old = len[i];
@@ -369,6 +385,42 @@ mod tests {
             paths: vec![],
         }];
         assert_eq!(PathRestrictedSolver::new().solve(&g, &c).lower, 0.0);
+    }
+
+    #[test]
+    fn disconnected_pair_returns_zero_without_panicking() {
+        // End-to-end regression for the empty-allowed-path-set panic: a
+        // disconnected pair yields an empty k-shortest-path set, and the
+        // solver must report zero throughput (as `FleischerSolver` does for
+        // disconnected demands) instead of unwrapping an empty min.
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 1, 1.0), demand(0, 3, 1.0)]);
+        let sets = k_shortest_path_sets(&g, &tm, 4);
+        assert!(sets.iter().any(|c| c.paths.is_empty()));
+        let b = PathRestrictedSolver::new().solve(&g, &sets);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 0.0);
+    }
+
+    #[test]
+    fn negligible_capacity_bottleneck_terminates() {
+        // A commodity whose only path crosses an (effectively) zero-capacity
+        // link can route nothing useful; the phase loop must detect the
+        // negligible bottleneck and stop routing the commodity instead of
+        // spinning on `remaining > 1e-15` in vanishing steps.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1e-20);
+        g.add_unit_edge(1, 2);
+        let c = vec![CommodityPaths {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+            paths: vec![vec![0, 1, 2]],
+        }];
+        let b = PathRestrictedSolver::new().solve(&g, &c);
+        assert!(b.lower <= 1e-9, "lower {}", b.lower);
     }
 
     #[test]

@@ -23,7 +23,6 @@
 use crate::csr::CsrGraph;
 use crate::graph::Graph;
 use rayon::prelude::*;
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Distance value used to mark unreachable nodes in BFS results.
@@ -152,46 +151,39 @@ impl ShortestPathTree {
     }
 }
 
-#[derive(Debug, Copy, Clone, PartialEq)]
-struct HeapEntry {
-    /// Tentative distance (or `dist + potential` for the goal-directed
-    /// kernel).
-    ///
-    /// Deliberately the *only* float key: an A*-style "largest raw distance
-    /// first" secondary key was tried here and made the flow solver's
-    /// multiplicative-weights loop converge an order of magnitude slower —
-    /// diving along one extreme geodesic concentrates flow that the
-    /// node-id tie-break naturally spreads.
-    dist: f64,
-    node: u32,
+/// Packed priority-queue entry: the key's IEEE bit pattern in the high bits,
+/// the node id in the low 32, so one unsigned comparison orders by (key,
+/// node). Keys are finite non-negative non-NaN by construction (tentative
+/// distances, or `dist + potential` for the goal-directed kernel), and
+/// non-negative doubles order identically as their bit patterns. Ties
+/// resolve towards the smaller node id, keeping tree shapes deterministic.
+///
+/// The key is deliberately the *only* distance-derived component: an
+/// A*-style "largest raw distance first" secondary key was tried here and
+/// made the flow solver's multiplicative-weights loop converge an order of
+/// magnitude slower — diving along one extreme geodesic concentrates flow
+/// that the node-id tie-break naturally spreads.
+#[inline]
+fn queue_key(key: f64, node: u32) -> u128 {
+    debug_assert!(
+        key.is_finite() && key.is_sign_positive(),
+        "queue key must be finite with a positive sign bit (-0.0 would \
+         sort above every positive key in the packed order)"
+    );
+    ((key.to_bits() as u128) << 32) | node as u128
 }
 
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on `dist`: reverse the comparison. Keys are finite non-NaN
-        // by construction; ties towards the smaller node id keep tree shapes
-        // deterministic.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// The node id packed into a queue entry.
+#[inline]
+fn queue_node(entry: u128) -> u32 {
+    entry as u32
 }
 
 /// Sentinel for "no parent" in [`SsspWorkspace`].
 const NO_PARENT: u32 = u32::MAX;
 
 /// Reusable state for the [`sssp_csr`] kernel: distance/parent arrays, the
-/// binary heap, and the generation stamps that make resets O(1).
+/// indexed 4-ary heap, and the generation stamps that make resets O(1).
 ///
 /// A workspace may be reused across runs, sources, length functions, and even
 /// graphs of different sizes; each run bumps a generation counter, so stale
@@ -216,8 +208,19 @@ pub struct SsspWorkspace {
     generation: u32,
     /// Nodes settled by the last run.
     settled_count: u32,
-    /// The Dijkstra priority queue (kept allocated between runs).
-    heap: BinaryHeap<HeapEntry>,
+    /// Nodes of the last run in the order they were settled.
+    order: Vec<u32>,
+    /// The priority queue: an indexed 4-ary min-heap with true decrease-key
+    /// over packed `(key bits, node)` entries (see [`queue_key`]). Under the
+    /// wide-dynamic-range length functions the flow solver feeds this
+    /// kernel, nodes improve several times before settling; a lazy binary
+    /// heap turns every improvement into an extra entry (and later a dead
+    /// pop), which was measured at ~4x the cost of sifting the live entry up
+    /// in place. Entries in heap order…
+    heap: Vec<u128>,
+    /// …and each node's current heap index, meaningful only while the node
+    /// is queued (seen and not settled in the current generation).
+    hpos: Vec<u32>,
     /// Source node of the most recent run.
     src: usize,
 }
@@ -237,6 +240,7 @@ impl SsspWorkspace {
             self.seen.resize(n, 0);
             self.settled.resize(n, 0);
             self.target.resize(n, 0);
+            self.hpos.resize(n, 0);
         }
         if self.generation == u32::MAX {
             // Stamp wrap-around (once per 2^32 runs): clear stamps explicitly.
@@ -247,8 +251,95 @@ impl SsspWorkspace {
         }
         self.generation += 1;
         self.settled_count = 0;
+        self.order.clear();
         self.heap.clear();
         self.src = src;
+    }
+
+    /// Inserts `v` (not currently queued) with `key`.
+    #[inline]
+    fn heap_push(&mut self, v: u32, key: f64) {
+        let i = self.heap.len();
+        self.heap.push(queue_key(key, v));
+        self.hpos[v as usize] = i as u32;
+        self.sift_up(i);
+    }
+
+    /// Lowers the key of a queued node and restores heap order in place.
+    #[inline]
+    fn heap_decrease(&mut self, v: u32, key: f64) {
+        let i = self.hpos[v as usize] as usize;
+        let entry = queue_key(key, v);
+        debug_assert_eq!(
+            queue_node(self.heap[i]),
+            v,
+            "decrease-key on a node not queued"
+        );
+        debug_assert!(entry <= self.heap[i], "decrease-key must not raise a key");
+        self.heap[i] = entry;
+        self.sift_up(i);
+    }
+
+    /// Removes and returns the queued node with the smallest (key, id).
+    #[inline]
+    fn heap_pop(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.len() - 1;
+        if last > 0 {
+            self.heap.swap(0, last);
+            self.hpos[queue_node(self.heap[0]) as usize] = 0;
+        }
+        self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(queue_node(top))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) / 4;
+            let parent = self.heap[p];
+            if entry < parent {
+                self.heap[i] = parent;
+                self.hpos[queue_node(parent) as usize] = i as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.hpos[queue_node(entry) as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[i];
+        loop {
+            let c0 = 4 * i + 1;
+            if c0 >= len {
+                break;
+            }
+            let mut best = c0;
+            let mut bv = self.heap[c0];
+            for c in c0 + 1..(c0 + 4).min(len) {
+                let cv = self.heap[c];
+                if cv < bv {
+                    best = c;
+                    bv = cv;
+                }
+            }
+            if bv < entry {
+                self.heap[i] = bv;
+                self.hpos[queue_node(bv) as usize] = i as u32;
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.hpos[queue_node(entry) as usize] = i as u32;
     }
 
     /// Number of nodes the last run settled — how much of the graph the
@@ -257,6 +348,17 @@ impl SsspWorkspace {
     #[inline]
     pub fn settled_count(&self) -> usize {
         self.settled_count as usize
+    }
+
+    /// Nodes settled by the last run, in settle order: non-decreasing
+    /// distance, and every node's final parent appears before the node
+    /// itself. A forward walk can therefore propagate per-node values down
+    /// the tree (e.g. re-derive current path lengths), and a reverse walk
+    /// folds per-subtree aggregates bottom-up — the aggregated routing
+    /// kernel in `tb_flow` loads each tree arc exactly once this way.
+    #[inline]
+    pub fn settle_order(&self) -> &[u32] {
+        &self.order
     }
 
     /// Distance from the source of the last run (`f64::INFINITY` if the node
@@ -364,44 +466,45 @@ pub fn sssp_csr_by<L: Fn(usize) -> f64>(
     ws.dist[src] = 0.0;
     ws.seen[src] = generation;
     ws.parents[src] = [NO_PARENT, NO_PARENT];
-    ws.heap.push(HeapEntry {
-        dist: 0.0,
-        node: src as u32,
-    });
-    while let Some(HeapEntry { dist: d, node, .. }) = ws.heap.pop() {
+    ws.heap_push(src as u32, 0.0);
+    while let Some(node) = ws.heap_pop() {
         let u = node as usize;
-        if ws.settled[u] == generation {
-            continue; // stale heap entry
-        }
+        debug_assert!(ws.settled[u] != generation);
         ws.settled[u] = generation;
         ws.settled_count += 1;
+        ws.order.push(node);
         if targets.is_some() && ws.target[u] == generation {
             pending -= 1;
             if pending == 0 {
                 break; // every target settled; ancestors are settled too
             }
         }
+        let d = ws.dist[u];
         for (v, lid) in csr.neighbors(u) {
             let len = len_of(lid);
             debug_assert!(len >= 0.0, "negative arc length");
             let nd = d + len;
-            let cur = if ws.seen[v] == generation {
-                ws.dist[v]
-            } else {
-                f64::INFINITY
-            };
-            if nd < cur {
-                ws.seen[v] = generation;
+            if ws.seen[v] != generation {
+                // The finiteness check mirrors the classical `nd < INFINITY`
+                // comparison against an unseen node: arcs banned with an
+                // infinite length must not enqueue (or set parents for)
+                // their heads.
+                if nd < f64::INFINITY {
+                    ws.seen[v] = generation;
+                    ws.dist[v] = nd;
+                    ws.parents[v] = [u as u32, lid as u32];
+                    ws.heap_push(v as u32, nd);
+                }
+            } else if nd < ws.dist[v] {
+                // Settled nodes cannot satisfy `nd < dist` (lengths are
+                // non-negative, so their distances are final minima): this
+                // branch only ever lowers the key of a queued node.
                 ws.dist[v] = nd;
                 ws.parents[v] = [u as u32, lid as u32];
-                ws.heap.push(HeapEntry {
-                    dist: nd,
-                    node: v as u32,
-                });
+                ws.heap_decrease(v as u32, nd);
             }
         }
     }
-    ws.heap.clear();
 }
 
 /// [`sssp_csr_by`] with lengths in a plain slice (the common case).
@@ -447,17 +550,13 @@ pub fn sssp_csr_goal_by<L: Fn(usize) -> f64>(
     ws.dist[src] = 0.0;
     ws.seen[src] = generation;
     ws.parents[src] = [NO_PARENT, NO_PARENT];
-    ws.heap.push(HeapEntry {
-        dist: potential[src],
-        node: src as u32,
-    });
-    while let Some(HeapEntry { node, .. }) = ws.heap.pop() {
+    ws.heap_push(src as u32, potential[src]);
+    while let Some(node) = ws.heap_pop() {
         let u = node as usize;
-        if ws.settled[u] == generation {
-            continue; // stale heap entry
-        }
+        debug_assert!(ws.settled[u] != generation);
         ws.settled[u] = generation;
         ws.settled_count += 1;
+        ws.order.push(node);
         if u == target {
             break;
         }
@@ -466,23 +565,27 @@ pub fn sssp_csr_goal_by<L: Fn(usize) -> f64>(
             let len = len_of(lid);
             debug_assert!(len >= 0.0, "negative arc length");
             let nd = d + len;
-            let cur = if ws.seen[v] == generation {
-                ws.dist[v]
-            } else {
-                f64::INFINITY
-            };
-            if nd < cur && !potential[v].is_infinite() {
-                ws.seen[v] = generation;
+            if ws.seen[v] != generation {
+                if nd < f64::INFINITY && !potential[v].is_infinite() {
+                    ws.seen[v] = generation;
+                    ws.dist[v] = nd;
+                    ws.parents[v] = [u as u32, lid as u32];
+                    ws.heap_push(v as u32, nd + potential[v]);
+                }
+            } else if ws.settled[v] != generation && nd < ws.dist[v] {
+                // Unlike the plain kernel, the settled check here is load-
+                // bearing: the potential is consistent up to rounding, and
+                // an ulp-level violation in a tie can make a *settled*
+                // node's distance look improvable. The old lazy heap
+                // absorbed that as a dead duplicate entry; an indexed heap
+                // must drop it (the ulp never affects reported distances
+                // beyond the tie itself).
                 ws.dist[v] = nd;
                 ws.parents[v] = [u as u32, lid as u32];
-                ws.heap.push(HeapEntry {
-                    dist: nd + potential[v],
-                    node: v as u32,
-                });
+                ws.heap_decrease(v as u32, nd + potential[v]);
             }
         }
     }
-    ws.heap.clear();
 }
 
 /// [`sssp_csr_goal_by`] with lengths in a plain slice.
@@ -693,6 +796,36 @@ mod tests {
                 let fresh = dijkstra(&g2, src, &len2);
                 for v in 0..g2.num_nodes() {
                     assert_eq!(ws.dist(v), fresh.dist[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settle_order_is_topological_with_nondecreasing_distance() {
+        // Parents settle before children and distances are non-decreasing,
+        // both with and without early exit — the invariants the aggregated
+        // routing kernel's forward/reverse walks rely on.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]);
+        let csr = CsrGraph::from_graph(&g);
+        let len: Vec<f64> = (0..g.num_edges()).map(|e| 1.0 + 0.3 * e as f64).collect();
+        let mut ws = SsspWorkspace::new();
+        for targets in [None, Some(&[5usize, 4][..])] {
+            sssp_csr(&csr, 0, &len, targets, &mut ws);
+            let order = ws.settle_order().to_vec();
+            assert_eq!(order.len(), ws.settled_count());
+            assert_eq!(order[0], 0);
+            let mut pos = vec![usize::MAX; g.num_nodes()];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v as usize] = i;
+            }
+            let mut prev = 0.0;
+            for &v in &order {
+                let v = v as usize;
+                assert!(ws.dist(v) >= prev);
+                prev = ws.dist(v);
+                if let Some((p, _)) = ws.parent(v) {
+                    assert!(pos[p] < pos[v], "parent {p} settled after child {v}");
                 }
             }
         }

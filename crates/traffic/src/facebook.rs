@@ -107,7 +107,7 @@ pub fn tm_f(racks: usize, seed: u64) -> TrafficMatrix {
 /// of the heaviest 10% of flows to the mean demand of the lightest 10%.
 pub fn skew_ratio(tm: &TrafficMatrix) -> f64 {
     let mut amounts: Vec<f64> = tm.demands().iter().map(|d| d.amount).collect();
-    amounts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    amounts.sort_by(f64::total_cmp);
     let k = (amounts.len() / 10).max(1);
     let low: f64 = amounts.iter().take(k).sum::<f64>() / k as f64;
     let high: f64 = amounts.iter().rev().take(k).sum::<f64>() / k as f64;

@@ -8,7 +8,9 @@
 //!   random-permutation: one destination per source — the early-exit fast
 //!   path);
 //! * repeated solves through one reused [`SolverWorkspace`] must reproduce
-//!   fresh-workspace results bit-for-bit, in any interleaving order.
+//!   fresh-workspace results bit-for-bit, in any interleaving order;
+//! * the aggregated dense-TM routing kernel must match the per-destination
+//!   walk within the FPTAS gap on every dense instance of the grid.
 
 use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, SolverWorkspace};
 use tb_topology::hypercube::hypercube;
@@ -110,6 +112,37 @@ fn reused_workspace_reproduces_fresh_results_across_instance_mix() {
             (expect.lower, expect.upper),
             "{name}: reused-workspace solve diverged in reverse sweep"
         );
+    }
+}
+
+#[test]
+fn aggregated_kernel_matches_per_destination_walk_on_dense_tms() {
+    // The aggregated bottom-up routing kernel (sources past
+    // `aggregate_min_dests` route all demands in one pass over the settle
+    // order) must produce bounds of the same quality as the per-destination
+    // parent walk on dense TMs. When no arc's capacity binds within a tree
+    // iteration the two are arithmetically identical; when a batch is scaled
+    // by the binding `cap/load` ratio the trajectories may diverge within
+    // the FPTAS gap, so the shared `tb_bench` kernel-equivalence contract
+    // applies: overlapping brackets, no lost gap quality, and feasible
+    // values within twice the target gap.
+    for cfg0 in [FleischerConfig::default(), FleischerConfig::fast()] {
+        for (name, topo, tm) in instances() {
+            if tm.num_flows() < 2 * topo.num_switches() {
+                continue; // only dense TMs exercise both kernels meaningfully
+            }
+            let aggregated = FleischerSolver::new(FleischerConfig {
+                aggregate_min_dests: Some(2),
+                ..cfg0
+            })
+            .solve(&topo.graph, &tm);
+            let per_dest = FleischerSolver::new(FleischerConfig {
+                aggregate_min_dests: Some(usize::MAX),
+                ..cfg0
+            })
+            .solve(&topo.graph, &tm);
+            tb_bench::assert_same_quality(&name, &cfg0, aggregated, per_dest);
+        }
     }
 }
 
