@@ -1,0 +1,70 @@
+//! Bench for the scenario engine itself: what the sweep layer adds on top of
+//! a raw solver call, and how fast the cache-hit path is.
+//!
+//! * `direct_solve`     — the bare kernel: `evaluate_throughput` on a fixed
+//!   instance (the engine-free baseline).
+//! * `cell_compute`     — the same instance through `run_cells` with the
+//!   cache disabled: spec rebuild + TM regeneration + dispatch overhead.
+//! * `cache_hit`        — the same cell served from a warm on-disk cache:
+//!   this is the per-cell cost a resumed `--full` ladder pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use topobench::sweep::{run_cells, CellSpec, SweepCell, SweepOptions, TopoSpec};
+use topobench::{evaluate_throughput, TmSpec};
+
+fn cell() -> SweepCell {
+    SweepCell::new(
+        "bench/hypercube/A2A",
+        CellSpec::Throughput {
+            topo: TopoSpec::Hypercube {
+                dims: 5,
+                servers: 1,
+            },
+            tm: TmSpec::AllToAll,
+            tm_seed: 7,
+        },
+    )
+}
+
+fn opts(use_cache: bool, cache_dir: &std::path::Path) -> SweepOptions {
+    let mut o = SweepOptions::new(false, 7);
+    o.use_cache = use_cache;
+    o.cache_dir = cache_dir.to_path_buf();
+    o.jobs = Some(1); // measure the engine path, not pool dispatch
+    o
+}
+
+fn bench(c: &mut Criterion) {
+    let cache_dir = std::env::temp_dir().join(format!("tb-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+
+    let topo = tb_topology::hypercube::hypercube(5, 1);
+    let cfg = opts(false, &cache_dir).eval_config();
+    let tm = TmSpec::AllToAll.generate(&topo, 7);
+    group.bench_function("direct_solve", |b| {
+        b.iter(|| evaluate_throughput(&topo, &tm, &cfg))
+    });
+
+    group.bench_function("cell_compute", |b| {
+        b.iter(|| run_cells(&opts(false, &cache_dir), vec![cell()]))
+    });
+
+    // Warm the cache once, then measure pure hits.
+    run_cells(&opts(true, &cache_dir), vec![cell()]);
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            let report = run_cells(&opts(true, &cache_dir), vec![cell()]);
+            assert_eq!(report.cache_hits, 1);
+            report
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -91,15 +91,23 @@ pub fn evaluate_throughput_with(
     FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws)
 }
 
-/// The Theorem-2 lower bound on worst-case throughput: `T_A2A / 2`. Any hose
-/// model TM is feasible at half the all-to-all throughput.
-pub fn lower_bound(topo: &Topology, cfg: &EvalConfig) -> ThroughputBounds {
-    let tm = TmSpec::AllToAll.generate(topo, cfg.seed);
-    let a2a = evaluate_throughput(topo, &tm, cfg);
+/// The Theorem-2 lower bound derived from an already-computed all-to-all
+/// result: `T_A2A / 2`. Callers that evaluate the A2A TM anyway (Fig. 2, the
+/// sweep engine's renderers) pass their result here instead of solving the
+/// same instance a second time through [`lower_bound`].
+pub fn lower_bound_from(a2a: ThroughputBounds) -> ThroughputBounds {
     ThroughputBounds {
         lower: a2a.lower / 2.0,
         upper: a2a.upper / 2.0,
     }
+}
+
+/// The Theorem-2 lower bound on worst-case throughput: `T_A2A / 2`. Any hose
+/// model TM is feasible at half the all-to-all throughput. Solves the A2A
+/// instance; use [`lower_bound_from`] when an A2A result is already at hand.
+pub fn lower_bound(topo: &Topology, cfg: &EvalConfig) -> ThroughputBounds {
+    let tm = TmSpec::AllToAll.generate(topo, cfg.seed);
+    lower_bound_from(evaluate_throughput(topo, &tm, cfg))
 }
 
 /// Result of a relative-throughput evaluation.
@@ -223,6 +231,17 @@ mod tests {
             lm.upper,
             lb.lower
         );
+    }
+
+    #[test]
+    fn lower_bound_from_matches_lower_bound() {
+        let topo = hypercube(3, 1);
+        let c = cfg();
+        let direct = lower_bound(&topo, &c);
+        let a2a = evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, c.seed), &c);
+        let derived = lower_bound_from(a2a);
+        assert_eq!(direct.lower.to_bits(), derived.lower.to_bits());
+        assert_eq!(direct.upper.to_bits(), derived.upper.to_bits());
     }
 
     #[test]

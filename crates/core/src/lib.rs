@@ -33,15 +33,18 @@
 //! ```
 //!
 //! The `experiments` crate in this workspace regenerates every table and
-//! figure of the paper's evaluation on top of this API.
+//! figure of the paper's evaluation on top of this API, driving the
+//! declarative [`sweep`] engine (parallel cell execution, content-keyed
+//! result caching, unified JSON artifacts).
 
 pub mod eval;
 pub mod spec;
 pub mod stats;
+pub mod sweep;
 
 pub use eval::{
-    evaluate_throughput, evaluate_throughput_with, lower_bound, relative_throughput,
-    relative_throughput_fixed_tm, EvalConfig, RelativeThroughput,
+    evaluate_throughput, evaluate_throughput_with, lower_bound, lower_bound_from,
+    relative_throughput, relative_throughput_fixed_tm, EvalConfig, RelativeThroughput,
 };
 pub use spec::TmSpec;
 pub use stats::Stats;

@@ -12,7 +12,7 @@ use tb_topology::Topology;
 use tb_traffic::{synthetic, TrafficMatrix};
 
 /// A recipe for generating a traffic matrix on a given topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TmSpec {
     /// The all-to-all TM `T_{A2A}`.
     AllToAll,

@@ -1,0 +1,335 @@
+//! The unified result artifact: one JSON document per scenario run, next to
+//! the per-table CSV files the harness has always written.
+//!
+//! The artifact records the full cell-level results (bit-exact, via IEEE-754
+//! bit patterns) *and* the rendered tables, so downstream tooling can either
+//! re-render figures from raw cells or diff the human-readable tables. CI
+//! validates every artifact against [`validate_artifact`].
+
+use crate::sweep::cell::SweepCell;
+use crate::sweep::json::Json;
+use crate::sweep::runner::{SweepOptions, SweepReport};
+use crate::sweep::table::Table;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// Schema tag of the sweep artifact document.
+pub const ARTIFACT_SCHEMA: &str = "topobench-sweep/v1";
+
+/// A rendered table plus the file stem its CSV is written under.
+#[derive(Debug, Clone)]
+pub struct NamedTable {
+    /// CSV/identifier stem (e.g. `"fig02_tm_families"`).
+    pub name: String,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// Everything a scenario renders besides the raw cells.
+#[derive(Debug, Clone, Default)]
+pub struct RenderOutput {
+    /// Lines printed before the tables (e.g. Fig. 15's equipment summary).
+    pub preamble: Vec<String>,
+    /// The rendered tables, in print order.
+    pub tables: Vec<NamedTable>,
+    /// The "expected shape" commentary printed after the tables.
+    pub notes: String,
+}
+
+fn labels_json(cell: &SweepCell) -> Json {
+    Json::Obj(
+        cell.labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+            .collect(),
+    )
+}
+
+/// Serializes a run (raw cells + rendered tables) to the artifact document.
+pub fn artifact_json(
+    scenario: &str,
+    title: &str,
+    opts: &SweepOptions,
+    report: &SweepReport,
+    render: &RenderOutput,
+) -> Json {
+    let cells: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let values: BTreeMap<String, Json> = o
+                .values
+                .nums()
+                .iter()
+                .map(|(name, value)| {
+                    (
+                        name.clone(),
+                        Json::obj(vec![
+                            ("bits", Json::f64_bits(*value)),
+                            ("value", Json::Num(*value)),
+                        ]),
+                    )
+                })
+                .collect();
+            let texts: BTreeMap<String, Json> = o
+                .values
+                .texts()
+                .iter()
+                .map(|(name, value)| (name.clone(), Json::str(value.clone())))
+                .collect();
+            Json::obj(vec![
+                ("id", Json::str(o.cell.id.clone())),
+                ("cached", Json::Bool(o.cached)),
+                ("labels", labels_json(&o.cell)),
+                ("values", Json::Obj(values)),
+                ("texts", Json::Obj(texts)),
+            ])
+        })
+        .collect();
+    let tables: Vec<Json> = render
+        .tables
+        .iter()
+        .map(|nt| {
+            Json::obj(vec![
+                ("name", Json::str(nt.name.clone())),
+                ("title", Json::str(nt.table.title())),
+                (
+                    "header",
+                    Json::Arr(
+                        nt.table
+                            .header()
+                            .iter()
+                            .map(|h| Json::str(h.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "rows",
+                    Json::Arr(
+                        nt.table
+                            .rows()
+                            .iter()
+                            .map(|row| {
+                                Json::Arr(row.iter().map(|c| Json::str(c.clone())).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str(ARTIFACT_SCHEMA)),
+        ("scenario", Json::str(scenario)),
+        ("title", Json::str(title)),
+        ("full", Json::Bool(opts.full)),
+        // As a string: a u64 seed above 2^53 would silently round through a
+        // JSON double, and this document promises exact reproducibility.
+        ("seed", Json::str(opts.seed.to_string())),
+        (
+            "filter",
+            match &opts.filter {
+                Some(f) => Json::str(f.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("cells", Json::Num(report.outcomes.len() as f64)),
+                ("unique_cells", Json::Num(report.unique_cells as f64)),
+                ("cache_hits", Json::Num(report.cache_hits as f64)),
+                ("solver_calls", Json::Num(report.solver_calls as f64)),
+            ]),
+        ),
+        ("cells", Json::Arr(cells)),
+        ("tables", Json::Arr(tables)),
+    ])
+}
+
+/// Writes the artifact as `results/<scenario>.json`, returning its path.
+pub fn write_artifact(
+    scenario: &str,
+    title: &str,
+    opts: &SweepOptions,
+    report: &SweepReport,
+    render: &RenderOutput,
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{scenario}.json"));
+    fs::write(
+        &path,
+        artifact_json(scenario, title, opts, report, render).to_string(),
+    )?;
+    Ok(path)
+}
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("artifact invalid: {what}"))
+    }
+}
+
+/// Validates an artifact document against the `topobench-sweep/v1` schema.
+pub fn validate_artifact(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("artifact is not JSON: {e}"))?;
+    check(
+        doc.get("schema").and_then(Json::as_str) == Some(ARTIFACT_SCHEMA),
+        "missing or wrong schema tag",
+    )?;
+    for field in ["scenario", "title"] {
+        check(
+            doc.get(field).and_then(Json::as_str).is_some(),
+            &format!("'{field}' must be a string"),
+        )?;
+    }
+    check(
+        doc.get("full").and_then(Json::as_bool).is_some(),
+        "'full' must be a bool",
+    )?;
+    check(
+        doc.get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .is_some(),
+        "'seed' must be a decimal string",
+    )?;
+    let stats = doc.get("stats").ok_or("missing 'stats'")?;
+    for field in ["cells", "unique_cells", "cache_hits", "solver_calls"] {
+        check(
+            stats.get(field).and_then(Json::as_num).is_some(),
+            &format!("stats.{field} must be a number"),
+        )?;
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("'cells' must be an array")?;
+    check(
+        cells.len() == stats.get("cells").and_then(Json::as_num).unwrap() as usize,
+        "stats.cells must match the cell count",
+    )?;
+    for cell in cells {
+        check(
+            cell.get("id").and_then(Json::as_str).is_some(),
+            "cell id must be a string",
+        )?;
+        check(
+            cell.get("cached").and_then(Json::as_bool).is_some(),
+            "cell 'cached' must be a bool",
+        )?;
+        let values = cell.get("values").ok_or("cell missing 'values'")?;
+        match values {
+            Json::Obj(map) => {
+                for (name, v) in map {
+                    check(
+                        v.get("bits").and_then(|b| b.as_f64_bits()).is_some(),
+                        &format!("value '{name}' must carry a decodable bit pattern"),
+                    )?;
+                }
+            }
+            _ => return Err("cell 'values' must be an object".into()),
+        }
+    }
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("'tables' must be an array")?;
+    for table in tables {
+        check(
+            table.get("name").and_then(Json::as_str).is_some(),
+            "table name must be a string",
+        )?;
+        let header = table
+            .get("header")
+            .and_then(Json::as_arr)
+            .ok_or("table header must be an array")?;
+        let rows = table
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("table rows must be an array")?;
+        for row in rows {
+            let row = row.as_arr().ok_or("table row must be an array")?;
+            check(
+                row.len() == header.len(),
+                "table row width must match the header",
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::cell::{CellSpec, CellValues};
+    use crate::sweep::runner::CellOutcome;
+    use crate::sweep::topo::TopoSpec;
+    use crate::TmSpec;
+
+    fn sample_report() -> SweepReport {
+        let mut values = CellValues::default();
+        values.push("lower", 0.5);
+        values.push_text("note", "n");
+        SweepReport {
+            outcomes: vec![CellOutcome {
+                cell: SweepCell::new(
+                    "a",
+                    CellSpec::Throughput {
+                        topo: TopoSpec::Hypercube {
+                            dims: 3,
+                            servers: 1,
+                        },
+                        tm: TmSpec::AllToAll,
+                        tm_seed: 1,
+                    },
+                )
+                .label("topology", "hypercube"),
+                values,
+                cached: false,
+            }],
+            unique_cells: 1,
+            cache_hits: 0,
+            solver_calls: 1,
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_validates() {
+        let opts = SweepOptions::new(false, 1);
+        let mut table = Table::new("demo", &["a", "b"]);
+        table.row_strings(vec!["1".into(), "2".into()]);
+        let render = RenderOutput {
+            preamble: vec!["hello".into()],
+            tables: vec![NamedTable {
+                name: "demo".into(),
+                table,
+            }],
+            notes: "notes".into(),
+        };
+        let doc = artifact_json("test", "Test", &opts, &sample_report(), &render);
+        validate_artifact(&doc.to_string()).expect("artifact should validate");
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_artifact("{}").is_err());
+        assert!(validate_artifact("not json").is_err());
+        let opts = SweepOptions::new(false, 1);
+        let doc = artifact_json(
+            "test",
+            "Test",
+            &opts,
+            &sample_report(),
+            &RenderOutput::default(),
+        );
+        let good = doc.to_string();
+        validate_artifact(&good).unwrap();
+        let bad = good.replace("\"cells\":1", "\"cells\":7");
+        assert!(validate_artifact(&bad).is_err(), "cell count mismatch");
+    }
+}

@@ -1,0 +1,192 @@
+//! Content-keyed on-disk cache of cell results.
+//!
+//! The key is the full canonical description of the computation — the cell
+//! spec (every seed included) plus the evaluation configuration — so a cache
+//! entry can never be served for a different computation. Keys are hashed
+//! (FNV-1a 64) to form file names under the cache directory; the full key
+//! string is stored inside each entry and verified on load, which makes hash
+//! collisions harmless (they read back as misses).
+//!
+//! Layout: `<cache_dir>/<16-hex-digit-hash>.json`, one file per entry, each
+//! a `topobench-cell/v1` document. Metric floats are stored as IEEE-754 bit
+//! patterns, so a cache round trip is bit-identical to recomputation.
+//! Entries are written via a temp file + rename, so an interrupted sweep
+//! leaves either a complete entry or none — re-running resumes from whatever
+//! finished.
+
+use crate::sweep::cell::CellValues;
+use crate::sweep::json::Json;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Schema tag stored in every cache entry.
+pub const CELL_SCHEMA: &str = "topobench-cell/v1";
+
+/// FNV-1a 64-bit hash (stable across platforms and runs).
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A handle on one cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a key.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a(key)))
+    }
+
+    /// Loads the entry for `key`, verifying the stored key matches. Any
+    /// mismatch, parse failure or IO error reads as a miss.
+    pub fn load(&self, key: &str) -> Option<CellValues> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("schema")?.as_str()? != CELL_SCHEMA {
+            return None;
+        }
+        if doc.get("key")?.as_str()? != key {
+            return None; // hash collision or stale format: recompute
+        }
+        let mut values = CellValues::default();
+        for entry in doc.get("values")?.as_arr()? {
+            let items = entry.as_arr()?;
+            if items.len() != 3 {
+                return None;
+            }
+            values.push(items[0].as_str()?, items[1].as_f64_bits()?);
+        }
+        for entry in doc.get("texts")?.as_arr()? {
+            let items = entry.as_arr()?;
+            if items.len() != 2 {
+                return None;
+            }
+            values.push_text(items[0].as_str()?, items[1].as_str()?);
+        }
+        Some(values)
+    }
+
+    /// Stores `values` under `key` (atomic write; best-effort on IO errors —
+    /// a failed store only means a future miss).
+    pub fn store(&self, key: &str, values: &CellValues) {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let doc = Json::obj(vec![
+            ("schema", Json::str(CELL_SCHEMA)),
+            ("key", Json::str(key)),
+            (
+                "values",
+                Json::Arr(
+                    values
+                        .nums()
+                        .iter()
+                        .map(|(name, value)| {
+                            Json::Arr(vec![
+                                Json::str(name.clone()),
+                                Json::f64_bits(*value),
+                                Json::Num(*value),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "texts",
+                Json::Arr(
+                    values
+                        .texts()
+                        .iter()
+                        .map(|(name, value)| {
+                            Json::Arr(vec![Json::str(name.clone()), Json::str(value.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let path = self.path_for(key);
+        // Writer-unique temp name: processes sharing one cache directory may
+        // store the same key concurrently, and a shared tmp path would let
+        // interleaved writes publish a corrupted entry.
+        let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+        if fs::write(&tmp, doc.to_string()).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("tb-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let cache = temp_cache("roundtrip");
+        let mut values = CellValues::default();
+        values.push("lower", 1.0 / 3.0);
+        values.push("upper", f64::INFINITY);
+        values.push_text("note", "hello \"world\"");
+        cache.store("some|key", &values);
+        let back = cache.load("some|key").expect("entry should load");
+        assert!(values.bit_identical(&back));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn wrong_key_is_a_miss() {
+        let cache = temp_cache("misses");
+        let mut values = CellValues::default();
+        values.push("x", 1.0);
+        cache.store("key-a", &values);
+        assert!(cache.load("key-b").is_none());
+        // Simulated collision: same file, different stored key.
+        let path = cache.path_for("key-a");
+        let other = cache.path_for("key-c");
+        fs::create_dir_all(cache.dir()).unwrap();
+        fs::copy(&path, &other).unwrap();
+        assert!(cache.load("key-c").is_none(), "stored key must match");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = temp_cache("corrupt");
+        let mut values = CellValues::default();
+        values.push("x", 2.0);
+        cache.store("key", &values);
+        fs::write(cache.path_for("key"), "{not json").unwrap();
+        assert!(cache.load("key").is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so cache file names never silently change between builds.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("topobench"), fnv1a("topobench"));
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

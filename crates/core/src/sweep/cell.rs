@@ -1,0 +1,356 @@
+//! Sweep cells: the unit of scheduling, caching and result storage.
+//!
+//! A [`CellSpec`] declares one computation — a topology recipe, a traffic
+//! recipe and a metric kind — with every random seed pinned inside the spec.
+//! Together with the run's [`EvalConfig`](crate::EvalConfig) it fully
+//! determines the result, which is what makes the on-disk cache sound: the
+//! cache key is derived from `(spec, eval config)` and nothing else.
+
+use crate::eval::{
+    evaluate_throughput_with, relative_throughput, relative_throughput_fixed_tm, EvalConfig,
+};
+use crate::spec::TmSpec;
+use crate::sweep::topo::TopoSpec;
+use tb_cuts::{estimate_sparsest_cut, ALL_ESTIMATORS};
+use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
+use tb_flow::SolverWorkspace;
+use tb_graph::shortest_path::average_path_length;
+use tb_topology::jellyfish::same_equipment;
+use tb_topology::Topology;
+use tb_traffic::{facebook, ops, TrafficMatrix};
+
+/// Which of the two synthetic Facebook rack-level matrices a cell uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbMatrix {
+    /// The near-uniform Hadoop-cluster matrix (TM-H).
+    Hadoop,
+    /// The skewed frontend-cluster matrix (TM-F).
+    Frontend,
+}
+
+/// One declarative sweep computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSpec {
+    /// Absolute throughput of `tm` (instantiated with `tm_seed`) on `topo`.
+    Throughput {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Traffic recipe.
+        tm: TmSpec,
+        /// Seed used to instantiate the TM.
+        tm_seed: u64,
+    },
+    /// Relative throughput vs same-equipment random graphs (the TM is
+    /// regenerated per graph from the spec; seeds derive from the eval
+    /// config, exactly as [`relative_throughput`] always has).
+    Relative {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Traffic recipe.
+        tm: TmSpec,
+    },
+    /// The sparsest-cut estimator battery against `tm`.
+    CutEstimate {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Traffic recipe.
+        tm: TmSpec,
+        /// Seed used to instantiate the TM.
+        tm_seed: u64,
+    },
+    /// Average shortest-path length of `topo` vs one same-equipment random
+    /// graph built with `rnd_seed` (Fig. 9's relative path length).
+    PathLengthRatio {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Seed of the comparison random graph.
+        rnd_seed: u64,
+    },
+    /// Relative throughput (fixed TM) under a placed Facebook rack-level
+    /// matrix, optionally with randomized rack placement (Figs. 13–14).
+    FacebookRelative {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Which measured matrix.
+        matrix: FbMatrix,
+        /// Randomize rack placement before placing.
+        shuffled: bool,
+        /// Seed used to synthesize the matrix.
+        tm_seed: u64,
+        /// Seed used for the rack shuffle.
+        shuffle_seed: u64,
+    },
+    /// Path-restricted throughput: LLSKR-style k-shortest-path sets under
+    /// all-to-all traffic, reporting both the Yuan et al. subflow-counting
+    /// estimate and the exact LP value (Fig. 15).
+    PathRestricted {
+        /// Topology recipe.
+        topo: TopoSpec,
+        /// Paths per commodity.
+        k_paths: usize,
+        /// Seed used to instantiate the A2A TM.
+        tm_seed: u64,
+    },
+}
+
+/// A cell's result: named floating-point metrics (bit-exact through the
+/// cache) plus optional named text annotations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellValues {
+    nums: Vec<(String, f64)>,
+    texts: Vec<(String, String)>,
+}
+
+impl CellValues {
+    /// Appends a named metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.nums.push((name.into(), value));
+    }
+
+    /// Appends a named text annotation.
+    pub fn push_text(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.texts.push((name.into(), value.into()));
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.nums.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a metric that must exist.
+    ///
+    /// # Panics
+    /// Panics when the metric is absent — a scenario wiring bug.
+    pub fn num(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("cell value '{name}' missing"))
+    }
+
+    /// Looks up a text annotation by name.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        self.texts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All metrics in insertion order.
+    pub fn nums(&self) -> &[(String, f64)] {
+        &self.nums
+    }
+
+    /// All text annotations in insertion order.
+    pub fn texts(&self) -> &[(String, String)] {
+        &self.texts
+    }
+
+    /// True when every metric of `self` and `other` matches bit-for-bit (and
+    /// texts match exactly).
+    pub fn bit_identical(&self, other: &CellValues) -> bool {
+        self.nums.len() == other.nums.len()
+            && self.texts == other.texts
+            && self
+                .nums
+                .iter()
+                .zip(&other.nums)
+                .all(|((an, av), (bn, bv))| an == bn && av.to_bits() == bv.to_bits())
+    }
+}
+
+/// One schedulable cell: a stable id (unique within its scenario), display
+/// labels captured at expansion time, and the computation spec.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Stable identifier, e.g. `"hypercube/d=4/LM"`.
+    pub id: String,
+    /// Display labels the renderer needs (topology params, sizes, …),
+    /// captured when the scenario expanded its grid.
+    pub labels: Vec<(String, String)>,
+    /// The computation.
+    pub spec: CellSpec,
+}
+
+impl SweepCell {
+    /// Creates a cell with no labels.
+    pub fn new(id: impl Into<String>, spec: CellSpec) -> Self {
+        SweepCell {
+            id: id.into(),
+            labels: Vec::new(),
+            spec,
+        }
+    }
+
+    /// Adds a display label.
+    pub fn label(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up a display label.
+    pub fn get_label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn build_topo(spec: &TopoSpec) -> Topology {
+    spec.build()
+        .unwrap_or_else(|| panic!("unsatisfiable topology spec {spec:?}"))
+}
+
+/// Replicates the Fig. 13/14 placement: downsample a rack-level TM to the
+/// topology's endpoint-switch count if needed, map it onto the endpoint
+/// switches, and re-normalize to the hose model.
+fn place_rack_tm(tm: &TrafficMatrix, topo: &Topology) -> TrafficMatrix {
+    let endpoints = topo.server_switches();
+    let tm = if endpoints.len() < tm.num_switches() {
+        ops::downsample(tm, endpoints.len())
+    } else {
+        tm.clone()
+    };
+    let mapped = ops::map_onto(&tm, &endpoints, topo.num_switches());
+    mapped.normalized_to_hose(&topo.servers).0
+}
+
+impl CellSpec {
+    /// Runs the computation. `ws` amortizes solver scratch allocations across
+    /// cells on the same worker; results are identical to a fresh workspace.
+    pub fn compute(&self, cfg: &EvalConfig, ws: &mut SolverWorkspace) -> CellValues {
+        let mut out = CellValues::default();
+        match self {
+            CellSpec::Throughput { topo, tm, tm_seed } => {
+                let topo = build_topo(topo);
+                let matrix = tm.generate(&topo, *tm_seed);
+                let bounds = evaluate_throughput_with(&topo, &matrix, cfg, ws);
+                out.push("lower", bounds.lower);
+                out.push("upper", bounds.upper);
+                out.push_text("tm_fp", format!("{:016x}", matrix.fingerprint()));
+            }
+            CellSpec::Relative { topo, tm } => {
+                let topo = build_topo(topo);
+                let r = relative_throughput(&topo, tm, cfg);
+                out.push("absolute", r.absolute);
+                out.push("rel_mean", r.relative.mean);
+                out.push("rel_std", r.relative.std_dev);
+                out.push("rel_ci95", r.relative.ci95);
+                for (i, s) in r.random_graph_samples.iter().enumerate() {
+                    out.push(format!("sample_{i}"), *s);
+                }
+            }
+            CellSpec::CutEstimate { topo, tm, tm_seed } => {
+                let topo = build_topo(topo);
+                let matrix = tm.generate(&topo, *tm_seed);
+                let report = estimate_sparsest_cut(&topo.graph, &matrix);
+                out.push("best_sparsity", report.best_sparsity);
+                out.push_text("tm_fp", format!("{:016x}", matrix.fingerprint()));
+                let found = report.found_by(1e-6);
+                for est in ALL_ESTIMATORS {
+                    out.push(
+                        format!("found_{}", est.name().to_lowercase().replace(' ', "_")),
+                        if found.contains(&est) { 1.0 } else { 0.0 },
+                    );
+                }
+            }
+            CellSpec::PathLengthRatio { topo, rnd_seed } => {
+                let topo = build_topo(topo);
+                let rnd = same_equipment(&topo, *rnd_seed);
+                let apl_topo = average_path_length(&topo.graph).unwrap_or(f64::NAN);
+                let apl_rnd = average_path_length(&rnd.graph).unwrap_or(f64::NAN);
+                out.push("apl_topo", apl_topo);
+                out.push("apl_rnd", apl_rnd);
+                out.push("ratio", apl_topo / apl_rnd);
+            }
+            CellSpec::FacebookRelative {
+                topo,
+                matrix,
+                shuffled,
+                tm_seed,
+                shuffle_seed,
+            } => {
+                let topo = build_topo(topo);
+                let tm = match matrix {
+                    FbMatrix::Hadoop => facebook::tm_h(facebook::FACEBOOK_RACKS, *tm_seed),
+                    FbMatrix::Frontend => facebook::tm_f(facebook::FACEBOOK_RACKS, *tm_seed),
+                };
+                let racks = topo.server_switches().len().min(tm.num_switches());
+                let placed = if *shuffled {
+                    let shuffled_tm =
+                        ops::shuffle(&ops::downsample(&tm, racks.max(2)), *shuffle_seed);
+                    place_rack_tm(&shuffled_tm, &topo)
+                } else {
+                    place_rack_tm(&tm, &topo)
+                };
+                let r = relative_throughput_fixed_tm(&topo, &placed, cfg);
+                out.push("racks", racks as f64);
+                out.push("absolute", r.absolute);
+                out.push("rel_mean", r.relative.mean);
+                out.push("rel_ci95", r.relative.ci95);
+            }
+            CellSpec::PathRestricted {
+                topo,
+                k_paths,
+                tm_seed,
+            } => {
+                let topo = build_topo(topo);
+                let tm = TmSpec::AllToAll.generate(&topo, *tm_seed);
+                let paths = k_shortest_path_sets(&topo.graph, &tm, *k_paths);
+                // Convert the per-switch-flow counting estimate to per-server
+                // units so differently concentrated networks are comparable.
+                let counting = SubflowCountingEstimator::new().estimate(&paths)
+                    * paths.len() as f64
+                    / topo.num_servers() as f64;
+                let lp = PathRestrictedSolver::new().solve(&topo.graph, &paths);
+                out.push("counting", counting);
+                out.push("lp", lp.value());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_cell_matches_direct_evaluation() {
+        let spec = CellSpec::Throughput {
+            topo: TopoSpec::Hypercube {
+                dims: 3,
+                servers: 1,
+            },
+            tm: TmSpec::AllToAll,
+            tm_seed: 1,
+        };
+        let cfg = EvalConfig::fast();
+        let mut ws = SolverWorkspace::new();
+        let v = spec.compute(&cfg, &mut ws);
+        let topo = tb_topology::hypercube::hypercube(3, 1);
+        let tm = TmSpec::AllToAll.generate(&topo, 1);
+        let direct = crate::evaluate_throughput(&topo, &tm, &cfg);
+        assert_eq!(v.num("lower").to_bits(), direct.lower.to_bits());
+        assert_eq!(v.num("upper").to_bits(), direct.upper.to_bits());
+    }
+
+    #[test]
+    fn cell_values_lookup_and_bit_identity() {
+        let mut a = CellValues::default();
+        a.push("x", 0.1 + 0.2);
+        a.push_text("note", "hi");
+        let mut b = CellValues::default();
+        b.push("x", 0.3);
+        b.push_text("note", "hi");
+        assert!(!a.bit_identical(&b), "0.1+0.2 != 0.3 bitwise");
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.text("note"), Some("hi"));
+        assert!((a.num("x") - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_metric_panics() {
+        CellValues::default().num("nope");
+    }
+}

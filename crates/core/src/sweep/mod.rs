@@ -1,0 +1,160 @@
+//! The scenario engine: declarative sweeps, parallel cell execution and
+//! cached result artifacts.
+//!
+//! Every figure and table of the paper is one *scenario*: a named grid of
+//! (topology recipe × traffic recipe × metric) **cells** plus a renderer that
+//! turns cell results into the figure's tables. The engine
+//!
+//! * expands a [`Scenario`] into [`SweepCell`]s (all seeds pinned at
+//!   expansion time, derived from the base seed — never from execution
+//!   order),
+//! * executes unique cells in parallel with per-worker
+//!   [`SolverWorkspace`](tb_flow::SolverWorkspace) reuse ([`run_cells`]),
+//!   bit-identical to a serial run,
+//! * serves repeat computations from a content-keyed on-disk cache
+//!   ([`ResultCache`], default `results/cache/`), so re-runs and interrupted
+//!   `--full` ladders resume instead of recomputing, and
+//! * writes one unified JSON artifact per run ([`write_artifact`]) alongside
+//!   the per-table CSVs.
+//!
+//! Scenario definitions (the 13 figure/table registrations) live in the
+//! `experiments` crate; this module is the machinery.
+
+pub mod artifact;
+pub mod cache;
+pub mod cell;
+pub mod json;
+pub mod runner;
+pub mod table;
+pub mod topo;
+
+pub use artifact::{
+    artifact_json, validate_artifact, write_artifact, NamedTable, RenderOutput, ARTIFACT_SCHEMA,
+};
+pub use cache::{fnv1a, ResultCache, CELL_SCHEMA};
+pub use cell::{CellSpec, CellValues, FbMatrix, SweepCell};
+pub use runner::{cell_key, run_cells, CellOutcome, CellSet, SweepOptions, SweepReport};
+pub use table::{f3, Table};
+pub use topo::TopoSpec;
+
+/// A registered experiment: a named, declarative sweep plus its renderer.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Registry name (`"fig02"`, `"table02"`, …) — also the artifact stem.
+    pub name: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Expands the cell grid for the given options.
+    pub build: fn(&SweepOptions) -> Vec<SweepCell>,
+    /// Renders tables from a complete (unfiltered) set of outcomes.
+    pub render: fn(&SweepOptions, &CellSet) -> RenderOutput,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("title", &self.title)
+            .finish()
+    }
+}
+
+/// Runs a scenario end to end: expand, execute, render.
+///
+/// With a cell filter active the scenario renderer is skipped (it assumes a
+/// complete grid) and a generic per-cell metric dump is rendered instead.
+pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> (SweepReport, RenderOutput) {
+    let cells = (scenario.build)(opts);
+    let report = run_cells(opts, cells);
+    let render = if opts.filter.is_some() {
+        render_cell_dump(scenario, &report)
+    } else {
+        let set = CellSet::new(&report.outcomes);
+        (scenario.render)(opts, &set)
+    };
+    (report, render)
+}
+
+fn render_cell_dump(scenario: &Scenario, report: &SweepReport) -> RenderOutput {
+    let mut table = Table::new(
+        format!("{}: filtered cell results", scenario.name),
+        &["cell", "metric", "value", "cached"],
+    );
+    for o in &report.outcomes {
+        for (name, value) in o.values.nums() {
+            table.row_strings(vec![
+                o.cell.id.clone(),
+                name.clone(),
+                format!("{value:.6}"),
+                o.cached.to_string(),
+            ]);
+        }
+    }
+    RenderOutput {
+        preamble: Vec::new(),
+        tables: vec![NamedTable {
+            name: format!("{}_cells", scenario.name),
+            table,
+        }],
+        notes: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TmSpec;
+
+    fn test_scenario() -> Scenario {
+        Scenario {
+            name: "test",
+            title: "Test scenario",
+            build: |opts| {
+                vec![SweepCell::new(
+                    "cube/A2A",
+                    CellSpec::Throughput {
+                        topo: TopoSpec::Hypercube {
+                            dims: 3,
+                            servers: 1,
+                        },
+                        tm: TmSpec::AllToAll,
+                        tm_seed: opts.seed,
+                    },
+                )]
+            },
+            render: |_, set| {
+                let mut table = Table::new("t", &["v"]);
+                table.row_strings(vec![f3(set.num("cube/A2A", "lower"))]);
+                RenderOutput {
+                    preamble: Vec::new(),
+                    tables: vec![NamedTable {
+                        name: "t".into(),
+                        table,
+                    }],
+                    notes: String::new(),
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn run_scenario_renders() {
+        let mut opts = SweepOptions::new(false, 1);
+        opts.use_cache = false;
+        let (report, render) = run_scenario(&test_scenario(), &opts);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(render.tables.len(), 1);
+        assert_eq!(render.tables[0].table.num_rows(), 1);
+    }
+
+    #[test]
+    fn filtered_run_renders_cell_dump() {
+        let mut opts = SweepOptions::new(false, 1);
+        opts.use_cache = false;
+        opts.filter = Some("A2A".into());
+        let (report, render) = run_scenario(&test_scenario(), &opts);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(render.tables[0].name, "test_cells");
+        assert!(render.tables[0].table.num_rows() >= 1);
+    }
+}

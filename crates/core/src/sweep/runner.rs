@@ -1,0 +1,314 @@
+//! The sweep runner: expands, deduplicates, caches and executes cells.
+//!
+//! Execution is embarrassingly parallel over *unique* cell computations
+//! (cells with identical cache keys are computed once and share the result).
+//! Each worker reuses one [`SolverWorkspace`] across the cells it executes;
+//! workspace reuse is result-identical to fresh workspaces (asserted by the
+//! solver's determinism tests), and every random seed is pinned inside the
+//! cell spec, so results are bit-identical regardless of thread count or
+//! execution order.
+
+use crate::eval::EvalConfig;
+use crate::sweep::cache::ResultCache;
+use crate::sweep::cell::{CellValues, SweepCell};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use tb_flow::SolverWorkspace;
+use tb_topology::families::Scale;
+
+/// Options shared by every cell of a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Run the paper-scale ladders instead of the reduced ones.
+    pub full: bool,
+    /// Base RNG seed; scenario expansion derives every cell seed from it.
+    pub seed: u64,
+    /// `Some(1)` forces fully serial in-thread execution; any other value
+    /// uses the process-wide worker pool. (The pool's size is fixed at first
+    /// use from `RAYON_NUM_THREADS`; the `sweep` binary's `--jobs` flag sets
+    /// that variable before the pool spins up.)
+    pub jobs: Option<usize>,
+    /// Consult and populate the on-disk result cache.
+    pub use_cache: bool,
+    /// Cache directory (`results/cache` by default).
+    pub cache_dir: PathBuf,
+    /// If set, only run cells whose id contains this substring.
+    pub filter: Option<String>,
+}
+
+impl SweepOptions {
+    /// Default options for a given ladder scale and seed.
+    pub fn new(full: bool, seed: u64) -> Self {
+        SweepOptions {
+            full,
+            seed,
+            jobs: None,
+            use_cache: true,
+            cache_dir: PathBuf::from("results/cache"),
+            filter: None,
+        }
+    }
+
+    /// The topology instance ladder scale implied by the options.
+    pub fn scale(&self) -> Scale {
+        if self.full {
+            Scale::Full
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// The evaluation configuration implied by the options.
+    pub fn eval_config(&self) -> EvalConfig {
+        let mut cfg = if self.full {
+            EvalConfig::paper()
+        } else {
+            EvalConfig::fast()
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// One executed cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell as expanded by the scenario.
+    pub cell: SweepCell,
+    /// The computed (or cache-loaded) metrics.
+    pub values: CellValues,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+}
+
+/// The result of running a set of cells.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Outcomes in the cells' expansion order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Number of unique computations (cells minus intra-run duplicates).
+    pub unique_cells: usize,
+    /// Unique computations served from the cache.
+    pub cache_hits: usize,
+    /// Throughput-solver invocations performed during this run.
+    pub solver_calls: u64,
+}
+
+/// The canonical cache key of a cell under an evaluation configuration: the
+/// full debug rendering of both. Every seed and solver knob is part of the
+/// string, so distinct computations can never share a key.
+pub fn cell_key(cell: &SweepCell, cfg: &EvalConfig) -> String {
+    format!("{:?}|{:?}", cell.spec, cfg)
+}
+
+/// Runs `cells` under `opts`, returning per-cell outcomes in input order.
+pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
+    let cfg = opts.eval_config();
+    let cells: Vec<SweepCell> = match &opts.filter {
+        Some(f) => cells.into_iter().filter(|c| c.id.contains(f)).collect(),
+        None => cells,
+    };
+    let solver_before = tb_flow::solver_invocations();
+
+    // Deduplicate: identical specs (same key) are computed once per run.
+    let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &cfg)).collect();
+    let mut unique_of_key: HashMap<&str, usize> = HashMap::new();
+    let mut unique_indices: Vec<usize> = Vec::new(); // index into `cells`
+    let mut cell_to_unique: Vec<usize> = Vec::with_capacity(cells.len());
+    for (i, key) in keys.iter().enumerate() {
+        let next = unique_indices.len();
+        let u = *unique_of_key.entry(key.as_str()).or_insert(next);
+        if u == next {
+            unique_indices.push(i);
+        }
+        cell_to_unique.push(u);
+    }
+
+    let cache = ResultCache::new(&opts.cache_dir);
+    let mut results: Vec<Option<(CellValues, bool)>> = vec![None; unique_indices.len()];
+    if opts.use_cache {
+        for (slot, &cell_idx) in results.iter_mut().zip(&unique_indices) {
+            if let Some(values) = cache.load(&keys[cell_idx]) {
+                *slot = Some((values, true));
+            }
+        }
+    }
+
+    // Compute the misses, each worker reusing one solver workspace.
+    let missing: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(u, r)| r.is_none().then_some(u))
+        .collect();
+    let computed: Vec<(usize, CellValues)> = if opts.jobs == Some(1) {
+        let mut ws = SolverWorkspace::new();
+        missing
+            .iter()
+            .map(|&u| {
+                let cell_idx = unique_indices[u];
+                let values = cells[cell_idx].spec.compute(&cfg, &mut ws);
+                if opts.use_cache {
+                    cache.store(&keys[cell_idx], &values);
+                }
+                (u, values)
+            })
+            .collect()
+    } else {
+        missing
+            .into_par_iter()
+            .map_init(SolverWorkspace::new, |ws, u| {
+                let cell_idx = unique_indices[u];
+                let values = cells[cell_idx].spec.compute(&cfg, ws);
+                if opts.use_cache {
+                    // Stored as each cell finishes so interrupted runs
+                    // resume from whatever completed.
+                    cache.store(&keys[cell_idx], &values);
+                }
+                (u, values)
+            })
+            .collect()
+    };
+    for (u, values) in computed {
+        results[u] = Some((values, false));
+    }
+
+    let cache_hits = results.iter().flatten().filter(|(_, hit)| *hit).count();
+    let unique_cells = results.len();
+    let outcomes: Vec<CellOutcome> = cells
+        .into_iter()
+        .zip(cell_to_unique)
+        .map(|(cell, u)| {
+            let (values, cached) = results[u].clone().expect("every unique cell resolved");
+            CellOutcome {
+                cell,
+                values,
+                cached,
+            }
+        })
+        .collect();
+    SweepReport {
+        outcomes,
+        unique_cells,
+        cache_hits,
+        solver_calls: tb_flow::solver_invocations() - solver_before,
+    }
+}
+
+/// Indexed access to a run's outcomes for renderers.
+#[derive(Debug)]
+pub struct CellSet<'a> {
+    outcomes: &'a [CellOutcome],
+    by_id: HashMap<&'a str, usize>,
+}
+
+impl<'a> CellSet<'a> {
+    /// Indexes outcomes by cell id.
+    pub fn new(outcomes: &'a [CellOutcome]) -> Self {
+        let by_id = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.cell.id.as_str(), i))
+            .collect();
+        CellSet { outcomes, by_id }
+    }
+
+    /// All outcomes in expansion order.
+    pub fn outcomes(&self) -> &'a [CellOutcome] {
+        self.outcomes
+    }
+
+    /// The outcome of the cell with this id.
+    ///
+    /// # Panics
+    /// Panics when the id is unknown — a scenario wiring bug (renderers are
+    /// only invoked on unfiltered runs, so every expanded cell is present).
+    pub fn outcome(&self, id: &str) -> &'a CellOutcome {
+        let i = *self
+            .by_id
+            .get(id)
+            .unwrap_or_else(|| panic!("no cell with id '{id}'"));
+        &self.outcomes[i]
+    }
+
+    /// Shorthand: the named metric of the cell with this id.
+    pub fn num(&self, id: &str, metric: &str) -> f64 {
+        self.outcome(id).values.num(metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TmSpec;
+    use crate::sweep::cell::CellSpec;
+    use crate::sweep::topo::TopoSpec;
+
+    fn tiny_cells() -> Vec<SweepCell> {
+        [TmSpec::AllToAll, TmSpec::LongestMatching]
+            .into_iter()
+            .map(|tm| {
+                SweepCell::new(
+                    format!("cube/{}", tm.label()),
+                    CellSpec::Throughput {
+                        topo: TopoSpec::Hypercube {
+                            dims: 3,
+                            servers: 1,
+                        },
+                        tm,
+                        tm_seed: 1,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn no_cache_opts() -> SweepOptions {
+        let mut o = SweepOptions::new(false, 1);
+        o.use_cache = false;
+        o
+    }
+
+    #[test]
+    fn duplicate_specs_compute_once() {
+        let mut cells = tiny_cells();
+        let mut dup = cells[0].clone();
+        dup.id = "cube/duplicate".into();
+        cells.push(dup);
+        let report = run_cells(&no_cache_opts(), cells);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.unique_cells, 2);
+        // NOTE: report.solver_calls reads a process-global counter, so other
+        // tests solving concurrently can inflate it — assert only a lower
+        // bound here (the exact zero-call contract is tested in the
+        // single-test `engine_cache` binary, where the counter is quiet).
+        assert!(report.solver_calls >= 2);
+        assert!(report.outcomes[0]
+            .values
+            .bit_identical(&report.outcomes[2].values));
+    }
+
+    #[test]
+    fn filter_restricts_cells() {
+        let mut opts = no_cache_opts();
+        opts.filter = Some("A2A".into());
+        let report = run_cells(&opts, tiny_cells());
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].cell.id, "cube/A2A");
+    }
+
+    #[test]
+    fn cell_set_lookup() {
+        let report = run_cells(&no_cache_opts(), tiny_cells());
+        let set = CellSet::new(&report.outcomes);
+        assert!(set.num("cube/A2A", "lower") > 0.0);
+        assert_eq!(set.outcomes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cell_set_unknown_id_panics() {
+        let outcomes = [];
+        CellSet::new(&outcomes).outcome("nope");
+    }
+}

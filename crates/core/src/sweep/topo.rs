@@ -1,0 +1,295 @@
+//! Declarative topology specifications for sweep cells.
+//!
+//! A [`TopoSpec`] is a recipe that deterministically rebuilds a topology from
+//! scratch: every randomized constructor takes its seed from the spec itself,
+//! so the same spec always yields the same graph regardless of when, where or
+//! on which thread it is built. The spec's `Debug` representation is part of
+//! the sweep cache key, which is why specs carry explicit seeds rather than
+//! reading any ambient configuration.
+
+use tb_topology::expander::{clustered_random, subdivided_expander};
+use tb_topology::families::{Family, Scale};
+use tb_topology::fattree::fat_tree;
+use tb_topology::flattened_butterfly::flattened_butterfly;
+use tb_topology::hypercube::hypercube;
+use tb_topology::hyperx::{build_design, design_search};
+use tb_topology::jellyfish::{jellyfish, same_equipment};
+use tb_topology::longhop::long_hop;
+use tb_topology::natural::natural_networks;
+use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
+use tb_topology::Topology;
+
+/// A deterministic recipe for building one topology instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopoSpec {
+    /// `d`-dimensional hypercube with `servers` servers per switch.
+    Hypercube {
+        /// Dimension.
+        dims: usize,
+        /// Servers per switch.
+        servers: usize,
+    },
+    /// Three-level fat tree of radix `k`.
+    FatTree {
+        /// Switch radix.
+        k: usize,
+    },
+    /// Jellyfish random regular graph.
+    Jellyfish {
+        /// Number of switches.
+        switches: usize,
+        /// Inter-switch degree.
+        degree: usize,
+        /// Servers per switch.
+        servers: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// Jellyfish with `servers_total` servers spread as evenly as possible
+    /// over the switches (the Fig. 15 equal-equipment comparison).
+    JellyfishSpread {
+        /// Number of switches.
+        switches: usize,
+        /// Inter-switch degree.
+        degree: usize,
+        /// Total server count to spread.
+        servers_total: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// `k`-ary `n`-stage flattened butterfly.
+    FlattenedButterfly {
+        /// Arity.
+        k: usize,
+        /// Stages.
+        n: usize,
+    },
+    /// Long Hop network.
+    LongHop {
+        /// Hypercube dimension.
+        dim: usize,
+        /// Total degree.
+        degree: usize,
+        /// Servers per switch.
+        servers: usize,
+    },
+    /// Slim Fly MMS graph for prime power `q` with the canonical
+    /// concentration.
+    SlimFly {
+        /// MMS parameter.
+        q: usize,
+    },
+    /// The cheapest HyperX design for the given constraints (may not exist).
+    HyperX {
+        /// Switch radix bound.
+        radix: usize,
+        /// Minimum server count.
+        min_servers: usize,
+        /// Target bisection ratio.
+        bisection: f64,
+    },
+    /// One rung of a family's scaling ladder (see [`Family::ladder_instance`]).
+    Ladder {
+        /// Topology family.
+        family: Family,
+        /// Ladder scale.
+        scale: Scale,
+        /// Rung index.
+        index: usize,
+        /// Ladder seed.
+        seed: u64,
+    },
+    /// A family's representative mid-size instance.
+    Representative {
+        /// Topology family.
+        family: Family,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// One of the natural-network stand-ins (index into
+    /// [`natural_networks`]`(count, seed)`).
+    Natural {
+        /// Total networks generated.
+        count: usize,
+        /// Index of this network.
+        index: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Theorem-1 graph A: two-cluster random graph.
+    ClusteredRandom {
+        /// Nodes.
+        n: usize,
+        /// Intra-cluster degree.
+        alpha: usize,
+        /// Cross-cluster degree.
+        beta: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// Theorem-1 graph B: expander with every edge subdivided into a path.
+    SubdividedExpander {
+        /// Base expander nodes.
+        base_nodes: usize,
+        /// Half-degree of the base expander.
+        d: usize,
+        /// Subdivision path length.
+        p: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// A random graph built with exactly the equipment of `base`.
+    SameEquipment {
+        /// The topology whose equipment is copied.
+        base: Box<TopoSpec>,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// `base` with its server attachment replaced by `servers_per_switch`
+    /// on every server-carrying switch (see
+    /// [`Topology::with_servers_per_switch`]).
+    WithServers {
+        /// The underlying topology.
+        base: Box<TopoSpec>,
+        /// New per-switch server count.
+        servers_per_switch: usize,
+    },
+}
+
+impl TopoSpec {
+    /// Builds the topology. `None` when the spec is unsatisfiable (failed
+    /// HyperX design search, out-of-range ladder or natural-network index).
+    pub fn build(&self) -> Option<Topology> {
+        match self {
+            TopoSpec::Hypercube { dims, servers } => Some(hypercube(*dims, *servers)),
+            TopoSpec::FatTree { k } => Some(fat_tree(*k)),
+            TopoSpec::Jellyfish {
+                switches,
+                degree,
+                servers,
+                seed,
+            } => Some(jellyfish(*switches, *degree, *servers, *seed)),
+            TopoSpec::JellyfishSpread {
+                switches,
+                degree,
+                servers_total,
+                seed,
+            } => {
+                let base = jellyfish(*switches, *degree, 0, *seed);
+                let mut servers = vec![servers_total / switches; *switches];
+                for s in servers.iter_mut().take(servers_total % switches) {
+                    *s += 1;
+                }
+                Some(Topology::new(
+                    base.name.clone(),
+                    format!("N={switches}, r={degree}, {servers_total} servers"),
+                    base.graph,
+                    servers,
+                ))
+            }
+            TopoSpec::FlattenedButterfly { k, n } => Some(flattened_butterfly(*k, *n)),
+            TopoSpec::LongHop {
+                dim,
+                degree,
+                servers,
+            } => Some(long_hop(*dim, *degree, *servers)),
+            TopoSpec::SlimFly { q } => Some(slim_fly(*q, canonical_servers_per_router(*q))),
+            TopoSpec::HyperX {
+                radix,
+                min_servers,
+                bisection,
+            } => design_search(*radix, *min_servers, *bisection).map(|d| build_design(&d)),
+            TopoSpec::Ladder {
+                family,
+                scale,
+                index,
+                seed,
+            } => family.ladder_instance(*scale, *seed, *index),
+            TopoSpec::Representative { family, seed } => Some(family.representative(*seed)),
+            TopoSpec::Natural { count, index, seed } => {
+                natural_networks(*count, *seed).into_iter().nth(*index)
+            }
+            TopoSpec::ClusteredRandom {
+                n,
+                alpha,
+                beta,
+                seed,
+            } => Some(clustered_random(*n, *alpha, *beta, *seed)),
+            TopoSpec::SubdividedExpander {
+                base_nodes,
+                d,
+                p,
+                seed,
+            } => Some(subdivided_expander(*base_nodes, *d, *p, *seed)),
+            TopoSpec::SameEquipment { base, seed } => Some(same_equipment(&base.build()?, *seed)),
+            TopoSpec::WithServers {
+                base,
+                servers_per_switch,
+            } => Some(base.build()?.with_servers_per_switch(*servers_per_switch)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = TopoSpec::Jellyfish {
+            switches: 16,
+            degree: 4,
+            servers: 1,
+            seed: 9,
+        };
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.graph.degree_sequence(), b.graph.degree_sequence());
+        assert_eq!(a.servers, b.servers);
+    }
+
+    #[test]
+    fn jellyfish_spread_distributes_servers() {
+        let spec = TopoSpec::JellyfishSpread {
+            switches: 80,
+            degree: 6,
+            servers_total: 128,
+            seed: 1,
+        };
+        let t = spec.build().unwrap();
+        assert_eq!(t.num_servers(), 128);
+        assert!(t.servers.iter().all(|&s| s == 1 || s == 2));
+        assert_eq!(t.servers.iter().filter(|&&s| s == 2).count(), 48);
+    }
+
+    #[test]
+    fn with_servers_wraps_base() {
+        let spec = TopoSpec::WithServers {
+            base: Box::new(TopoSpec::Hypercube {
+                dims: 3,
+                servers: 1,
+            }),
+            servers_per_switch: 4,
+        };
+        let t = spec.build().unwrap();
+        assert_eq!(t.num_servers(), 32);
+    }
+
+    #[test]
+    fn unsatisfiable_specs_build_none() {
+        assert!(TopoSpec::HyperX {
+            radix: 2,
+            min_servers: 1_000_000,
+            bisection: 0.4,
+        }
+        .build()
+        .is_none());
+        assert!(TopoSpec::Natural {
+            count: 2,
+            index: 5,
+            seed: 1,
+        }
+        .build()
+        .is_none());
+    }
+}

@@ -23,6 +23,6 @@ pub mod estimators;
 pub mod refine;
 pub mod sparsity;
 
-pub use estimators::{estimate_sparsest_cut, CutEstimate, CutReport, Estimator};
+pub use estimators::{estimate_sparsest_cut, CutEstimate, CutReport, Estimator, ALL_ESTIMATORS};
 pub use refine::{estimate_and_refine, refine_cut};
 pub use sparsity::{bisection_bandwidth, cut_sparsity, CutEvaluator};

@@ -1,114 +1,9 @@
-//! Figure 2: throughput resulting from several traffic matrices in three
-//! topologies (hypercube, random regular graph, fat tree) as the degree /
-//! switch radix grows.
+//! Figure 2: throughput of several traffic-matrix families in three topologies as the degree / switch radix grows.
 //!
-//! Series: All-to-all, Random Matching with 10 / 2 / 1 servers per switch,
-//! Kodialam TM, Longest Matching, and the Theorem-2 lower bound `T_A2A / 2`.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::{fattree::fat_tree, hypercube::hypercube, jellyfish::jellyfish, Topology};
-use topobench::{evaluate_throughput, EvalConfig, TmSpec};
-
-fn with_servers(topo: &Topology, per_switch: usize) -> Topology {
-    // Replace the server attachment (used to vary the RM(k) concentration on
-    // the same switch graph, exactly like the paper's Fig 2 series).
-    let servers: Vec<usize> = topo
-        .servers
-        .iter()
-        .map(|&s| if s > 0 { per_switch } else { 0 })
-        .collect();
-    Topology::new(
-        topo.name.clone(),
-        topo.params.clone(),
-        topo.graph.clone(),
-        servers,
-    )
-}
-
-fn evaluate_series(topo: &Topology, cfg: &EvalConfig, seed: u64) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let a2a = evaluate_throughput(topo, &TmSpec::AllToAll.generate(topo, seed), cfg).value();
-    out.push(("A2A".to_string(), a2a));
-    for k in [10usize, 2, 1] {
-        let t = with_servers(topo, k);
-        let tm = TmSpec::RandomMatching {
-            servers_per_switch: k,
-        }
-        .generate(&t, seed);
-        let v = evaluate_throughput(&t, &tm, cfg).value();
-        out.push((format!("RM({k})"), v));
-    }
-    let kod = evaluate_throughput(topo, &TmSpec::Kodialam.generate(topo, seed), cfg).value();
-    out.push(("Kodialam".to_string(), kod));
-    let lm = evaluate_throughput(topo, &TmSpec::LongestMatching.generate(topo, seed), cfg).value();
-    out.push(("LongestMatching".to_string(), lm));
-    out.push(("LowerBound(A2A/2)".to_string(), a2a / 2.0));
-    out
-}
+//! Thin wrapper: the cell grid and rendering live in the `fig02` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig02` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let header = [
-        "topology",
-        "size-param",
-        "A2A",
-        "RM(10)",
-        "RM(2)",
-        "RM(1)",
-        "Kodialam",
-        "LM",
-        "LowerBound",
-    ];
-    let mut table = Table::new(
-        "Figure 2: absolute throughput of TM families vs topology degree",
-        &header,
-    );
-
-    let hyper_degrees: Vec<usize> = if opts.full {
-        (3..=9).collect()
-    } else {
-        (3..=6).collect()
-    };
-    for d in hyper_degrees {
-        let topo = hypercube(d, 1);
-        let series = evaluate_series(&topo, &cfg, opts.seed);
-        let mut row = vec!["hypercube".to_string(), format!("d={d}")];
-        row.extend(series.iter().map(|(_, v)| f3(*v)));
-        table.row_strings(row);
-    }
-
-    let rrg_degrees: Vec<usize> = if opts.full {
-        (3..=9).collect()
-    } else {
-        (3..=6).collect()
-    };
-    for d in rrg_degrees {
-        // Same switch count as the matching hypercube for a familiar scale.
-        let n = 1usize << if opts.full { 7 } else { 5 };
-        let topo = jellyfish(n, d, 1, opts.seed);
-        let series = evaluate_series(&topo, &cfg, opts.seed);
-        let mut row = vec!["random-regular".to_string(), format!("r={d}")];
-        row.extend(series.iter().map(|(_, v)| f3(*v)));
-        table.row_strings(row);
-    }
-
-    let fat_ks: Vec<usize> = if opts.full {
-        vec![4, 6, 8, 10, 12]
-    } else {
-        vec![4, 6, 8]
-    };
-    for k in fat_ks {
-        let topo = fat_tree(k);
-        let series = evaluate_series(&topo, &cfg, opts.seed);
-        let mut row = vec!["fat-tree".to_string(), format!("k={k}")];
-        row.extend(series.iter().map(|(_, v)| f3(*v)));
-        table.row_strings(row);
-    }
-
-    emit(&table, "fig02_tm_families", &opts);
-    println!(
-        "\nExpected shape (paper): A2A >= RM(10) >= RM(2) >= RM(1) >= Kodialam ~= LM >= lower bound;\n\
-         in hypercubes LM sits essentially on the lower bound, in fat trees LM equals A2A."
-    );
+    experiments::scenario_main("fig02");
 }

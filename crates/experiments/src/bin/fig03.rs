@@ -1,83 +1,9 @@
-//! Figure 3 (a, b): worst-case throughput vs the sparsest cut found by the
-//! estimator battery, across all topology families and the natural-network
-//! stand-ins, under the longest-matching TM. Also reports the §III-B
-//! flattened-butterfly case study (throughput strictly below the sparsest
-//! cut on a 25-switch network).
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_cuts::estimate_sparsest_cut;
-use tb_topology::{
-    families::ALL_FAMILIES, flattened_butterfly::flattened_butterfly, natural::natural_networks,
-};
-use topobench::{evaluate_throughput, TmSpec};
+//! Figure 3: worst-case throughput vs the sparsest cut found by the estimator battery, plus the SIII-B flattened-butterfly case study.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig03` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig03` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 3: throughput vs sparse cut (longest-matching TM)",
-        &[
-            "network",
-            "params",
-            "switches",
-            "sparse-cut",
-            "throughput",
-            "cut/throughput",
-        ],
-    );
-
-    let mut networks = Vec::new();
-    for family in ALL_FAMILIES {
-        for topo in family.instances(opts.scale(), opts.seed) {
-            // The cut estimators include an O(n^2) two-node sweep per network;
-            // keep the scatter to moderately sized instances like the paper.
-            if topo.num_switches() <= if opts.full { 200 } else { 90 } {
-                networks.push(topo);
-            }
-        }
-    }
-    let natural_count = if opts.full { 40 } else { 12 };
-    networks.extend(natural_networks(natural_count, opts.seed));
-
-    for topo in &networks {
-        let tm = TmSpec::LongestMatching.generate(topo, opts.seed);
-        let throughput = evaluate_throughput(topo, &tm, &cfg).value();
-        let report = estimate_sparsest_cut(&topo.graph, &tm);
-        let ratio = if throughput > 0.0 {
-            report.best_sparsity / throughput
-        } else {
-            f64::NAN
-        };
-        table.row_strings(vec![
-            topo.name.clone(),
-            topo.params.clone(),
-            topo.num_switches().to_string(),
-            f3(report.best_sparsity),
-            f3(throughput),
-            f3(ratio),
-        ]);
-    }
-    emit(&table, "fig03_cut_vs_throughput", &opts);
-
-    // §III-B case study: 5-ary 3-stage flattened butterfly (25 switches,
-    // 125 servers): throughput < sparsest cut even at this small size.
-    let fbfly = flattened_butterfly(5, 3);
-    let tm = TmSpec::LongestMatching.generate(&fbfly, opts.seed);
-    let throughput = evaluate_throughput(&fbfly, &tm, &cfg);
-    let report = estimate_sparsest_cut(&fbfly.graph, &tm);
-    let mut case = Table::new(
-        "SIII-B case study: 5-ary 3-stage flattened butterfly",
-        &["metric", "value"],
-    );
-    case.row_strings(vec!["switches".into(), fbfly.num_switches().to_string()]);
-    case.row_strings(vec!["servers".into(), fbfly.num_servers().to_string()]);
-    case.row_strings(vec!["sparse cut".into(), f3(report.best_sparsity)]);
-    case.row_strings(vec!["throughput (lower)".into(), f3(throughput.lower)]);
-    case.row_strings(vec!["throughput (upper)".into(), f3(throughput.upper)]);
-    emit(&case, "fig03_fbfly_case", &opts);
-    println!(
-        "\nExpected shape (paper): every point satisfies throughput <= cut; for many networks the\n\
-         cut overestimates throughput (up to ~3x), and even the 25-switch flattened butterfly has\n\
-         throughput strictly below its sparsest cut (0.565 vs 0.6 in the paper's units)."
-    );
+    experiments::scenario_main("fig03");
 }

@@ -1,52 +1,9 @@
-//! Figure 4: throughput under different TMs, normalized so the Theorem-2
-//! lower bound (`T_A2A / 2`) equals 1, for a representative instance of each
-//! of the ten topology families. In these units A2A is exactly 2, and the
-//! paper observes `A2A >= RM(5) >= RM(1) >= LM >= 1` for every family.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::families::ALL_FAMILIES;
-use topobench::{evaluate_throughput, TmSpec};
+//! Figure 4: throughput under different TMs normalized so the Theorem-2 lower bound equals 1, per topology-family representative.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig04` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig04` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 4: throughput normalized to the theoretical lower bound (T_A2A/2 = 1)",
-        &["topology", "params", "A2A", "RM(5)", "RM(1)", "LM"],
-    );
-
-    for family in ALL_FAMILIES {
-        let topo = family.representative(opts.seed);
-        let a2a =
-            evaluate_throughput(&topo, &TmSpec::AllToAll.generate(&topo, opts.seed), &cfg).value();
-        let bound = a2a / 2.0;
-        let mut normalized = Vec::new();
-        normalized.push(a2a / bound); // = 2 by construction
-        for spec in [
-            TmSpec::RandomMatching {
-                servers_per_switch: 5,
-            },
-            TmSpec::RandomMatching {
-                servers_per_switch: 1,
-            },
-            TmSpec::LongestMatching,
-        ] {
-            let v = evaluate_throughput(&topo, &spec.generate(&topo, opts.seed), &cfg).value();
-            normalized.push(v / bound);
-        }
-        table.row_strings(vec![
-            family.name().to_string(),
-            topo.params.clone(),
-            f3(normalized[0]),
-            f3(normalized[1]),
-            f3(normalized[2]),
-            f3(normalized[3]),
-        ]);
-    }
-    emit(&table, "fig04_normalized_tms", &opts);
-    println!(
-        "\nExpected shape (paper): every row satisfies 2 = A2A >= RM(5) >= RM(1) >= LM >= 1\n\
-         (up to solver tolerance); LM reaches ~1 for BCube, Hypercube, HyperX and Dragonfly,\n\
-         while in fat trees LM stays at the A2A value because the lower bound is loose there."
-    );
+    experiments::scenario_main("fig04");
 }

@@ -1,69 +1,9 @@
-//! Figures 5 and 6 + Table I: relative throughput (topology vs same-equipment
-//! random graph) as a function of the number of servers, for all ten topology
-//! families under three TMs: all-to-all, random matching (1 server per
-//! switch), and longest matching. Table I is the last (largest) point of each
-//! family's curve.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::families::ALL_FAMILIES;
-use topobench::{relative_throughput, TmSpec};
+//! Figures 5 and 6 + Table I: relative throughput vs number of servers for all ten topology families under three TMs.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig05_06` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig05_06` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let specs = [
-        TmSpec::AllToAll,
-        TmSpec::RandomMatching {
-            servers_per_switch: 1,
-        },
-        TmSpec::LongestMatching,
-    ];
-
-    let mut table = Table::new(
-        "Figures 5/6: relative throughput vs number of servers",
-        &[
-            "topology",
-            "params",
-            "servers",
-            "TM",
-            "rel-throughput",
-            "ci95",
-        ],
-    );
-    // Table I: relative throughput of the largest instance per family.
-    let mut table1 = Table::new(
-        "Table I: relative throughput at the largest size tested",
-        &["topology", "A2A", "RM(1)", "LM"],
-    );
-
-    for family in ALL_FAMILIES {
-        let instances = family.instances(opts.scale(), opts.seed);
-        let mut largest_row: Vec<String> = vec![family.name().to_string()];
-        for spec in &specs {
-            let mut last = f64::NAN;
-            for topo in &instances {
-                let r = relative_throughput(topo, spec, &cfg);
-                table.row_strings(vec![
-                    family.name().to_string(),
-                    topo.params.clone(),
-                    topo.num_servers().to_string(),
-                    spec.label(),
-                    f3(r.relative.mean),
-                    f3(r.relative.ci95),
-                ]);
-                last = r.relative.mean;
-            }
-            largest_row.push(format!("{:.0}%", last * 100.0));
-        }
-        table1.row_strings(largest_row);
-    }
-
-    emit(&table, "fig05_06_relative_throughput", &opts);
-    emit(&table1, "table01_largest_size", &opts);
-    println!(
-        "\nExpected shape (paper): Jellyfish sits at 1.0 by definition; most structured\n\
-         topologies degrade relative to the random graph as size grows (Table I: BCube ~51%,\n\
-         Hypercube ~51%, Flattened BF ~47% under LM at the largest sizes), while fat trees do\n\
-         comparatively better under LM (~89%) than under A2A (~65%)."
-    );
+    experiments::scenario_main("fig05_06");
 }

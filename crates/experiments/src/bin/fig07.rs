@@ -1,58 +1,9 @@
-//! Figure 7: HyperX relative throughput under the longest-matching TM for
-//! designs targeting bisection ratios 0.2, 0.4 and 0.5, as the requested
-//! server count grows. Illustrates that a high design-time bisection does not
-//! guarantee high achieved throughput.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::hyperx::{build_design, design_search};
-use topobench::{relative_throughput, TmSpec};
+//! Figure 7: HyperX relative throughput under longest matching for designs targeting several bisection ratios.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig07` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig07` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 7: HyperX relative throughput (longest matching) vs servers, by target bisection",
-        &[
-            "bisection",
-            "servers-target",
-            "design",
-            "servers",
-            "switches",
-            "rel-throughput",
-            "ci95",
-        ],
-    );
-
-    let targets: Vec<usize> = if opts.full {
-        vec![128, 216, 324, 512, 648, 864, 1024]
-    } else {
-        vec![64, 128, 216, 324]
-    };
-    for &beta in &[0.2f64, 0.4, 0.5] {
-        for &servers in &targets {
-            let Some(design) = design_search(24, servers, beta) else {
-                continue;
-            };
-            let topo = build_design(&design);
-            let r = relative_throughput(&topo, &TmSpec::LongestMatching, &cfg);
-            table.row_strings(vec![
-                format!("{beta:.1}"),
-                servers.to_string(),
-                format!(
-                    "L={} S={} K={} T={}",
-                    design.dims, design.s, design.k, design.t
-                ),
-                topo.num_servers().to_string(),
-                topo.num_switches().to_string(),
-                f3(r.relative.mean),
-                f3(r.relative.ci95),
-            ]);
-        }
-    }
-    emit(&table, "fig07_hyperx", &opts);
-    println!(
-        "\nExpected shape (paper): relative throughput varies widely (roughly 0.4-0.9) and\n\
-         non-monotonically with the requested size for every bisection target — high bisection\n\
-         does not imply high worst-case throughput."
-    );
+    experiments::scenario_main("fig07");
 }

@@ -1,42 +1,9 @@
-//! Figure 8: Long Hop networks' relative throughput under the longest-matching
-//! TM for dimensions 5, 6 and 7 (8 with `--full`). The paper's finding: Long
-//! Hop networks are good, but no better than same-equipment random graphs
-//! (relative throughput approaches but does not exceed 1).
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::longhop::long_hop;
-use topobench::{relative_throughput, TmSpec};
+//! Figure 8: Long Hop networks' relative throughput under the longest-matching TM.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig08` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig08` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 8: Long Hop relative throughput under longest matching",
-        &["dimension", "degree", "servers", "rel-throughput", "ci95"],
-    );
-    let dims: Vec<usize> = if opts.full {
-        vec![5, 6, 7, 8]
-    } else {
-        vec![5, 6, 7]
-    };
-    for d in dims {
-        // Degree and concentration grow mildly with dimension, mirroring the
-        // equipment assumptions of the instance ladder.
-        for extra in [2usize, 3, 4] {
-            let topo = long_hop(d, d + extra, (d + extra) / 3);
-            let r = relative_throughput(&topo, &TmSpec::LongestMatching, &cfg);
-            table.row_strings(vec![
-                d.to_string(),
-                (d + extra).to_string(),
-                topo.num_servers().to_string(),
-                f3(r.relative.mean),
-                f3(r.relative.ci95),
-            ]);
-        }
-    }
-    emit(&table, "fig08_longhop", &opts);
-    println!(
-        "\nExpected shape (paper): relative throughput below 1 at small sizes and approaching 1\n\
-         as dimension/size grows — Long Hop networks are no better than random graphs."
-    );
+    experiments::scenario_main("fig08");
 }

@@ -1,53 +1,9 @@
-//! Figure 9: Slim Fly relative throughput and relative average path length
-//! under the longest-matching TM. The paper's point: Slim Fly's very short
-//! paths (~0.85-0.9 of the random graph's) do not translate into higher
-//! throughput; relative throughput is ~1 at small sizes and drops with scale.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_graph::shortest_path::average_path_length;
-use tb_topology::jellyfish::same_equipment;
-use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
-use topobench::{relative_throughput, TmSpec};
+//! Figure 9: Slim Fly relative throughput and relative average path length under the longest-matching TM.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig09` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig09` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 9: Slim Fly relative throughput and relative path length (longest matching)",
-        &[
-            "q",
-            "switches",
-            "servers",
-            "rel-throughput",
-            "ci95",
-            "rel-path-length",
-        ],
-    );
-    let qs: Vec<usize> = if opts.full {
-        vec![5, 13, 17]
-    } else {
-        vec![5, 13]
-    };
-    for q in qs {
-        let topo = slim_fly(q, canonical_servers_per_router(q));
-        let r = relative_throughput(&topo, &TmSpec::LongestMatching, &cfg);
-        // Relative path length vs one same-equipment random graph.
-        let rnd = same_equipment(&topo, opts.seed.wrapping_add(77));
-        let apl_topo = average_path_length(&topo.graph).unwrap_or(f64::NAN);
-        let apl_rnd = average_path_length(&rnd.graph).unwrap_or(f64::NAN);
-        table.row_strings(vec![
-            q.to_string(),
-            topo.num_switches().to_string(),
-            topo.num_servers().to_string(),
-            f3(r.relative.mean),
-            f3(r.relative.ci95),
-            f3(apl_topo / apl_rnd),
-        ]);
-    }
-    emit(&table, "fig09_slimfly", &opts);
-    println!(
-        "\nExpected shape (paper): relative path length ~0.85-0.9 (Slim Fly's paths are shorter\n\
-         than the random graph's) while relative throughput is ~1 at small scale and declines\n\
-         toward ~0.8 at the largest size under longest matching."
-    );
+    experiments::scenario_main("fig09");
 }

@@ -1,45 +1,9 @@
-//! Figures 10 and 11: relative throughput under non-uniform (skewed) longest
-//! matching TMs, as the percentage of "large" flows (weight 10) grows.
-//! The paper's finding: all families degrade gracefully except fat trees,
-//! which dip sharply when only a few flows are large.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::families::ALL_FAMILIES;
-use topobench::{relative_throughput, TmSpec};
+//! Figures 10 and 11: relative throughput under non-uniform (skewed) longest-matching TMs.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig10_11` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig10_11` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figures 10/11: relative throughput vs percentage of large flows (weight 10, longest matching)",
-        &["topology", "params", "%large", "rel-throughput", "ci95"],
-    );
-    let percents: Vec<f64> = if opts.full {
-        vec![1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0]
-    } else {
-        vec![5.0, 25.0, 100.0]
-    };
-    for family in ALL_FAMILIES {
-        let topo = family.representative(opts.seed);
-        for &p in &percents {
-            let spec = TmSpec::SkewedLongestMatching {
-                fraction: p / 100.0,
-                weight: 10.0,
-            };
-            let r = relative_throughput(&topo, &spec, &cfg);
-            table.row_strings(vec![
-                family.name().to_string(),
-                topo.params.clone(),
-                format!("{p:.0}"),
-                f3(r.relative.mean),
-                f3(r.relative.ci95),
-            ]);
-        }
-    }
-    emit(&table, "fig10_11_skewed", &opts);
-    println!(
-        "\nExpected shape (paper): every family except the fat tree keeps a roughly flat relative\n\
-         throughput as the fraction of large flows grows; the fat tree dips noticeably when only\n\
-         a few flows are large because its ToR uplinks carry only locally originated traffic."
-    );
+    experiments::scenario_main("fig10_11");
 }

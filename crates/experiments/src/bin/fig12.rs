@@ -1,53 +1,9 @@
-//! Figure 12: absolute throughput under the tunable skewed TM for a hypercube,
-//! a fat tree, and Jellyfish networks built with the same equipment as each,
-//! as the percentage of large flows grows. Shows the fat-tree anomaly in
-//! absolute terms.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::{fattree::fat_tree, hypercube::hypercube, jellyfish::same_equipment, Topology};
-use topobench::{evaluate_throughput, TmSpec};
+//! Figure 12: absolute throughput under the tunable skewed TM for a hypercube, a fat tree and same-equipment Jellyfish networks.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `fig12` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig12` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Figure 12: absolute throughput vs percentage of large flows (weight 10, longest matching)",
-        &["network", "%large", "abs-throughput"],
-    );
-    let cube = if opts.full {
-        hypercube(7, 4)
-    } else {
-        hypercube(6, 3)
-    };
-    let ft = if opts.full { fat_tree(10) } else { fat_tree(8) };
-    let jelly_cube = same_equipment(&cube, opts.seed.wrapping_add(11));
-    let jelly_ft = same_equipment(&ft, opts.seed.wrapping_add(12));
-    let networks: Vec<(&str, &Topology)> = vec![
-        ("Hypercube", &cube),
-        ("Fat tree", &ft),
-        ("Jellyfish (same equip. as hypercube)", &jelly_cube),
-        ("Jellyfish (same equip. as fat tree)", &jelly_ft),
-    ];
-    let percents: Vec<f64> = if opts.full {
-        vec![1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0]
-    } else {
-        vec![1.0, 10.0, 100.0]
-    };
-    for (name, topo) in networks {
-        for &p in &percents {
-            let spec = TmSpec::SkewedLongestMatching {
-                fraction: p / 100.0,
-                weight: 10.0,
-            };
-            let tm = spec.generate(topo, opts.seed);
-            let v = evaluate_throughput(topo, &tm, &cfg).value();
-            table.row_strings(vec![name.to_string(), format!("{p:.0}"), f3(v)]);
-        }
-    }
-    emit(&table, "fig12_skewed_absolute", &opts);
-    println!(
-        "\nExpected shape (paper): the fat tree's absolute throughput dips at small percentages of\n\
-         large flows and recovers at 100% (where rescaling makes the TM uniform again); the\n\
-         hypercube and both Jellyfish networks stay comparatively flat."
-    );
+    experiments::scenario_main("fig12");
 }

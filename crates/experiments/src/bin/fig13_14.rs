@@ -1,75 +1,9 @@
-//! Figures 13 and 14: performance of every topology family under the two
-//! real-world (Facebook) rack-level traffic matrices — the near-uniform Hadoop
-//! cluster TM-H and the skewed frontend cluster TM-F — in the measured rack
-//! order ("Sampled") and with rack placement randomized ("Shuffled").
+//! Figures 13 and 14: every topology family under the two synthetic Facebook rack-level TMs, sampled vs shuffled placement.
 //!
-//! The measured matrices are not public; synthetic stand-ins with the same
-//! structure are generated by `tb_traffic::facebook` (see DESIGN.md).
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_topology::{families::ALL_FAMILIES, Topology};
-use tb_traffic::{facebook, ops, TrafficMatrix};
-use topobench::{relative_throughput_fixed_tm, EvalConfig, TmSpec};
-
-/// Places a rack-level TM onto the topology's endpoint switches, downsampling
-/// if the topology has fewer endpoint switches than racks.
-fn place(tm: &TrafficMatrix, topo: &Topology) -> TrafficMatrix {
-    let endpoints = topo.server_switches();
-    let tm = if endpoints.len() < tm.num_switches() {
-        ops::downsample(tm, endpoints.len())
-    } else {
-        tm.clone()
-    };
-    let mapped = ops::map_onto(&tm, &endpoints, topo.num_switches());
-    mapped.normalized_to_hose(&topo.servers).0
-}
-
-fn run(name: &str, tm: &TrafficMatrix, opts: &RunOptions, cfg: &EvalConfig) {
-    let mut table = Table::new(
-        format!("{name}: normalized throughput per topology (sampled vs shuffled rack placement)"),
-        &["topology", "params", "racks", "sampled", "shuffled"],
-    );
-    for family in ALL_FAMILIES {
-        let topo = family.representative(opts.seed);
-        let racks = topo.server_switches().len().min(tm.num_switches());
-        let sampled = place(tm, &topo);
-        let shuffled_tm = ops::shuffle(
-            &ops::downsample(tm, racks.max(2)),
-            opts.seed.wrapping_add(9),
-        );
-        let shuffled = place(&shuffled_tm, &topo);
-        let rs = relative_throughput_fixed_tm(&topo, &sampled, cfg);
-        let rsh = relative_throughput_fixed_tm(&topo, &shuffled, cfg);
-        table.row_strings(vec![
-            family.name().to_string(),
-            topo.params.clone(),
-            racks.to_string(),
-            f3(rs.relative.mean),
-            f3(rsh.relative.mean),
-        ]);
-    }
-    emit(
-        &table,
-        &name.to_lowercase().replace(['-', ' '], "_").to_string(),
-        opts,
-    );
-}
+//! Thin wrapper: the cell grid and rendering live in the `fig13_14` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig13_14` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    // TmSpec is unused here but kept in scope to make the example easy to
-    // extend with synthetic baselines.
-    let _ = TmSpec::AllToAll;
-    let racks = facebook::FACEBOOK_RACKS;
-    let tm_h = facebook::tm_h(racks, opts.seed);
-    let tm_f = facebook::tm_f(racks, opts.seed);
-    run("Figure 13 TM-H (Hadoop)", &tm_h, &opts, &cfg);
-    run("Figure 14 TM-F (frontend)", &tm_f, &opts, &cfg);
-    println!(
-        "\nExpected shape (paper): under the near-uniform TM-H, shuffling rack placement barely\n\
-         changes performance; under the skewed TM-F, shuffling significantly improves every\n\
-         topology except Jellyfish, Long Hop, Slim Fly and the fat tree, which are already\n\
-         insensitive to placement."
-    );
+    experiments::scenario_main("fig13_14");
 }

@@ -1,107 +1,9 @@
-//! Figure 15: replication of the Yuan et al. fat-tree vs Jellyfish comparison,
-//! showing how two methodological choices change the conclusion:
+//! Figure 15: the Yuan et al. fat-tree vs Jellyfish comparison under three methodologies.
 //!
-//! * **Comparison 1** — Yuan et al.'s method: split every all-to-all flow into
-//!   subflows over K paths (LLSKR-style) and estimate throughput by counting
-//!   and inverting the maximum number of intersecting subflows. Fat tree and
-//!   Jellyfish look nearly identical.
-//! * **Comparison 2** — exact (LP-based) throughput under the *same* path
-//!   restriction: Jellyfish pulls ahead of the fat tree.
-//! * **Comparison 3** — additionally equalize equipment (80 switches and 128
-//!   servers in both): the gap grows further.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
-use tb_topology::{fattree::fat_tree, jellyfish::jellyfish, Topology};
-use tb_traffic::TrafficMatrix;
-use topobench::TmSpec;
-
-const K_PATHS: usize = 8;
-
-fn a2a(topo: &Topology, seed: u64) -> TrafficMatrix {
-    TmSpec::AllToAll.generate(topo, seed)
-}
-
-/// Builds the Jellyfish instance Yuan et al. used: the fat tree's 80 switches,
-/// each with radix 8 (6 network ports + 2 servers), giving 160 servers.
-fn jellyfish_yuan(seed: u64) -> Topology {
-    jellyfish(80, 6, 2, seed)
-}
-
-/// Builds the equal-equipment Jellyfish: 80 switches and 128 servers.
-fn jellyfish_equal(seed: u64) -> Topology {
-    let base = jellyfish(80, 6, 0, seed);
-    // Spread 128 servers as evenly as possible over the 80 switches.
-    let mut servers = vec![1usize; 80];
-    for s in servers.iter_mut().take(128 - 80) {
-        *s += 1;
-    }
-    Topology::new("Jellyfish", "N=80, r=6, 128 servers", base.graph, servers)
-}
-
-fn evaluate(topo: &Topology, seed: u64) -> (f64, f64) {
-    let tm = a2a(topo, seed);
-    let paths = k_shortest_path_sets(&topo.graph, &tm, K_PATHS);
-    // The counting estimator reports average per-flow throughput over
-    // switch-level flows; convert to per-server units so the two networks
-    // (which have different ToR counts) are comparable, as in the original
-    // server-level measurement.
-    let counting = SubflowCountingEstimator::new().estimate(&paths) * paths.len() as f64
-        / topo.num_servers() as f64;
-    let lp = PathRestrictedSolver::new().solve(&topo.graph, &paths);
-    (counting, lp.value())
-}
+//! Thin wrapper: the cell grid and rendering live in the `fig15` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario fig15` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let seed = opts.seed;
-    let ft = fat_tree(8); // 80 switches, 128 servers
-    let jf_yuan = jellyfish_yuan(seed);
-    let jf_equal = jellyfish_equal(seed);
-
-    println!(
-        "fat tree: {} switches / {} servers; Jellyfish (Yuan): {} switches / {} servers; \
-         Jellyfish (equalized): {} switches / {} servers",
-        ft.num_switches(),
-        ft.num_servers(),
-        jf_yuan.num_switches(),
-        jf_yuan.num_servers(),
-        jf_equal.num_switches(),
-        jf_equal.num_servers()
-    );
-
-    let (ft_count, ft_lp) = evaluate(&ft, seed);
-    let (jf_count, jf_lp) = evaluate(&jf_yuan, seed);
-    let (_, jf_eq_lp) = evaluate(&jf_equal, seed);
-
-    let mut table = Table::new(
-        "Figure 15: fat tree vs Jellyfish under three methodologies (A2A traffic)",
-        &["comparison", "fat tree", "Jellyfish", "Jellyfish/FatTree"],
-    );
-    table.row_strings(vec![
-        "1: subflow counting (Yuan et al.)".into(),
-        f3(ft_count),
-        f3(jf_count),
-        f3(jf_count / ft_count),
-    ]);
-    table.row_strings(vec![
-        "2: LP throughput, same paths".into(),
-        f3(ft_lp),
-        f3(jf_lp),
-        f3(jf_lp / ft_lp),
-    ]);
-    table.row_strings(vec![
-        "3: LP throughput, equal equipment".into(),
-        f3(ft_lp),
-        f3(jf_eq_lp),
-        f3(jf_eq_lp / ft_lp),
-    ]);
-    emit(&table, "fig15_yuan", &opts);
-    println!(
-        "\nExpected shape (paper): the subflow-counting heuristic (Comparison 1) misjudges the two\n\
-         networks as roughly comparable; switching to exact LP throughput under the same path\n\
-         restriction (Comparison 2) reveals a clear Jellyfish advantage, and equalizing equipment\n\
-         (Comparison 3) widens it further — the ordering C1 < C2 < C3 in the Jellyfish/FatTree\n\
-         column is the reproduction target."
-    );
+    experiments::scenario_main("fig15");
 }

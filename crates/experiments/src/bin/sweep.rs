@@ -1,0 +1,102 @@
+//! The unified sweep driver: run any registered scenario (or all of them)
+//! through the engine, with parallel cell execution and the content-keyed
+//! result cache.
+//!
+//! ```text
+//! sweep --list                         # scenario index
+//! sweep --scenario fig02               # one scenario, reduced scale
+//! sweep --scenario all --full --csv    # every scenario at paper scale
+//! sweep --scenario fig02 --jobs 2 --expect-cache-hot
+//! ```
+//!
+//! Unlike the per-figure binaries, `sweep` always writes (and validates) the
+//! JSON artifact `results/<scenario>.json` and prints a cache/solver summary
+//! per scenario. `--expect-cache-hot` turns a warm cache into an assertion:
+//! the run fails unless every cell came from the cache with zero solver
+//! invocations — CI uses this to prove the cache works end to end.
+
+use experiments::{find_scenario, registry, run_and_emit, ExtraFlag, RunOptions};
+
+const EXTRA_FLAGS: [ExtraFlag; 3] = [
+    ExtraFlag {
+        name: "--list",
+        takes_value: false,
+        help: "print the scenario index and exit",
+    },
+    ExtraFlag {
+        name: "--scenario",
+        takes_value: true,
+        help: "scenario name to run (or 'all')",
+    },
+    ExtraFlag {
+        name: "--expect-cache-hot",
+        takes_value: false,
+        help: "fail unless every cell is served from the cache (zero solver calls)",
+    },
+];
+
+fn print_index() {
+    println!("Registered scenarios (run with --scenario <name>):\n");
+    for s in registry() {
+        println!("  {:<14} {}", s.name, s.title);
+    }
+    println!("\nCells are cached under results/cache/; artifacts go to results/<name>.json.");
+}
+
+fn main() {
+    let (opts, extras) = RunOptions::from_args_with(&EXTRA_FLAGS);
+    let flag = |name: &str| extras.iter().find(|(n, _)| n == name);
+    if flag("--list").is_some() {
+        print_index();
+        return;
+    }
+    let Some((_, target)) = flag("--scenario") else {
+        print_index();
+        eprintln!("\nerror: --scenario <name> (or --list) is required");
+        std::process::exit(2);
+    };
+    let expect_cache_hot = flag("--expect-cache-hot").is_some();
+
+    let scenarios = if target == "all" {
+        registry()
+    } else {
+        match find_scenario(target) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("error: unknown scenario '{target}' (see --list)");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let mut cache_cold = false;
+    for scenario in &scenarios {
+        let (report, render) = run_and_emit(scenario, &opts);
+        // The per-figure binaries only write the artifact with --csv; the
+        // sweep driver always writes (and validates) it — except on filtered
+        // runs, which would overwrite the complete artifact with a subset.
+        if !opts.csv && opts.filter.is_none() {
+            experiments::write_and_validate_artifact(
+                scenario,
+                &opts.sweep_options(),
+                &report,
+                &render,
+            );
+        }
+        println!(
+            "\n[sweep] {}: {} cells ({} unique), {} cache hits, {} solver calls",
+            scenario.name,
+            report.outcomes.len(),
+            report.unique_cells,
+            report.cache_hits,
+            report.solver_calls
+        );
+        if report.cache_hits < report.unique_cells || report.solver_calls > 0 {
+            cache_cold = true;
+        }
+    }
+    if expect_cache_hot && cache_cold {
+        eprintln!("error: --expect-cache-hot but at least one cell was computed fresh");
+        std::process::exit(1);
+    }
+}

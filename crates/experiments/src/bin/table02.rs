@@ -1,115 +1,9 @@
-//! Table II: for every topology family (and the natural-network stand-ins),
-//! how often the estimated sparsest cut matches the computed throughput, and
-//! which estimator found the sparsest cut.
-
-use experiments::{emit, RunOptions, Table};
-use tb_cuts::{estimate_sparsest_cut, Estimator};
-use tb_topology::{families::ALL_FAMILIES, natural::natural_networks, Topology};
-use topobench::{evaluate_throughput, TmSpec};
-
-#[derive(Default, Clone)]
-struct Row {
-    total: usize,
-    matches: usize,
-    by_estimator: [usize; 5],
-}
-
-fn estimator_index(e: Estimator) -> usize {
-    match e {
-        Estimator::BruteForce => 0,
-        Estimator::OneNode => 1,
-        Estimator::TwoNode => 2,
-        Estimator::ExpandingRegion => 3,
-        Estimator::Eigenvector => 4,
-    }
-}
-
-fn account(row: &mut Row, topo: &Topology, cfg: &topobench::EvalConfig, seed: u64) {
-    let tm = TmSpec::LongestMatching.generate(topo, seed);
-    let throughput = evaluate_throughput(topo, &tm, cfg);
-    let report = estimate_sparsest_cut(&topo.graph, &tm);
-    row.total += 1;
-    // "cut equals throughput" within the solver's bracketing tolerance plus 2%.
-    if report.best_sparsity <= throughput.upper * 1.02 + 1e-9 {
-        row.matches += 1;
-    }
-    for est in report.found_by(1e-6) {
-        row.by_estimator[estimator_index(est)] += 1;
-    }
-}
+//! Table II: how often the estimated sparsest cut matches throughput, and which estimator found it.
+//!
+//! Thin wrapper: the cell grid and rendering live in the `table02` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario table02` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let cfg = opts.eval_config();
-    let mut table = Table::new(
-        "Table II: estimated sparsest cuts — do they match throughput, and which estimators found them?",
-        &[
-            "topology family", "networks", "cut=throughput", "Brute force", "1-node", "2-node",
-            "Expanding regions", "Eigenvector",
-        ],
-    );
-
-    let size_cap = if opts.full { 200 } else { 70 };
-    let mut grand = Row::default();
-    for family in ALL_FAMILIES {
-        let mut row = Row::default();
-        for topo in family.instances(opts.scale(), opts.seed) {
-            if topo.num_switches() > size_cap {
-                continue;
-            }
-            account(&mut row, &topo, &cfg, opts.seed);
-        }
-        grand.total += row.total;
-        grand.matches += row.matches;
-        for i in 0..5 {
-            grand.by_estimator[i] += row.by_estimator[i];
-        }
-        table.row_strings(vec![
-            family.name().to_string(),
-            row.total.to_string(),
-            row.matches.to_string(),
-            row.by_estimator[0].to_string(),
-            row.by_estimator[1].to_string(),
-            row.by_estimator[2].to_string(),
-            row.by_estimator[3].to_string(),
-            row.by_estimator[4].to_string(),
-        ]);
-    }
-    // Natural networks.
-    let mut nat = Row::default();
-    for topo in natural_networks(if opts.full { 40 } else { 12 }, opts.seed) {
-        account(&mut nat, &topo, &cfg, opts.seed);
-    }
-    table.row_strings(vec![
-        "Natural networks".to_string(),
-        nat.total.to_string(),
-        nat.matches.to_string(),
-        nat.by_estimator[0].to_string(),
-        nat.by_estimator[1].to_string(),
-        nat.by_estimator[2].to_string(),
-        nat.by_estimator[3].to_string(),
-        nat.by_estimator[4].to_string(),
-    ]);
-    grand.total += nat.total;
-    grand.matches += nat.matches;
-    for i in 0..5 {
-        grand.by_estimator[i] += nat.by_estimator[i];
-    }
-    table.row_strings(vec![
-        "Total".to_string(),
-        grand.total.to_string(),
-        grand.matches.to_string(),
-        grand.by_estimator[0].to_string(),
-        grand.by_estimator[1].to_string(),
-        grand.by_estimator[2].to_string(),
-        grand.by_estimator[3].to_string(),
-        grand.by_estimator[4].to_string(),
-    ]);
-    emit(&table, "table02_cut_estimators", &opts);
-    println!(
-        "\nExpected shape (paper): the estimated cut matches throughput in only a minority of\n\
-         computer networks (throughput < cut elsewhere); the eigenvector sweep finds the winning\n\
-         cut most often, with one/two-node cuts mattering mainly for the natural networks, and\n\
-         fat trees matched by every estimator."
-    );
+    experiments::scenario_main("table02");
 }

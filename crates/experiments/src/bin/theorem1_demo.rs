@@ -1,83 +1,9 @@
-//! Theorem 1 demonstration (§II-B / Appendix A): two graph families where the
-//! sparsest-cut metric and worst-case throughput order *differently*.
+//! Theorem 1 demonstration: two graph families where sparsest cut and worst-case throughput order differently.
 //!
-//! * Graph A — clustered random graph (two clusters, beta ≈ alpha / log n
-//!   cross-cluster degree): low cut, but throughput of the same order.
-//! * Graph B — a 2d-regular expander with every edge subdivided into a path of
-//!   length p: higher cut than A, but asymptotically *lower* throughput
-//!   because every unit of flow consumes p links of capacity.
-//!
-//! Choosing networks by sparsest cut would prefer B; measuring throughput
-//! correctly prefers A.
-
-use experiments::{emit, f3, RunOptions, Table};
-use tb_cuts::estimate_sparsest_cut;
-use tb_topology::expander::{clustered_random, subdivided_expander};
-use tb_topology::Topology;
-use topobench::{evaluate_throughput, TmSpec};
-
-fn measure(topo: &Topology, opts: &RunOptions) -> (f64, f64) {
-    let cfg = opts.eval_config();
-    let tm = TmSpec::AllToAll.generate(topo, opts.seed);
-    let throughput = evaluate_throughput(topo, &tm, &cfg).value();
-    let cut = estimate_sparsest_cut(&topo.graph, &tm).best_sparsity;
-    (throughput, cut)
-}
+//! Thin wrapper: the cell grid and rendering live in the `theorem1_demo` scenario
+//! registration (`experiments::registry`); this binary runs it through the
+//! sweep engine. `sweep --scenario theorem1_demo` is equivalent.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let n: usize = if opts.full { 128 } else { 48 };
-    // Graph A: degree 2d = 6 with beta ~ alpha / log2(n).
-    let alpha = 5;
-    let beta = 1;
-    let graph_a = clustered_random(n, alpha, beta, opts.seed);
-    // Graph B: same node budget: N = n / p base nodes, degree 2d = 6, p = 3.
-    let p = 3;
-    let d = 3;
-    // Base expander has N nodes and N*d edges; subdividing adds N*d*(p-1)
-    // nodes, so total nodes = N + N*d*(p-1). Choose N so totals are close to n.
-    let base_n = (n as f64 / (1.0 + d as f64 * (p as f64 - 1.0))).round() as usize;
-    let base_n = if (base_n * 2 * d) % 2 == 1 {
-        base_n + 1
-    } else {
-        base_n.max(4)
-    };
-    let graph_b = subdivided_expander(base_n, d, p, opts.seed);
-
-    let (ta, ca) = measure(&graph_a, &opts);
-    let (tb, cb) = measure(&graph_b, &opts);
-
-    let mut table = Table::new(
-        "Theorem 1 demo: sparsest cut can rank networks opposite to throughput",
-        &[
-            "graph",
-            "nodes",
-            "links",
-            "A2A throughput",
-            "sparse cut",
-            "cut/throughput",
-        ],
-    );
-    table.row_strings(vec![
-        "A: clustered random".into(),
-        graph_a.num_switches().to_string(),
-        graph_a.num_links().to_string(),
-        f3(ta),
-        f3(ca),
-        f3(ca / ta),
-    ]);
-    table.row_strings(vec![
-        format!("B: subdivided expander (p={p})"),
-        graph_b.num_switches().to_string(),
-        graph_b.num_links().to_string(),
-        f3(tb),
-        f3(cb),
-        f3(cb / tb),
-    ]);
-    emit(&table, "theorem1_demo", &opts);
-    println!(
-        "\nExpected shape (paper, Theorem 1): graph B's cut/throughput ratio is much larger than\n\
-         graph A's — B \"looks\" better through the cut lens while delivering lower throughput per\n\
-         unit of cut, because its flows traverse p links each."
-    );
+    experiments::scenario_main("theorem1_demo");
 }

@@ -1,23 +1,40 @@
 //! Shared plumbing for the experiment harness binaries.
 //!
-//! Every binary in this crate regenerates one table or figure of the paper
-//! (see `DESIGN.md` for the full index). They share a tiny command-line
-//! convention:
+//! Every figure and table of the paper is registered as a **scenario** in
+//! [`registry`]: a declarative grid of sweep cells plus a renderer (see
+//! [`topobench::sweep`]). The per-figure binaries (`fig02`, …, `table02`,
+//! `theorem1_demo`) are thin wrappers that run their scenario through the
+//! engine; the `sweep` binary drives any scenario by name, and
+//! `sweep --list` prints the authoritative figure index (replacing the old
+//! hand-maintained per-binary index).
 //!
-//! * `--full`   — run the paper-scale instance ladder (slow); the default is a
-//!   reduced ladder that finishes in minutes on a laptop,
-//! * `--seed N` — change the base RNG seed,
-//! * `--csv`    — additionally write `results/<figure>.csv`.
+//! Command-line convention (parsed strictly; unknown flags are errors):
 //!
-//! Output is printed as aligned text tables whose rows correspond to the data
-//! series of the original figure.
+//! * `--full`     — run the paper-scale instance ladder (slow); the default
+//!   is a reduced ladder that finishes in minutes on a laptop,
+//! * `--seed N`   — change the base RNG seed,
+//! * `--csv`      — additionally write `results/<figure>.csv` per table and
+//!   the unified JSON artifact `results/<scenario>.json`,
+//! * `--jobs N`   — worker threads for cell execution (`1` forces a fully
+//!   serial run; results are bit-identical either way),
+//! * `--filter S` — run only cells whose id contains `S` (prints a raw cell
+//!   dump instead of the figure tables),
+//! * `--no-cache` — bypass the content-keyed result cache.
+//!
+//! Results are cached under `results/cache/`, one JSON file per unique
+//! (cell spec, eval config) pair, so re-runs and interrupted `--full`
+//! ladders resume instead of recomputing; `--seed`/`--full` changes key new
+//! cache entries automatically.
 
-use std::fmt::Display;
-use std::fs;
 use std::path::PathBuf;
+use topobench::sweep::{run_scenario, Scenario, SweepOptions, SweepReport};
 use topobench::EvalConfig;
 
 pub use tb_topology::families::Scale;
+pub use topobench::sweep::{f3, Table};
+
+mod scenarios;
+pub use scenarios::registry;
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -26,8 +43,14 @@ pub struct RunOptions {
     pub full: bool,
     /// Base RNG seed.
     pub seed: u64,
-    /// Write a CSV copy of the output under `results/`.
+    /// Write a CSV copy of each table and the JSON artifact under `results/`.
     pub csv: bool,
+    /// Worker threads for cell execution (None = all cores).
+    pub jobs: Option<usize>,
+    /// Only run cells whose id contains this substring.
+    pub filter: Option<String>,
+    /// Bypass the on-disk result cache.
+    pub no_cache: bool,
 }
 
 impl Default for RunOptions {
@@ -36,141 +59,177 @@ impl Default for RunOptions {
             full: false,
             seed: 1,
             csv: false,
+            jobs: None,
+            filter: None,
+            no_cache: false,
         }
     }
 }
 
+/// An extra flag a binary accepts on top of the shared set.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtraFlag {
+    /// Flag name, including the leading dashes (e.g. `"--list"`).
+    pub name: &'static str,
+    /// Whether the flag consumes a value argument.
+    pub takes_value: bool,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+const COMMON_HELP: &str =
+    "  --full           run the paper-scale instance ladder (slow; default: reduced)
+  --seed <N>       base RNG seed (default 1)
+  --csv            also write results/<figure>.csv and results/<scenario>.json
+  --jobs <N>       worker threads for sweep cells (1 = fully serial; default: all cores)
+  --filter <S>     only run cells whose id contains S (prints a raw cell dump)
+  --no-cache       do not read or write results/cache/
+  --help           print this help";
+
 impl RunOptions {
-    /// Parses options from `std::env::args`.
+    /// Parses the shared options from `std::env::args`, exiting with help or
+    /// a usage error as appropriate.
     pub fn from_args() -> Self {
+        Self::from_args_with(&[]).0
+    }
+
+    /// Like [`RunOptions::from_args`], also accepting binary-specific flags;
+    /// returns their parsed occurrences as `(name, value)` pairs (the value
+    /// is empty for flags that take none).
+    pub fn from_args_with(extra: &[ExtraFlag]) -> (Self, Vec<(String, String)>) {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&args, extra) {
+            Ok(parsed) => {
+                if let Some(jobs) = parsed.0.jobs {
+                    // The worker pool reads this once at first use; parsing
+                    // happens before any parallel work, so it takes effect.
+                    std::env::set_var("RAYON_NUM_THREADS", jobs.to_string());
+                }
+                parsed
+            }
+            Err(ParseAbort::Help) => {
+                let program = std::env::args()
+                    .next()
+                    .map(|p| {
+                        PathBuf::from(p)
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_default()
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "Usage: {program} [OPTIONS]\n\nOptions:\n{}",
+                    help_text(extra)
+                );
+                std::process::exit(0);
+            }
+            Err(ParseAbort::Usage(msg)) => {
+                eprintln!("error: {msg}\n\nOptions:\n{}", help_text(extra));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Strict parser: `--help` aborts with help, any unknown flag or missing
+    /// value is a hard usage error.
+    fn try_parse(
+        args: &[String],
+        extra: &[ExtraFlag],
+    ) -> Result<(Self, Vec<(String, String)>), ParseAbort> {
         let mut opts = RunOptions::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut extras = Vec::new();
+        let mut i = 0;
+        let value_of = |i: &mut usize, flag: &str| -> Result<String, ParseAbort> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| ParseAbort::Usage(format!("{flag} requires an argument")))
+        };
         while i < args.len() {
             match args[i].as_str() {
+                "--help" | "-h" => return Err(ParseAbort::Help),
                 "--full" => opts.full = true,
                 "--csv" => opts.csv = true,
+                "--no-cache" => opts.no_cache = true,
                 "--seed" => {
-                    i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed requires an integer argument");
+                    let v = value_of(&mut i, "--seed")?;
+                    opts.seed = v.parse().map_err(|_| {
+                        ParseAbort::Usage(format!("--seed requires an integer, got '{v}'"))
+                    })?;
                 }
-                other => eprintln!("ignoring unknown argument: {other}"),
+                "--jobs" => {
+                    let v = value_of(&mut i, "--jobs")?;
+                    let jobs: usize = v.parse().map_err(|_| {
+                        ParseAbort::Usage(format!("--jobs requires an integer, got '{v}'"))
+                    })?;
+                    if jobs == 0 {
+                        return Err(ParseAbort::Usage("--jobs must be at least 1".into()));
+                    }
+                    opts.jobs = Some(jobs);
+                }
+                "--filter" => {
+                    let v = value_of(&mut i, "--filter")?;
+                    opts.filter = Some(v);
+                }
+                other => {
+                    if let Some(flag) = extra.iter().find(|f| f.name == other) {
+                        let value = if flag.takes_value {
+                            value_of(&mut i, flag.name)?
+                        } else {
+                            String::new()
+                        };
+                        extras.push((flag.name.to_string(), value));
+                    } else {
+                        return Err(ParseAbort::Usage(format!("unknown argument: {other}")));
+                    }
+                }
             }
             i += 1;
         }
-        opts
+        Ok((opts, extras))
     }
 
     /// The topology instance ladder scale implied by the options.
     pub fn scale(&self) -> Scale {
-        if self.full {
-            Scale::Full
-        } else {
-            Scale::Small
-        }
+        self.sweep_options().scale()
     }
 
     /// The evaluation configuration implied by the options.
     pub fn eval_config(&self) -> EvalConfig {
-        let mut cfg = if self.full {
-            EvalConfig::paper()
+        self.sweep_options().eval_config()
+    }
+
+    /// The sweep-engine options implied by the options.
+    pub fn sweep_options(&self) -> SweepOptions {
+        let mut s = SweepOptions::new(self.full, self.seed);
+        s.jobs = self.jobs;
+        s.use_cache = !self.no_cache;
+        s.filter = self.filter.clone();
+        s
+    }
+}
+
+enum ParseAbort {
+    Help,
+    Usage(String),
+}
+
+fn help_text(extra: &[ExtraFlag]) -> String {
+    let mut out = String::new();
+    for flag in extra {
+        let name = if flag.takes_value {
+            format!("{} <V>", flag.name)
         } else {
-            EvalConfig::fast()
+            flag.name.to_string()
         };
-        cfg.seed = self.seed;
-        cfg
+        out.push_str(&format!("  {name:<15}  {}\n", flag.help));
     }
+    out.push_str(COMMON_HELP);
+    out
 }
 
-/// A simple text table collector that can also be written to CSV.
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given title and column names.
-    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
-        Table {
-            title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (converted to strings).
-    pub fn row(&mut self, cells: &[&dyn Display]) {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows
-            .push(cells.iter().map(|c| format!("{c}")).collect());
-    }
-
-    /// Appends a row of pre-formatted strings.
-    pub fn row_strings(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Prints the table to stdout with aligned columns.
-    pub fn print(&self) {
-        println!("\n== {} ==", self.title);
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let fmt_row = |cells: &[String]| {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        println!("{}", fmt_row(&self.header));
-        println!(
-            "{}",
-            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
-        );
-        for row in &self.rows {
-            println!("{}", fmt_row(row));
-        }
-    }
-
-    /// Writes the table as `results/<name>.csv`.
-    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from("results");
-        fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{name}.csv"));
-        let mut out = String::new();
-        out.push_str(&self.header.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        fs::write(&path, out)?;
-        Ok(path)
-    }
-
-    /// Number of data rows.
-    pub fn num_rows(&self) -> usize {
-        self.rows.len()
-    }
-}
-
-/// Convenience: format a float with 3 decimal places.
-pub fn f3(x: f64) -> String {
-    format!("{x:.3}")
-}
-
-/// Emits the table to stdout and, if requested, to CSV.
+/// Emits a standalone table to stdout and, if requested, to CSV (kept for
+/// ad-hoc callers; scenario output goes through [`run_and_emit`]).
 pub fn emit(table: &Table, name: &str, opts: &RunOptions) {
     table.print();
     if opts.csv {
@@ -181,24 +240,92 @@ pub fn emit(table: &Table, name: &str, opts: &RunOptions) {
     }
 }
 
+/// Runs a scenario through the engine and prints its output exactly like the
+/// pre-engine binaries did: preamble, tables (each followed by its CSV path
+/// when `--csv` is set), then the expected-shape notes. With `--csv` the
+/// unified JSON artifact is written and validated as well. Returns the run
+/// report and the rendered output (for callers that post-process them, e.g.
+/// the `sweep` driver's summary and unconditional artifact).
+pub fn run_and_emit(
+    scenario: &Scenario,
+    opts: &RunOptions,
+) -> (SweepReport, topobench::sweep::RenderOutput) {
+    let sopts = opts.sweep_options();
+    let (report, render) = run_scenario(scenario, &sopts);
+    for line in &render.preamble {
+        println!("{line}");
+    }
+    for nt in &render.tables {
+        nt.table.print();
+        if opts.csv {
+            match nt.table.write_csv(&nt.name) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+    }
+    if opts.csv {
+        if opts.filter.is_none() {
+            write_and_validate_artifact(scenario, &sopts, &report, &render);
+        } else {
+            // A filtered run carries only a cell subset; writing it would
+            // overwrite the scenario's complete artifact with a partial one.
+            println!(
+                "(skipping results/{}.json: --filter is active)",
+                scenario.name
+            );
+        }
+    }
+    if !render.notes.is_empty() {
+        println!("\n{}", render.notes);
+    }
+    (report, render)
+}
+
+/// Writes the JSON artifact for a finished run and validates it against the
+/// schema, printing the path. Panics on validation failure (a bug in the
+/// artifact writer, not in the run).
+pub fn write_and_validate_artifact(
+    scenario: &Scenario,
+    sopts: &SweepOptions,
+    report: &SweepReport,
+    render: &topobench::sweep::RenderOutput,
+) -> PathBuf {
+    let path =
+        topobench::sweep::write_artifact(scenario.name, scenario.title, sopts, report, render)
+            .expect("failed to write JSON artifact");
+    let text = std::fs::read_to_string(&path).expect("failed to re-read JSON artifact");
+    topobench::sweep::validate_artifact(&text)
+        .unwrap_or_else(|e| panic!("artifact failed schema validation: {e}"));
+    println!("(wrote {}, schema valid)", path.display());
+    path
+}
+
+/// Looks up a scenario by registry name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// Entry point for the per-figure binaries: parse shared flags, run the
+/// named scenario, print its tables.
+pub fn scenario_main(name: &str) {
+    let opts = RunOptions::from_args();
+    let scenario =
+        find_scenario(name).unwrap_or_else(|| panic!("scenario '{name}' is not registered"));
+    run_and_emit(&scenario, &opts);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn table_roundtrip() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(&[&1, &"x"]);
-        t.row_strings(vec!["2".into(), "y".into()]);
-        assert_eq!(t.num_rows(), 2);
-        t.print();
-    }
-
-    #[test]
-    #[should_panic]
-    fn row_width_mismatch_panics() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(&[&1]);
+    fn parse(args: &[&str]) -> Result<RunOptions, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        match RunOptions::try_parse(&args, &[]) {
+            Ok((o, _)) => Ok(o),
+            Err(ParseAbort::Help) => Err("help".into()),
+            Err(ParseAbort::Usage(m)) => Err(m),
+        }
     }
 
     #[test]
@@ -206,10 +333,98 @@ mod tests {
         let o = RunOptions::default();
         assert!(!o.full);
         assert_eq!(o.scale(), Scale::Small);
+        assert!(o.sweep_options().use_cache);
     }
 
     #[test]
-    fn f3_formats() {
-        assert_eq!(f3(1.23456), "1.235");
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--full",
+            "--csv",
+            "--seed",
+            "9",
+            "--jobs",
+            "2",
+            "--filter",
+            "A2A",
+            "--no-cache",
+        ])
+        .unwrap();
+        assert!(o.full && o.csv && o.no_cache);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.jobs, Some(2));
+        assert_eq!(o.filter.as_deref(), Some("A2A"));
+        assert!(!o.sweep_options().use_cache);
+    }
+
+    #[test]
+    fn unknown_flag_is_a_hard_error() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "xyz"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_is_recognized() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn extra_flags_are_collected() {
+        let args: Vec<String> = ["--scenario", "fig02", "--list"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let extra = [
+            ExtraFlag {
+                name: "--scenario",
+                takes_value: true,
+                help: "",
+            },
+            ExtraFlag {
+                name: "--list",
+                takes_value: false,
+                help: "",
+            },
+        ];
+        let (_, extras) = RunOptions::try_parse(&args, &extra)
+            .map_err(|_| ())
+            .unwrap();
+        assert_eq!(extras.len(), 2);
+        assert_eq!(extras[0], ("--scenario".to_string(), "fig02".to_string()));
+        assert_eq!(extras[1].0, "--list");
+    }
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 13, "all 13 figure/table scenarios registered");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for expected in [
+            "fig02",
+            "fig03",
+            "fig04",
+            "fig05_06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10_11",
+            "fig12",
+            "fig13_14",
+            "fig15",
+            "table02",
+            "theorem1_demo",
+        ] {
+            assert!(names.contains(&expected), "missing scenario {expected}");
+        }
     }
 }

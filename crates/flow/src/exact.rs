@@ -35,6 +35,7 @@ impl ExactLpSolver {
     /// Returns an error if the LP solver fails (which, for a well-formed
     /// instance, only happens when the iteration limit is exceeded).
     pub fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<ThroughputBounds, LpError> {
+        crate::record_solver_invocation();
         let prob = FlowProblem::new(graph, tm);
         let n = prob.num_nodes();
         let m = prob.num_arcs();

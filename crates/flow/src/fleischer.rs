@@ -249,6 +249,7 @@ impl FleischerSolver {
         tm: &TrafficMatrix,
         ws: &mut SolverWorkspace,
     ) -> ThroughputBounds {
+        crate::record_solver_invocation();
         let prob = FlowProblem::new(graph, tm);
         self.solve_problem(graph, &prob, ws)
     }

@@ -31,6 +31,21 @@ pub use fleischer::{FleischerConfig, FleischerSolver, SolverWorkspace};
 pub use instance::FlowProblem;
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of throughput-solver invocations (FPTAS, exact LP and
+/// path-restricted). The sweep engine's cache tests read deltas of this
+/// counter to prove that cache-hot runs perform zero solves.
+static SOLVE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the cumulative number of solver invocations in this process.
+pub fn solver_invocations() -> u64 {
+    SOLVE_COUNT.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_solver_invocation() {
+    SOLVE_COUNT.fetch_add(1, Ordering::Relaxed);
+}
 
 /// The result of a throughput computation: a bracketing interval around the
 /// true LP optimum.

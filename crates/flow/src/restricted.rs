@@ -134,6 +134,7 @@ impl PathRestrictedSolver {
     /// Computes throughput bounds when each commodity may only use its listed
     /// paths. Commodities with no path make the throughput zero.
     pub fn solve(&self, graph: &Graph, commodities: &[CommodityPaths]) -> ThroughputBounds {
+        crate::record_solver_invocation();
         if commodities.is_empty() {
             return ThroughputBounds::exact(0.0);
         }

@@ -285,7 +285,12 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
             edge_set.insert(key(u, v));
         }
     }
-    let original: Vec<(usize, usize)> = edge_set.iter().copied().collect();
+    // Sorted, not hash-ordered: HashSet iteration order is randomized per
+    // process, and the rewiring below consumes RNG draws per edge, so the
+    // visit order decides which edges rewire where. Sorting pins the graph
+    // to the seed across processes (the sweep cache depends on that).
+    let mut original: Vec<(usize, usize)> = edge_set.iter().copied().collect();
+    original.sort_unstable();
     for (u, v) in original {
         if rng.gen_bool(beta.clamp(0.0, 1.0)) {
             // Rewire the (u, v) edge to (u, w) for a random w.
@@ -306,7 +311,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
         }
     }
     let mut g = Graph::new(n);
-    for (u, v) in edge_set {
+    let mut final_edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+    final_edges.sort_unstable();
+    for (u, v) in final_edges {
         g.add_unit_edge(u, v);
     }
     g
@@ -344,7 +351,12 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
                 targets.insert(t);
             }
         }
-        for &t in &targets {
+        // Sorted: iterating the HashSet directly would append to `endpoints`
+        // in a per-process random order, changing every later
+        // degree-proportional draw (see the watts_strogatz note).
+        let mut targets: Vec<usize> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for t in targets {
             g.add_unit_edge(u, t);
             endpoints.push(u);
             endpoints.push(t);

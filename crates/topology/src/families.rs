@@ -94,119 +94,158 @@ impl Family {
         matches!(self, Family::BCube | Family::DCell | Family::FatTree)
     }
 
-    /// The instance ladder used for scaling experiments, ordered by size.
-    pub fn instances(&self, scale: Scale, seed: u64) -> Vec<Topology> {
+    /// Number of rungs in the family's instance ladder at `scale`. Rungs are
+    /// indexed `0..ladder_len`; a rung's construction can still fail (HyperX
+    /// design searches with no feasible design), in which case
+    /// [`Family::ladder_instance`] returns `None` for that index.
+    pub fn ladder_len(&self, scale: Scale) -> usize {
         let full = scale == Scale::Full;
         match self {
             Family::BCube => {
-                let mut v = vec![bcube(2, 2), bcube(2, 3), bcube(4, 1), bcube(4, 2)];
                 if full {
-                    v.push(bcube(2, 5));
-                    v.push(bcube(4, 3));
+                    6
+                } else {
+                    4
                 }
-                v
             }
             Family::DCell => {
-                let mut v = vec![dcell(3, 1), dcell(4, 1), dcell(5, 1), dcell(3, 2)];
                 if full {
-                    v.push(dcell(4, 2));
-                    v.push(dcell(5, 2));
+                    6
+                } else {
+                    4
                 }
-                v
             }
             Family::Dragonfly => {
-                let mut v = vec![
-                    balanced_dragonfly(1),
-                    balanced_dragonfly(2),
-                    balanced_dragonfly(3),
-                ];
                 if full {
-                    v.push(balanced_dragonfly(4));
+                    4
+                } else {
+                    3
                 }
-                v
             }
             Family::FatTree => {
-                let mut v = vec![fat_tree(4), fat_tree(6), fat_tree(8)];
                 if full {
-                    v.push(fat_tree(10));
-                    v.push(fat_tree(12));
-                    v.push(fat_tree(14));
+                    6
+                } else {
+                    3
                 }
-                v
             }
             Family::FlattenedButterfly => {
-                let mut v = vec![
-                    flattened_butterfly(3, 3),
-                    flattened_butterfly(4, 3),
-                    flattened_butterfly(5, 3),
-                ];
                 if full {
-                    v.push(flattened_butterfly(6, 3));
-                    v.push(flattened_butterfly(8, 3));
-                    v.push(flattened_butterfly(10, 3));
+                    6
+                } else {
+                    3
                 }
-                v
             }
             Family::Hypercube => {
-                let mut v = vec![hypercube(4, 2), hypercube(5, 3), hypercube(6, 3)];
                 if full {
-                    v.push(hypercube(7, 4));
-                    v.push(hypercube(8, 4));
-                    v.push(hypercube(9, 5));
+                    6
+                } else {
+                    3
                 }
-                v
             }
-            Family::HyperX => {
-                // Targets start at a few hundred servers so the design search
-                // returns multi-dimensional HyperX instances (very small
-                // targets degenerate into a handful of heavily trunked
-                // switches, which are not representative of the family).
-                let targets: &[usize] = if full {
-                    &[256, 400, 512, 648, 864, 1024]
-                } else {
-                    &[256, 400, 512]
-                };
-                targets
-                    .iter()
-                    .filter_map(|&n| design_search(24, n, 0.4))
-                    .map(|d| build_design(&d))
-                    .collect()
-            }
-            Family::Jellyfish => {
-                let params: &[(usize, usize, usize)] = if full {
-                    &[
-                        (25, 6, 3),
-                        (50, 8, 4),
-                        (100, 10, 5),
-                        (200, 12, 6),
-                        (400, 14, 7),
-                    ]
-                } else {
-                    &[(25, 6, 3), (50, 8, 4), (100, 10, 5)]
-                };
-                params
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(n, r, s))| jellyfish(n, r, s, seed.wrapping_add(i as u64)))
-                    .collect()
-            }
+            Family::HyperX => Self::hyperx_targets(full).len(),
+            Family::Jellyfish => Self::jellyfish_params(full).len(),
             Family::LongHop => {
-                let mut v = vec![long_hop(5, 8, 2), long_hop(6, 9, 3)];
                 if full {
-                    v.push(long_hop(7, 10, 4));
-                    v.push(long_hop(8, 11, 5));
+                    4
+                } else {
+                    2
                 }
-                v
             }
             Family::SlimFly => {
-                let mut v = vec![slim_fly(5, canonical_servers_per_router(5))];
                 if full {
-                    v.push(slim_fly(13, canonical_servers_per_router(13)));
-                    v.push(slim_fly(17, canonical_servers_per_router(17)));
+                    3
+                } else {
+                    1
                 }
-                v
             }
         }
+    }
+
+    fn hyperx_targets(full: bool) -> &'static [usize] {
+        // Targets start at a few hundred servers so the design search
+        // returns multi-dimensional HyperX instances (very small
+        // targets degenerate into a handful of heavily trunked
+        // switches, which are not representative of the family).
+        if full {
+            &[256, 400, 512, 648, 864, 1024]
+        } else {
+            &[256, 400, 512]
+        }
+    }
+
+    fn jellyfish_params(full: bool) -> &'static [(usize, usize, usize)] {
+        if full {
+            &[
+                (25, 6, 3),
+                (50, 8, 4),
+                (100, 10, 5),
+                (200, 12, 6),
+                (400, 14, 7),
+            ]
+        } else {
+            &[(25, 6, 3), (50, 8, 4), (100, 10, 5)]
+        }
+    }
+
+    /// Builds the `index`-th rung of the instance ladder without constructing
+    /// the other rungs — the lazy per-cell entry point the sweep engine uses.
+    /// `None` for an out-of-range index or an infeasible design search.
+    pub fn ladder_instance(&self, scale: Scale, seed: u64, index: usize) -> Option<Topology> {
+        if index >= self.ladder_len(scale) {
+            return None;
+        }
+        let full = scale == Scale::Full;
+        Some(match self {
+            Family::BCube => {
+                let (n, k) = [(2, 2), (2, 3), (4, 1), (4, 2), (2, 5), (4, 3)][index];
+                bcube(n, k)
+            }
+            Family::DCell => {
+                let (n, k) = [(3, 1), (4, 1), (5, 1), (3, 2), (4, 2), (5, 2)][index];
+                dcell(n, k)
+            }
+            Family::Dragonfly => balanced_dragonfly(index + 1),
+            Family::FatTree => fat_tree([4, 6, 8, 10, 12, 14][index]),
+            Family::FlattenedButterfly => flattened_butterfly([3, 4, 5, 6, 8, 10][index], 3),
+            Family::Hypercube => {
+                let (d, s) = [(4, 2), (5, 3), (6, 3), (7, 4), (8, 4), (9, 5)][index];
+                hypercube(d, s)
+            }
+            Family::HyperX => {
+                let n = Self::hyperx_targets(full)[index];
+                return design_search(24, n, 0.4).map(|d| build_design(&d));
+            }
+            Family::Jellyfish => {
+                let (n, r, s) = Self::jellyfish_params(full)[index];
+                jellyfish(n, r, s, seed.wrapping_add(index as u64))
+            }
+            Family::LongHop => {
+                let (d, deg, s) = [(5, 8, 2), (6, 9, 3), (7, 10, 4), (8, 11, 5)][index];
+                long_hop(d, deg, s)
+            }
+            Family::SlimFly => {
+                let q = [5, 13, 17][index];
+                slim_fly(q, canonical_servers_per_router(q))
+            }
+        })
+    }
+
+    /// The successfully built rungs of the ladder, paired with their stable
+    /// ladder indices (which [`Family::ladder_instance`] accepts even when
+    /// earlier rungs failed to build).
+    pub fn ladder(&self, scale: Scale, seed: u64) -> Vec<(usize, Topology)> {
+        (0..self.ladder_len(scale))
+            .filter_map(|i| self.ladder_instance(scale, seed, i).map(|t| (i, t)))
+            .collect()
+    }
+
+    /// The instance ladder used for scaling experiments, ordered by size.
+    pub fn instances(&self, scale: Scale, seed: u64) -> Vec<Topology> {
+        self.ladder(scale, seed)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect()
     }
 
     /// A representative mid-size instance used by the per-family (non-scaling)
@@ -248,6 +287,32 @@ mod tests {
                 assert!(t.num_servers() > 0);
                 assert!(t.graph.validate().is_ok());
             }
+        }
+    }
+
+    #[test]
+    fn ladder_instance_matches_eager_instances() {
+        for f in ALL_FAMILIES {
+            for scale in [Scale::Small, Scale::Full] {
+                let eager = f.instances(scale, 7);
+                let lazy: Vec<Topology> = (0..f.ladder_len(scale))
+                    .filter_map(|i| f.ladder_instance(scale, 7, i))
+                    .collect();
+                assert_eq!(eager.len(), lazy.len(), "{}", f.name());
+                for (a, b) in eager.iter().zip(&lazy) {
+                    assert_eq!(a.params, b.params, "{}", f.name());
+                    assert_eq!(a.num_servers(), b.num_servers(), "{}", f.name());
+                    assert_eq!(a.num_links(), b.num_links(), "{}", f.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_instance_out_of_range_is_none() {
+        for f in ALL_FAMILIES {
+            let len = f.ladder_len(Scale::Small);
+            assert!(f.ladder_instance(Scale::Small, 1, len + 10).is_none());
         }
     }
 

@@ -101,7 +101,11 @@ mod tests {
         let b = natural_networks(8, 5);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.num_links(), y.num_links());
+            // Edge-exact, not just size: the sweep cache requires the same
+            // seed to rebuild the same graph in any process.
+            let ex: Vec<(usize, usize)> = x.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+            let ey: Vec<(usize, usize)> = y.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+            assert_eq!(ex, ey, "{}", x.describe());
         }
     }
 }

@@ -69,6 +69,25 @@ impl Topology {
         self.graph.num_edges()
     }
 
+    /// Returns a copy of this topology with every server-attached switch
+    /// carrying `per_switch` servers instead of its current count; switches
+    /// without servers stay server-free. Used to vary the RM(k) concentration
+    /// on the same switch graph (the Fig. 2 series) without re-deriving the
+    /// topology's server-placement invariants by hand.
+    pub fn with_servers_per_switch(&self, per_switch: usize) -> Topology {
+        let servers: Vec<usize> = self
+            .servers
+            .iter()
+            .map(|&s| if s > 0 { per_switch } else { 0 })
+            .collect();
+        Topology::new(
+            self.name.clone(),
+            self.params.clone(),
+            self.graph.clone(),
+            servers,
+        )
+    }
+
     /// Switch ids that have at least one server attached (the "top of rack"
     /// switches; traffic originates and terminates only here).
     pub fn server_switches(&self) -> Vec<usize> {
@@ -141,6 +160,16 @@ mod tests {
     fn mismatched_server_vector_panics() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
         Topology::new("bad", "", g, vec![1, 1]);
+    }
+
+    #[test]
+    fn with_servers_per_switch_reattaches_only_server_switches() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let t = Topology::new("test", "tiny", g, vec![2, 0, 1]);
+        let r = t.with_servers_per_switch(5);
+        assert_eq!(r.servers, vec![5, 0, 5]);
+        assert_eq!(r.name, t.name);
+        assert_eq!(r.num_links(), t.num_links());
     }
 
     #[test]

@@ -74,6 +74,27 @@ impl TrafficMatrix {
         self.demands.iter().map(|d| d.amount).sum()
     }
 
+    /// A stable 64-bit content fingerprint (FNV-1a over the sorted demand
+    /// list, endpoint ids and exact IEEE-754 amount bits). Two matrices share
+    /// a fingerprint iff they are bit-identical, so sweep artifacts can
+    /// record which exact TM a cached result was computed against.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.n as u64);
+        for d in &self.demands {
+            mix(d.src as u64);
+            mix(d.dst as u64);
+            mix(d.amount.to_bits());
+        }
+        hash
+    }
+
     /// Total demand originating at each switch.
     pub fn out_demand(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.n];
@@ -219,5 +240,16 @@ mod tests {
         let s = tm.scaled(0.5);
         assert_eq!(s.num_flows(), 2);
         assert_eq!(s.demand_between(2, 1), 2.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = TrafficMatrix::new(3, vec![d(0, 1, 1.0), d(2, 1, 4.0)]);
+        let b = TrafficMatrix::new(3, vec![d(2, 1, 4.0), d(0, 1, 1.0)]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "order-insensitive");
+        let c = TrafficMatrix::new(3, vec![d(0, 1, 1.0), d(2, 1, 4.0 + 1e-12)]);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "amount-sensitive");
+        let e = TrafficMatrix::new(4, vec![d(0, 1, 1.0), d(2, 1, 4.0)]);
+        assert_ne!(a.fingerprint(), e.fingerprint(), "size-sensitive");
     }
 }
