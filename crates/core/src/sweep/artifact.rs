@@ -124,6 +124,9 @@ pub fn artifact_json(
         ("scenario", Json::str(scenario)),
         ("title", Json::str(title)),
         ("full", Json::Bool(opts.full)),
+        // Filtered runs carry only a cell subset; the flag lets the diff
+        // engine treat missing cells as "not run" instead of "removed".
+        ("partial", Json::Bool(opts.filter.is_some())),
         // As a string: a u64 seed above 2^53 would silently round through a
         // JSON double, and this document promises exact reproducibility.
         ("seed", Json::str(opts.seed.to_string())),
@@ -149,6 +152,9 @@ pub fn artifact_json(
 }
 
 /// Writes the artifact as `results/<scenario>.json`, returning its path.
+/// Filtered runs write `results/<scenario>.partial.json` instead (marked
+/// `"partial": true`), so a cell subset never overwrites the scenario's
+/// complete artifact but can still be consumed by `sweep diff`.
 pub fn write_artifact(
     scenario: &str,
     title: &str,
@@ -158,12 +164,23 @@ pub fn write_artifact(
 ) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{scenario}.json"));
+    let path = dir.join(artifact_filename(scenario, opts));
     fs::write(
         &path,
         artifact_json(scenario, title, opts, report, render).to_string(),
     )?;
     Ok(path)
+}
+
+/// File name a run's artifact is written under: `<scenario>.json`, or
+/// `<scenario>.partial.json` for filtered runs (a cell subset must never
+/// overwrite the scenario's complete artifact).
+pub fn artifact_filename(scenario: &str, opts: &SweepOptions) -> String {
+    if opts.filter.is_some() {
+        format!("{scenario}.partial.json")
+    } else {
+        format!("{scenario}.json")
+    }
 }
 
 fn check(cond: bool, what: &str) -> Result<(), String> {
@@ -190,6 +207,18 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     check(
         doc.get("full").and_then(Json::as_bool).is_some(),
         "'full' must be a bool",
+    )?;
+    // 'partial' is optional (absent in pre-diff artifacts) but when present
+    // must be a bool consistent with the recorded filter.
+    let partial = match doc.get("partial") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("artifact invalid: 'partial' must be a bool".into()),
+    };
+    let filtered = matches!(doc.get("filter"), Some(Json::Str(_)));
+    check(
+        partial == filtered || doc.get("partial").is_none(),
+        "'partial' must be true exactly when a filter is recorded",
     )?;
     check(
         doc.get("seed")
@@ -295,6 +324,7 @@ mod tests {
             unique_cells: 1,
             cache_hits: 0,
             solver_calls: 1,
+            topo_builds: 1,
         }
     }
 
@@ -313,6 +343,39 @@ mod tests {
         };
         let doc = artifact_json("test", "Test", &opts, &sample_report(), &render);
         validate_artifact(&doc.to_string()).expect("artifact should validate");
+    }
+
+    #[test]
+    fn filtered_runs_produce_marked_partial_artifacts() {
+        let mut opts = SweepOptions::new(false, 1);
+        assert_eq!(artifact_filename("fig02", &opts), "fig02.json");
+        let complete = artifact_json(
+            "fig02",
+            "t",
+            &opts,
+            &sample_report(),
+            &RenderOutput::default(),
+        )
+        .to_string();
+        assert!(complete.contains("\"partial\":false"));
+        validate_artifact(&complete).unwrap();
+
+        opts.filter = Some("A2A".into());
+        assert_eq!(artifact_filename("fig02", &opts), "fig02.partial.json");
+        let partial = artifact_json(
+            "fig02",
+            "t",
+            &opts,
+            &sample_report(),
+            &RenderOutput::default(),
+        )
+        .to_string();
+        assert!(partial.contains("\"partial\":true"));
+        validate_artifact(&partial).unwrap();
+
+        // An inconsistent marker (filter recorded but partial false) fails.
+        let lying = partial.replace("\"partial\":true", "\"partial\":false");
+        assert!(validate_artifact(&lying).is_err());
     }
 
     #[test]

@@ -1,0 +1,756 @@
+//! Structural diffing of `topobench-sweep/v1` result artifacts.
+//!
+//! The sweep artifacts store every cell value as an exact IEEE-754 bit
+//! pattern, which turns them into a regression oracle: two runs of the same
+//! scenario at the same seed must agree bit for bit, and any drift — a
+//! solver change, a seeding change, a reordered reduction — is visible as a
+//! classified difference. [`diff_artifacts`] matches cells by their stable
+//! ids and classifies each as bit-identical, within a relative tolerance,
+//! value drift, added, removed, or a label/schema change; [`diff_dirs`]
+//! applies the comparison to whole artifact directories (e.g. a fresh
+//! `results/` against a committed baseline).
+//!
+//! Partial artifacts (written by filtered runs, `"partial": true`) only
+//! carry a cell subset, so cells missing from the partial side are not
+//! treated as removals/additions.
+//!
+//! Run-only metadata — per-cell `cached` flags and the `stats` block — is
+//! deliberately ignored: a cache-hot rerun must diff clean against its cold
+//! predecessor.
+
+use crate::sweep::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Options controlling artifact comparison.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Maximum relative difference `|new - old| / max(|old|, |new|)` under
+    /// which a non-bit-identical value still passes. `0.0` (the default)
+    /// demands bit-exact values.
+    pub tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { tolerance: 0.0 }
+    }
+}
+
+/// One cell as recorded in an artifact: exact value bits, texts and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Metric name → IEEE-754 bit pattern.
+    pub values: BTreeMap<String, u64>,
+    /// Text annotation name → value.
+    pub texts: BTreeMap<String, String>,
+    /// Display label name → value.
+    pub labels: BTreeMap<String, String>,
+}
+
+/// The cell-level content of a parsed artifact.
+#[derive(Debug, Clone)]
+pub struct ParsedArtifact {
+    /// Scenario name the artifact records.
+    pub scenario: String,
+    /// Seed (decimal string, exactly as stored).
+    pub seed: String,
+    /// Whether the run used the paper-scale ladder.
+    pub full: bool,
+    /// Whether the artifact holds only a filtered cell subset.
+    pub partial: bool,
+    /// Cells in artifact order.
+    pub cells: Vec<(String, CellRecord)>,
+}
+
+/// How one cell differs between two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeKind {
+    /// Every metric bit-identical, texts and labels equal.
+    BitIdentical,
+    /// Values differ but every relative difference is within tolerance.
+    WithinTolerance {
+        /// Largest relative difference observed.
+        max_rel: f64,
+    },
+    /// At least one metric drifted beyond tolerance.
+    ValueDrift {
+        /// The worst-drifting metric.
+        metric: String,
+        /// Its old value.
+        old: f64,
+        /// Its new value.
+        new: f64,
+    },
+    /// The metric/text schema of the cell changed (different metric names,
+    /// or a text annotation changed value — e.g. a traffic-matrix
+    /// fingerprint).
+    SchemaChange {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Values identical but a display label changed.
+    LabelChange {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Cell present only in the new artifact.
+    Added,
+    /// Cell present only in the old artifact.
+    Removed,
+}
+
+/// One classified per-cell difference.
+#[derive(Debug, Clone)]
+pub struct CellChange {
+    /// The cell's stable id.
+    pub id: String,
+    /// What changed.
+    pub kind: ChangeKind,
+    /// Whether this change fails the diff (exit nonzero).
+    pub regression: bool,
+}
+
+/// The result of diffing two artifacts of one scenario.
+#[derive(Debug, Clone)]
+pub struct ArtifactDiff {
+    /// Scenario name.
+    pub scenario: String,
+    /// Cells present in both artifacts.
+    pub compared: usize,
+    /// Compared cells that are bit-identical.
+    pub bit_identical: usize,
+    /// Compared cells that pass only via the tolerance.
+    pub within_tolerance: usize,
+    /// All non-bit-identical changes, in artifact order.
+    pub changes: Vec<CellChange>,
+    /// Run-configuration mismatches (seed/scale); these are regressions.
+    pub notes: Vec<String>,
+}
+
+impl ArtifactDiff {
+    /// Number of failing differences (config notes included).
+    pub fn regressions(&self) -> usize {
+        self.notes.len() + self.changes.iter().filter(|c| c.regression).count()
+    }
+
+    /// True when the new artifact passes against the old one.
+    pub fn is_clean(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Compact human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let drifted = self.changes.iter().filter(|c| c.regression).count();
+        let _ = writeln!(
+            out,
+            "{}: {} cells compared | {} bit-identical, {} within tolerance | {}",
+            self.scenario,
+            self.compared,
+            self.bit_identical,
+            self.within_tolerance,
+            if self.regressions() == 0 {
+                "OK".to_string()
+            } else {
+                format!("{} regressions", self.regressions())
+            }
+        );
+        for note in &self.notes {
+            let _ = writeln!(out, "  ! {note}");
+        }
+        const MAX_LISTED: usize = 40;
+        // When there are failures, drop within-tolerance entries up front so
+        // the report (and its truncation count) covers only failures.
+        let display: Vec<&CellChange> = self
+            .changes
+            .iter()
+            .filter(|c| !(matches!(c.kind, ChangeKind::WithinTolerance { .. }) && drifted > 0))
+            .collect();
+        for change in display.iter().take(MAX_LISTED) {
+            match &change.kind {
+                ChangeKind::BitIdentical => {}
+                ChangeKind::WithinTolerance { max_rel } => {
+                    let _ = writeln!(
+                        out,
+                        "  ~ {}: within tolerance (max rel diff {max_rel:.3e})",
+                        change.id
+                    );
+                }
+                ChangeKind::ValueDrift { metric, old, new } => {
+                    let _ = writeln!(out, "  ~ {}: {metric} {old:?} -> {new:?}", change.id);
+                }
+                ChangeKind::SchemaChange { detail } => {
+                    let _ = writeln!(out, "  # {}: {detail}", change.id);
+                }
+                ChangeKind::LabelChange { detail } => {
+                    let _ = writeln!(out, "  @ {}: {detail}", change.id);
+                }
+                ChangeKind::Added => {
+                    let _ = writeln!(out, "  + {} (only in new)", change.id);
+                }
+                ChangeKind::Removed => {
+                    let _ = writeln!(out, "  - {} (only in old)", change.id);
+                }
+            }
+        }
+        if display.len() > MAX_LISTED {
+            let _ = writeln!(out, "  … and {} more", display.len() - MAX_LISTED);
+        }
+        out
+    }
+}
+
+fn string_map(value: Option<&Json>, what: &str) -> Result<BTreeMap<String, String>, String> {
+    match value {
+        None => Ok(BTreeMap::new()),
+        Some(Json::Obj(map)) => map
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("{what}.{k} must be a string"))
+            })
+            .collect(),
+        Some(_) => Err(format!("{what} must be an object")),
+    }
+}
+
+/// Parses the cell-level content of an artifact document. The document must
+/// carry the `topobench-sweep/v1` schema tag; cells without decodable value
+/// bits are rejected.
+pub fn parse_artifact_cells(text: &str) -> Result<ParsedArtifact, String> {
+    let doc = Json::parse(text).map_err(|e| format!("artifact is not JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != crate::sweep::artifact::ARTIFACT_SCHEMA {
+        return Err(format!("unsupported artifact schema '{schema}'"));
+    }
+    let scenario = doc
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or("artifact missing 'scenario'")?
+        .to_string();
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_str)
+        .ok_or("artifact missing 'seed'")?
+        .to_string();
+    let full = doc
+        .get("full")
+        .and_then(Json::as_bool)
+        .ok_or("artifact missing 'full'")?;
+    // Absent in artifacts written before partial runs were recorded.
+    let partial = doc.get("partial").and_then(Json::as_bool).unwrap_or(false);
+    let mut cells = Vec::new();
+    for cell in doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("artifact missing 'cells'")?
+    {
+        let id = cell
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("cell missing 'id'")?
+            .to_string();
+        let mut values = BTreeMap::new();
+        match cell.get("values") {
+            Some(Json::Obj(map)) => {
+                for (name, v) in map {
+                    let bits = v
+                        .get("bits")
+                        .and_then(|b| b.as_f64_bits())
+                        .ok_or_else(|| format!("cell '{id}' value '{name}' has no bits"))?;
+                    values.insert(name.clone(), bits.to_bits());
+                }
+            }
+            _ => return Err(format!("cell '{id}' missing 'values'")),
+        }
+        let texts = string_map(cell.get("texts"), "texts")?;
+        let labels = string_map(cell.get("labels"), "labels")?;
+        cells.push((
+            id,
+            CellRecord {
+                values,
+                texts,
+                labels,
+            },
+        ));
+    }
+    Ok(ParsedArtifact {
+        scenario,
+        seed,
+        full,
+        partial,
+        cells,
+    })
+}
+
+fn classify(old: &CellRecord, new: &CellRecord, tolerance: f64) -> ChangeKind {
+    let old_metrics: Vec<&String> = old.values.keys().collect();
+    let new_metrics: Vec<&String> = new.values.keys().collect();
+    if old_metrics != new_metrics {
+        return ChangeKind::SchemaChange {
+            detail: format!("metrics changed: {old_metrics:?} -> {new_metrics:?}"),
+        };
+    }
+    if old.texts != new.texts {
+        let changed: Vec<&str> = old
+            .texts
+            .iter()
+            .filter(|(k, v)| new.texts.get(*k) != Some(v))
+            .map(|(k, _)| k.as_str())
+            .chain(
+                new.texts
+                    .keys()
+                    .filter(|k| !old.texts.contains_key(*k))
+                    .map(|k| k.as_str()),
+            )
+            .collect();
+        return ChangeKind::SchemaChange {
+            detail: format!("text annotations changed: {changed:?}"),
+        };
+    }
+    let mut max_rel = 0.0f64;
+    let mut worst: Option<(String, f64, f64)> = None;
+    for (name, &old_bits) in &old.values {
+        let new_bits = new.values[name];
+        if old_bits == new_bits {
+            continue;
+        }
+        let (a, b) = (f64::from_bits(old_bits), f64::from_bits(new_bits));
+        let rel = if a == b {
+            // Same value, different bits (0.0 vs -0.0): zero relative error,
+            // still short of bit-exact.
+            0.0
+        } else if a.is_finite() && b.is_finite() {
+            (b - a).abs() / a.abs().max(b.abs())
+        } else {
+            f64::INFINITY
+        };
+        if worst.is_none() || rel > max_rel {
+            worst = Some((name.clone(), a, b));
+        }
+        max_rel = max_rel.max(rel);
+    }
+    if let Some((metric, old_v, new_v)) = worst {
+        if max_rel <= tolerance {
+            return ChangeKind::WithinTolerance { max_rel };
+        }
+        return ChangeKind::ValueDrift {
+            metric,
+            old: old_v,
+            new: new_v,
+        };
+    }
+    if old.labels != new.labels {
+        let changed: Vec<String> = old
+            .labels
+            .iter()
+            .filter(|(k, v)| new.labels.get(*k) != Some(v))
+            .map(|(k, v)| {
+                format!(
+                    "{k}: '{v}' -> '{}'",
+                    new.labels.get(k).map(String::as_str).unwrap_or("<gone>")
+                )
+            })
+            .chain(
+                new.labels
+                    .iter()
+                    .filter(|(k, _)| !old.labels.contains_key(*k))
+                    .map(|(k, v)| format!("{k}: <new> '{v}'")),
+            )
+            .collect();
+        return ChangeKind::LabelChange {
+            detail: changed.join(", "),
+        };
+    }
+    ChangeKind::BitIdentical
+}
+
+/// Diffs two artifact documents of the same scenario, matching cells by id.
+pub fn diff_artifacts(
+    old_text: &str,
+    new_text: &str,
+    opts: &DiffOptions,
+) -> Result<ArtifactDiff, String> {
+    let old = parse_artifact_cells(old_text)?;
+    let new = parse_artifact_cells(new_text)?;
+    if old.scenario != new.scenario {
+        return Err(format!(
+            "artifacts record different scenarios: '{}' vs '{}'",
+            old.scenario, new.scenario
+        ));
+    }
+    let mut notes = Vec::new();
+    if old.seed != new.seed {
+        notes.push(format!(
+            "seeds differ ({} vs {}): values are not comparable",
+            old.seed, new.seed
+        ));
+    }
+    if old.full != new.full {
+        notes.push(format!(
+            "ladder scales differ (full={} vs full={})",
+            old.full, new.full
+        ));
+    }
+
+    let old_by_id: BTreeMap<&str, &CellRecord> =
+        old.cells.iter().map(|(id, c)| (id.as_str(), c)).collect();
+    let new_by_id: BTreeMap<&str, &CellRecord> =
+        new.cells.iter().map(|(id, c)| (id.as_str(), c)).collect();
+
+    let mut diff = ArtifactDiff {
+        scenario: new.scenario.clone(),
+        compared: 0,
+        bit_identical: 0,
+        within_tolerance: 0,
+        changes: Vec::new(),
+        notes,
+    };
+    // Walk the old artifact's cell order, then the new-only cells in the
+    // new artifact's order, so reports read in expansion order.
+    let mut seen = std::collections::BTreeSet::new();
+    for (id, old_cell) in &old.cells {
+        if !seen.insert(id.as_str()) {
+            continue; // duplicate id in a malformed artifact: first wins
+        }
+        match new_by_id.get(id.as_str()) {
+            Some(new_cell) => {
+                diff.compared += 1;
+                match classify(old_cell, new_cell, opts.tolerance) {
+                    ChangeKind::BitIdentical => diff.bit_identical += 1,
+                    ChangeKind::WithinTolerance { max_rel } => {
+                        diff.within_tolerance += 1;
+                        diff.changes.push(CellChange {
+                            id: id.clone(),
+                            kind: ChangeKind::WithinTolerance { max_rel },
+                            regression: false,
+                        });
+                    }
+                    kind => diff.changes.push(CellChange {
+                        id: id.clone(),
+                        kind,
+                        regression: true,
+                    }),
+                }
+            }
+            None => {
+                // Not a regression when the new artifact is a declared
+                // subset (partial run).
+                diff.changes.push(CellChange {
+                    id: id.clone(),
+                    kind: ChangeKind::Removed,
+                    regression: !new.partial,
+                });
+            }
+        }
+    }
+    for (id, _) in &new.cells {
+        if !old_by_id.contains_key(id.as_str()) && seen.insert(id.as_str()) {
+            diff.changes.push(CellChange {
+                id: id.clone(),
+                kind: ChangeKind::Added,
+                regression: !old.partial,
+            });
+        }
+    }
+    // A diff that compared nothing proves nothing: two disjoint partial
+    // artifacts would otherwise pass vacuously (their missing cells are not
+    // regressions), which is a false green for a regression oracle.
+    if diff.compared == 0 && !(old.cells.is_empty() && new.cells.is_empty()) {
+        diff.notes
+            .push("no cells in common: nothing was actually compared".into());
+    }
+    Ok(diff)
+}
+
+/// Diffs two artifact files.
+pub fn diff_files(old: &Path, new: &Path, opts: &DiffOptions) -> Result<ArtifactDiff, String> {
+    let old_text =
+        std::fs::read_to_string(old).map_err(|e| format!("cannot read {}: {e}", old.display()))?;
+    let new_text =
+        std::fs::read_to_string(new).map_err(|e| format!("cannot read {}: {e}", new.display()))?;
+    diff_artifacts(&old_text, &new_text, opts)
+}
+
+/// The result of diffing two artifact directories.
+#[derive(Debug)]
+pub struct DirDiff {
+    /// Per-file diffs for artifacts present on both sides, by file name.
+    pub diffs: Vec<(String, ArtifactDiff)>,
+    /// Artifact files present only in the old directory (regressions: a
+    /// scenario's results disappeared).
+    pub only_old: Vec<String>,
+    /// Artifact files present only in the new directory (informational).
+    pub only_new: Vec<String>,
+}
+
+impl DirDiff {
+    /// Number of failing differences across all compared artifacts.
+    pub fn regressions(&self) -> usize {
+        self.only_old.len()
+            + self
+                .diffs
+                .iter()
+                .map(|(_, d)| d.regressions())
+                .sum::<usize>()
+    }
+
+    /// True when every compared artifact passes and none disappeared.
+    pub fn is_clean(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Compact human-readable report covering every compared file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, diff) in &self.diffs {
+            let _ = write!(out, "[{name}] {}", diff.render());
+        }
+        for name in &self.only_old {
+            let _ = writeln!(out, "[{name}] missing from the new directory (REGRESSION)");
+        }
+        for name in &self.only_new {
+            let _ = writeln!(out, "[{name}] only in the new directory (new scenario)");
+        }
+        out
+    }
+}
+
+fn artifact_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == "json") {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Diffs every `*.json` artifact in `new_dir` against its same-named
+/// counterpart in `old_dir` (non-recursive; cache subdirectories and CSVs
+/// are ignored).
+pub fn diff_dirs(old_dir: &Path, new_dir: &Path, opts: &DiffOptions) -> Result<DirDiff, String> {
+    let old_names = artifact_files(old_dir)?;
+    let new_names = artifact_files(new_dir)?;
+    let mut result = DirDiff {
+        diffs: Vec::new(),
+        only_old: Vec::new(),
+        only_new: Vec::new(),
+    };
+    for name in &old_names {
+        if new_names.contains(name) {
+            let diff = diff_files(&old_dir.join(name), &new_dir.join(name), opts)
+                .map_err(|e| format!("{name}: {e}"))?;
+            result.diffs.push((name.clone(), diff));
+        } else {
+            result.only_old.push(name.clone());
+        }
+    }
+    for name in new_names {
+        if !old_names.contains(&name) {
+            result.only_new.push(name);
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::artifact::{artifact_json, RenderOutput};
+    use crate::sweep::cell::{CellSpec, CellValues, SweepCell};
+    use crate::sweep::runner::{CellOutcome, SweepOptions, SweepReport};
+    use crate::sweep::topo::TopoSpec;
+    use crate::TmSpec;
+
+    fn cell(id: &str, nums: &[(&str, f64)], labels: &[(&str, &str)]) -> CellOutcome {
+        let mut values = CellValues::default();
+        for (name, v) in nums {
+            values.push(*name, *v);
+        }
+        let mut cell = SweepCell::new(
+            id,
+            CellSpec::Throughput {
+                topo: TopoSpec::Hypercube {
+                    dims: 3,
+                    servers: 1,
+                },
+                tm: TmSpec::AllToAll,
+                tm_seed: 1,
+            },
+        );
+        for (k, v) in labels {
+            cell = cell.label(*k, *v);
+        }
+        CellOutcome {
+            cell,
+            values,
+            cached: false,
+        }
+    }
+
+    fn artifact(outcomes: Vec<CellOutcome>, filter: Option<&str>) -> String {
+        let mut opts = SweepOptions::new(false, 1);
+        opts.filter = filter.map(str::to_string);
+        let report = SweepReport {
+            unique_cells: outcomes.len(),
+            outcomes,
+            cache_hits: 0,
+            solver_calls: 0,
+            topo_builds: 0,
+        };
+        artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string()
+    }
+
+    #[test]
+    fn identical_artifacts_diff_clean() {
+        let a = artifact(vec![cell("a", &[("x", 0.1 + 0.2)], &[("p", "v")])], None);
+        let diff = diff_artifacts(&a, &a, &DiffOptions::default()).unwrap();
+        assert!(diff.is_clean());
+        assert_eq!(diff.compared, 1);
+        assert_eq!(diff.bit_identical, 1);
+        assert!(diff.render().contains("OK"));
+    }
+
+    #[test]
+    fn value_drift_is_a_regression_and_tolerance_forgives() {
+        let old = artifact(vec![cell("a", &[("x", 1.0)], &[])], None);
+        let new = artifact(vec![cell("a", &[("x", 1.0 + 1e-9)], &[])], None);
+        let strict = diff_artifacts(&old, &new, &DiffOptions::default()).unwrap();
+        assert_eq!(strict.regressions(), 1);
+        assert!(matches!(
+            strict.changes[0].kind,
+            ChangeKind::ValueDrift { .. }
+        ));
+        let lax = diff_artifacts(&old, &new, &DiffOptions { tolerance: 1e-6 }).unwrap();
+        assert!(lax.is_clean());
+        assert_eq!(lax.within_tolerance, 1);
+    }
+
+    #[test]
+    fn added_and_removed_cells_are_regressions() {
+        let old = artifact(
+            vec![cell("a", &[("x", 1.0)], &[]), cell("b", &[("x", 2.0)], &[])],
+            None,
+        );
+        let new = artifact(
+            vec![cell("a", &[("x", 1.0)], &[]), cell("c", &[("x", 3.0)], &[])],
+            None,
+        );
+        let diff = diff_artifacts(&old, &new, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.regressions(), 2);
+        let kinds: Vec<&ChangeKind> = diff.changes.iter().map(|c| &c.kind).collect();
+        assert!(kinds.contains(&&ChangeKind::Removed));
+        assert!(kinds.contains(&&ChangeKind::Added));
+    }
+
+    #[test]
+    fn partial_artifacts_only_compare_their_subset() {
+        let complete = artifact(
+            vec![cell("a", &[("x", 1.0)], &[]), cell("b", &[("x", 2.0)], &[])],
+            None,
+        );
+        let partial = artifact(vec![cell("a", &[("x", 1.0)], &[])], Some("a"));
+        // Partial new side: missing 'b' is not a removal regression.
+        let diff = diff_artifacts(&complete, &partial, &DiffOptions::default()).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+        assert_eq!(diff.compared, 1);
+        // Partial old side: extra 'b' in new is not an addition regression.
+        let diff = diff_artifacts(&partial, &complete, &DiffOptions::default()).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+    }
+
+    #[test]
+    fn vacuous_comparisons_are_not_clean() {
+        // Two partial artifacts with disjoint cell subsets: no removal or
+        // addition is individually a regression, but nothing was compared —
+        // the diff must not report success.
+        let a = artifact(vec![cell("a", &[("x", 1.0)], &[])], Some("a"));
+        let b = artifact(vec![cell("b", &[("x", 2.0)], &[])], Some("b"));
+        let diff = diff_artifacts(&a, &b, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.compared, 0);
+        assert!(!diff.is_clean());
+        assert!(diff.render().contains("no cells in common"));
+        // Two genuinely empty artifacts still diff clean.
+        let empty = artifact(vec![], None);
+        let diff = diff_artifacts(&empty, &empty, &DiffOptions::default()).unwrap();
+        assert!(diff.is_clean());
+    }
+
+    #[test]
+    fn label_and_schema_changes_are_flagged() {
+        let old = artifact(vec![cell("a", &[("x", 1.0)], &[("p", "old")])], None);
+        let relabeled = artifact(vec![cell("a", &[("x", 1.0)], &[("p", "new")])], None);
+        let diff = diff_artifacts(&old, &relabeled, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        assert!(matches!(
+            diff.changes[0].kind,
+            ChangeKind::LabelChange { .. }
+        ));
+
+        let reshaped = artifact(vec![cell("a", &[("y", 1.0)], &[("p", "old")])], None);
+        let diff = diff_artifacts(&old, &reshaped, &DiffOptions::default()).unwrap();
+        assert!(matches!(
+            diff.changes[0].kind,
+            ChangeKind::SchemaChange { .. }
+        ));
+    }
+
+    #[test]
+    fn config_mismatches_are_regressions() {
+        let a = artifact(vec![cell("a", &[("x", 1.0)], &[])], None);
+        let mut opts = SweepOptions::new(false, 2);
+        opts.filter = None;
+        let report = SweepReport {
+            outcomes: vec![cell("a", &[("x", 1.0)], &[])],
+            unique_cells: 1,
+            cache_hits: 0,
+            solver_calls: 0,
+            topo_builds: 0,
+        };
+        let b = artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
+        let diff = diff_artifacts(&a, &b, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        assert!(diff.render().contains("seeds differ"));
+    }
+
+    #[test]
+    fn scenario_mismatch_is_an_error() {
+        let a = artifact(vec![], None);
+        let b = a.replace("\"scenario\":\"test\"", "\"scenario\":\"other\"");
+        assert!(diff_artifacts(&a, &b, &DiffOptions::default()).is_err());
+        assert!(diff_artifacts(&a, "{}", &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn dir_diff_pairs_files_by_name() {
+        let base = std::env::temp_dir().join(format!("tb-diff-test-{}", std::process::id()));
+        let old_dir = base.join("old");
+        let new_dir = base.join("new");
+        std::fs::create_dir_all(&old_dir).unwrap();
+        std::fs::create_dir_all(&new_dir).unwrap();
+        let a = artifact(vec![cell("a", &[("x", 1.0)], &[])], None);
+        std::fs::write(old_dir.join("test.json"), &a).unwrap();
+        std::fs::write(new_dir.join("test.json"), &a).unwrap();
+        std::fs::write(old_dir.join("gone.json"), &a).unwrap();
+        std::fs::write(new_dir.join("fresh.json"), &a).unwrap();
+        std::fs::write(new_dir.join("not-an-artifact.csv"), "x,y").unwrap();
+        let diff = diff_dirs(&old_dir, &new_dir, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.diffs.len(), 1);
+        assert_eq!(diff.only_old, vec!["gone.json".to_string()]);
+        assert_eq!(diff.only_new, vec!["fresh.json".to_string()]);
+        assert_eq!(diff.regressions(), 1, "a vanished artifact fails the diff");
+        assert!(diff.render().contains("missing from the new directory"));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -23,16 +23,22 @@
 pub mod artifact;
 pub mod cache;
 pub mod cell;
+pub mod diff;
 pub mod json;
 pub mod runner;
 pub mod table;
 pub mod topo;
 
 pub use artifact::{
-    artifact_json, validate_artifact, write_artifact, NamedTable, RenderOutput, ARTIFACT_SCHEMA,
+    artifact_filename, artifact_json, validate_artifact, write_artifact, NamedTable, RenderOutput,
+    ARTIFACT_SCHEMA,
 };
 pub use cache::{fnv1a, ResultCache, CELL_SCHEMA};
 pub use cell::{CellSpec, CellValues, FbMatrix, SweepCell};
+pub use diff::{
+    diff_artifacts, diff_dirs, diff_files, ArtifactDiff, CellChange, ChangeKind, DiffOptions,
+    DirDiff,
+};
 pub use runner::{cell_key, run_cells, CellOutcome, CellSet, SweepOptions, SweepReport};
 pub use table::{f3, Table};
 pub use topo::TopoSpec;
@@ -64,14 +70,19 @@ impl std::fmt::Debug for Scenario {
 /// With a cell filter active the scenario renderer is skipped (it assumes a
 /// complete grid) and a generic per-cell metric dump is rendered instead.
 pub fn run_scenario(scenario: &Scenario, opts: &SweepOptions) -> (SweepReport, RenderOutput) {
+    // Widen the build-counter window over expansion and rendering too:
+    // both run on construction-free topology metadata, so a fully cache-hot
+    // scenario run must report zero topology constructions end to end.
+    let builds_before = tb_topology::constructions();
     let cells = (scenario.build)(opts);
-    let report = run_cells(opts, cells);
+    let mut report = run_cells(opts, cells);
     let render = if opts.filter.is_some() {
         render_cell_dump(scenario, &report)
     } else {
         let set = CellSet::new(&report.outcomes);
         (scenario.render)(opts, &set)
     };
+    report.topo_builds = tb_topology::constructions() - builds_before;
     (report, render)
 }
 

@@ -93,6 +93,13 @@ pub struct SweepReport {
     pub cache_hits: usize,
     /// Throughput-solver invocations performed during this run.
     pub solver_calls: u64,
+    /// Topology constructions performed during this run. [`run_cells`]
+    /// measures its own execution; [`run_scenario`](crate::sweep::run_scenario)
+    /// widens the window to cover scenario expansion and rendering too, so a
+    /// fully cache-hot scenario run reports zero. Like `solver_calls` this
+    /// reads a process-global counter, so exact-zero assertions belong in
+    /// single-test binaries.
+    pub topo_builds: u64,
 }
 
 /// The canonical cache key of a cell under an evaluation configuration: the
@@ -110,6 +117,7 @@ pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
         None => cells,
     };
     let solver_before = tb_flow::solver_invocations();
+    let builds_before = tb_topology::constructions();
 
     // Deduplicate: identical specs (same key) are computed once per run.
     let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &cfg)).collect();
@@ -192,6 +200,7 @@ pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
         unique_cells,
         cache_hits,
         solver_calls: tb_flow::solver_invocations() - solver_before,
+        topo_builds: tb_topology::constructions() - builds_before,
     }
 }
 

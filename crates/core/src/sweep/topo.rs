@@ -7,17 +7,19 @@
 //! the sweep cache key, which is why specs carry explicit seeds rather than
 //! reading any ambient configuration.
 
-use tb_topology::expander::{clustered_random, subdivided_expander};
+use tb_topology::expander::{
+    clustered_random, clustered_random_meta, subdivided_expander, subdivided_expander_meta,
+};
 use tb_topology::families::{Family, Scale};
-use tb_topology::fattree::fat_tree;
-use tb_topology::flattened_butterfly::flattened_butterfly;
-use tb_topology::hypercube::hypercube;
-use tb_topology::hyperx::{build_design, design_search};
-use tb_topology::jellyfish::{jellyfish, same_equipment};
-use tb_topology::longhop::long_hop;
-use tb_topology::natural::natural_networks;
-use tb_topology::slimfly::{canonical_servers_per_router, slim_fly};
-use tb_topology::Topology;
+use tb_topology::fattree::{fat_tree, fat_tree_meta};
+use tb_topology::flattened_butterfly::{flattened_butterfly, flattened_butterfly_meta};
+use tb_topology::hypercube::{hypercube, hypercube_meta};
+use tb_topology::hyperx::{build_design, design_meta, design_search};
+use tb_topology::jellyfish::{jellyfish, jellyfish_meta, same_equipment, same_equipment_meta};
+use tb_topology::longhop::{long_hop, long_hop_meta};
+use tb_topology::natural::{natural_meta, natural_network};
+use tb_topology::slimfly::{canonical_servers_per_router, slim_fly, slim_fly_meta};
+use tb_topology::{TopoMeta, Topology};
 
 /// A deterministic recipe for building one topology instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,11 +108,10 @@ pub enum TopoSpec {
         /// Construction seed.
         seed: u64,
     },
-    /// One of the natural-network stand-ins (index into
-    /// [`natural_networks`]`(count, seed)`).
+    /// The `index`-th natural-network stand-in (see
+    /// [`natural_network`]`(index, seed)`; instances are independent of how
+    /// many the scenario asks for).
     Natural {
-        /// Total networks generated.
-        count: usize,
         /// Index of this network.
         index: usize,
         /// Generation seed.
@@ -206,9 +207,7 @@ impl TopoSpec {
                 seed,
             } => family.ladder_instance(*scale, *seed, *index),
             TopoSpec::Representative { family, seed } => Some(family.representative(*seed)),
-            TopoSpec::Natural { count, index, seed } => {
-                natural_networks(*count, *seed).into_iter().nth(*index)
-            }
+            TopoSpec::Natural { index, seed } => Some(natural_network(*index, *seed)),
             TopoSpec::ClusteredRandom {
                 n,
                 alpha,
@@ -226,6 +225,89 @@ impl TopoSpec {
                 base,
                 servers_per_switch,
             } => Some(base.build()?.with_servers_per_switch(*servers_per_switch)),
+        }
+    }
+
+    /// Construction-free metadata: labels and counts of the topology
+    /// [`TopoSpec::build`] would produce, without building any graph.
+    /// Returns `Some` exactly when `build()` would (the equivalence is
+    /// pinned by the spec-metadata tests); scenario expansion and rendering
+    /// run entirely on this, which is what makes cache-hot sweeps build-free.
+    pub fn metadata(&self) -> Option<TopoMeta> {
+        match self {
+            TopoSpec::Hypercube { dims, servers } => Some(hypercube_meta(*dims, *servers)),
+            TopoSpec::FatTree { k } => Some(fat_tree_meta(*k)),
+            TopoSpec::Jellyfish {
+                switches,
+                degree,
+                servers,
+                seed,
+            } => Some(jellyfish_meta(*switches, *degree, *servers, *seed)),
+            TopoSpec::JellyfishSpread {
+                switches,
+                degree,
+                servers_total,
+                seed,
+            } => {
+                let base = jellyfish_meta(*switches, *degree, 0, *seed);
+                Some(TopoMeta {
+                    params: format!("N={switches}, r={degree}, {servers_total} servers"),
+                    servers: *servers_total,
+                    server_switches: (*servers_total).min(*switches),
+                    ..base
+                })
+            }
+            TopoSpec::FlattenedButterfly { k, n } => Some(flattened_butterfly_meta(*k, *n)),
+            TopoSpec::LongHop {
+                dim,
+                degree,
+                servers,
+            } => Some(long_hop_meta(*dim, *degree, *servers)),
+            TopoSpec::SlimFly { q } => Some(slim_fly_meta(*q, canonical_servers_per_router(*q))),
+            TopoSpec::HyperX {
+                radix,
+                min_servers,
+                bisection,
+            } => design_search(*radix, *min_servers, *bisection).map(|d| design_meta(&d)),
+            TopoSpec::Ladder {
+                family,
+                scale,
+                index,
+                seed,
+            } => family.ladder_meta(*scale, *seed, *index),
+            TopoSpec::Representative { family, seed } => Some(family.representative_meta(*seed)),
+            TopoSpec::Natural { index, seed: _ } => Some(natural_meta(*index)),
+            TopoSpec::ClusteredRandom {
+                n,
+                alpha,
+                beta,
+                seed: _,
+            } => Some(clustered_random_meta(*n, *alpha, *beta)),
+            TopoSpec::SubdividedExpander {
+                base_nodes,
+                d,
+                p,
+                seed: _,
+            } => Some(subdivided_expander_meta(*base_nodes, *d, *p)),
+            TopoSpec::SameEquipment { base, seed } => {
+                Some(same_equipment_meta(&base.metadata()?, *seed))
+            }
+            TopoSpec::WithServers {
+                base,
+                servers_per_switch,
+            } => {
+                let base = base.metadata()?;
+                let server_switches = if *servers_per_switch > 0 {
+                    base.server_switches
+                } else {
+                    0
+                };
+                Some(TopoMeta {
+                    servers: base.server_switches * servers_per_switch,
+                    server_switches,
+                    ..base
+                })
+            }
         }
     }
 }
@@ -277,19 +359,127 @@ mod tests {
 
     #[test]
     fn unsatisfiable_specs_build_none() {
-        assert!(TopoSpec::HyperX {
+        let spec = TopoSpec::HyperX {
             radix: 2,
             min_servers: 1_000_000,
             bisection: 0.4,
-        }
-        .build()
-        .is_none());
-        assert!(TopoSpec::Natural {
-            count: 2,
-            index: 5,
+        };
+        assert!(spec.build().is_none());
+        assert!(spec.metadata().is_none(), "metadata must mirror build");
+        let ladder = TopoSpec::Ladder {
+            family: Family::Hypercube,
+            scale: Scale::Small,
+            index: 99,
             seed: 1,
+        };
+        assert!(ladder.build().is_none());
+        assert!(ladder.metadata().is_none());
+    }
+
+    /// Every spec shape used by the scenarios, for the metadata contract.
+    fn spec_zoo(seed: u64) -> Vec<TopoSpec> {
+        let mut specs = vec![
+            TopoSpec::Hypercube {
+                dims: 4,
+                servers: 2,
+            },
+            TopoSpec::FatTree { k: 6 },
+            TopoSpec::Jellyfish {
+                switches: 20,
+                degree: 4,
+                servers: 3,
+                seed,
+            },
+            TopoSpec::JellyfishSpread {
+                switches: 20,
+                degree: 4,
+                servers_total: 31,
+                seed,
+            },
+            TopoSpec::JellyfishSpread {
+                switches: 20,
+                degree: 4,
+                servers_total: 13,
+                seed,
+            },
+            TopoSpec::FlattenedButterfly { k: 4, n: 3 },
+            TopoSpec::LongHop {
+                dim: 5,
+                degree: 8,
+                servers: 2,
+            },
+            TopoSpec::SlimFly { q: 5 },
+            TopoSpec::HyperX {
+                radix: 24,
+                min_servers: 256,
+                bisection: 0.4,
+            },
+            TopoSpec::ClusteredRandom {
+                n: 24,
+                alpha: 4,
+                beta: 1,
+                seed,
+            },
+            TopoSpec::SubdividedExpander {
+                base_nodes: 12,
+                d: 2,
+                p: 3,
+                seed,
+            },
+            TopoSpec::SameEquipment {
+                base: Box::new(TopoSpec::FatTree { k: 4 }),
+                seed,
+            },
+            TopoSpec::WithServers {
+                base: Box::new(TopoSpec::FatTree { k: 4 }),
+                servers_per_switch: 5,
+            },
+        ];
+        for index in [0usize, 1, 2, 3, 6] {
+            specs.push(TopoSpec::Natural { index, seed });
         }
-        .build()
-        .is_none());
+        for family in tb_topology::ALL_FAMILIES {
+            specs.push(TopoSpec::Representative { family, seed });
+            specs.push(TopoSpec::Ladder {
+                family,
+                scale: Scale::Small,
+                index: 1.min(family.ladder_len(Scale::Small) - 1),
+                seed,
+            });
+        }
+        specs
+    }
+
+    #[test]
+    fn metadata_matches_built_topology() {
+        for seed in [1u64, 7] {
+            for spec in spec_zoo(seed) {
+                let meta = spec
+                    .metadata()
+                    .unwrap_or_else(|| panic!("{spec:?} has no metadata"));
+                let built = spec
+                    .build()
+                    .unwrap_or_else(|| panic!("{spec:?} does not build"));
+                assert_eq!(meta.name, built.name, "{spec:?}");
+                assert_eq!(meta.params, built.params, "{spec:?}");
+                assert_eq!(meta.switches, built.num_switches(), "{spec:?}");
+                assert_eq!(meta.servers, built.num_servers(), "{spec:?}");
+                assert_eq!(
+                    meta.server_switches,
+                    built.server_switches().len(),
+                    "{spec:?}"
+                );
+                if let Some(links) = meta.links {
+                    assert_eq!(links, built.num_links(), "{spec:?}");
+                }
+                if let Some(degree) = meta.degree {
+                    let max_degree = (0..built.num_switches())
+                        .map(|u| built.graph.degree(u))
+                        .max()
+                        .unwrap_or(0);
+                    assert_eq!(degree, max_degree, "{spec:?}");
+                }
+            }
+        }
     }
 }

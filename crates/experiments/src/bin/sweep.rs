@@ -1,23 +1,37 @@
 //! The unified sweep driver: run any registered scenario (or all of them)
 //! through the engine, with parallel cell execution and the content-keyed
-//! result cache.
+//! result cache — plus artifact diffing for before/after regression checks.
 //!
 //! ```text
 //! sweep --list                         # scenario index
 //! sweep --scenario fig02               # one scenario, reduced scale
 //! sweep --scenario all --full --csv    # every scenario at paper scale
 //! sweep --scenario fig02 --jobs 2 --expect-cache-hot
+//! sweep --scenario all --write-golden  # refresh results/golden/
+//!
+//! sweep diff results/golden/fig02.json results/fig02.json
+//! sweep diff --all results/golden/ results/
+//! sweep diff --tolerance 1e-9 old.json new.json
 //! ```
 //!
 //! Unlike the per-figure binaries, `sweep` always writes (and validates) the
-//! JSON artifact `results/<scenario>.json` and prints a cache/solver summary
-//! per scenario. `--expect-cache-hot` turns a warm cache into an assertion:
-//! the run fails unless every cell came from the cache with zero solver
-//! invocations — CI uses this to prove the cache works end to end.
+//! JSON artifact `results/<scenario>.json` (filtered runs:
+//! `results/<scenario>.partial.json`, marked `"partial": true`) and prints a
+//! cache/solver/build summary per scenario. `--expect-cache-hot` turns a
+//! warm cache into an assertion: the run fails unless every cell came from
+//! the cache with zero solver invocations **and zero topology
+//! constructions** — CI uses this to prove that both the cache and the
+//! construction-free metadata layer work end to end.
+//!
+//! `sweep diff` compares two artifacts (or, with `--all`, two artifact
+//! directories) cell by cell: values must match bit for bit (or within
+//! `--tolerance`), and added/removed cells, label changes and schema changes
+//! are reported. Exit status: 0 clean, 1 regressions, 2 usage/IO errors.
 
 use experiments::{find_scenario, registry, run_and_emit, ExtraFlag, RunOptions};
+use topobench::sweep::{diff_dirs, diff_files, DiffOptions};
 
-const EXTRA_FLAGS: [ExtraFlag; 3] = [
+const EXTRA_FLAGS: [ExtraFlag; 4] = [
     ExtraFlag {
         name: "--list",
         takes_value: false,
@@ -31,7 +45,12 @@ const EXTRA_FLAGS: [ExtraFlag; 3] = [
     ExtraFlag {
         name: "--expect-cache-hot",
         takes_value: false,
-        help: "fail unless every cell is served from the cache (zero solver calls)",
+        help: "fail unless every cell is served from the cache (zero solver calls, zero builds)",
+    },
+    ExtraFlag {
+        name: "--write-golden",
+        takes_value: false,
+        help: "also copy each complete artifact to results/golden/<name>.json",
     },
 ];
 
@@ -41,9 +60,98 @@ fn print_index() {
         println!("  {:<14} {}", s.name, s.title);
     }
     println!("\nCells are cached under results/cache/; artifacts go to results/<name>.json.");
+    println!("Compare artifacts with: sweep diff [--all] [--tolerance X] <old> <new>");
+}
+
+fn run_diff(args: &[String]) -> i32 {
+    let mut all = false;
+    let mut tolerance = 0.0f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--tolerance" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("error: --tolerance requires a value");
+                    return 2;
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => tolerance = t,
+                    _ => {
+                        eprintln!("error: --tolerance requires a non-negative number, got '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "Usage: sweep diff [--all] [--tolerance X] <old> <new>\n\n\
+                     Compares two topobench-sweep/v1 artifacts cell by cell (bit-exact by\n\
+                     default). With --all, <old> and <new> are directories and every *.json\n\
+                     artifact present in both is compared; artifacts missing from <new> are\n\
+                     regressions. Exit status: 0 clean, 1 regressions, 2 usage/IO errors."
+                );
+                return 0;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown argument: {flag}");
+                return 2;
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [old, new] = paths.as_slice() else {
+        eprintln!("error: sweep diff requires exactly two paths (old, new); see sweep diff --help");
+        return 2;
+    };
+    let opts = DiffOptions { tolerance };
+    if all {
+        match diff_dirs(old.as_ref(), new.as_ref(), &opts) {
+            Ok(diff) => {
+                print!("{}", diff.render());
+                if diff.is_clean() {
+                    println!("[sweep diff] OK: {} artifact(s) compared", diff.diffs.len());
+                    0
+                } else {
+                    eprintln!("[sweep diff] FAILED: {} regression(s)", diff.regressions());
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        }
+    } else {
+        match diff_files(old.as_ref(), new.as_ref(), &opts) {
+            Ok(diff) => {
+                print!("{}", diff.render());
+                if diff.is_clean() {
+                    0
+                } else {
+                    eprintln!("[sweep diff] FAILED: {} regression(s)", diff.regressions());
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        }
+    }
 }
 
 fn main() {
+    // `sweep diff` is a subcommand with its own argument grammar; dispatch
+    // before the shared strict option parser sees the args.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("diff") {
+        std::process::exit(run_diff(&raw[1..]));
+    }
+
     let (opts, extras) = RunOptions::from_args_with(&EXTRA_FLAGS);
     let flag = |name: &str| extras.iter().find(|(n, _)| n == name);
     if flag("--list").is_some() {
@@ -56,6 +164,11 @@ fn main() {
         std::process::exit(2);
     };
     let expect_cache_hot = flag("--expect-cache-hot").is_some();
+    let write_golden = flag("--write-golden").is_some();
+    if write_golden && opts.filter.is_some() {
+        eprintln!("error: --write-golden cannot be combined with --filter (partial artifacts are not golden)");
+        std::process::exit(2);
+    }
 
     let scenarios = if target == "all" {
         registry()
@@ -71,32 +184,46 @@ fn main() {
 
     let mut cache_cold = false;
     for scenario in &scenarios {
-        let (report, render) = run_and_emit(scenario, &opts);
+        let (report, render, written) = run_and_emit(scenario, &opts);
         // The per-figure binaries only write the artifact with --csv; the
-        // sweep driver always writes (and validates) it — except on filtered
-        // runs, which would overwrite the complete artifact with a subset.
-        if !opts.csv && opts.filter.is_none() {
+        // sweep driver always writes (and validates) it. Filtered runs land
+        // in results/<name>.partial.json via the artifact writer.
+        let artifact_path = written.unwrap_or_else(|| {
             experiments::write_and_validate_artifact(
                 scenario,
                 &opts.sweep_options(),
                 &report,
                 &render,
-            );
+            )
+        });
+        if write_golden {
+            let golden_dir = std::path::PathBuf::from("results").join("golden");
+            std::fs::create_dir_all(&golden_dir).expect("failed to create results/golden");
+            let golden_path = golden_dir.join(format!("{}.json", scenario.name));
+            std::fs::copy(&artifact_path, &golden_path).expect("failed to copy golden artifact");
+            println!("(golden: {})", golden_path.display());
         }
         println!(
-            "\n[sweep] {}: {} cells ({} unique), {} cache hits, {} solver calls",
+            "\n[sweep] {}: {} cells ({} unique), {} cache hits, {} solver calls, {} topology builds",
             scenario.name,
             report.outcomes.len(),
             report.unique_cells,
             report.cache_hits,
-            report.solver_calls
+            report.solver_calls,
+            report.topo_builds
         );
-        if report.cache_hits < report.unique_cells || report.solver_calls > 0 {
+        if report.cache_hits < report.unique_cells
+            || report.solver_calls > 0
+            || report.topo_builds > 0
+        {
             cache_cold = true;
         }
     }
     if expect_cache_hot && cache_cold {
-        eprintln!("error: --expect-cache-hot but at least one cell was computed fresh");
+        eprintln!(
+            "error: --expect-cache-hot but at least one cell was computed fresh \
+             (or a topology was constructed)"
+        );
         std::process::exit(1);
     }
 }

@@ -18,7 +18,8 @@
 //! * `--jobs N`   — worker threads for cell execution (`1` forces a fully
 //!   serial run; results are bit-identical either way),
 //! * `--filter S` — run only cells whose id contains `S` (prints a raw cell
-//!   dump instead of the figure tables),
+//!   dump instead of the figure tables; artifacts land in
+//!   `results/<scenario>.partial.json`, marked `"partial": true`),
 //! * `--no-cache` — bypass the content-keyed result cache.
 //!
 //! Results are cached under `results/cache/`, one JSON file per unique
@@ -244,12 +245,13 @@ pub fn emit(table: &Table, name: &str, opts: &RunOptions) {
 /// pre-engine binaries did: preamble, tables (each followed by its CSV path
 /// when `--csv` is set), then the expected-shape notes. With `--csv` the
 /// unified JSON artifact is written and validated as well. Returns the run
-/// report and the rendered output (for callers that post-process them, e.g.
-/// the `sweep` driver's summary and unconditional artifact).
+/// report, the rendered output and the path of the artifact if one was
+/// written (for callers that post-process them, e.g. the `sweep` driver's
+/// summary, unconditional artifact and `--write-golden` copy).
 pub fn run_and_emit(
     scenario: &Scenario,
     opts: &RunOptions,
-) -> (SweepReport, topobench::sweep::RenderOutput) {
+) -> (SweepReport, topobench::sweep::RenderOutput, Option<PathBuf>) {
     let sopts = opts.sweep_options();
     let (report, render) = run_scenario(scenario, &sopts);
     for line in &render.preamble {
@@ -264,22 +266,20 @@ pub fn run_and_emit(
             }
         }
     }
-    if opts.csv {
-        if opts.filter.is_none() {
-            write_and_validate_artifact(scenario, &sopts, &report, &render);
-        } else {
-            // A filtered run carries only a cell subset; writing it would
-            // overwrite the scenario's complete artifact with a partial one.
-            println!(
-                "(skipping results/{}.json: --filter is active)",
-                scenario.name
-            );
-        }
-    }
+    let artifact_path = if opts.csv {
+        // Filtered runs write a clearly-marked partial artifact under
+        // `results/<scenario>.partial.json` (never overwriting the complete
+        // one), so `sweep diff` can still consume the subset.
+        Some(write_and_validate_artifact(
+            scenario, &sopts, &report, &render,
+        ))
+    } else {
+        None
+    };
     if !render.notes.is_empty() {
         println!("\n{}", render.notes);
     }
-    (report, render)
+    (report, render, artifact_path)
 }
 
 /// Writes the JSON artifact for a finished run and validates it against the
@@ -312,7 +312,7 @@ pub fn scenario_main(name: &str) {
     let opts = RunOptions::from_args();
     let scenario =
         find_scenario(name).unwrap_or_else(|| panic!("scenario '{name}' is not registered"));
-    run_and_emit(&scenario, &opts);
+    let _ = run_and_emit(&scenario, &opts);
 }
 
 #[cfg(test)]

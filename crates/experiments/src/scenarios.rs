@@ -12,7 +12,7 @@ use tb_cuts::ALL_ESTIMATORS;
 use tb_flow::ThroughputBounds;
 use tb_topology::families::ALL_FAMILIES;
 use tb_topology::hyperx::design_search;
-use tb_topology::natural::natural_networks;
+use tb_topology::natural::natural_meta;
 use topobench::sweep::{
     f3, CellSet, CellSpec, FbMatrix, NamedTable, RenderOutput, Scenario, SweepCell, SweepOptions,
     Table, TopoSpec,
@@ -266,19 +266,23 @@ struct NetRow {
 
 /// Family-ladder instances under a switch cap, then natural networks — the
 /// shared network battery of Fig. 3 and Table II (which differ in the cap).
-/// Only called at expansion time; renderers read the row metadata back from
-/// cell labels so cache-hot runs never rebuild these graphs.
+/// Only called at expansion time, and entirely on construction-free topology
+/// metadata: expanding the battery builds no graphs (renderers likewise read
+/// the row metadata back from cell labels).
 fn cut_battery(opts: &SweepOptions, cap: usize) -> Vec<NetRow> {
     let mut out = Vec::new();
     for family in ALL_FAMILIES {
-        for (index, topo) in family.ladder(opts.scale(), opts.seed) {
-            if topo.num_switches() <= cap {
+        for index in 0..family.ladder_len(opts.scale()) {
+            let Some(meta) = family.ladder_meta(opts.scale(), opts.seed, index) else {
+                continue;
+            };
+            if meta.switches <= cap {
                 out.push(NetRow {
                     id: format!("{}/{}", family.name(), index),
                     group: family.name().to_string(),
-                    name: topo.name.clone(),
-                    params: topo.params.clone(),
-                    switches: topo.num_switches(),
+                    name: meta.name,
+                    params: meta.params,
+                    switches: meta.switches,
                     topo: TopoSpec::Ladder {
                         family,
                         scale: opts.scale(),
@@ -290,15 +294,15 @@ fn cut_battery(opts: &SweepOptions, cap: usize) -> Vec<NetRow> {
         }
     }
     let count = if opts.full { 40 } else { 12 };
-    for (index, topo) in natural_networks(count, opts.seed).into_iter().enumerate() {
+    for index in 0..count {
+        let meta = natural_meta(index);
         out.push(NetRow {
             id: format!("natural/{index}"),
             group: "natural".to_string(),
-            name: topo.name.clone(),
-            params: topo.params.clone(),
-            switches: topo.num_switches(),
+            name: meta.name,
+            params: meta.params,
+            switches: meta.switches,
             topo: TopoSpec::Natural {
-                count,
                 index,
                 seed: opts.seed,
             },
@@ -365,7 +369,7 @@ fn fig03_build(opts: &SweepOptions) -> Vec<SweepCell> {
     let mut cells = cut_battery_cells(opts, &rows);
     // §III-B case study: 5-ary 3-stage flattened butterfly.
     let fbfly = TopoSpec::FlattenedButterfly { k: 5, n: 3 };
-    let built = fbfly.build().expect("flattened butterfly always builds");
+    let meta = fbfly.metadata().expect("flattened butterfly has metadata");
     cells.push(
         SweepCell::new(
             "fbfly-case/tput",
@@ -375,8 +379,8 @@ fn fig03_build(opts: &SweepOptions) -> Vec<SweepCell> {
                 tm_seed: opts.seed,
             },
         )
-        .label("switches", built.num_switches().to_string())
-        .label("servers", built.num_servers().to_string()),
+        .label("switches", meta.switches.to_string())
+        .label("servers", meta.servers.to_string()),
     );
     cells.push(SweepCell::new(
         "fbfly-case/cut",
@@ -486,7 +490,10 @@ fn fig04_build(opts: &SweepOptions) -> Vec<SweepCell> {
             family,
             seed: opts.seed,
         };
-        let params = topo.build().expect("representatives build").params;
+        let params = topo
+            .metadata()
+            .expect("representatives have metadata")
+            .params;
         for (suffix, tm) in fig04_specs() {
             cells.push(
                 SweepCell::new(
@@ -555,7 +562,10 @@ fn fig05_specs() -> [TmSpec; 3] {
 fn fig05_06_build(opts: &SweepOptions) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for family in ALL_FAMILIES {
-        for (index, topo) in family.ladder(opts.scale(), opts.seed) {
+        for index in 0..family.ladder_len(opts.scale()) {
+            let Some(meta) = family.ladder_meta(opts.scale(), opts.seed, index) else {
+                continue;
+            };
             for spec in fig05_specs() {
                 let tm_label = spec.label();
                 cells.push(
@@ -573,8 +583,8 @@ fn fig05_06_build(opts: &SweepOptions) -> Vec<SweepCell> {
                     )
                     .label("family", family.name())
                     .label("tm", tm_label)
-                    .label("params", topo.params.clone())
-                    .label("servers", topo.num_servers().to_string()),
+                    .label("params", meta.params.clone())
+                    .label("servers", meta.servers.to_string()),
                 );
             }
         }
@@ -769,7 +779,7 @@ fn fig08_build(opts: &SweepOptions) -> Vec<SweepCell> {
                 degree: d + extra,
                 servers: (d + extra) / 3,
             };
-            let built = topo.build().expect("long hop builds");
+            let meta = topo.metadata().expect("long hop has metadata");
             SweepCell::new(
                 format!("d{d}/extra{extra}"),
                 CellSpec::Relative {
@@ -777,7 +787,7 @@ fn fig08_build(opts: &SweepOptions) -> Vec<SweepCell> {
                     tm: TmSpec::LongestMatching,
                 },
             )
-            .label("servers", built.num_servers().to_string())
+            .label("servers", meta.servers.to_string())
         })
         .collect()
 }
@@ -826,7 +836,7 @@ fn fig09_build(opts: &SweepOptions) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for q in fig09_qs(opts) {
         let topo = TopoSpec::SlimFly { q };
-        let built = topo.build().expect("slim fly builds");
+        let meta = topo.metadata().expect("slim fly has metadata");
         cells.push(
             SweepCell::new(
                 format!("q{q}/rel"),
@@ -835,8 +845,8 @@ fn fig09_build(opts: &SweepOptions) -> Vec<SweepCell> {
                     tm: TmSpec::LongestMatching,
                 },
             )
-            .label("switches", built.num_switches().to_string())
-            .label("servers", built.num_servers().to_string()),
+            .label("switches", meta.switches.to_string())
+            .label("servers", meta.servers.to_string()),
         );
         cells.push(SweepCell::new(
             format!("q{q}/apl"),
@@ -904,7 +914,10 @@ fn fig10_11_build(opts: &SweepOptions) -> Vec<SweepCell> {
             family,
             seed: opts.seed,
         };
-        let params = topo.build().expect("representatives build").params;
+        let params = topo
+            .metadata()
+            .expect("representatives have metadata")
+            .params;
         for p in fig10_percents(opts) {
             cells.push(
                 SweepCell::new(
@@ -1065,7 +1078,10 @@ fn fig13_14_build(opts: &SweepOptions) -> Vec<SweepCell> {
                 family,
                 seed: opts.seed,
             };
-            let params = topo.build().expect("representatives build").params;
+            let params = topo
+                .metadata()
+                .expect("representatives have metadata")
+                .params;
             for shuffled in [false, true] {
                 let placement = if shuffled { "shuffled" } else { "sampled" };
                 cells.push(
@@ -1164,7 +1180,7 @@ fn fig15_build(opts: &SweepOptions) -> Vec<SweepCell> {
     fig15_networks(opts)
         .into_iter()
         .map(|(id, topo)| {
-            let built = topo.build().expect("fig15 networks build");
+            let meta = topo.metadata().expect("fig15 networks have metadata");
             SweepCell::new(
                 id,
                 CellSpec::PathRestricted {
@@ -1173,8 +1189,8 @@ fn fig15_build(opts: &SweepOptions) -> Vec<SweepCell> {
                     tm_seed: opts.seed,
                 },
             )
-            .label("switches", built.num_switches().to_string())
-            .label("servers", built.num_servers().to_string())
+            .label("switches", meta.switches.to_string())
+            .label("servers", meta.servers.to_string())
         })
         .collect()
 }
@@ -1378,7 +1394,10 @@ fn theorem1_graphs(opts: &SweepOptions) -> Vec<(&'static str, String, TopoSpec)>
 fn theorem1_build(opts: &SweepOptions) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for (tag, _, topo) in theorem1_graphs(opts) {
-        let built = topo.build().expect("theorem1 graphs build");
+        let meta = topo.metadata().expect("theorem1 graphs have metadata");
+        let links = meta
+            .links
+            .expect("theorem1 graphs have closed-form link counts");
         cells.push(
             SweepCell::new(
                 format!("{tag}/tput"),
@@ -1388,8 +1407,8 @@ fn theorem1_build(opts: &SweepOptions) -> Vec<SweepCell> {
                     tm_seed: opts.seed,
                 },
             )
-            .label("nodes", built.num_switches().to_string())
-            .label("links", built.num_links().to_string()),
+            .label("nodes", meta.switches.to_string())
+            .label("links", links.to_string()),
         );
         cells.push(SweepCell::new(
             format!("{tag}/cut"),

@@ -1,9 +1,11 @@
 //! The cache contract, proven end to end: a warm re-run of a scenario
-//! performs **zero** solver invocations and returns bit-identical results.
+//! performs **zero** solver invocations **and zero topology constructions**
+//! (expansion, execution and rendering all run on construction-free
+//! metadata) and returns bit-identical results.
 //!
 //! This lives in its own integration-test binary (with a single test) so the
-//! process-wide solver-invocation counter is not perturbed by concurrent
-//! tests.
+//! process-wide solver-invocation and topology-construction counters are not
+//! perturbed by concurrent tests.
 
 use experiments::find_scenario;
 use topobench::sweep::{artifact_json, run_scenario, validate_artifact, SweepOptions};
@@ -24,14 +26,24 @@ fn warm_cache_rerun_is_solver_free_and_bit_identical() {
         cold.solver_calls > 0,
         "cold run must actually invoke the solver"
     );
+    assert!(
+        cold.topo_builds > 0,
+        "cold run must actually construct topologies"
+    );
     assert!(cold.outcomes.iter().all(|o| !o.cached));
 
-    // Warm run: all cells served from cache, zero solver invocations.
+    // Warm run: all cells served from cache, zero solver invocations and
+    // zero topology constructions end to end (expansion and rendering run
+    // on the construction-free metadata layer).
     let (warm, warm_render) = run_scenario(&scenario, &opts);
     assert_eq!(warm.cache_hits, warm.unique_cells);
     assert_eq!(
         warm.solver_calls, 0,
         "cache-hot run must not invoke any solver"
+    );
+    assert_eq!(
+        warm.topo_builds, 0,
+        "cache-hot run must not construct any topology"
     );
     assert!(warm.outcomes.iter().all(|o| o.cached));
     assert_eq!(cold.outcomes.len(), warm.outcomes.len());
@@ -53,6 +65,23 @@ fn warm_cache_rerun_is_solver_free_and_bit_identical() {
     validate_artifact(&doc.to_string()).expect("artifact must validate");
     let text = doc.to_string();
     assert!(text.contains("\"cached\":true"));
+
+    // Expansion alone is construction-free for every registered scenario at
+    // both ladder scales — the invariant the zero-build warm path rests on.
+    let builds_before = tb_topology::constructions();
+    for scenario in experiments::registry() {
+        for full in [false, true] {
+            let mut expand_opts = SweepOptions::new(full, 1);
+            expand_opts.use_cache = false;
+            let cells = (scenario.build)(&expand_opts);
+            assert!(!cells.is_empty(), "{} expands to no cells", scenario.name);
+        }
+    }
+    assert_eq!(
+        tb_topology::constructions() - builds_before,
+        0,
+        "scenario expansion must not construct topologies"
+    );
 
     // `--no-cache` semantics: the same run with the cache disabled computes.
     let mut no_cache = opts.clone();

@@ -12,8 +12,25 @@
 //! endpoints — this is the standard reduction used by the paper's framework
 //! for server-centric designs (§III-A2).
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`bcube`].
+pub fn bcube_meta(n: usize, k: usize) -> TopoMeta {
+    let num_servers = n.pow(k as u32 + 1);
+    let num_switches = (k + 1) * n.pow(k as u32);
+    TopoMeta {
+        name: "BCube".into(),
+        params: format!("n={n}, k={k}"),
+        switches: num_servers + num_switches,
+        servers: num_servers,
+        server_switches: num_servers,
+        // Every server relay node links to one switch per level.
+        links: Some(num_servers * (k + 1)),
+        degree: Some(n.max(k + 1)),
+    }
+}
 
 /// Builds BCube with `n`-port switches and `k + 1` levels (i.e. `BCube_k`).
 ///

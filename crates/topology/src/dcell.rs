@@ -10,8 +10,34 @@
 //! As with BCube, DCell servers relay traffic, so they are modeled as relay
 //! nodes carrying one endpoint each, while mini-switches carry none.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`dcell`].
+///
+/// Link recursion: `DCell_0` has `n` star links; `DCell_l` is `g_l` copies of
+/// `DCell_{l-1}` plus one link per cell pair (`g_l = t_{l-1} + 1`). At each
+/// level every server of a cell carries exactly one inter-cell link, so the
+/// server relay degree is `level + 1` and the mini-switch degree is `n`.
+pub fn dcell_meta(n: usize, level: usize) -> TopoMeta {
+    let mut t = n;
+    let mut links = n;
+    for _ in 0..level {
+        let cells = t + 1;
+        links = cells * links + cells * (cells - 1) / 2;
+        t *= cells;
+    }
+    TopoMeta {
+        name: "DCell".into(),
+        params: format!("n={n}, level={level}"),
+        switches: t + t / n,
+        servers: t,
+        server_switches: t,
+        links: Some(links),
+        degree: Some(n.max(level + 1)),
+    }
+}
 
 /// Number of servers in a `DCell_level` built from `n`-port mini-switches.
 pub fn dcell_servers(n: usize, level: usize) -> usize {

@@ -6,8 +6,30 @@
 //! configuration uses `a = 2p = 2h` and `g = a*h + 1` groups, so that every
 //! pair of groups is joined by exactly one global link.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`dragonfly`].
+pub fn dragonfly_meta(p: usize, a: usize, h: usize) -> TopoMeta {
+    let groups = a * h + 1;
+    let n = groups * a;
+    TopoMeta {
+        name: "Dragonfly".into(),
+        params: format!("p={p}, a={a}, h={h}"),
+        switches: n,
+        servers: n * p,
+        server_switches: if p > 0 { n } else { 0 },
+        // Intra-group cliques plus one global link per group pair.
+        links: Some(groups * a * (a - 1) / 2 + groups * (groups - 1) / 2),
+        degree: Some(a - 1 + h),
+    }
+}
+
+/// Construction-free metadata for [`balanced_dragonfly`].
+pub fn balanced_dragonfly_meta(h: usize) -> TopoMeta {
+    dragonfly_meta(h, 2 * h, h)
+}
 
 /// Builds a dragonfly from its three defining parameters:
 /// `p` servers per router, `a` routers per group, `h` global links per router.

@@ -10,6 +10,7 @@
 //! These are used by the `theorem1_demo` experiment binary to show that A has
 //! higher throughput while B has the higher (sparser-cut) score.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -58,6 +59,36 @@ pub fn clustered_random(n: usize, alpha: usize, beta: usize, seed: u64) -> Topol
         g,
         1,
     )
+}
+
+/// Construction-free metadata for [`clustered_random`]: degrees are met
+/// exactly (alpha-regular layers plus beta cross matchings), so the link
+/// count is closed-form.
+pub fn clustered_random_meta(n: usize, alpha: usize, beta: usize) -> TopoMeta {
+    TopoMeta {
+        name: "clustered random (Graph A)".into(),
+        params: format!("n={n}, alpha={alpha}, beta={beta}"),
+        switches: n,
+        servers: n,
+        server_switches: n,
+        links: Some(n * alpha / 2 + n / 2 * beta),
+        degree: Some(alpha + beta),
+    }
+}
+
+/// Construction-free metadata for [`subdivided_expander`]: the base expander
+/// has `base_nodes * d` edges, each subdivided into a path of `p` links.
+pub fn subdivided_expander_meta(base_nodes: usize, d: usize, p: usize) -> TopoMeta {
+    let base_edges = base_nodes * d;
+    TopoMeta {
+        name: "subdivided expander (Graph B)".into(),
+        params: format!("N={base_nodes}, d={d}, p={p}"),
+        switches: base_nodes + base_edges * (p - 1),
+        servers: base_nodes,
+        server_switches: base_nodes,
+        links: Some(base_edges * p),
+        degree: Some(2 * d),
+    }
 }
 
 /// Builds the subdivided expander ("Graph B"): a `2d`-regular random graph on

@@ -8,19 +8,30 @@
 //! with the bundled LP/FPTAS solvers on a single machine.
 
 use crate::{
-    bcube::bcube,
-    dcell::dcell,
-    dragonfly::balanced_dragonfly,
-    fattree::fat_tree,
-    flattened_butterfly::flattened_butterfly,
-    hypercube::hypercube,
-    hyperx::{build_design, design_search},
-    jellyfish::jellyfish,
-    longhop::long_hop,
-    slimfly::{canonical_servers_per_router, slim_fly},
+    bcube::{bcube, bcube_meta},
+    dcell::{dcell, dcell_meta},
+    dragonfly::{balanced_dragonfly, balanced_dragonfly_meta},
+    fattree::{fat_tree, fat_tree_meta},
+    flattened_butterfly::{flattened_butterfly, flattened_butterfly_meta},
+    hypercube::{hypercube, hypercube_meta},
+    hyperx::{build_design, design_meta, design_search},
+    jellyfish::{jellyfish, jellyfish_meta},
+    longhop::{long_hop, long_hop_meta},
+    meta::TopoMeta,
+    slimfly::{canonical_servers_per_router, slim_fly, slim_fly_meta},
     topology::Topology,
 };
 use serde::{Deserialize, Serialize};
+
+// Per-rung parameter tables shared by `ladder_instance` (which builds) and
+// `ladder_meta` (which must describe the same instance without building).
+const BCUBE_RUNGS: [(usize, usize); 6] = [(2, 2), (2, 3), (4, 1), (4, 2), (2, 5), (4, 3)];
+const DCELL_RUNGS: [(usize, usize); 6] = [(3, 1), (4, 1), (5, 1), (3, 2), (4, 2), (5, 2)];
+const FATTREE_RUNGS: [usize; 6] = [4, 6, 8, 10, 12, 14];
+const FBFLY_RUNGS: [usize; 6] = [3, 4, 5, 6, 8, 10];
+const HYPERCUBE_RUNGS: [(usize, usize); 6] = [(4, 2), (5, 3), (6, 3), (7, 4), (8, 4), (9, 5)];
+const LONGHOP_RUNGS: [(usize, usize, usize); 4] = [(5, 8, 2), (6, 9, 3), (7, 10, 4), (8, 11, 5)];
+const SLIMFLY_RUNGS: [usize; 3] = [5, 13, 17];
 
 /// The ten computer-network topology families of §III-A3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -198,18 +209,18 @@ impl Family {
         let full = scale == Scale::Full;
         Some(match self {
             Family::BCube => {
-                let (n, k) = [(2, 2), (2, 3), (4, 1), (4, 2), (2, 5), (4, 3)][index];
+                let (n, k) = BCUBE_RUNGS[index];
                 bcube(n, k)
             }
             Family::DCell => {
-                let (n, k) = [(3, 1), (4, 1), (5, 1), (3, 2), (4, 2), (5, 2)][index];
+                let (n, k) = DCELL_RUNGS[index];
                 dcell(n, k)
             }
             Family::Dragonfly => balanced_dragonfly(index + 1),
-            Family::FatTree => fat_tree([4, 6, 8, 10, 12, 14][index]),
-            Family::FlattenedButterfly => flattened_butterfly([3, 4, 5, 6, 8, 10][index], 3),
+            Family::FatTree => fat_tree(FATTREE_RUNGS[index]),
+            Family::FlattenedButterfly => flattened_butterfly(FBFLY_RUNGS[index], 3),
             Family::Hypercube => {
-                let (d, s) = [(4, 2), (5, 3), (6, 3), (7, 4), (8, 4), (9, 5)][index];
+                let (d, s) = HYPERCUBE_RUNGS[index];
                 hypercube(d, s)
             }
             Family::HyperX => {
@@ -221,12 +232,56 @@ impl Family {
                 jellyfish(n, r, s, seed.wrapping_add(index as u64))
             }
             Family::LongHop => {
-                let (d, deg, s) = [(5, 8, 2), (6, 9, 3), (7, 10, 4), (8, 11, 5)][index];
+                let (d, deg, s) = LONGHOP_RUNGS[index];
                 long_hop(d, deg, s)
             }
             Family::SlimFly => {
-                let q = [5, 13, 17][index];
+                let q = SLIMFLY_RUNGS[index];
                 slim_fly(q, canonical_servers_per_router(q))
+            }
+        })
+    }
+
+    /// Construction-free metadata for the `index`-th ladder rung — describes
+    /// exactly the instance [`Family::ladder_instance`] would build (pinned
+    /// by the `metadata_equiv` property test) without constructing a graph.
+    /// `None` under the same conditions `ladder_instance` returns `None`.
+    pub fn ladder_meta(&self, scale: Scale, seed: u64, index: usize) -> Option<TopoMeta> {
+        if index >= self.ladder_len(scale) {
+            return None;
+        }
+        let full = scale == Scale::Full;
+        Some(match self {
+            Family::BCube => {
+                let (n, k) = BCUBE_RUNGS[index];
+                bcube_meta(n, k)
+            }
+            Family::DCell => {
+                let (n, k) = DCELL_RUNGS[index];
+                dcell_meta(n, k)
+            }
+            Family::Dragonfly => balanced_dragonfly_meta(index + 1),
+            Family::FatTree => fat_tree_meta(FATTREE_RUNGS[index]),
+            Family::FlattenedButterfly => flattened_butterfly_meta(FBFLY_RUNGS[index], 3),
+            Family::Hypercube => {
+                let (d, s) = HYPERCUBE_RUNGS[index];
+                hypercube_meta(d, s)
+            }
+            Family::HyperX => {
+                let n = Self::hyperx_targets(full)[index];
+                return design_search(24, n, 0.4).map(|d| design_meta(&d));
+            }
+            Family::Jellyfish => {
+                let (n, r, s) = Self::jellyfish_params(full)[index];
+                jellyfish_meta(n, r, s, seed.wrapping_add(index as u64))
+            }
+            Family::LongHop => {
+                let (d, deg, s) = LONGHOP_RUNGS[index];
+                long_hop_meta(d, deg, s)
+            }
+            Family::SlimFly => {
+                let q = SLIMFLY_RUNGS[index];
+                slim_fly_meta(q, canonical_servers_per_router(q))
             }
         })
     }
@@ -264,6 +319,24 @@ impl Family {
             Family::Jellyfish => jellyfish(64, 8, 4, seed),
             Family::LongHop => long_hop(6, 9, 3),
             Family::SlimFly => slim_fly(5, canonical_servers_per_router(5)),
+        }
+    }
+
+    /// Construction-free metadata for [`Family::representative`].
+    pub fn representative_meta(&self, seed: u64) -> TopoMeta {
+        match self {
+            Family::BCube => bcube_meta(4, 2),
+            Family::DCell => dcell_meta(4, 1),
+            Family::Dragonfly => balanced_dragonfly_meta(2),
+            Family::FatTree => fat_tree_meta(8),
+            Family::FlattenedButterfly => flattened_butterfly_meta(5, 3),
+            Family::Hypercube => hypercube_meta(6, 3),
+            Family::HyperX => design_search(24, 256, 0.4)
+                .map(|d| design_meta(&d))
+                .expect("HyperX design search must succeed for the representative size"),
+            Family::Jellyfish => jellyfish_meta(64, 8, 4, seed),
+            Family::LongHop => long_hop_meta(6, 9, 3),
+            Family::SlimFly => slim_fly_meta(5, canonical_servers_per_router(5)),
         }
     }
 }

@@ -6,8 +6,25 @@
 //! per edge switch, for a total of `k^3/4` servers. Built as a non-blocking
 //! (full bisection) topology, which is the configuration the paper evaluates.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`fat_tree`].
+pub fn fat_tree_meta(k: usize) -> TopoMeta {
+    let half = k / 2;
+    let num_edge = k * half;
+    TopoMeta {
+        name: "fat tree".into(),
+        params: format!("k={k}"),
+        switches: 2 * num_edge + half * half,
+        servers: num_edge * half,
+        server_switches: num_edge,
+        // edge–aggregation plus aggregation–core, k * (k/2)^2 links each.
+        links: Some(2 * k * half * half),
+        degree: Some(k),
+    }
+}
 
 /// Builds a `k`-ary three-level fat tree.
 ///

@@ -8,8 +8,34 @@
 //! The paper's §III-B example — "a 5-ary 3-stage flattened butterfly with only
 //! 25 switches and 125 servers" — is `flattened_butterfly(5, 3)`.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`flattened_butterfly`].
+pub fn flattened_butterfly_meta(k: usize, n_stages: usize) -> TopoMeta {
+    flattened_butterfly_with_servers_meta(k, n_stages, k)
+}
+
+/// Construction-free metadata for [`flattened_butterfly_with_servers`].
+pub fn flattened_butterfly_with_servers_meta(
+    k: usize,
+    n_stages: usize,
+    servers_per_switch: usize,
+) -> TopoMeta {
+    let dims = n_stages - 1;
+    let n = k.pow(dims as u32);
+    let degree = (k - 1) * dims;
+    TopoMeta {
+        name: "flattened butterfly".into(),
+        params: format!("k={k}, n={n_stages}"),
+        switches: n,
+        servers: n * servers_per_switch,
+        server_switches: if servers_per_switch > 0 { n } else { 0 },
+        links: Some(n * degree / 2),
+        degree: Some(degree),
+    }
+}
 
 /// Builds a k-ary n-flat flattened butterfly (`n >= 2` stages, so `n - 1`
 /// dimensions of `k` switches each), with `k` servers per switch.

@@ -4,8 +4,23 @@
 //! their labels differ in exactly one bit. The paper uses one server per
 //! switch in Fig 2 and scales the servers-per-switch count elsewhere.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`hypercube`].
+pub fn hypercube_meta(dim: usize, servers_per_switch: usize) -> TopoMeta {
+    let n = 1usize << dim;
+    TopoMeta {
+        name: "hypercube".into(),
+        params: format!("d={dim}"),
+        switches: n,
+        servers: n * servers_per_switch,
+        server_switches: if servers_per_switch > 0 { n } else { 0 },
+        links: Some(n * dim / 2),
+        degree: Some(dim),
+    }
+}
 
 /// Builds a `d`-dimensional hypercube with `servers_per_switch` servers on
 /// every switch.

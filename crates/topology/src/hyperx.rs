@@ -11,8 +11,29 @@
 //! reproduces that process for regular (equal-`S`) HyperX networks using the
 //! closed-form bisection ratio `beta = K*S / (2*T)` from the HyperX paper.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`hyperx`].
+pub fn hyperx_meta(dims: usize, s: usize, k: usize, t: usize) -> TopoMeta {
+    let n = s.pow(dims as u32);
+    let degree = (s - 1) * dims * k;
+    TopoMeta {
+        name: "HyperX".into(),
+        params: format!("L={dims}, S={s}, K={k}, T={t}"),
+        switches: n,
+        servers: n * t,
+        server_switches: if t > 0 { n } else { 0 },
+        links: Some(n * degree / 2),
+        degree: Some(degree),
+    }
+}
+
+/// Construction-free metadata for [`build_design`].
+pub fn design_meta(d: &HyperXDesign) -> TopoMeta {
+    hyperx_meta(d.dims, d.s, d.k, d.t)
+}
 
 /// Builds a regular HyperX with `dims` dimensions, `s` switches per dimension,
 /// `k` parallel links between adjacent switches and `t` servers per switch.

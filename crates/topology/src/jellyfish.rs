@@ -7,8 +7,43 @@
 //! topology's throughput is reported relative to it ("relative throughput",
 //! §IV). [`same_equipment`] implements that construction.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::random::{configuration_model, configuration_model_multigraph, random_regular_graph};
+
+/// Construction-free metadata for [`jellyfish`]: the random wiring varies
+/// with the seed, but the equipment (and the `r`-regular link count) does
+/// not.
+pub fn jellyfish_meta(
+    switches: usize,
+    degree: usize,
+    servers_per_switch: usize,
+    seed: u64,
+) -> TopoMeta {
+    TopoMeta {
+        name: "Jellyfish".into(),
+        params: format!("N={switches}, r={degree}, seed={seed}"),
+        switches,
+        servers: switches * servers_per_switch,
+        server_switches: if servers_per_switch > 0 { switches } else { 0 },
+        links: Some(switches * degree / 2),
+        degree: Some(degree),
+    }
+}
+
+/// Construction-free metadata for [`same_equipment`], derived from the
+/// reference topology's metadata: the rewiring preserves every count.
+pub fn same_equipment_meta(reference: &TopoMeta, seed: u64) -> TopoMeta {
+    TopoMeta {
+        name: "Jellyfish (same equipment)".into(),
+        params: format!("of {} [{}], seed={seed}", reference.name, reference.params),
+        switches: reference.switches,
+        servers: reference.servers,
+        server_switches: reference.server_switches,
+        links: reference.links,
+        degree: reference.degree,
+    }
+}
 
 /// Builds a Jellyfish network: `switches` top-of-rack switches, each with
 /// `degree` inter-switch links and `servers_per_switch` servers.

@@ -40,6 +40,7 @@ pub mod hyperx;
 pub mod jellyfish;
 pub mod leafspine;
 pub mod longhop;
+pub mod meta;
 pub mod natural;
 pub mod slimfly;
 pub mod topology;
@@ -47,4 +48,5 @@ pub mod torus;
 pub mod xpander;
 
 pub use families::{Family, ALL_FAMILIES};
-pub use topology::Topology;
+pub use meta::TopoMeta;
+pub use topology::{constructions, Topology};

@@ -14,8 +14,25 @@
 //! generator set — the coding-theoretic criterion Tomic's codes optimize.
 //! The substitution is recorded in `DESIGN.md`.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`long_hop`]: each of the `degree`
+/// generators is a distinct nonzero XOR mask, contributing exactly `2^dim/2`
+/// edges, so the Cayley graph is `degree`-regular by construction.
+pub fn long_hop_meta(dim: usize, degree: usize, servers_per_switch: usize) -> TopoMeta {
+    let n = 1usize << dim;
+    TopoMeta {
+        name: "Long Hop".into(),
+        params: format!("dim={dim}, degree={degree}"),
+        switches: n,
+        servers: n * servers_per_switch,
+        server_switches: if servers_per_switch > 0 { n } else { 0 },
+        links: Some(n * degree / 2),
+        degree: Some(degree),
+    }
+}
 
 /// Chooses `extra` additional generators (beyond the unit vectors) by greedily
 /// maximizing the minimum Hamming distance to all previously chosen

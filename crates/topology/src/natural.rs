@@ -5,43 +5,77 @@
 //! diverse collection of synthetic graphs with the qualitative property the
 //! paper relies on — a denser core with sparser edges — using standard
 //! generative models (documented substitution, see `DESIGN.md`).
+//!
+//! Each instance's model family and node count are fixed functions of its
+//! index ([`natural_meta`] is construction-free); the generator
+//! rejection-samples deterministic sub-seeds until the model produces a
+//! connected graph, so the delivered graph always has exactly the advertised
+//! node count. (An earlier revision kept the largest component of one draw
+//! instead, which made instance sizes — and hence all topology metadata —
+//! depend on the random wiring.)
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::connectivity::is_connected;
 use tb_graph::random::{barabasi_albert, erdos_renyi, stochastic_block_model, watts_strogatz};
 use tb_graph::Graph;
 
-fn largest_component(g: &Graph) -> Graph {
-    if is_connected(g) {
-        return g.clone();
+/// Odd multiplier decorrelating the per-attempt sub-seeds (splitmix64's
+/// golden-ratio increment).
+const ATTEMPT_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Model family and node count of the `index`-th stand-in. Sizes cycle
+/// through 12..54 and the four generative models.
+fn plan(index: usize) -> (&'static str, usize) {
+    let n = 12 + (index % 8) * 6;
+    let name = match index % 4 {
+        0 => "natural/scale-free",
+        1 => "natural/small-world",
+        2 => "natural/community",
+        _ => "natural/erdos-renyi",
+    };
+    (name, n)
+}
+
+/// Construction-free metadata for [`natural_network`]: the model family and
+/// node count are functions of the index alone. Link counts and degrees vary
+/// with the random wiring, so they are `None`.
+pub fn natural_meta(index: usize) -> TopoMeta {
+    let (name, n) = plan(index);
+    TopoMeta {
+        name: name.into(),
+        params: format!("n={n}, instance={index}"),
+        switches: n,
+        servers: n,
+        server_switches: n,
+        links: None,
+        degree: None,
     }
-    let comp = tb_graph::connectivity::connected_components(g);
-    let num = comp.iter().copied().max().unwrap_or(0) + 1;
-    let mut sizes = vec![0usize; num];
-    for &c in &comp {
-        sizes[c] += 1;
-    }
-    let big = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(i, _)| i)
-        .unwrap();
-    let mut remap = vec![usize::MAX; g.num_nodes()];
-    let mut next = 0usize;
-    for u in 0..g.num_nodes() {
-        if comp[u] == big {
-            remap[u] = next;
-            next += 1;
+}
+
+/// Generates the `index`-th natural-network stand-in: one attempt of the
+/// planned model per deterministic sub-seed until the draw is connected.
+///
+/// # Panics
+/// Panics if no connected instance appears within 10 000 attempts (the
+/// models and sizes used here connect within a handful of draws).
+pub fn natural_network(index: usize, seed: u64) -> Topology {
+    let (name, n) = plan(index);
+    for attempt in 0u64..10_000 {
+        let s = seed
+            .wrapping_add(index as u64)
+            .wrapping_add(attempt.wrapping_mul(ATTEMPT_STRIDE));
+        let g: Graph = match index % 4 {
+            0 => barabasi_albert(n, 2 + (index / 4) % 3, s),
+            1 => watts_strogatz(n, 4, 0.2, s),
+            2 => stochastic_block_model(n, 2 + index % 3, 0.5, 0.05, s),
+            _ => erdos_renyi(n, 0.15, s),
+        };
+        if is_connected(&g) {
+            return Topology::with_uniform_servers(name, format!("n={n}, instance={index}"), g, 1);
         }
     }
-    let mut out = Graph::new(next);
-    for e in g.edges() {
-        if comp[e.u] == big && comp[e.v] == big {
-            out.add_edge(remap[e.u], remap[e.v], e.cap);
-        }
-    }
-    out
+    panic!("no connected natural network for index {index}, seed {seed}");
 }
 
 /// Generates `count` natural-network stand-ins of varying size and structure,
@@ -49,31 +83,7 @@ fn largest_component(g: &Graph) -> Graph {
 /// through scale-free (Barabási–Albert), small-world (Watts–Strogatz),
 /// community-structured (stochastic block model) and Erdős–Rényi graphs.
 pub fn natural_networks(count: usize, seed: u64) -> Vec<Topology> {
-    let mut out = Vec::with_capacity(count);
-    for i in 0..count {
-        let s = seed.wrapping_add(i as u64);
-        let n = 12 + (i % 8) * 6; // sizes 12..54
-        let (name, g) = match i % 4 {
-            0 => ("natural/scale-free", barabasi_albert(n, 2 + (i / 4) % 3, s)),
-            1 => ("natural/small-world", watts_strogatz(n, 4, 0.2, s)),
-            2 => (
-                "natural/community",
-                stochastic_block_model(n, 2 + i % 3, 0.5, 0.05, s),
-            ),
-            _ => ("natural/erdos-renyi", erdos_renyi(n, 0.15, s)),
-        };
-        let g = largest_component(&g);
-        if g.num_nodes() < 4 || g.num_edges() < 3 {
-            continue;
-        }
-        out.push(Topology::with_uniform_servers(
-            name,
-            format!("n={}, instance={i}", g.num_nodes()),
-            g,
-            1,
-        ));
-    }
-    out
+    (0..count).map(|i| natural_network(i, seed)).collect()
 }
 
 #[cfg(test)]
@@ -83,11 +93,11 @@ mod tests {
     #[test]
     fn generates_connected_diverse_graphs() {
         let nets = natural_networks(16, 11);
-        assert!(nets.len() >= 12);
+        assert_eq!(nets.len(), 16);
         let mut names: Vec<&str> = nets.iter().map(|t| t.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert!(names.len() >= 3, "should produce several model families");
+        assert_eq!(names.len(), 4, "should produce all four model families");
         for t in &nets {
             assert!(is_connected(&t.graph), "{} must be connected", t.describe());
             assert!(t.num_servers() == t.num_switches());
@@ -106,6 +116,33 @@ mod tests {
             let ex: Vec<(usize, usize)> = x.graph.edges().iter().map(|e| (e.u, e.v)).collect();
             let ey: Vec<(usize, usize)> = y.graph.edges().iter().map(|e| (e.u, e.v)).collect();
             assert_eq!(ex, ey, "{}", x.describe());
+        }
+    }
+
+    #[test]
+    fn metadata_matches_construction() {
+        for index in 0..24 {
+            for seed in [1u64, 7, 99] {
+                let meta = natural_meta(index);
+                let t = natural_network(index, seed);
+                assert_eq!(meta.name, t.name, "index {index}");
+                assert_eq!(meta.params, t.params, "index {index}");
+                assert_eq!(meta.switches, t.num_switches(), "index {index}");
+                assert_eq!(meta.servers, t.num_servers(), "index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_independent_of_count() {
+        // Instance i is the same graph whether generated alone or as part of
+        // a larger collection (the sweep cache keys cells by index alone).
+        let all = natural_networks(6, 3);
+        for (i, t) in all.iter().enumerate() {
+            let solo = natural_network(i, 3);
+            let ea: Vec<(usize, usize)> = t.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+            let eb: Vec<(usize, usize)> = solo.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+            assert_eq!(ea, eb);
         }
     }
 }

@@ -15,8 +15,25 @@
 //! (mod 4)` is implemented (q = 5, 13, 17, 29, ...), which covers the sizes
 //! the paper plots; this restriction is recorded in `DESIGN.md`.
 
+use crate::meta::TopoMeta;
 use crate::topology::Topology;
 use tb_graph::Graph;
+
+/// Construction-free metadata for [`slim_fly`]: the MMS graph on `2q^2`
+/// routers is `k' = (3q-1)/2`-regular.
+pub fn slim_fly_meta(q: usize, servers_per_router: usize) -> TopoMeta {
+    let n = 2 * q * q;
+    let degree = network_degree(q);
+    TopoMeta {
+        name: "Slim Fly".into(),
+        params: format!("q={q}"),
+        switches: n,
+        servers: n * servers_per_router,
+        server_switches: if servers_per_router > 0 { n } else { 0 },
+        links: Some(n * degree / 2),
+        degree: Some(degree),
+    }
+}
 
 /// Returns true if `q` is prime.
 fn is_prime(q: usize) -> bool {

@@ -1,7 +1,20 @@
 //! The [`Topology`] type: a switch graph plus server attachments.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tb_graph::Graph;
+
+/// Process-wide count of [`Topology`] constructions.
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`Topology`] values constructed by this process so far (every
+/// generator funnels through [`Topology::new`]). The sweep engine reads this
+/// before and after a run to prove that cache-hot runs build **zero**
+/// topologies end to end; like the solver-invocation counter in `tb_flow`,
+/// it is global, so exact-zero assertions belong in single-test binaries.
+pub fn constructions() -> u64 {
+    CONSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 /// A network topology under evaluation: the switch-level graph, the number of
 /// servers attached to every switch, and descriptive metadata.
@@ -35,6 +48,7 @@ impl Topology {
             graph.num_nodes(),
             "servers vector must have one entry per switch"
         );
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         Topology {
             name: name.into(),
             params: params.into(),

@@ -1,0 +1,118 @@
+//! The metadata contract, property-tested: for every family, every ladder
+//! rung, every representative and every natural-network stand-in, across
+//! scales and seeds, the construction-free metadata must describe the
+//! constructed topology *exactly* — names, params, switch/server counts,
+//! link counts and degree caps. The sweep engine's zero-build cache-hot path
+//! depends on this equivalence.
+//!
+//! This binary holds a single test on purpose: it first proves that the
+//! metadata pass constructs **zero** topologies (reading the process-global
+//! construction counter), which would race against any sibling test that
+//! builds graphs concurrently.
+
+use tb_topology::families::{Scale, ALL_FAMILIES};
+use tb_topology::natural::{natural_meta, natural_network};
+use tb_topology::{constructions, TopoMeta, Topology};
+
+const SEEDS: [u64; 3] = [1, 7, 1_000_003];
+const NATURAL_INDICES: usize = 16;
+
+fn assert_meta_matches(meta: &TopoMeta, built: &Topology, what: &str) {
+    assert_eq!(meta.name, built.name, "{what}: name");
+    assert_eq!(meta.params, built.params, "{what}: params");
+    assert_eq!(meta.switches, built.num_switches(), "{what}: switches");
+    assert_eq!(meta.servers, built.num_servers(), "{what}: servers");
+    assert_eq!(
+        meta.server_switches,
+        built.server_switches().len(),
+        "{what}: server switches"
+    );
+    if let Some(links) = meta.links {
+        assert_eq!(links, built.num_links(), "{what}: links");
+    }
+    if let Some(degree) = meta.degree {
+        let max_degree = (0..built.num_switches())
+            .map(|u| built.graph.degree(u))
+            .max()
+            .unwrap_or(0);
+        assert_eq!(degree, max_degree, "{what}: degree cap");
+    }
+}
+
+#[test]
+fn metadata_is_construction_free_and_exact() {
+    // Phase 1: collect every metadata record without building anything.
+    let builds_before = constructions();
+    let mut metas: Vec<(String, Option<TopoMeta>)> = Vec::new();
+    for family in ALL_FAMILIES {
+        for scale in [Scale::Small, Scale::Full] {
+            for seed in SEEDS {
+                for index in 0..family.ladder_len(scale) {
+                    metas.push((
+                        format!("{}/{scale:?}/{seed}/{index}", family.name()),
+                        family.ladder_meta(scale, seed, index),
+                    ));
+                }
+                // Out-of-range rungs must have no metadata.
+                assert!(family
+                    .ladder_meta(scale, seed, family.ladder_len(scale) + 3)
+                    .is_none());
+            }
+        }
+        for seed in SEEDS {
+            metas.push((
+                format!("{}/representative/{seed}", family.name()),
+                Some(family.representative_meta(seed)),
+            ));
+        }
+    }
+    for index in 0..NATURAL_INDICES {
+        metas.push((format!("natural/{index}"), Some(natural_meta(index))));
+    }
+    assert_eq!(
+        constructions() - builds_before,
+        0,
+        "metadata lookups must not construct topologies"
+    );
+
+    // Phase 2: build each instance and compare. Rung feasibility must agree
+    // between metadata and construction.
+    let mut checked = 0usize;
+    for family in ALL_FAMILIES {
+        for scale in [Scale::Small, Scale::Full] {
+            for seed in SEEDS {
+                for index in 0..family.ladder_len(scale) {
+                    let what = format!("{}/{scale:?}/{seed}/{index}", family.name());
+                    let meta = metas
+                        .iter()
+                        .find(|(k, _)| *k == what)
+                        .map(|(_, m)| m.clone())
+                        .expect("collected above");
+                    match family.ladder_instance(scale, seed, index) {
+                        Some(built) => {
+                            let meta =
+                                meta.unwrap_or_else(|| panic!("{what}: builds but no metadata"));
+                            assert_meta_matches(&meta, &built, &what);
+                            checked += 1;
+                        }
+                        None => assert!(meta.is_none(), "{what}: metadata without a build"),
+                    }
+                }
+            }
+        }
+        for seed in SEEDS {
+            let what = format!("{}/representative/{seed}", family.name());
+            let built = family.representative(seed);
+            assert_meta_matches(&family.representative_meta(seed), &built, &what);
+            checked += 1;
+        }
+    }
+    for index in 0..NATURAL_INDICES {
+        for seed in SEEDS {
+            let built = natural_network(index, seed);
+            assert_meta_matches(&natural_meta(index), &built, &format!("natural/{index}"));
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "property test must cover the full grid");
+}
