@@ -19,15 +19,25 @@
 //! * dense all-to-all (hypercube and jellyfish), where the aggregated
 //!   bottom-up tree routing loads each tree arc once per iteration instead
 //!   of walking every destination's path, on top of the shared kernel wins
-//!   — the dense-TM shapes the PR 1 kernel left at parity.
+//!   — the dense-TM shapes the PR 1 kernel left at parity;
+//! * the **batch-parallel MWU schedule** (`fptas_batch_*`, the auto-picked
+//!   batch size that `--solver-jobs > 1` uses): the per-phase pricing fans
+//!   out across `RAYON_NUM_THREADS` workers, so these entries measure the
+//!   solver-level parallelism on this machine (on a single core they show
+//!   the schedule's serial overhead instead — record which when comparing);
+//! * the Facebook frontend fixed TM (`tm_f`, the Figs 13–14 workload) on a
+//!   64-switch jellyfish — the skewed dense shape the sweeps spend real time
+//!   on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tb_bench::{assert_same_quality, legacy};
+use tb_bench::{assert_quality_within_target, assert_same_quality, legacy};
+use tb_flow::fleischer::auto_batch_size;
 use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
 use tb_graph::matching::max_weight_assignment;
 use tb_graph::shortest_path::apsp_unweighted;
 use tb_graph::Graph;
 use tb_topology::{hypercube::hypercube, jellyfish::jellyfish, jellyfish::same_equipment};
+use tb_traffic::facebook::tm_f;
 use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
 use tb_traffic::TrafficMatrix;
 
@@ -46,6 +56,28 @@ fn versus_legacy(
     });
     group.bench_function(format!("fptas_legacy_{name}"), |b| {
         b.iter(|| legacy::solve(&cfg, g, tm))
+    });
+}
+
+/// Benches the batch-parallel schedule at the auto-picked batch size,
+/// asserting its bounds against the serial trajectory with the shared
+/// target-gap contract first.
+fn batched(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    cfg: FleischerConfig,
+    g: &Graph,
+    tm: &TrafficMatrix,
+) {
+    let bat_cfg = FleischerConfig {
+        batch_size: Some(auto_batch_size(g.num_nodes())),
+        ..cfg
+    };
+    let serial = FleischerSolver::new(cfg).solve(g, tm);
+    let bat = FleischerSolver::new(bat_cfg).solve(g, tm);
+    assert_quality_within_target(&format!("{name}/batched"), &cfg, bat, serial);
+    group.bench_function(format!("fptas_batch_{name}"), |b| {
+        b.iter(|| FleischerSolver::new(bat_cfg).solve(g, tm))
     });
 }
 
@@ -104,6 +136,40 @@ fn bench(c: &mut Criterion) {
         &all_to_all(&jelly.servers),
     );
 
+    // Batch-parallel MWU entries (dense shapes + the Facebook frontend TM);
+    // the matching serial entries above / below are the baselines.
+    let cfg_h6 = cfg_fast.with_auto_aggregation(medium.graph.num_nodes());
+    let cfg_j64 = cfg_fast.with_auto_aggregation(jelly.graph.num_nodes());
+    batched(
+        &mut group,
+        "hypercube_d6_a2a",
+        cfg_h6,
+        &medium.graph,
+        &all_to_all(&medium.servers),
+    );
+    batched(
+        &mut group,
+        "jellyfish64_a2a",
+        cfg_j64,
+        &jelly.graph,
+        &all_to_all(&jelly.servers),
+    );
+    let fb = tm_f(64, 7);
+    versus_legacy(
+        &mut group,
+        "facebook_tmf_jellyfish64",
+        cfg_fast,
+        &jelly.graph,
+        &fb,
+    );
+    batched(
+        &mut group,
+        "facebook_tmf_jellyfish64",
+        cfg_j64,
+        &jelly.graph,
+        &fb,
+    );
+
     group.bench_function("apsp_hypercube_d6", |b| {
         b.iter(|| apsp_unweighted(&medium.graph))
     });
@@ -133,6 +199,23 @@ fn bench(c: &mut Criterion) {
         cfg_fast,
         &jelly256.graph,
         &longest_matching(&jelly256.graph, &jelly256.servers, true),
+    );
+    // The paper-scale dense shape for the batch-parallel schedule (sparse
+    // LM never auto-batches — the serial goal-directed path wins there).
+    let tm256_a2a = all_to_all(&jelly256.servers);
+    versus_legacy(
+        &mut large,
+        "jellyfish256_a2a",
+        cfg_fast,
+        &jelly256.graph,
+        &tm256_a2a,
+    );
+    batched(
+        &mut large,
+        "jellyfish256_a2a",
+        cfg_fast.with_auto_aggregation(jelly256.graph.num_nodes()),
+        &jelly256.graph,
+        &tm256_a2a,
     );
     large.finish();
 }

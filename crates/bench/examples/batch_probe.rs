@@ -1,0 +1,50 @@
+//! Batch-size sweep for the batch-parallel MWU schedule: runs the dense
+//! 64-switch shapes at `batch_size` ∈ {serial, 8, 16, 32, 64} and prints
+//! wall-clock, bounds and the `SolveStats` counters (phases, epochs, guard
+//! state). This is the tuning loop behind `auto_batch_size` — rerun it when
+//! touching the pricing-round scheduler or the merge, once at
+//! `RAYON_NUM_THREADS=1` (the schedule's serial overhead) and once at the
+//! machine's core count (the actual speedup). Set `TB_SOLVER_TRACE=1` for
+//! per-solve tree counts.
+//!
+//! Run: `cargo run --release -p tb_bench --example batch_probe`
+
+use std::time::Instant;
+use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
+use tb_topology::hypercube::hypercube;
+use tb_topology::jellyfish::jellyfish;
+use tb_traffic::synthetic::all_to_all;
+
+fn main() {
+    let shapes: Vec<(&str, tb_topology::Topology)> = vec![
+        ("hypercube64", hypercube(6, 1)),
+        ("jellyfish64", jellyfish(64, 6, 1, 42)),
+    ];
+    println!(
+        "pool: {} worker(s) (set RAYON_NUM_THREADS to change)",
+        rayon::current_num_threads()
+    );
+    for (name, topo) in &shapes {
+        let tm = all_to_all(&topo.servers);
+        let base = FleischerConfig::fast().with_auto_aggregation(topo.graph.num_nodes());
+        for batch in [None, Some(8), Some(16), Some(32), Some(64)] {
+            let cfg = FleischerConfig {
+                batch_size: batch,
+                ..base
+            };
+            let solver = FleischerSolver::new(cfg);
+            let mut ws = SolverWorkspace::new();
+            let (b, stats) = solver.solve_with_stats(&topo.graph, &tm, &mut ws);
+            let reps = 5;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = solver.solve_with(&topo.graph, &tm, &mut ws);
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            println!(
+                "{name:<12} batch={batch:?} {ms:8.3} ms  bounds=({:.5},{:.5}) stats={stats:?}",
+                b.lower, b.upper
+            );
+        }
+    }
+}

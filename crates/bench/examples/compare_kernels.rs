@@ -4,12 +4,18 @@
 //! Every pair also asserts the bounds stayed equal-quality, so this doubles
 //! as the kernel-equivalence check: `--quick` runs a reduced shape set (a few
 //! seconds) and is wired into CI to catch drift between the kernels on every
-//! PR.
+//! PR. Each shape additionally runs the **batch-parallel** schedule (the
+//! auto-picked batch size, i.e. what `--solver-jobs > 1` would use) and
+//! asserts its bounds against the serial path with the shared target-gap
+//! contract, so the batched trajectory's quality is CI-checked on every PR
+//! too.
 //!
 //! Run: `cargo run --release -p tb_bench --example compare_kernels [-- --quick]`
+//! (the batched column parallelizes its pricing fan-out across
+//! `RAYON_NUM_THREADS` workers).
 
 use std::time::Instant;
-use tb_bench::{assert_same_quality, legacy};
+use tb_bench::{assert_quality_within_target, assert_same_quality, legacy};
 use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
 use tb_graph::Graph;
 use tb_topology::hypercube::hypercube;
@@ -36,6 +42,24 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
     let new_b = solver.solve_with(g, tm, &mut ws);
     let old_b = legacy::solve(&cfg, g, tm);
     assert_same_quality(name, &cfg, new_b, old_b);
+    // The batch-parallel schedule at the auto pick (what --solver-jobs > 1
+    // runs): a different, equally valid trajectory — quality held to the
+    // configured target gap against the serial path. The auto-pick is
+    // TM-aware: sparse shapes stay serial and report no batched column.
+    let bat_cfg = cfg.with_auto_batching(tm, 2);
+    let batched = bat_cfg.batch_size.map(|bsz| {
+        let bat_solver = FleischerSolver::new(bat_cfg);
+        let mut ws_bat = SolverWorkspace::new();
+        let bat_b = bat_solver.solve_with(g, tm, &mut ws_bat);
+        assert_quality_within_target(&format!("{name}/batched"), &cfg, bat_b, new_b);
+        let t_bat = time(
+            || {
+                let _ = bat_solver.solve_with(g, tm, &mut ws_bat);
+            },
+            reps,
+        );
+        (bsz, t_bat)
+    });
     let t_new = time(
         || {
             let _ = solver.solve_with(g, tm, &mut ws);
@@ -48,8 +72,12 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
         },
         reps,
     );
+    let bat_col = match batched {
+        Some((bsz, t_bat)) => format!("batched(B={bsz:2}) {t_bat:9.3} ms"),
+        None => "batched     (serial: sparse TM)".to_string(),
+    };
     println!(
-        "{name:<28} new {t_new:9.3} ms  legacy {t_old:9.3} ms  speedup {:5.2}x  bounds new=({:.4},{:.4}) old=({:.4},{:.4})",
+        "{name:<28} new {t_new:9.3} ms  legacy {t_old:9.3} ms  speedup {:5.2}x  {bat_col}  bounds new=({:.4},{:.4}) old=({:.4},{:.4})",
         t_old / t_new,
         new_b.lower,
         new_b.upper,

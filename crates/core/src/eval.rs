@@ -23,6 +23,20 @@ pub struct EvalConfig {
     pub random_graph_iterations: usize,
     /// Base RNG seed; every randomized step derives from it deterministically.
     pub seed: u64,
+    /// Solver-level parallelism: with `> 1`, a single FPTAS solve runs
+    /// batch-parallel MWU phases (sources sharded into fixed-order batches
+    /// that route concurrently against per-epoch length snapshots; see
+    /// `tb_flow::fleischer`). **Orthogonal to the sweep engine's cell-level
+    /// `--jobs`**: that knob splits *cells* across workers, this one splits
+    /// *one solve*. Only the on/off decision affects values (the batch size
+    /// is auto-picked from the instance; the worker count never changes
+    /// results — bit-identity is test-enforced), but turning batching on
+    /// switches to a different `(1+eps)`-sound trajectory, so this field is
+    /// part of the cell cache key — keep it normalized (1 = serial,
+    /// anything-else = batched; `SweepOptions::eval_config` normalizes to 2)
+    /// or distinct values will recompute byte-identical cells. Default 1 =
+    /// the classical serial trajectory.
+    pub solver_jobs: usize,
 }
 
 impl Default for EvalConfig {
@@ -32,6 +46,7 @@ impl Default for EvalConfig {
             exact_switch_limit: 16,
             random_graph_iterations: 3,
             seed: 1,
+            solver_jobs: 1,
         }
     }
 }
@@ -84,10 +99,15 @@ pub fn evaluate_throughput_with(
             return exact;
         }
     }
-    // Auto-pick the dense-TM aggregation threshold from the graph size
-    // (sources with that many destinations route via the aggregated
-    // bottom-up tree kernel); explicit overrides in `cfg.solver` win.
-    let solver_cfg = cfg.solver.with_auto_aggregation(topo.num_switches());
+    // Auto-pick the dense-TM aggregation threshold from the graph size and
+    // (when solver-level jobs were requested) the MWU batch size from the TM
+    // shape; explicit overrides in `cfg.solver` win for both. Sparse and
+    // heavily-skewed TMs never auto-batch — the serial path is already the
+    // fast one there (see `with_auto_batching`).
+    let solver_cfg = cfg
+        .solver
+        .with_auto_aggregation(topo.num_switches())
+        .with_auto_batching(tm, cfg.solver_jobs);
     FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws)
 }
 

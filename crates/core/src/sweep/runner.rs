@@ -35,6 +35,14 @@ pub struct SweepOptions {
     pub cache_dir: PathBuf,
     /// If set, only run cells whose id contains this substring.
     pub filter: Option<String>,
+    /// Solver-level parallelism (`EvalConfig::solver_jobs`): `Some(n > 1)`
+    /// makes each FPTAS solve run batch-parallel MWU phases. Orthogonal to
+    /// [`jobs`](SweepOptions::jobs), which splits *cells* across workers —
+    /// this splits *one solve*. The batched trajectory's values differ from
+    /// serial, so the on/off decision keys the cache
+    /// ([`eval_config`](SweepOptions::eval_config) normalizes the count —
+    /// all `n > 1` share one key). `None` defaults to 1 (serial).
+    pub solver_jobs: Option<usize>,
 }
 
 impl SweepOptions {
@@ -47,6 +55,7 @@ impl SweepOptions {
             use_cache: true,
             cache_dir: PathBuf::from("results/cache"),
             filter: None,
+            solver_jobs: None,
         }
     }
 
@@ -67,6 +76,21 @@ impl SweepOptions {
             EvalConfig::fast()
         };
         cfg.seed = self.seed;
+        // Normalized to the trajectory decision (1 = serial, 2 = batched):
+        // cell values depend only on *whether* solver-level parallelism is
+        // on (the auto batch size comes from the instance, the worker count
+        // never affects values), so keying the cache on the raw job count
+        // would recompute byte-identical results for every distinct value.
+        // Deliberate coarseness: cells whose TM never auto-batches (sparse,
+        // skewed) still re-key on the first batched run even though their
+        // values are bit-identical to the serial entries — keying on the
+        // per-cell effective decision would require materializing each TM
+        // at key time, which the expansion-time key derivation cannot do.
+        cfg.solver_jobs = if self.solver_jobs.unwrap_or(1) > 1 {
+            2
+        } else {
+            1
+        };
         cfg
     }
 }

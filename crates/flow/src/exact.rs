@@ -59,10 +59,11 @@ impl ExactLpSolver {
         let mut lp = LinearProgram::new(t_var + 1);
         lp.set_objective(t_var, 1.0);
 
-        // Capacity constraints.
-        for a in 0..m {
+        // Capacity constraints, over the same shared arc-capacity view the
+        // FPTAS initializes its length state from (`FlowProblem::arc_caps`).
+        for (a, cap) in prob.arc_caps().enumerate() {
             let coeffs: Vec<(usize, f64)> = (0..num_dest).map(|di| (di * m + a, 1.0)).collect();
-            lp.add_constraint(coeffs, ConstraintOp::Le, prob.arcs()[a].cap);
+            lp.add_constraint(coeffs, ConstraintOp::Le, cap);
         }
 
         // Conservation constraints.

@@ -1,0 +1,219 @@
+//! Deterministic load reduction and the batched length update.
+//!
+//! The batch-parallel epochs produce one `(arc id, load)` list per source,
+//! each computed read-only against the epoch's frozen snapshot. This module
+//! folds those lists into one dense per-arc aggregate **in batch-index
+//! order** — f64 addition is not associative, so fixing the fold order is
+//! what makes the epoch (and every downstream number) bit-identical for any
+//! worker count — rescales the aggregate by the binding `cap/load` ratio,
+//! and applies **one** multiplicative length update per touched arc.
+//!
+//! ## The batched-ε step-size argument
+//!
+//! Serially, routing the same loads would apply one update per source per
+//! arc: factors `∏_k (1 + eps·u_k/cap)`. The batched round applies the
+//! single factor `1 + eps·θU/cap` with `U_a = Σ_k θ_k·u_{k,a}` (each source
+//! self-capped by `θ_k = min(1, min_a cap_a/u_{k,a})`) and the shared
+//! `θ = min(1, min_a cap_a/U_a)` — i.e. the update is taken with the
+//! **rescaled step** `eps' = eps·θU/cap ≤ eps`, so no update event ever
+//! exceeds the classical `1 + eps` growth bound and the Fleischer
+//! length-growth analysis applies verbatim. (The single factor also
+//! lower-bounds the serial product for the same committed flow, so the dual
+//! potential `D(l)` grows no faster per unit of flow than serially — in
+//! practice measurably slower, which is why batched runs close the bound gap
+//! in *fewer* phases than serial on dense TMs.) Each source commits the
+//! uniform `θ·θ_k` fraction of its remaining demand; what is left re-prices
+//! against a fresh snapshot next round, after the binding arc grew by its
+//! full `1 + eps` factor — the same progress argument as the serial
+//! capacity-limited tree iterations. Two alternatives were tried and
+//! measured worse: an in-order greedy allocation (sources admitted against
+//! what earlier sources left) restores the serial trajectory's unevenness —
+//! serial-like phase counts *and* straggler tails of tiny rounds — and
+//! draining a round's remainder on its own trees without re-pricing
+//! reproduces the reverted phase-blocked design's trajectory concentration
+//! (hypercube-64 A2A: 12 → 380 phases).
+
+use super::route::RouteState;
+use crate::lengths::MwuLengths;
+
+/// The multiplicative-weights update for routing `u` units over arc `aid`:
+/// accumulate the flow and grow the arc's length through
+/// [`MwuLengths::apply`] (which maintains `D(l)` incrementally). One
+/// definition serves every routing kernel — the per-destination walk, the
+/// aggregated tree, and the batched epoch apply — keeping them
+/// arithmetically identical.
+#[inline]
+pub(super) fn apply_update(mwu: &mut MwuLengths, flow_arc: &mut [f64], aid: usize, u: f64) {
+    flow_arc[aid] += u;
+    mwu.apply(aid, u);
+}
+
+/// The epoch accumulator: dense per-arc loads plus the touched-arc list (in
+/// first-touch order). Lives in the solver workspace so epochs allocate
+/// nothing once sized; the invariant between epochs is "`load` is all zeros,
+/// `touched` is empty" (restored by [`EpochMerge::apply`]).
+#[derive(Debug, Clone, Default)]
+pub(super) struct EpochMerge {
+    load: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl EpochMerge {
+    /// Prepares for an epoch over `m` arcs (grows the dense buffer; existing
+    /// entries are already zero by the inter-epoch invariant).
+    pub fn begin(&mut self, m: usize) {
+        debug_assert!(self.touched.is_empty());
+        if self.load.len() < m {
+            self.load.resize(m, 0.0);
+        }
+        debug_assert!(self.load.iter().all(|&l| l == 0.0));
+    }
+
+    /// Self-caps one source's load list against the raw capacities and folds
+    /// the capped fraction into the aggregate, returning the source's
+    /// self-cap fraction `θ_k = min(1, min_a cap_a/u_{k,a})` — exactly the
+    /// serial kernels' per-iteration `min(remaining, bottleneck)` rule,
+    /// applied uniformly to the source's whole demand vector. Self-capping
+    /// is **order-independent** (each source is capped against capacities,
+    /// not against what others consumed — fairness an in-order greedy
+    /// allocation lacks, which measurably restored the serial trajectory's
+    /// phase counts when tried), and it is what keeps skewed TMs cheap: one
+    /// oversized source caps *itself* instead of dragging the whole shard's
+    /// commit fraction down and forcing every source to re-price.
+    ///
+    /// Callers invoke this in **batch-index order**; within a list, entries
+    /// are processed in list order — together that makes the fold order (and
+    /// the resulting floats) independent of worker scheduling.
+    pub fn accumulate_capped(&mut self, loads: &[(u32, f64)], st: &[RouteState]) -> f64 {
+        let mut theta_k = 1.0f64;
+        for &(aid, u) in loads {
+            let cap = st[aid as usize].cap;
+            if u > cap {
+                theta_k = theta_k.min(cap / u);
+            }
+        }
+        for &(aid, u) in loads {
+            let a = aid as usize;
+            if self.load[a] == 0.0 {
+                self.touched.push(aid);
+            }
+            self.load[a] += theta_k * u;
+        }
+        theta_k
+    }
+
+    /// The round's shared commit fraction `θ = min(1, min_a cap_a/U_a)` over
+    /// the capped aggregate: the largest uniform fraction of every source's
+    /// (self-capped) contribution that fits all capacities at once. `min` is
+    /// order-insensitive, but the scan runs in touched order anyway.
+    pub fn theta(&self, st: &[RouteState]) -> f64 {
+        let mut ratio = f64::INFINITY;
+        for &aid in &self.touched {
+            let a = aid as usize;
+            let load = self.load[a];
+            let cap = st[a].cap;
+            if load > cap {
+                ratio = ratio.min(cap / load);
+            }
+        }
+        ratio.min(1.0)
+    }
+
+    /// Applies the batched update — each touched arc gets its θ-rescaled
+    /// aggregate in a single multiplicative step (≤ `1 + eps` by the
+    /// step-size argument above) — and restores the inter-round invariant.
+    /// Arcs update in first-touch order, which is deterministic because
+    /// accumulation is.
+    pub fn apply(&mut self, theta: f64, mwu: &mut MwuLengths, flow_arc: &mut [f64]) {
+        for &aid in &self.touched {
+            let a = aid as usize;
+            let u = theta * self.load[a];
+            apply_update(mwu, flow_arc, a, u);
+            self.load[a] = 0.0;
+        }
+        self.touched.clear();
+    }
+
+    /// Clears accumulated-but-unapplied state (a solve interrupted by `D(l)`
+    /// saturation between pricing and apply), restoring the invariant for
+    /// the next solve.
+    pub fn reset(&mut self) {
+        for &aid in &self.touched {
+            self.load[aid as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lengths::ArcLengths;
+
+    fn st(caps: &[f64]) -> Vec<RouteState> {
+        caps.iter()
+            .map(|&cap| RouteState {
+                avail: cap,
+                used: 0.0,
+                cap,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accumulation_is_order_of_lists_not_workers() {
+        // Folding the same per-source lists in the same (batch) order gives
+        // the same touched order, self-caps and floats, no matter how the
+        // lists were produced.
+        let mut a = EpochMerge::default();
+        a.begin(4);
+        let state = st(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.accumulate_capped(&[(2, 0.1), (0, 0.2)], &state), 1.0);
+        assert_eq!(a.accumulate_capped(&[(0, 0.3), (3, 0.4)], &state), 1.0);
+        assert_eq!(a.touched, vec![2, 0, 3]);
+        assert_eq!(a.theta(&state), 1.0);
+    }
+
+    #[test]
+    fn oversized_source_self_caps_without_dragging_others() {
+        let caps = [1.0, 2.0];
+        let state = st(&caps);
+        let mut m = EpochMerge::default();
+        m.begin(2);
+        // Source 0 wants 4x arc 0's capacity: self-capped to theta_0 = 0.25.
+        assert_eq!(m.accumulate_capped(&[(0, 4.0), (1, 1.0)], &state), 0.25);
+        // Source 1 fits on its own and is not punished for source 0.
+        assert_eq!(m.accumulate_capped(&[(1, 0.5)], &state), 1.0);
+        // Aggregate on arc 0 is exactly cap => shared theta stays 1.
+        let theta = m.theta(&state);
+        assert_eq!(theta, 1.0);
+        let mut mwu = MwuLengths::new();
+        mwu.reset(0.1, caps);
+        let mut flow = vec![0.0; 2];
+        let before = mwu.len_of(0);
+        m.apply(theta, &mut mwu, &mut flow);
+        // The self-capped source saturated arc 0 => the full 1+eps factor.
+        assert!((mwu.len_of(0) / before - 1.1).abs() < 1e-12);
+        assert_eq!(flow[0], 1.0);
+        assert_eq!(flow[1], 0.75); // 0.25·1.0 from source 0 + 0.5 from source 1
+                                   // Invariant restored: a second round starts clean.
+        m.begin(2);
+        assert_eq!(m.theta(&state), 1.0);
+    }
+
+    #[test]
+    fn shared_theta_binds_on_overlapping_sources_and_reset_clears() {
+        let state = st(&[1.0]);
+        let mut m = EpochMerge::default();
+        m.begin(1);
+        // Two sources, each fitting alone, overlapping on arc 0: the shared
+        // theta rescales the round to capacity.
+        assert_eq!(m.accumulate_capped(&[(0, 0.8)], &state), 1.0);
+        assert_eq!(m.accumulate_capped(&[(0, 0.8)], &state), 1.0);
+        assert_eq!(m.theta(&state), 0.625); // 1.0 / 1.6
+                                            // An interrupted round (accumulated, never applied) resets clean.
+        m.reset();
+        m.begin(1);
+        assert_eq!(m.theta(&state), 1.0);
+    }
+}

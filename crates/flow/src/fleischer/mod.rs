@@ -1,0 +1,758 @@
+//! Fleischer / Garg–Könemann multiplicative-weights FPTAS for maximum
+//! concurrent flow, with a practical twist: alongside the classical
+//! guarantee, the solver maintains
+//!
+//! * a **feasible lower bound** obtained by rescaling the accumulated primal
+//!   flow to respect capacities exactly, and
+//! * a **dual upper bound** `D(l)/alpha(l)` evaluated on the current length
+//!   function (valid for any positive lengths by LP duality),
+//!
+//! and stops as soon as the two are within `target_gap` of each other (or the
+//! classical termination `D(l) >= 1` fires). On the instances the paper
+//! evaluates the bounds typically close to within a few percent long before
+//! the worst-case phase count is reached.
+//!
+//! ## Pipeline layout
+//!
+//! The solver is organized as a **shard → route → merge pipeline** across
+//! three submodules:
+//!
+//! * [`phase`] — the phase scheduler: owns the multiplicative-weights length
+//!   state ([`crate::MwuLengths`]), partitions each phase's sources into
+//!   fixed-order batches, freezes a [`crate::LengthSnapshot`] per routing
+//!   epoch, runs the bound-evaluation cadence and the convergence guard;
+//! * [`route`] — the per-source routing kernels (goal-directed single
+//!   destination, per-destination walk, aggregated bottom-up tree), each
+//!   available in the classical serial in-place form and in a **read-only
+//!   snapshot form** that prices trees against a frozen epoch snapshot and
+//!   returns the arc loads it would place;
+//! * [`merge`] — deterministic load reduction: per-worker load lists are
+//!   folded in batch-index order into one dense per-arc aggregate, rescaled
+//!   by the binding `cap/load` ratio, and applied as **one batched length
+//!   update per epoch**.
+//!
+//! ## Hot-path machinery
+//!
+//! The inner loop is a shortest-path computation per source per iteration, so
+//! the solver is built around the shared `tb_graph` SSSP kernel:
+//!
+//! * arcs live in a CSR view ([`FlowProblem::csr`]); no nested adjacency
+//!   vectors are chased,
+//! * all per-iteration state (Dijkstra arrays and heap, remaining demand,
+//!   availability bookkeeping, the recorded routing path) lives in a
+//!   [`SolverWorkspace`] that is allocated once and reset in O(1) via
+//!   generation counters; parallel regions lease per-worker scratch from the
+//!   workspace's [`tb_graph::WorkspacePool`]s instead of allocating,
+//! * every SSSP call passes the source's destination set, so Dijkstra stops
+//!   as soon as the last relevant node is settled,
+//! * a tree is **reused** across a source's capacity-limited iterations while
+//!   the walked path stays within a small factor of the tree's recorded
+//!   distance (sound because arc lengths only ever grow, so the recorded
+//!   distance lower-bounds the current one — the classical Fleischer
+//!   argument),
+//! * the dual bound's per-source SSSP sweep is read-only over the length
+//!   function and fans out with rayon once the instance is large enough to
+//!   amortize the pool.
+//!
+//! ## Goal-directed routing for sparse TMs
+//!
+//! Monotone lengths yield one more structural win: shortest-path distances
+//! *to* a node, computed under any earlier (pointwise smaller) length
+//! function, form a **consistent A\* potential** for the current lengths.
+//! For every source with a single destination — the shape of matching-style
+//! near-worst-case TMs, where each switch talks to one peer — the solver
+//! caches reverse distances to that destination (refreshed on a fixed phase
+//! cadence, in parallel for large instances) and runs the goal-directed
+//! kernel [`tb_graph::sssp_csr_goal`] instead of a full Dijkstra. Distances
+//! and routed paths remain *exact*; once the length function differentiates,
+//! the search expands little beyond the shortest path itself, instead of
+//! settling the whole graph per iteration.
+//!
+//! ## Aggregated tree routing for dense TMs
+//!
+//! At the opposite end of the TM spectrum (all-to-all and friends, where one
+//! source talks to most of the graph), walking every destination's path
+//! individually costs O(sum of path lengths) per tree iteration and re-touches
+//! the arcs near the source once per destination. Sources whose destination
+//! count reaches [`FleischerConfig::aggregate_min_dests`] instead route *all*
+//! remaining demands in one bottom-up pass: the SSSP workspace exposes its
+//! settle order ([`tb_graph::SsspWorkspace::settle_order`]), a reverse walk
+//! over that order folds per-node subtree demand into the parent, and each
+//! tree arc is loaded exactly once with its aggregate. If some arc's
+//! aggregate load exceeds its capacity, the whole batch is scaled by the
+//! binding `cap/load` ratio and the tree iteration repeats, so the
+//! per-iteration length-update factor stays within `1 + eps` exactly as in
+//! the per-destination walk. Sparse TMs keep the per-destination walk, where
+//! goal direction wins; `tb_core`'s evaluation plumbing auto-picks the
+//! threshold from the graph size via
+//! [`FleischerConfig::with_auto_aggregation`].
+//!
+//! ## Batch-parallel phases (opt-in via [`FleischerConfig::batch_size`])
+//!
+//! With a batch size `B >= 2`, each phase's sources are partitioned into
+//! **fixed-order batches of `B`**. A batch routes in *epochs*: the scheduler
+//! freezes the current lengths into a snapshot, every source in the batch
+//! prices its tree and deposits its remaining demands **read-only** against
+//! that snapshot (in parallel across rayon workers, each leasing its own
+//! SSSP scratch), and the resulting per-source load lists are merged in
+//! batch-index order — so the merged aggregate, and with it every downstream
+//! number, is **bit-identical for any worker count**.
+//!
+//! The merged update preserves the `(1 + eps)` length-growth invariant by
+//! **rescaling the step**: if the batch's aggregate load `U_a` exceeds some
+//! arc's capacity, the whole epoch commits only the binding fraction
+//! `theta = min_a cap_a / U_a`, and the single batched update multiplies each
+//! touched arc by `1 + eps · theta·U_a / cap_a <= 1 + eps` — i.e. the epoch
+//! is equivalent to a serial pass taken with the rescaled step size
+//! `eps' = eps · theta·U_a/cap_a <= eps`, so the classical analysis applies
+//! unchanged. Un-committed demand stays in the batch and re-prices against a
+//! *fresh* snapshot next epoch (the binding arc just grew by the full
+//! `1 + eps` factor, so trees shift away from it — the same progress argument
+//! as the serial capacity-limited iterations).
+//!
+//! This is deliberately different from the two reverted stale-length designs
+//! (PR 1 phase-blocked routing, PR 2 cross-phase tree snapshots): staleness
+//! here is confined to **within one epoch of one phase** — lengths advance
+//! between batches and between epochs — and a **convergence guard** watches
+//! the phase count. Phase 0 always runs serially and doubles as the
+//! yardstick: the scheduler extrapolates the serial phase count from its
+//! `ln D(l)` progress, and if the batched run exceeds
+//! [`FleischerConfig::guard_factor`] times that estimate without converging,
+//! it degenerates to `B = 1` (the exact serial trajectory) for the remainder
+//! — the safeguard the reverted designs lacked.
+
+mod merge;
+mod phase;
+mod route;
+
+use crate::instance::FlowProblem;
+use crate::lengths::MwuLengths;
+use crate::ThroughputBounds;
+use route::RouteScratch;
+use tb_graph::{Graph, SsspPool, SsspWorkspace, WorkspacePool};
+use tb_traffic::TrafficMatrix;
+
+/// Tuning knobs for the FPTAS.
+#[derive(Debug, Clone, Copy)]
+pub struct FleischerConfig {
+    /// Multiplicative-weights step size (the classical epsilon). Smaller is
+    /// more accurate but runs more phases.
+    pub epsilon: f64,
+    /// Stop once `(upper - lower) / upper <= target_gap`.
+    pub target_gap: f64,
+    /// Hard cap on the number of phases (safety valve).
+    pub max_phases: usize,
+    /// How many phases to run between bound evaluations (also the refresh
+    /// cadence of the goal-direction potentials).
+    pub check_interval: usize,
+    /// Route a source's demands with the aggregated bottom-up tree kernel
+    /// (one pass over the settle order per tree iteration instead of one
+    /// parent walk per destination) once its destination count reaches this.
+    /// `None` means "unset": the solver falls back to
+    /// [`DEFAULT_AGGREGATE_MIN_DESTS`], and
+    /// [`FleischerConfig::with_auto_aggregation`] may fill in a
+    /// graph-size-aware value. `Some(usize::MAX)` disables aggregation, and
+    /// any explicit `Some` survives the auto-pick.
+    pub aggregate_min_dests: Option<usize>,
+    /// Batch size `B` for batch-parallel phases (see the module docs):
+    /// sources are routed in fixed-order batches of `B` against per-epoch
+    /// length snapshots, with one merged length update per epoch. `None` or
+    /// `Some(1)` keeps the classical serial trajectory (the default —
+    /// results are bit-identical to pre-batching solvers);
+    /// [`FleischerConfig::with_auto_batching`] fills in a graph-size-aware
+    /// value when the caller asked for solver-level parallelism. Any
+    /// explicit `Some` survives the auto-pick.
+    pub batch_size: Option<usize>,
+    /// Convergence guard for batched runs: once the phase count exceeds
+    /// `guard_factor ×` the serial phase estimate (extrapolated from the
+    /// always-serial phase 0) without converging, the solve degenerates to
+    /// `B = 1` for the remainder. Ignored when batching is off.
+    pub guard_factor: f64,
+}
+
+/// The aggregation threshold used when [`FleischerConfig::aggregate_min_dests`]
+/// is unset: aggregation starts to pay once a source's destination count is a
+/// sizable fraction of the graph (the tree then covers most settled nodes, so
+/// per-destination walks re-touch the same arcs many times over).
+pub const DEFAULT_AGGREGATE_MIN_DESTS: usize = 32;
+
+/// The default convergence-guard factor for batched runs: a batched solve may
+/// spend up to twice the extrapolated serial phase count before it falls back
+/// to the serial trajectory.
+pub const DEFAULT_GUARD_FACTOR: f64 = 2.0;
+
+/// The demand-uniformity limit of [`FleischerConfig::with_auto_batching`]:
+/// auto-batching engages only when the TM's maximum demand is within this
+/// factor of its mean (all-to-all is 1; the Facebook Hadoop stand-in ~2.6;
+/// the frontend stand-in, which measured ~2× serial batched, is far past
+/// it).
+pub const BATCH_SKEW_LIMIT: f64 = 8.0;
+
+impl Default for FleischerConfig {
+    fn default() -> Self {
+        FleischerConfig {
+            epsilon: 0.07,
+            target_gap: 0.03,
+            max_phases: 20_000,
+            check_interval: 8,
+            aggregate_min_dests: None,
+            batch_size: None,
+            guard_factor: DEFAULT_GUARD_FACTOR,
+        }
+    }
+}
+
+impl FleischerConfig {
+    /// A faster, slightly looser configuration for large experiment sweeps.
+    pub fn fast() -> Self {
+        FleischerConfig {
+            epsilon: 0.12,
+            target_gap: 0.05,
+            check_interval: 4,
+            ..Default::default()
+        }
+    }
+
+    /// A tighter configuration for validation against the exact LP.
+    pub fn precise() -> Self {
+        FleischerConfig {
+            epsilon: 0.03,
+            target_gap: 0.01,
+            check_interval: 16,
+            ..Default::default()
+        }
+    }
+
+    /// Returns this configuration with an unset aggregation threshold picked
+    /// for a graph of `num_switches` switches ([`auto_aggregate_min_dests`]).
+    /// Once a source talks to that fraction of the graph, its shortest-path
+    /// tree spans most settled nodes and the bottom-up kernel is strictly
+    /// less work than per-destination walks. An explicit `Some` threshold
+    /// (tests forcing one kernel, callers that tuned their own) is left
+    /// untouched.
+    pub fn with_auto_aggregation(self, num_switches: usize) -> Self {
+        if self.aggregate_min_dests.is_some() {
+            return self;
+        }
+        FleischerConfig {
+            aggregate_min_dests: Some(auto_aggregate_min_dests(num_switches)),
+            ..self
+        }
+    }
+
+    /// Returns this configuration with an unset batch size picked for `tm`
+    /// when the caller asked for `solver_jobs > 1` solver-level parallelism:
+    /// [`auto_batch_size`] of the switch count, but **only for dense,
+    /// near-uniform TMs** — the shapes where the batched schedule measurably
+    /// wins (it closes the bound gap in fewer phases and its pricing fan-out
+    /// parallelizes):
+    ///
+    /// * *density*: average destination count at or past the aggregation
+    ///   threshold (the condition under which the aggregated tree kernel
+    ///   engages). Sparse matching-style TMs converge so fast through the
+    ///   serial goal-directed path that any batched schedule only adds
+    ///   phases (hypercube-64 longest-matching measured ~30× slower).
+    /// * *uniformity*: max demand within [`BATCH_SKEW_LIMIT`] of the mean.
+    ///   Heavily skewed TMs (the Facebook frontend spans ~3 decades) keep
+    ///   convergence but spend most pricing rounds on a few self-capped
+    ///   heavy stragglers — measured ~2× serial wall-clock before any
+    ///   thread scaling can win it back.
+    ///
+    /// With `solver_jobs <= 1` the configuration is returned unchanged, and
+    /// an explicit `Some` batch size always survives the auto-pick —
+    /// mirroring [`FleischerConfig::with_auto_aggregation`].
+    pub fn with_auto_batching(self, tm: &TrafficMatrix, solver_jobs: usize) -> Self {
+        if self.batch_size.is_some() || solver_jobs <= 1 {
+            return self;
+        }
+        let n = tm.num_switches();
+        // The density gate: the TM's average destination count reaches the
+        // (auto-picked unless explicitly set) aggregation threshold. An
+        // explicit `Some(usize::MAX)` — aggregation disabled — saturates the
+        // product and correctly reads as "never dense".
+        let threshold = self
+            .aggregate_min_dests
+            .unwrap_or_else(|| auto_aggregate_min_dests(n));
+        if tm.num_flows() < n.saturating_mul(threshold) {
+            return self;
+        }
+        // The uniformity gate (NaN-safe: an incomparable pair keeps the
+        // serial path).
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for d in tm.demands() {
+            max = max.max(d.amount);
+            sum += d.amount;
+        }
+        let mean = sum / tm.num_flows() as f64;
+        let uniform = matches!(
+            max.partial_cmp(&(BATCH_SKEW_LIMIT * mean)),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !uniform {
+            return self;
+        }
+        FleischerConfig {
+            batch_size: Some(auto_batch_size(n)),
+            ..self
+        }
+    }
+}
+
+/// The auto-picked aggregation threshold for a graph of `num_switches`
+/// switches: a quarter of the switch count, clamped to
+/// `[8, DEFAULT_AGGREGATE_MIN_DESTS]`. One definition serves both
+/// [`FleischerConfig::with_auto_aggregation`] and the batching density gate
+/// in [`FleischerConfig::with_auto_batching`], so the two cannot drift.
+pub fn auto_aggregate_min_dests(num_switches: usize) -> usize {
+    (num_switches / 4).clamp(8, DEFAULT_AGGREGATE_MIN_DESTS)
+}
+
+/// The auto-picked batch size for a graph of `num_switches` switches: half
+/// the switch count, clamped to `[4, 64]`. Half a phase's sources per batch
+/// keeps within-epoch staleness well below the whole-phase staleness that
+/// sank the reverted phase-blocked design, while leaving batches wide enough
+/// to amortize the worker-pool fan-out.
+pub fn auto_batch_size(num_switches: usize) -> usize {
+    (num_switches / 2).clamp(4, 64)
+}
+
+/// Convergence counters of one solve, reported by
+/// [`FleischerSolver::solve_with_stats`]. The determinism and
+/// convergence-guard tests read these; the bench harness prints them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Phases executed (each phase routes every source's full demand once).
+    pub phases: usize,
+    /// Batched routing epochs executed (0 for serial solves): one frozen
+    /// snapshot + one merged length update each.
+    pub epochs: usize,
+    /// The effective batch size the solve started with (1 = serial).
+    pub batch_size: usize,
+    /// The serial phase count extrapolated from the always-serial phase 0
+    /// (0 when batching was off).
+    pub serial_estimate: usize,
+    /// The guard's phase budget, `ceil(guard_factor × serial_estimate)`
+    /// (0 when batching was off).
+    pub guard_limit: usize,
+    /// Whether the convergence guard fired and the solve degenerated to the
+    /// serial trajectory.
+    pub guard_triggered: bool,
+}
+
+/// Reusable scratch state for [`FleischerSolver`]: the SSSP workspace, the
+/// multiplicative-weights length state, the per-iteration buffers, and the
+/// per-worker scratch pools for parallel regions. Sized lazily and reusable
+/// across `solve` calls: once the largest instance has been seen, the buffers
+/// held here stop allocating (per-solve setup such as the `FlowProblem` arc
+/// view and demand tables still allocates), and results are identical to
+/// fresh-workspace runs (see the determinism tests).
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Dijkstra state shared by routing iterations and sequential bound
+    /// sweeps.
+    sssp: SsspWorkspace,
+    /// Remaining un-routed demand of the current source's destinations.
+    remaining: Vec<f64>,
+    /// Multiplicative-weights lengths + capacities + incremental `D(l)`.
+    mwu: MwuLengths,
+    /// Interleaved per-arc routing state (availability, use, capacity).
+    arc_state: Vec<route::RouteState>,
+    /// Arcs touched in the current tree iteration (sparse undo list).
+    touched: Vec<usize>,
+    /// Arc ids of the path being routed (recorded once, applied linearly).
+    path: Vec<usize>,
+    /// Goal-direction potentials, one row of `num_nodes` per single-dest
+    /// source (reverse distances to its destination).
+    potentials: Vec<f64>,
+    /// Reversed per-arc lengths (partner-arc view) for potential refreshes.
+    rev_lens: Vec<f64>,
+    /// Per-node remaining subtree demand, folded bottom-up over the settle
+    /// order by the aggregated routing kernel.
+    subtree: Vec<f64>,
+    /// Per-node current tree-path length, re-derived top-down over the settle
+    /// order when the aggregated kernel revalidates a reused tree.
+    cur_len: Vec<f64>,
+    /// The epoch merge accumulator (dense per-arc loads + touched list).
+    merge: merge::EpochMerge,
+    /// Per-worker SSSP workspaces leased by the parallel bound sweeps and
+    /// potential refreshes.
+    sweep_pool: SsspPool,
+    /// Per-worker routing scratch (SSSP + subtree fold buffer) leased by the
+    /// batch-parallel epochs.
+    route_pool: WorkspacePool<RouteScratch>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Fan SSSP sweeps out to the thread pool only when `sweeps * num_arcs`
+/// clears this much work — below it, pool handoff costs more than it saves.
+pub(crate) const PAR_MIN_SWEEP_WORK: usize = 1 << 17;
+
+/// Fan a batched routing epoch out to the thread pool only when
+/// `active sources * num_arcs` clears this much work. Routing a source is a
+/// full (or goal-directed) Dijkstra, much heavier per arc than the bound
+/// sweep's relax loop, so the threshold sits lower than
+/// [`PAR_MIN_SWEEP_WORK`]; either path produces bit-identical results (the
+/// merge runs in batch-index order regardless), so the gate is purely a
+/// performance trade.
+pub(crate) const PAR_MIN_BATCH_WORK: usize = 1 << 13;
+
+/// Maximum-concurrent-flow solver (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FleischerSolver {
+    config: FleischerConfig,
+}
+
+impl FleischerSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: FleischerConfig) -> Self {
+        FleischerSolver { config }
+    }
+
+    /// Computes throughput bounds for `tm` on `graph`.
+    ///
+    /// Returns `ThroughputBounds { lower: 0.0, upper: 0.0 }` if some demand
+    /// pair is disconnected (the concurrent flow is then zero).
+    pub fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> ThroughputBounds {
+        let mut ws = SolverWorkspace::new();
+        self.solve_with(graph, tm, &mut ws)
+    }
+
+    /// Like [`solve`](Self::solve), but drives a caller-provided workspace so
+    /// buffers amortize across many solves (sweeps, relative-throughput
+    /// sampling). Results are identical to [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        ws: &mut SolverWorkspace,
+    ) -> ThroughputBounds {
+        self.solve_with_stats(graph, tm, ws).0
+    }
+
+    /// Like [`solve_with`](Self::solve_with), additionally reporting the
+    /// solve's convergence counters (phases, epochs, guard state).
+    pub fn solve_with_stats(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        ws: &mut SolverWorkspace,
+    ) -> (ThroughputBounds, SolveStats) {
+        crate::record_solver_invocation();
+        let prob = FlowProblem::new(graph, tm);
+        phase::solve_problem(&self.config, graph, &prob, ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_graph::Graph;
+    use tb_traffic::{Demand, TrafficMatrix};
+
+    fn solver() -> FleischerSolver {
+        FleischerSolver::new(FleischerConfig::precise())
+    }
+
+    fn demand(src: usize, dst: usize, amount: f64) -> Demand {
+        Demand { src, dst, amount }
+    }
+
+    #[test]
+    fn single_link_single_flow() {
+        // One unit-capacity link, demand 1: throughput exactly 1.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let tm = TrafficMatrix::new(2, vec![demand(0, 1, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!(b.lower <= b.upper + 1e-9);
+        assert!((b.lower - 1.0).abs() < 0.03, "lower {}", b.lower);
+        assert!((b.upper - 1.0).abs() < 0.03, "upper {}", b.upper);
+    }
+
+    #[test]
+    fn path_graph_shared_bottleneck() {
+        // Path 0-1-2, demands 0->2 and 1->2 of 1 each share link (1,2):
+        // throughput 0.5.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 0.5).abs() < 0.02, "lower {}", b.lower);
+        assert!(b.upper >= 0.5 - 1e-9);
+        assert!(b.gap() < 0.05);
+    }
+
+    #[test]
+    fn two_disjoint_paths_double_capacity() {
+        // A 4-cycle gives two disjoint 2-hop paths between opposite corners:
+        // demand 0->2 of 1 achieves throughput 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 2, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 2.0).abs() < 0.08, "lower {}", b.lower);
+    }
+
+    #[test]
+    fn disconnected_demand_gives_zero() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 3, 1.0)]);
+        let b = solver().solve(&g, &tm);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 0.0);
+    }
+
+    #[test]
+    fn ring_all_to_all_symmetry() {
+        // On a C4 with one server per switch, A2A throughput is the same from
+        // every node; just check bounds are consistent and positive.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let servers = vec![1usize; 4];
+        let tm = tb_traffic::synthetic::all_to_all(&servers);
+        let b = solver().solve(&g, &tm);
+        assert!(b.lower > 0.0);
+        assert!(b.lower <= b.upper + 1e-9);
+        assert!(b.gap() < 0.05, "gap {}", b.gap());
+    }
+
+    #[test]
+    fn capacity_scaling_scales_throughput() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0)]);
+        let b1 = solver().solve(&g, &tm);
+        let g2 = g.scaled_capacities(3.0);
+        let b3 = solver().solve(&g2, &tm);
+        assert!(
+            (b3.lower / b1.lower - 3.0).abs() < 0.1,
+            "{} vs {}",
+            b3.lower,
+            b1.lower
+        );
+    }
+
+    #[test]
+    fn demand_scaling_inversely_scales_throughput() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0)]);
+        let tm_half = tm.scaled(0.5);
+        let b1 = solver().solve(&g, &tm);
+        let b2 = solver().solve(&g, &tm_half);
+        assert!((b2.lower / b1.lower - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn star_graph_hose_limit() {
+        // Star with 4 leaves, each leaf sends 1 unit to the next leaf
+        // (a ring of demands): every leaf link carries 1 in and 1 out,
+        // so throughput is 1.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let tm = TrafficMatrix::new(
+            5,
+            vec![
+                demand(1, 2, 1.0),
+                demand(2, 3, 1.0),
+                demand(3, 4, 1.0),
+                demand(4, 1, 1.0),
+            ],
+        );
+        let b = solver().solve(&g, &tm);
+        assert!((b.lower - 1.0).abs() < 0.03, "lower {}", b.lower);
+    }
+
+    #[test]
+    fn fast_config_still_brackets() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let b = FleischerSolver::new(FleischerConfig::fast()).solve(&g, &tm);
+        assert!(b.lower <= 0.5 + 1e-9);
+        assert!(b.upper >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn auto_aggregation_threshold_scales_with_graph_size() {
+        // A quarter of the switch count, clamped to [8, default].
+        let base = FleischerConfig::default();
+        assert_eq!(base.with_auto_aggregation(16).aggregate_min_dests, Some(8));
+        assert_eq!(base.with_auto_aggregation(64).aggregate_min_dests, Some(16));
+        assert_eq!(
+            base.with_auto_aggregation(4096).aggregate_min_dests,
+            Some(DEFAULT_AGGREGATE_MIN_DESTS)
+        );
+        // Explicit settings — disabled, forced, or exactly the default value —
+        // survive the auto-pick.
+        for explicit in [usize::MAX, 2, DEFAULT_AGGREGATE_MIN_DESTS] {
+            let cfg = FleischerConfig {
+                aggregate_min_dests: Some(explicit),
+                ..base
+            };
+            assert_eq!(
+                cfg.with_auto_aggregation(64).aggregate_min_dests,
+                Some(explicit)
+            );
+        }
+    }
+
+    #[test]
+    fn auto_batching_gates_on_jobs_and_tm_density() {
+        let base = FleischerConfig::default();
+        let servers64 = vec![1usize; 64];
+        let dense = tb_traffic::synthetic::all_to_all(&servers64);
+        let sparse = tb_traffic::synthetic::random_permutation(&servers64, 1);
+        // solver_jobs <= 1 keeps the serial trajectory.
+        assert_eq!(base.with_auto_batching(&dense, 1).batch_size, None);
+        assert_eq!(base.with_auto_batching(&dense, 0).batch_size, None);
+        // jobs > 1 on a dense TM fills in the graph-size pick: n/2 in [4,64].
+        assert_eq!(base.with_auto_batching(&dense, 4).batch_size, Some(32));
+        let dense16 = tb_traffic::synthetic::all_to_all(&[1usize; 16]);
+        assert_eq!(base.with_auto_batching(&dense16, 4).batch_size, Some(8));
+        // Sparse matching-style TMs stay serial regardless of jobs.
+        assert_eq!(base.with_auto_batching(&sparse, 8).batch_size, None);
+        // Dense but heavily skewed TMs stay serial too (one demand far
+        // above the mean busts the uniformity gate).
+        let mut skewed_demands = dense.demands().to_vec();
+        skewed_demands[0].amount *= 10_000.0;
+        let skewed = TrafficMatrix::new(64, skewed_demands);
+        assert_eq!(base.with_auto_batching(&skewed, 8).batch_size, None);
+        // Aggregation explicitly disabled reads as "never dense".
+        let no_agg = FleischerConfig {
+            aggregate_min_dests: Some(usize::MAX),
+            ..base
+        };
+        assert_eq!(no_agg.with_auto_batching(&dense, 8).batch_size, None);
+        // Explicit sizes survive, including Some(1) = forced serial.
+        for explicit in [1usize, 2, 16] {
+            let cfg = FleischerConfig {
+                batch_size: Some(explicit),
+                ..base
+            };
+            assert_eq!(
+                cfg.with_auto_batching(&sparse, 8).batch_size,
+                Some(explicit)
+            );
+        }
+    }
+
+    #[test]
+    fn aggregated_ring_a2a_matches_per_destination_walk() {
+        // Small dense instance driven through both routing kernels: when no
+        // capacity binds within a tree iteration the two are arithmetically
+        // identical, so the bounds must agree to the last bit here.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let servers = vec![1usize; 6];
+        let tm = tb_traffic::synthetic::all_to_all(&servers);
+        let agg = FleischerSolver::new(FleischerConfig {
+            aggregate_min_dests: Some(2),
+            ..FleischerConfig::precise()
+        })
+        .solve(&g, &tm);
+        let walk = FleischerSolver::new(FleischerConfig {
+            aggregate_min_dests: Some(usize::MAX),
+            ..FleischerConfig::precise()
+        })
+        .solve(&g, &tm);
+        assert!(agg.lower > 0.0);
+        assert!(
+            (agg.lower - walk.lower).abs() <= 1e-12 * walk.lower
+                && (agg.upper - walk.upper).abs() <= 1e-12 * walk.upper,
+            "aggregated {agg:?} vs per-destination {walk:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_serial_batch_matches_default_bit_for_bit() {
+        // `batch_size: Some(1)` must take exactly the default (unset) code
+        // path — the serial trajectory is one implementation, not two.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 6]);
+        let base = FleischerConfig::precise();
+        let a = FleischerSolver::new(base).solve(&g, &tm);
+        let b = FleischerSolver::new(FleischerConfig {
+            batch_size: Some(1),
+            ..base
+        })
+        .solve(&g, &tm);
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+    }
+
+    #[test]
+    fn batched_solve_brackets_and_reports_stats() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 6]);
+        let cfg = FleischerConfig {
+            batch_size: Some(3),
+            aggregate_min_dests: Some(2),
+            ..FleischerConfig::precise()
+        };
+        let mut ws = SolverWorkspace::new();
+        let (b, stats) = FleischerSolver::new(cfg).solve_with_stats(&g, &tm, &mut ws);
+        // The batched trajectory must still bracket the exact optimum.
+        let exact = crate::ExactLpSolver::new().solve(&g, &tm).unwrap().lower;
+        assert!(
+            b.lower <= exact * (1.0 + 1e-9) && exact <= b.upper * (1.0 + 1e-9),
+            "batched {b:?} does not bracket exact {exact}"
+        );
+        assert!(b.gap() < 0.05, "gap {}", b.gap());
+        assert_eq!(stats.batch_size, 3);
+        assert!(stats.phases >= 1);
+        assert!(stats.epochs >= 1, "batched solve must run epochs");
+        assert!(stats.serial_estimate >= 1);
+        assert!(stats.guard_limit >= 1);
+    }
+
+    #[test]
+    fn convergence_guard_degenerates_to_serial() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 6]);
+        // A sub-1 guard factor caps the batched phase budget at
+        // ceil(guard_factor × estimate) — with 1e-9 that is one phase, so the
+        // guard must fire right after the serial yardstick phase and the
+        // remainder runs serially (epochs stay at 0).
+        let cfg = FleischerConfig {
+            batch_size: Some(3),
+            guard_factor: 1e-9,
+            ..FleischerConfig::precise()
+        };
+        let mut ws = SolverWorkspace::new();
+        let (b, stats) = FleischerSolver::new(cfg).solve_with_stats(&g, &tm, &mut ws);
+        assert!(stats.guard_triggered, "{stats:?}");
+        assert_eq!(stats.epochs, 0, "no batched epoch may run: {stats:?}");
+        assert!(b.lower > 0.0 && b.gap() < 0.05, "{b:?}");
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_solves() {
+        // A single workspace driven across different graphs and TMs (of
+        // different sizes, in both directions) must reproduce fresh-workspace
+        // results bit-for-bit — including with batching on.
+        let g1 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm1 = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let g2 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let servers = vec![1usize; 4];
+        let tm2 = tb_traffic::synthetic::all_to_all(&servers);
+        for batch in [None, Some(2)] {
+            let s = FleischerSolver::new(FleischerConfig {
+                batch_size: batch,
+                ..FleischerConfig::precise()
+            });
+            let fresh1 = s.solve(&g1, &tm1);
+            let fresh2 = s.solve(&g2, &tm2);
+            let mut ws = SolverWorkspace::new();
+            for _ in 0..3 {
+                let b1 = s.solve_with(&g1, &tm1, &mut ws);
+                assert_eq!(b1.lower, fresh1.lower);
+                assert_eq!(b1.upper, fresh1.upper);
+                let b2 = s.solve_with(&g2, &tm2, &mut ws);
+                assert_eq!(b2.lower, fresh2.lower);
+                assert_eq!(b2.upper, fresh2.upper);
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The phase scheduler: owns the multiplicative-weights loop.
+//!
+//! A *phase* routes every source's full (pre-scaled) demand once. The
+//! scheduler runs phases until the classical termination `D(l) >= 1`, the
+//! bound gap closes, or the phase cap is hit, interleaving the goal-direction
+//! potential refreshes and the periodic bound evaluations.
+//!
+//! With batching off (the default), every phase is a **serial phase**: the
+//! classical Fleischer trajectory, source by source, lengths updated in
+//! place — bit-identical to the pre-split solver. With
+//! [`FleischerConfig::batch_size`]` = B >= 2`, phases after the first are
+//! **batched**: sources are partitioned into fixed-order shards of `B`, each
+//! shard routes in epochs against a frozen [`LengthSnapshot`] (in parallel
+//! across workers), and each epoch ends with one deterministic merged length
+//! update (see [`super::merge`] for the step-size argument).
+//!
+//! Phase 0 always runs serially and doubles as the **convergence-guard
+//! yardstick**: `ln D(l)` grows roughly linearly per phase in this scheme, so
+//! the scheduler extrapolates the serial phase count from phase 0's progress
+//! and, if a batched run exceeds `guard_factor ×` that estimate without
+//! converging, permanently degenerates to the serial trajectory — the
+//! safeguard the two reverted stale-length designs lacked (recorded in
+//! ROADMAP.md; both slowed convergence with nothing to catch it).
+
+use super::route::{self, RouteCtx, RouteState, SerialState};
+use super::{FleischerConfig, SolveStats, SolverWorkspace, PAR_MIN_BATCH_WORK, PAR_MIN_SWEEP_WORK};
+use crate::instance::FlowProblem;
+use crate::lengths::MwuLengths;
+use crate::ThroughputBounds;
+use rayon::prelude::*;
+use tb_graph::{Graph, SsspPool, SsspWorkspace};
+
+/// Runs the full solve: setup, the phase loop, and the closing bound
+/// evaluation. See the module docs of [`super`] for the algorithm.
+///
+/// Re-pricing after **every** merged update is load-bearing for MWU
+/// convergence (measured on the dense microbench shapes): allowing even one
+/// extra theta-limited commit on a round's own trees inflates hypercube-64
+/// A2A from 12 to 40 phases, and draining a round to completion reproduces
+/// the reverted phase-blocked design's blowup (12 → 380 phases). The
+/// scheduler therefore prices → merges → applies exactly once per round.
+pub(super) fn solve_problem(
+    cfg: &FleischerConfig,
+    graph: &Graph,
+    prob: &FlowProblem,
+    ws: &mut SolverWorkspace,
+) -> (ThroughputBounds, SolveStats) {
+    let n = prob.num_nodes();
+    let m = prob.num_arcs();
+    let eps = cfg.epsilon;
+    assert!(eps > 0.0 && eps < 0.5, "epsilon must be in (0, 0.5)");
+    if m == 0 {
+        return (ThroughputBounds::exact(0.0), SolveStats::default());
+    }
+    // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters when
+    // tuning the kernel. The global counters are process-cumulative, so
+    // snapshot them here and print deltas: the trace line then pairs
+    // tree/potential counts with the per-solve `phases=`/`d_l=` values.
+    let trace = std::env::var_os("TB_SOLVER_TRACE").is_some();
+    let trace_start = if trace {
+        (
+            route::TREE_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+            route::POT_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    } else {
+        (0, 0)
+    };
+
+    // Pre-scale demands so the scaled optimum is near 1; this keeps the
+    // phase count predictable regardless of the raw demand magnitudes.
+    // The estimate doubles as the reachability check (0 iff some demand
+    // pair is disconnected, which forces throughput 0) — one BFS sweep
+    // instead of the former two.
+    let est = prob.volumetric_estimate(graph);
+    if est <= 0.0 {
+        return (ThroughputBounds::exact(0.0), SolveStats::default());
+    }
+    let scale = est.max(1e-12);
+    let demands: Vec<Vec<f64>> = prob
+        .sources()
+        .iter()
+        .map(|s| s.dests.iter().map(|&(_, d)| d * scale).collect())
+        .collect();
+    // Destination node list per source, for early-exit SSSP.
+    let targets: Vec<Vec<usize>> = prob
+        .sources()
+        .iter()
+        .map(|s| s.dests.iter().map(|&(dst, _)| dst).collect())
+        .collect();
+    // Goal-direction bookkeeping: sources with exactly one destination
+    // get an A* potential row (see module docs).
+    let single_dest: Vec<Option<usize>> = prob
+        .sources()
+        .iter()
+        .map(|s| {
+            if s.dests.len() == 1 {
+                Some(s.dests[0].0)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let pot_rows: Vec<usize> = {
+        let mut next = 0usize;
+        single_dest
+            .iter()
+            .map(|d| {
+                if d.is_some() {
+                    next += 1;
+                    next - 1
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    };
+    let num_single = single_dest.iter().filter(|d| d.is_some()).count();
+
+    let mut flow_arc = vec![0.0f64; m];
+    let mut routed: Vec<Vec<f64>> = demands.iter().map(|d| vec![0.0; d.len()]).collect();
+
+    let mut best_lower = 0.0f64;
+    let mut best_upper = f64::INFINITY;
+
+    let SolverWorkspace {
+        sssp,
+        remaining,
+        mwu,
+        arc_state,
+        touched,
+        path,
+        potentials,
+        rev_lens,
+        subtree,
+        cur_len,
+        merge: epoch_merge,
+        sweep_pool,
+        route_pool,
+    } = ws;
+    // Lengths (delta / cap each) and routing state, sized to this instance.
+    mwu.reset(eps, prob.arc_caps());
+    arc_state.clear();
+    arc_state.extend(prob.arcs().iter().map(|a| RouteState {
+        avail: a.cap,
+        used: 0.0,
+        cap: a.cap,
+    }));
+    touched.clear();
+    if num_single > 0 {
+        potentials.clear();
+        potentials.resize(num_single * n, f64::INFINITY);
+    }
+    // Sources at or above the aggregation threshold route all their
+    // remaining demands in one bottom-up pass over the tree's settle
+    // order instead of one parent walk per destination (see module docs).
+    let agg_min_dests = cfg
+        .aggregate_min_dests
+        .unwrap_or(super::DEFAULT_AGGREGATE_MIN_DESTS)
+        .max(1);
+    if prob
+        .sources()
+        .iter()
+        .any(|s| s.dests.len() >= agg_min_dests)
+    {
+        subtree.clear();
+        subtree.resize(n, 0.0);
+        cur_len.clear();
+        cur_len.resize(n, 0.0);
+    }
+
+    // Reuse a tree across a source's capacity-limited iterations while
+    // the walked path is within this factor of the tree's recorded
+    // distance; a quarter step keeps routed paths well inside the slack
+    // the analysis absorbs.
+    let reuse_slack = 1.0 + 0.25 * eps;
+    // A zero `check_interval` would otherwise silently disable every
+    // mid-run bound evaluation (and with it early termination).
+    let check_interval = cfg.check_interval.max(1);
+    let pot_refresh = check_interval;
+    // Goal direction is kept on for the whole solve whenever any source
+    // qualifies: switching kernels mid-solve was tried and reverted — it
+    // changes tie-breaking, and with it the routing trajectory, enough to
+    // slow convergence on some topologies.
+    let goal_enabled = num_single > 0;
+
+    let num_sources = prob.sources().len();
+    let ctx = RouteCtx {
+        prob,
+        demands: &demands,
+        targets: &targets,
+        single_dest: &single_dest,
+        pot_rows: &pot_rows,
+        num_single,
+        goal_enabled,
+        agg_min_dests,
+        reuse_slack,
+    };
+
+    // Batch-parallel configuration: `None`/`Some(1)` is the serial
+    // trajectory; `B >= 2` shards phases after the serial yardstick phase 0.
+    let batch = cfg.batch_size.unwrap_or(1).max(1);
+    let batching = batch >= 2 && num_sources >= 2;
+    let mut stats = SolveStats {
+        batch_size: if batching { batch } else { 1 },
+        ..Default::default()
+    };
+    let mut batch_active = batching;
+    let mut guard_limit = usize::MAX;
+    let mut batch_remaining: Vec<Vec<f64>> = if batching {
+        vec![Vec::new(); batch.min(num_sources)]
+    } else {
+        Vec::new()
+    };
+
+    let mut phase = 0usize;
+    let mut state_evaluated = false;
+    'phases: while phase < cfg.max_phases && !mwu.saturated() {
+        if goal_enabled && phase.is_multiple_of(pot_refresh) {
+            route::refresh_potentials(&ctx, mwu.lens(), rev_lens, potentials, sssp, sweep_pool);
+        }
+        // Phase 0 is always serial: it is both the exact classical
+        // trajectory and the convergence guard's yardstick.
+        if !batch_active || phase == 0 {
+            let d_before = mwu.d_l();
+            for si in 0..num_sources {
+                if mwu.saturated() {
+                    break 'phases;
+                }
+                remaining.clear();
+                remaining.extend_from_slice(&demands[si]);
+                // Compute this source's tree at the current lengths, goal-
+                // directed when it has a single destination.
+                route::compute_tree(&ctx, si, potentials, mwu.lens(), sssp);
+                let dense = prob.sources()[si].dests.len() >= agg_min_dests;
+                let mut state = SerialState {
+                    mwu: &mut *mwu,
+                    st: &mut arc_state[..],
+                    flow_arc: &mut flow_arc,
+                    remaining: &mut *remaining,
+                    touched: &mut *touched,
+                    path: &mut *path,
+                    subtree: &mut subtree[..],
+                    cur_len: &mut cur_len[..],
+                    sssp: &mut *sssp,
+                };
+                let ok = if dense {
+                    route::route_source_tree(&ctx, si, potentials, &mut state, &mut routed[si])
+                } else {
+                    route::route_source_walk(&ctx, si, potentials, &mut state, &mut routed[si])
+                };
+                if !ok {
+                    break 'phases;
+                }
+            }
+            if batching && phase == 0 {
+                stats.serial_estimate = estimate_serial_phases(d_before, mwu.d_l());
+                guard_limit =
+                    ((cfg.guard_factor * stats.serial_estimate as f64).ceil() as usize).max(1);
+                stats.guard_limit = guard_limit;
+            }
+        } else {
+            // Batched phase: fixed-order shards of `batch` sources. A shard
+            // routes in *pricing rounds*: every source with remaining demand
+            // prices its tree read-only against a frozen snapshot (the
+            // parallel fan-out), the per-source loads are self-capped and
+            // merged in batch-index order, and one batched ≤(1+eps) update
+            // commits the round (see `merge` for the step-size argument and
+            // the measured-worse alternatives).
+            let mut start = 0usize;
+            while start < num_sources {
+                let end = (start + batch).min(num_sources);
+                let bs = end - start;
+                // Form the shard: reset its remaining demands and commit
+                // self-demands up front (they consume no capacity, so they
+                // never wait on a theta-rescaled drain step).
+                for (k, si) in (start..end).enumerate() {
+                    let rem = &mut batch_remaining[k];
+                    rem.clone_from(&demands[si]);
+                    let s = &prob.sources()[si];
+                    for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                        if dst == s.src && rem[j] > 0.0 {
+                            routed[si][j] += rem[j];
+                            rem[j] = 0.0;
+                        }
+                    }
+                }
+                loop {
+                    if mwu.saturated() {
+                        break 'phases;
+                    }
+                    let active: Vec<usize> = (0..bs)
+                        .filter(|&k| batch_remaining[k].iter().any(|&r| r > 1e-15))
+                        .collect();
+                    if active.is_empty() {
+                        break;
+                    }
+                    // Price the shard read-only against one frozen snapshot,
+                    // leasing per-worker scratch from the pool. Parallel or
+                    // not, per-source loads are pure functions of (snapshot,
+                    // source) and the merge below folds them in batch-index
+                    // order, so the round is bit-identical for any worker
+                    // count.
+                    let loads: Vec<Vec<(u32, f64)>> = {
+                        let snap = mwu.snapshot();
+                        let jobs: Vec<(usize, &[f64])> = active
+                            .iter()
+                            .map(|&k| (start + k, batch_remaining[k].as_slice()))
+                            .collect();
+                        if jobs.len() > 1
+                            && jobs.len() * m >= PAR_MIN_BATCH_WORK
+                            && rayon::current_num_threads() > 1
+                        {
+                            jobs.into_par_iter()
+                                .map_init(
+                                    || route_pool.lease(),
+                                    |sc, (si, rem)| {
+                                        route::route_source_snapshot(
+                                            &ctx, si, potentials, snap, rem, sc,
+                                        )
+                                    },
+                                )
+                                .collect()
+                        } else {
+                            let mut sc = route_pool.lease();
+                            jobs.into_iter()
+                                .map(|(si, rem)| {
+                                    route::route_source_snapshot(
+                                        &ctx, si, potentials, snap, rem, &mut sc,
+                                    )
+                                })
+                                .collect()
+                        }
+                    };
+                    // Deterministic merge (each source self-capped against
+                    // raw capacities, exactly the serial per-iteration
+                    // bottleneck rule) + one batched ≤(1+eps) update.
+                    epoch_merge.begin(m);
+                    let self_caps: Vec<f64> = loads
+                        .iter()
+                        .map(|source_loads| epoch_merge.accumulate_capped(source_loads, arc_state))
+                        .collect();
+                    let theta = epoch_merge.theta(arc_state);
+                    epoch_merge.apply(theta, mwu, &mut flow_arc);
+                    stats.epochs += 1;
+                    // Commit each source's theta·theta_k fraction; what
+                    // remains re-prices against a fresh snapshot next round.
+                    for (&k, &theta_k) in active.iter().zip(&self_caps) {
+                        let f = theta * theta_k;
+                        if f <= 0.0 {
+                            continue;
+                        }
+                        let si = start + k;
+                        for (j, r) in batch_remaining[k].iter_mut().enumerate() {
+                            if *r > 1e-15 {
+                                let commit = f * *r;
+                                routed[si][j] += commit;
+                                *r -= commit;
+                            }
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+        phase += 1;
+        // Convergence guard: past the phase budget, fall back to the exact
+        // serial trajectory for the remainder of the solve.
+        if batch_active && phase >= guard_limit {
+            batch_active = false;
+            stats.guard_triggered = true;
+        }
+        if phase.is_multiple_of(check_interval) {
+            let (lo, up) = evaluate_bounds(
+                &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
+            );
+            best_lower = best_lower.max(lo);
+            best_upper = best_upper.min(up);
+            if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= cfg.target_gap {
+                // No routing has happened since this evaluation, so the
+                // closing sweep below would recompute the same bounds;
+                // skip it.
+                state_evaluated = true;
+                break 'phases;
+            }
+        }
+    }
+    stats.phases = phase;
+    // A solve that saturated mid-drain leaves partially-drained loads in the
+    // merge accumulator; clear them so the workspace's next solve starts on
+    // the documented invariant.
+    epoch_merge.reset();
+
+    if trace {
+        eprintln!(
+            "TB_SOLVER_TRACE phases={phase} trees={} pot_refreshes={} d_l={:.4} batch={} epochs={} guard_limit={} guard_triggered={}",
+            route::TREE_COUNT
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .wrapping_sub(trace_start.0),
+            route::POT_COUNT
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .wrapping_sub(trace_start.1),
+            mwu.d_l(),
+            stats.batch_size,
+            stats.epochs,
+            stats.guard_limit,
+            stats.guard_triggered,
+        );
+    }
+
+    // Final bound evaluation (unless the state was already evaluated by
+    // the gap check that ended the run).
+    if !state_evaluated {
+        let (lo, up) = evaluate_bounds(
+            &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
+        );
+        best_lower = best_lower.max(lo);
+        best_upper = best_upper.min(up);
+    }
+    if !best_upper.is_finite() {
+        best_upper = best_lower;
+    }
+    // Undo the demand pre-scaling: bounds computed for demands d*scale are
+    // 1/scale times the bounds for d.
+    (
+        ThroughputBounds {
+            lower: best_lower * scale,
+            upper: best_upper * scale,
+        },
+        stats,
+    )
+}
+
+/// Extrapolates the serial phase count from one serial phase's `D(l)`
+/// progress: `ln D(l)` grows roughly linearly per phase (each phase routes
+/// the full demand once, multiplying lengths by ~`(1+eps)^loads`), so the
+/// phases left to the classical `D(l) >= 1` termination are
+/// `-ln d_after / (ln d_after - ln d_before)`. The estimate is a guard
+/// yardstick, not a bound: gap-based early termination usually fires first,
+/// making the estimate conservative (an upper-ish estimate of serial work),
+/// which only loosens the guard.
+fn estimate_serial_phases(d_before: f64, d_after: f64) -> usize {
+    if !(d_after.is_finite() && d_before > 0.0 && d_after > d_before) {
+        return 1;
+    }
+    if d_after >= 1.0 {
+        return 1;
+    }
+    let per_phase = d_after.ln() - d_before.ln();
+    if per_phase <= 0.0 {
+        return 1;
+    }
+    1 + ((-d_after.ln()) / per_phase).ceil() as usize
+}
+
+/// Evaluates the practical feasible lower bound and the dual upper bound
+/// for the current state. Bounds are in the *scaled* demand space.
+///
+/// The dual bound needs one shortest-path computation per source under the
+/// current lengths (goal-directed where a potential row exists); the sweep is
+/// read-only over the lengths, so for larger instances it fans out across
+/// threads (each worker leasing its own SSSP workspace from `pool`), with a
+/// fixed summation order keeping the result independent of thread count.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_bounds(
+    ctx: &RouteCtx<'_>,
+    potentials: &[f64],
+    routed: &[Vec<f64>],
+    flow_arc: &[f64],
+    mwu: &MwuLengths,
+    st: &[RouteState],
+    sssp: &mut SsspWorkspace,
+    pool: &SsspPool,
+) -> (f64, f64) {
+    // Feasible lower bound: scale the accumulated flow down so that no arc
+    // exceeds its capacity, then the worst-served commodity determines the
+    // concurrent throughput.
+    let mut mu = f64::INFINITY;
+    for (f, a) in flow_arc.iter().zip(st) {
+        if *f > 1e-15 {
+            mu = mu.min(a.cap / f);
+        }
+    }
+    let lower = if mu.is_finite() {
+        let mut worst = f64::INFINITY;
+        for (r, d) in routed.iter().zip(ctx.demands) {
+            for (rj, dj) in r.iter().zip(d) {
+                worst = worst.min(rj / dj);
+            }
+        }
+        if worst.is_finite() {
+            worst * mu
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+
+    // Dual upper bound: D(l) / alpha(l) with alpha(l) the demand-weighted
+    // shortest-path distances under the current lengths.
+    let alpha_of = |sw: &mut SsspWorkspace, si: usize| -> f64 {
+        let s = &ctx.prob.sources()[si];
+        route::compute_tree(ctx, si, potentials, mwu.lens(), sw);
+        s.dests
+            .iter()
+            .enumerate()
+            .map(|(j, &(dst, _))| ctx.demands[si][j] * sw.dist(dst))
+            .sum()
+    };
+    let num_sources = ctx.prob.sources().len();
+    let alpha: f64 = if num_sources * ctx.prob.num_arcs() >= PAR_MIN_SWEEP_WORK
+        && rayon::current_num_threads() > 1
+    {
+        // Materialize per-source alphas, then sum sequentially in source
+        // order: the thread-count bit-identity contract must not lean on
+        // any rayon implementation's `sum()` reduction order (the vendored
+        // stand-in happens to be ordered; real rayon's split tree is not).
+        let per_source: Vec<f64> = (0..num_sources)
+            .into_par_iter()
+            .map_init(|| pool.lease(), |sw, si| alpha_of(sw, si))
+            .collect();
+        per_source.iter().sum()
+    } else {
+        (0..num_sources).map(|si| alpha_of(sssp, si)).sum()
+    };
+    (lower, mwu.dual_bound(alpha))
+}

@@ -142,6 +142,14 @@ impl FlowProblem {
         self.total_demand
     }
 
+    /// Per-arc capacities in arc-id order — the shared accessor the solvers
+    /// initialize their length/constraint state from (the FPTAS feeds it to
+    /// [`tb_flow::lengths::MwuLengths`](crate::MwuLengths), the exact LP
+    /// builds its capacity rows from it).
+    pub fn arc_caps(&self) -> impl Iterator<Item = f64> + '_ {
+        self.arcs.iter().map(|a| a.cap)
+    }
+
     /// Total directed capacity (sum of arc capacities).
     pub fn total_capacity(&self) -> f64 {
         self.arcs.iter().map(|a| a.cap).sum()

@@ -24,11 +24,13 @@
 pub mod exact;
 pub mod fleischer;
 pub mod instance;
+pub mod lengths;
 pub mod restricted;
 
 pub use exact::ExactLpSolver;
-pub use fleischer::{FleischerConfig, FleischerSolver, SolverWorkspace};
+pub use fleischer::{FleischerConfig, FleischerSolver, SolveStats, SolverWorkspace};
 pub use instance::FlowProblem;
+pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths};
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};

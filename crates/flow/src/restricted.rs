@@ -14,6 +14,7 @@
 //! * [`PathRestrictedSolver`] — maximum concurrent flow restricted to the
 //!   given path sets (multiplicative-weights FPTAS over the path sets).
 
+use crate::lengths::{ArcLengths, MwuLengths};
 use crate::ThroughputBounds;
 use std::collections::HashMap;
 use tb_graph::shortest_path::k_shortest_paths;
@@ -103,11 +104,15 @@ impl SubflowCountingEstimator {
 }
 
 /// Maximum concurrent flow restricted to explicit path sets, solved with the
-/// same multiplicative-weights machinery as the unrestricted FPTAS but with
-/// the shortest-path oracle replaced by "cheapest allowed path".
+/// same multiplicative-weights machinery as the unrestricted FPTAS — the
+/// shared [`MwuLengths`] state (delta init, multiplicative updates,
+/// incremental `D(l)`, path pricing) — but with the shortest-path oracle
+/// replaced by "cheapest allowed path".
 #[derive(Debug, Clone)]
 pub struct PathRestrictedSolver {
-    /// Multiplicative step size.
+    /// Multiplicative step size; must lie in `(0, 0.5)` (the shared
+    /// [`MwuLengths`] state asserts the FPTAS step-size range, where the
+    /// pre-`MwuLengths` code silently accepted out-of-range values).
     pub epsilon: f64,
     /// Target relative gap between the feasible value and the dual bound.
     pub target_gap: f64,
@@ -133,6 +138,10 @@ impl PathRestrictedSolver {
 
     /// Computes throughput bounds when each commodity may only use its listed
     /// paths. Commodities with no path make the throughput zero.
+    ///
+    /// # Panics
+    /// Panics if [`epsilon`](PathRestrictedSolver::epsilon) is outside
+    /// `(0, 0.5)`.
     pub fn solve(&self, graph: &Graph, commodities: &[CommodityPaths]) -> ThroughputBounds {
         crate::record_solver_invocation();
         if commodities.is_empty() {
@@ -174,9 +183,11 @@ impl PathRestrictedSolver {
         }
         let m = link_caps.len();
         let eps = self.epsilon;
-        let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
-        let mut len: Vec<f64> = link_caps.iter().map(|&c| delta / c).collect();
-        let mut d_l: f64 = len.iter().zip(&link_caps).map(|(l, c)| l * c).sum();
+        // The shared MWU length state (delta init, multiplicative updates,
+        // incremental D(l)) — the same machinery the Fleischer solver runs
+        // on, in its quotient-update form (see `lengths::MwuLengths`).
+        let mut mwu = MwuLengths::new();
+        mwu.reset(eps, link_caps.iter().copied());
         let mut flow_link = vec![0.0f64; m];
         let mut routed = vec![0.0f64; commodities.len()];
 
@@ -203,11 +214,11 @@ impl PathRestrictedSolver {
         let mut best_lower = 0.0f64;
         let mut best_upper = f64::INFINITY;
         let mut phase = 0usize;
-        'phases: while phase < self.max_phases && d_l < 1.0 {
+        'phases: while phase < self.max_phases && !mwu.saturated() {
             for (ci, plinks) in paths_as_links.iter().enumerate() {
                 let mut remaining = demands[ci];
                 while remaining > 1e-15 {
-                    if d_l >= 1.0 {
+                    if mwu.saturated() {
                         break 'phases;
                     }
                     // Cheapest allowed path under current lengths. `total_cmp`
@@ -216,10 +227,7 @@ impl PathRestrictedSolver {
                     // empty set still must not panic: skip the commodity.
                     let Some((best_path, _)) = plinks
                         .iter()
-                        .map(|ids| {
-                            let cost: f64 = ids.iter().map(|&i| len[i]).sum();
-                            (ids, cost)
-                        })
+                        .map(|ids| (ids, mwu.path_cost(ids.iter().copied())))
                         .min_by(|a, b| a.1.total_cmp(&b.1))
                     else {
                         break;
@@ -237,26 +245,15 @@ impl PathRestrictedSolver {
                     }
                     for &i in best_path {
                         flow_link[i] += f;
-                        let old = len[i];
-                        let new = old * (1.0 + eps * f / link_caps[i]);
-                        d_l += (new - old) * link_caps[i];
-                        len[i] = new;
+                        mwu.apply_quotient(i, f);
                     }
                     routed[ci] += f;
                     remaining -= f;
                 }
             }
             phase += 1;
-            if phase.is_multiple_of(8) || d_l >= 1.0 {
-                let (lo, up) = self.bounds(
-                    &paths_as_links,
-                    &demands,
-                    &routed,
-                    &flow_link,
-                    &link_caps,
-                    &len,
-                    d_l,
-                );
+            if phase.is_multiple_of(8) || mwu.saturated() {
+                let (lo, up) = self.bounds(&paths_as_links, &demands, &routed, &flow_link, &mwu);
                 best_lower = best_lower.max(lo);
                 best_upper = best_upper.min(up);
                 if best_upper.is_finite()
@@ -266,15 +263,7 @@ impl PathRestrictedSolver {
                 }
             }
         }
-        let (lo, up) = self.bounds(
-            &paths_as_links,
-            &demands,
-            &routed,
-            &flow_link,
-            &link_caps,
-            &len,
-            d_l,
-        );
+        let (lo, up) = self.bounds(&paths_as_links, &demands, &routed, &flow_link, &mwu);
         best_lower = best_lower.max(lo);
         best_upper = best_upper.min(up);
         if !best_upper.is_finite() {
@@ -286,19 +275,16 @@ impl PathRestrictedSolver {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn bounds(
         &self,
         paths_as_links: &[Vec<Vec<usize>>],
         demands: &[f64],
         routed: &[f64],
         flow_link: &[f64],
-        link_caps: &[f64],
-        len: &[f64],
-        d_l: f64,
+        mwu: &MwuLengths,
     ) -> (f64, f64) {
         let mut mu = f64::INFINITY;
-        for (f, c) in flow_link.iter().zip(link_caps) {
+        for (f, c) in flow_link.iter().zip(mwu.caps()) {
             if *f > 1e-15 {
                 mu = mu.min(c / f);
             }
@@ -321,16 +307,11 @@ impl PathRestrictedSolver {
         for (ci, plinks) in paths_as_links.iter().enumerate() {
             let min_cost = plinks
                 .iter()
-                .map(|ids| ids.iter().map(|&i| len[i]).sum::<f64>())
+                .map(|ids| mwu.path_cost(ids.iter().copied()))
                 .fold(f64::INFINITY, f64::min);
             alpha += demands[ci] * min_cost;
         }
-        let upper = if alpha > 0.0 {
-            d_l / alpha
-        } else {
-            f64::INFINITY
-        };
-        (lower, upper)
+        (lower, mwu.dual_bound(alpha))
     }
 }
 

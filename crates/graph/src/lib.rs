@@ -20,7 +20,10 @@
 //!   configuration-model graphs matching an arbitrary degree sequence
 //!   (the "same equipment" normalizer), and the natural-network stand-ins
 //!   (Erdős–Rényi, Watts–Strogatz, Barabási–Albert, stochastic block model),
-//! * connectivity utilities ([`connectivity`]).
+//! * connectivity utilities ([`connectivity`]),
+//! * a per-worker scratch pool ([`pool`]) — [`WorkspacePool`] leases reusable
+//!   workspaces (e.g. [`SsspWorkspace`]) to parallel regions so repeated
+//!   fan-outs stop allocating.
 //!
 //! All randomized constructions take an explicit seed and are deterministic for
 //! a given seed, so experiments are reproducible.
@@ -30,6 +33,7 @@ pub mod csr;
 pub mod graph;
 pub mod matching;
 pub mod maxflow;
+pub mod pool;
 pub mod random;
 pub mod shortest_path;
 pub mod spectral;
@@ -37,6 +41,7 @@ pub mod spectral;
 pub use csr::CsrGraph;
 pub use graph::{Edge, Graph};
 pub use maxflow::{max_flow_value, min_st_cut, MaxFlow};
+pub use pool::{PooledWorkspace, SsspPool, WorkspacePool};
 pub use shortest_path::{
     apsp_unweighted, bfs_distances, dijkstra, sssp_csr, sssp_csr_by, sssp_csr_goal,
     sssp_csr_goal_by, ShortestPathTree, SsspWorkspace,

@@ -1,0 +1,239 @@
+//! Determinism and safety of the batch-parallel MWU phases.
+//!
+//! The batched Fleischer scheduler fans a shard's snapshot pricing out across
+//! rayon workers and merges the per-source loads in batch-index order, so for
+//! a fixed batch size the results must be **bit-identical for any worker
+//! count**. In-process, the strongest check is parallel-fan-out vs
+//! forced-inline-fan-out: running a solve *inside* a pool worker makes every
+//! nested parallel region execute inline (the vendored rayon's reentrancy
+//! rule), i.e. the serial execution of the exact same batched schedule. CI
+//! additionally runs this whole test binary under `RAYON_NUM_THREADS=1`, `2`
+//! and `8`, so the asserted values themselves are produced under three
+//! different pool widths.
+//!
+//! Safety: batched trajectories differ from the serial one (equally valid
+//! under the `(1+eps)` step-size argument — see `tb_flow::fleischer::merge`),
+//! so quality is pinned with the shared `tb_bench` target-gap contract
+//! (`assert_quality_within_target`) against the serial path, and the
+//! convergence guard's phase-count promise is asserted against
+//! actually-measured serial phase counts.
+
+use rayon::prelude::*;
+use tb_flow::{FleischerConfig, FleischerSolver, SolveStats, SolverWorkspace, ThroughputBounds};
+use tb_graph::Graph;
+use tb_topology::hypercube::hypercube;
+use tb_topology::jellyfish::jellyfish;
+use tb_traffic::synthetic::{all_to_all, longest_matching, random_permutation};
+use tb_traffic::TrafficMatrix;
+
+/// The dense instance grid (the same shapes as `solver_regression`): every
+/// (topology, TM family) pair, mixing dense sources (A2A — the aggregated
+/// tree kernel) with single-destination sources (the goal-directed kernel).
+fn grid() -> Vec<(String, Graph, TrafficMatrix)> {
+    let mut out = Vec::new();
+    let topos = vec![
+        ("hypercube_d3", hypercube(3, 1)),
+        ("hypercube_d4", hypercube(4, 1)),
+        ("jellyfish_10x3", jellyfish(10, 3, 1, 7)),
+        ("jellyfish_12x4", jellyfish(12, 4, 1, 11)),
+    ];
+    for (tname, topo) in topos {
+        let tms: Vec<(&str, TrafficMatrix)> = vec![
+            ("a2a", all_to_all(&topo.servers)),
+            (
+                "longest_matching",
+                longest_matching(&topo.graph, &topo.servers, true),
+            ),
+            ("random_permutation", random_permutation(&topo.servers, 3)),
+        ];
+        for (mname, tm) in tms {
+            out.push((format!("{tname}/{mname}"), topo.graph.clone(), tm));
+        }
+    }
+    out
+}
+
+/// The 64-switch shapes whose batched fan-out actually crosses the parallel
+/// work threshold (the small grid prices inline even on a wide pool).
+fn large_shapes() -> Vec<(String, Graph, TrafficMatrix)> {
+    let h6 = hypercube(6, 1);
+    let j64 = jellyfish(64, 6, 1, 42);
+    vec![
+        (
+            "hypercube64/a2a".into(),
+            h6.graph.clone(),
+            all_to_all(&h6.servers),
+        ),
+        (
+            "jellyfish64/a2a".into(),
+            j64.graph.clone(),
+            all_to_all(&j64.servers),
+        ),
+        (
+            "jellyfish64/lm".into(),
+            j64.graph.clone(),
+            longest_matching(&j64.graph, &j64.servers, true),
+        ),
+    ]
+}
+
+fn batched(cfg: FleischerConfig, b: usize) -> FleischerConfig {
+    FleischerConfig {
+        batch_size: Some(b),
+        ..cfg
+    }
+}
+
+/// Solves on a pool worker: with a pool of >= 2 workers the job is dispatched
+/// to one, and every nested parallel region inside the solve then runs
+/// inline — the serial execution of the same batched schedule. (Two jobs are
+/// submitted because a single-item fan-out short-circuits to the caller
+/// thread; with a 1-wide pool everything is inline anyway.)
+fn solve_on_worker(solver: &FleischerSolver, g: &Graph, tm: &TrafficMatrix) -> ThroughputBounds {
+    let results: Vec<Option<ThroughputBounds>> = (0..2usize)
+        .into_par_iter()
+        .map(|i| (i == 0).then(|| solver.solve(g, tm)))
+        .collect();
+    results[0].expect("job 0 computes the solve")
+}
+
+fn stats_of(cfg: FleischerConfig, g: &Graph, tm: &TrafficMatrix) -> (ThroughputBounds, SolveStats) {
+    let mut ws = SolverWorkspace::new();
+    FleischerSolver::new(cfg).solve_with_stats(g, tm, &mut ws)
+}
+
+#[test]
+fn batched_solves_bit_identical_parallel_vs_inline_fanout() {
+    // Small grid at two batch sizes (odd and even shard boundaries) plus the
+    // 64-switch shapes at the auto pick: the parallel fan-out must reproduce
+    // the inline fan-out bit for bit. CI repeats this binary at pool widths
+    // {1, 2, 8}.
+    let base = FleischerConfig::fast();
+    for (name, g, tm) in grid() {
+        for b in [2usize, 3] {
+            let solver = FleischerSolver::new(batched(base, b));
+            let direct = solver.solve(&g, &tm);
+            let inline = solve_on_worker(&solver, &g, &tm);
+            assert_eq!(
+                (direct.lower.to_bits(), direct.upper.to_bits()),
+                (inline.lower.to_bits(), inline.upper.to_bits()),
+                "{name} (batch {b}): parallel {direct:?} != inline {inline:?}"
+            );
+        }
+    }
+    for (name, g, tm) in large_shapes() {
+        let cfg = batched(base.with_auto_aggregation(g.num_nodes()), 32);
+        let solver = FleischerSolver::new(cfg);
+        let direct = solver.solve(&g, &tm);
+        let inline = solve_on_worker(&solver, &g, &tm);
+        assert_eq!(
+            (direct.lower.to_bits(), direct.upper.to_bits()),
+            (inline.lower.to_bits(), inline.upper.to_bits()),
+            "{name}: parallel {direct:?} != inline {inline:?}"
+        );
+    }
+}
+
+#[test]
+fn batched_matches_serial_quality_on_dense_grid() {
+    // The batched trajectory must hold the shared kernel-equivalence
+    // contract against the serial path: no lost gap quality, overlapping
+    // brackets, feasible values within twice the target gap.
+    for cfg0 in [FleischerConfig::default(), FleischerConfig::fast()] {
+        for (name, g, tm) in grid() {
+            let serial = FleischerSolver::new(cfg0).solve(&g, &tm);
+            for b in [2usize, 4] {
+                let bat = FleischerSolver::new(batched(cfg0, b)).solve(&g, &tm);
+                tb_bench::assert_quality_within_target(
+                    &format!("{name}/batch{b}"),
+                    &cfg0,
+                    bat,
+                    serial,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn phase_count_stays_within_guard_factor_of_serial() {
+    // The safeguard the two reverted stale-length designs lacked, asserted
+    // against *measured* serial phase counts: a batched solve never spends
+    // more than `guard_factor ×` the serial phases (plus one check interval
+    // of slack — termination only fires on the bound-evaluation cadence).
+    let base = FleischerConfig::fast();
+    for (name, g, tm) in large_shapes() {
+        let cfg0 = base.with_auto_aggregation(g.num_nodes());
+        let (_, serial) = stats_of(cfg0, &g, &tm);
+        for b in [8usize, 32] {
+            let cfg = batched(cfg0, b);
+            let (_, bat) = stats_of(cfg, &g, &tm);
+            let budget =
+                (cfg.guard_factor * serial.phases as f64).ceil() as usize + cfg.check_interval + 1;
+            assert!(
+                bat.phases <= budget,
+                "{name} (batch {b}): batched {} phases vs serial {} exceeds the \
+                 guard budget {budget} ({:?})",
+                bat.phases,
+                serial.phases,
+                bat
+            );
+            assert!(bat.epochs >= 1, "{name} (batch {b}): no batched epoch ran");
+            assert!(bat.serial_estimate >= 1 && bat.guard_limit >= 1);
+        }
+    }
+}
+
+#[test]
+fn guard_degenerates_to_serial_trajectory_on_large_shape() {
+    // With a sub-one guard factor the budget is one phase: the guard must
+    // fire right after the serial yardstick phase, no batched epoch may run,
+    // and the result must still match serial quality.
+    let (name, g, tm) = large_shapes().remove(0);
+    let cfg0 = FleischerConfig::fast().with_auto_aggregation(g.num_nodes());
+    let (serial_bounds, _) = stats_of(cfg0, &g, &tm);
+    let guarded = FleischerConfig {
+        guard_factor: 1e-9,
+        ..batched(cfg0, 32)
+    };
+    let (bounds, stats) = stats_of(guarded, &g, &tm);
+    assert!(stats.guard_triggered, "{name}: {stats:?}");
+    assert_eq!(stats.epochs, 0, "{name}: {stats:?}");
+    tb_bench::assert_quality_within_target(
+        &format!("{name}/guarded"),
+        &cfg0,
+        bounds,
+        serial_bounds,
+    );
+}
+
+#[test]
+fn reused_workspace_reproduces_batched_solves_across_instance_mix() {
+    // One workspace driven across serial and batched solves of different
+    // instances (pools, merge accumulator and length state all reused) must
+    // reproduce fresh-workspace results bit-for-bit.
+    let base = FleischerConfig::fast();
+    let mix: Vec<(String, Graph, TrafficMatrix, FleischerConfig)> = grid()
+        .into_iter()
+        .zip([1usize, 2, 3, 4].into_iter().cycle())
+        .map(|((name, g, tm), b)| {
+            let cfg = if b == 1 { base } else { batched(base, b) };
+            (name, g, tm, cfg)
+        })
+        .collect();
+    let fresh: Vec<ThroughputBounds> = mix
+        .iter()
+        .map(|(_, g, tm, cfg)| FleischerSolver::new(*cfg).solve(g, tm))
+        .collect();
+    let mut ws = SolverWorkspace::new();
+    for round in 0..2 {
+        for ((name, g, tm, cfg), expect) in mix.iter().zip(&fresh) {
+            let b = FleischerSolver::new(*cfg).solve_with(g, tm, &mut ws);
+            assert_eq!(
+                (b.lower.to_bits(), b.upper.to_bits()),
+                (expect.lower.to_bits(), expect.upper.to_bits()),
+                "{name}: reused-workspace batched solve diverged in round {round}"
+            );
+        }
+    }
+}
