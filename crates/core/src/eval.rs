@@ -5,7 +5,10 @@ use crate::spec::TmSpec;
 use crate::stats::Stats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, SolverWorkspace, ThroughputBounds};
+use tb_flow::{
+    drop_disconnected_demands, ExactLpSolver, FleischerConfig, FleischerSolver, SolveStatus,
+    SolverWorkspace, ThroughputBounds,
+};
 use tb_topology::jellyfish::same_equipment;
 use tb_topology::Topology;
 use tb_traffic::TrafficMatrix;
@@ -93,10 +96,16 @@ pub fn evaluate_throughput_with(
     cfg: &EvalConfig,
     ws: &mut SolverWorkspace,
 ) -> ThroughputBounds {
+    // Degenerate TMs (all demands removed, e.g. after heavy fault injection)
+    // have zero throughput by definition; short-circuit before the solvers,
+    // whose problem construction assumes at least one flow.
+    if tm.num_flows() == 0 {
+        return guard_finite(ThroughputBounds::exact(0.0), topo);
+    }
     let small = topo.num_switches() <= cfg.exact_switch_limit && tm.num_flows() <= 64;
     if small {
         if let Ok(exact) = ExactLpSolver::new().solve(&topo.graph, tm) {
-            return exact;
+            return guard_finite(exact, topo);
         }
     }
     // Auto-pick the dense-TM aggregation threshold from the graph size and
@@ -108,7 +117,93 @@ pub fn evaluate_throughput_with(
         .solver
         .with_auto_aggregation(topo.num_switches())
         .with_auto_batching(tm, cfg.solver_jobs);
-    FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws)
+    guard_finite(
+        FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws),
+        topo,
+    )
+}
+
+/// NaN guard at the evaluation boundary: every bound leaving this module must
+/// be finite. A NaN here would silently poison relative-throughput ratios,
+/// artifact JSON and golden diffs downstream, so fail loudly at the source.
+fn guard_finite(b: ThroughputBounds, topo: &Topology) -> ThroughputBounds {
+    assert!(
+        b.lower.is_finite() && b.upper.is_finite(),
+        "non-finite throughput bounds [{}, {}] evaluating {}",
+        b.lower,
+        b.upper,
+        topo.name
+    );
+    b
+}
+
+/// Degradation-aware throughput evaluation: like [`evaluate_throughput_with`]
+/// but demands between disconnected switch pairs (typical after fault
+/// injection, see `tb_topology::faults`) are dropped rather than pinning the
+/// throughput at zero, and the returned [`SolveStatus`] records whether the
+/// result is exact/converged or degraded (demands dropped, budget exhausted).
+///
+/// The bounds always satisfy `lower <= upper` and are finite; an instance
+/// whose every demand is disconnected yields a well-defined zero-throughput
+/// result, never a panic or NaN.
+pub fn evaluate_throughput_status_with(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+    ws: &mut SolverWorkspace,
+) -> (ThroughputBounds, SolveStatus) {
+    if tm.num_flows() == 0 {
+        return (
+            guard_finite(ThroughputBounds::exact(0.0), topo),
+            SolveStatus::Converged,
+        );
+    }
+    let (kept_tm, dropped) = drop_disconnected_demands(&topo.graph, tm);
+    let kept = kept_tm.num_flows();
+    if kept == 0 {
+        return (
+            guard_finite(ThroughputBounds::exact(0.0), topo),
+            SolveStatus::DisconnectedDemandsDropped { dropped, kept: 0 },
+        );
+    }
+    let demand_status = || {
+        if dropped > 0 {
+            Some(SolveStatus::DisconnectedDemandsDropped { dropped, kept })
+        } else {
+            None
+        }
+    };
+    let small = topo.num_switches() <= cfg.exact_switch_limit && kept <= 64;
+    if small {
+        if let Ok(exact) = ExactLpSolver::new().solve(&topo.graph, &kept_tm) {
+            return (
+                guard_finite(exact, topo),
+                demand_status().unwrap_or(SolveStatus::Converged),
+            );
+        }
+    }
+    let solver_cfg = cfg
+        .solver
+        .with_auto_aggregation(topo.num_switches())
+        .with_auto_batching(&kept_tm, cfg.solver_jobs);
+    let outcome = FleischerSolver::new(solver_cfg).solve_outcome_with(&topo.graph, &kept_tm, ws);
+    // Dropped demands take precedence in the reported status (the outcome's
+    // own drop count is zero — `kept_tm` is connectivity-filtered already);
+    // convergence of the residual solve is still visible in the bounds gap.
+    (
+        guard_finite(outcome.bounds, topo),
+        demand_status().unwrap_or(outcome.status),
+    )
+}
+
+/// [`evaluate_throughput_status_with`] with a fresh solver workspace.
+pub fn evaluate_throughput_status(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+) -> (ThroughputBounds, SolveStatus) {
+    let mut ws = SolverWorkspace::new();
+    evaluate_throughput_status_with(topo, tm, cfg, &mut ws)
 }
 
 /// The Theorem-2 lower bound derived from an already-computed all-to-all
@@ -273,6 +368,73 @@ mod tests {
             "Jellyfish vs random graph should be ~1, got {}",
             r.relative.mean
         );
+    }
+
+    #[test]
+    fn status_eval_drops_disconnected_demands() {
+        use tb_graph::Graph;
+        // Switch 2 carries servers but no links: its demands are unreachable.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let topo = Topology::new("lonely", "test", g, vec![1, 1, 1]);
+        let tm = TmSpec::AllToAll.generate(&topo, 1);
+        let (b, status) = evaluate_throughput_status(&topo, &tm, &cfg());
+        assert!(b.lower > 0.0, "connected pair should still carry traffic");
+        assert!(b.lower.is_finite() && b.upper.is_finite());
+        match status {
+            SolveStatus::DisconnectedDemandsDropped { dropped, kept } => {
+                assert_eq!(dropped, 4);
+                assert_eq!(kept, 2);
+            }
+            other => panic!("expected dropped-demands status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_eval_on_fully_disconnected_tm_is_zero_not_nan() {
+        use tb_graph::Graph;
+        let g = Graph::new(2);
+        let topo = Topology::new("islands", "test", g, vec![1, 1]);
+        let tm = TmSpec::AllToAll.generate(&topo, 1);
+        let (b, status) = evaluate_throughput_status(&topo, &tm, &cfg());
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 0.0);
+        assert_eq!(
+            status,
+            SolveStatus::DisconnectedDemandsDropped {
+                dropped: tm.num_flows(),
+                kept: 0
+            }
+        );
+        // The strict evaluator also stays finite (zero) on this instance.
+        let strict = evaluate_throughput(&topo, &tm, &cfg());
+        assert!(strict.lower.is_finite() && strict.upper.is_finite());
+    }
+
+    #[test]
+    fn empty_tm_evaluates_to_zero_without_panicking() {
+        let topo = hypercube(3, 1);
+        let tm = TrafficMatrix::empty(topo.num_switches());
+        let b = evaluate_throughput(&topo, &tm, &cfg());
+        assert_eq!(b.value(), 0.0);
+        let (sb, status) = evaluate_throughput_status(&topo, &tm, &cfg());
+        assert_eq!(sb.value(), 0.0);
+        assert_eq!(status, SolveStatus::Converged);
+    }
+
+    #[test]
+    fn status_eval_matches_plain_eval_on_clean_instances() {
+        let c = cfg();
+        // Exact-LP path (small) and FPTAS path (large) both stay bit-identical
+        // to the strict evaluator when nothing is degraded.
+        for topo in [hypercube(3, 1), hypercube(5, 1)] {
+            let tm = TmSpec::AllToAll.generate(&topo, 1);
+            let plain = evaluate_throughput(&topo, &tm, &c);
+            let (b, status) = evaluate_throughput_status(&topo, &tm, &c);
+            assert_eq!(plain.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(plain.upper.to_bits(), b.upper.to_bits());
+            assert_eq!(status, SolveStatus::Converged);
+        }
     }
 
     #[test]

@@ -78,13 +78,21 @@ pub fn artifact_json(
                 .iter()
                 .map(|(name, value)| (name.clone(), Json::str(value.clone())))
                 .collect();
-            Json::obj(vec![
+            let mut fields = vec![
                 ("id", Json::str(o.cell.id.clone())),
                 ("cached", Json::Bool(o.cached)),
                 ("labels", labels_json(&o.cell)),
                 ("values", Json::Obj(values)),
                 ("texts", Json::Obj(texts)),
-            ])
+            ];
+            // Only failed cells carry a status: healthy artifacts (including
+            // every committed golden) stay byte-identical to the pre-status
+            // schema.
+            if let Some(error) = &o.error {
+                fields.push(("status", Json::str("failed")));
+                fields.push(("error", Json::str(error.clone())));
+            }
+            Json::obj(fields)
         })
         .collect();
     let tables: Vec<Json> = render
@@ -251,6 +259,19 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             cell.get("cached").and_then(Json::as_bool).is_some(),
             "cell 'cached' must be a bool",
         )?;
+        // 'status' is optional (healthy cells omit it); when present it must
+        // be "ok" or "failed", and failed cells must carry an error message.
+        match cell.get("status").map(Json::as_str) {
+            None => {}
+            Some(Some("ok")) => {}
+            Some(Some("failed")) => {
+                check(
+                    cell.get("error").and_then(Json::as_str).is_some(),
+                    "failed cell must carry an 'error' string",
+                )?;
+            }
+            Some(_) => return Err("artifact invalid: cell 'status' must be ok|failed".into()),
+        }
         let values = cell.get("values").ok_or("cell missing 'values'")?;
         match values {
             Json::Obj(map) => {
@@ -320,11 +341,13 @@ mod tests {
                 .label("topology", "hypercube"),
                 values,
                 cached: false,
+                error: None,
             }],
             unique_cells: 1,
             cache_hits: 0,
             solver_calls: 1,
             topo_builds: 1,
+            failed_cells: 0,
         }
     }
 
@@ -376,6 +399,33 @@ mod tests {
         // An inconsistent marker (filter recorded but partial false) fails.
         let lying = partial.replace("\"partial\":true", "\"partial\":false");
         assert!(validate_artifact(&lying).is_err());
+    }
+
+    #[test]
+    fn failed_cells_serialize_with_status_and_validate() {
+        let opts = SweepOptions::new(false, 1);
+        let mut report = sample_report();
+        report.outcomes.push(CellOutcome {
+            cell: SweepCell::new("dead", CellSpec::PanicProbe { fail_attempts: 2 }),
+            values: CellValues::default(),
+            cached: false,
+            error: Some("induced failure".into()),
+        });
+        report.unique_cells = 2;
+        report.failed_cells = 1;
+        let text =
+            artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
+        validate_artifact(&text).expect("artifact with a failed cell must validate");
+        assert!(text.contains("\"status\":\"failed\""));
+        assert!(text.contains("\"error\":\"induced failure\""));
+        // Healthy cells carry no status key at all (golden byte-stability).
+        assert_eq!(text.matches("\"status\"").count(), 1);
+        // A failed cell without an error message is rejected.
+        let broken = text.replace(",\"error\":\"induced failure\"", "");
+        assert!(validate_artifact(&broken).is_err());
+        // Unknown status strings are rejected.
+        let bogus = text.replace("\"status\":\"failed\"", "\"status\":\"meh\"");
+        assert!(validate_artifact(&bogus).is_err());
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct ResultCache {
     dir: PathBuf,
 }
 
+/// What [`ResultCache::decode`] made of an entry's bytes.
+enum Decoded {
+    /// A healthy entry for the requested key.
+    Values(CellValues),
+    /// A healthy entry for a *different* key (hash collision): silent miss.
+    OtherKey,
+    /// Undecodable bytes; the reason feeds the quarantine log line.
+    Corrupt(&'static str),
+}
+
 impl ResultCache {
     /// Opens (without creating) a cache rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
@@ -54,33 +64,87 @@ impl ResultCache {
         self.dir.join(format!("{:016x}.json", fnv1a(key)))
     }
 
-    /// Loads the entry for `key`, verifying the stored key matches. Any
-    /// mismatch, parse failure or IO error reads as a miss.
+    /// Loads the entry for `key`, verifying the stored key matches.
+    ///
+    /// Three miss shapes, three behaviors:
+    /// * file absent — a plain miss, silent;
+    /// * entry holds a *different* key — an FNV hash collision, legitimate,
+    ///   silent miss (the entry stays: it belongs to the other key);
+    /// * entry exists but is corrupt (truncated write, garbage, undecodable
+    ///   values) — quarantined to `<name>.bad` with a logged warning, so the
+    ///   recompute can re-store a healthy entry under the original name and
+    ///   the broken bytes stay on disk for diagnosis.
     pub fn load(&self, key: &str) -> Option<CellValues> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        if doc.get("schema")?.as_str()? != CELL_SCHEMA {
-            return None;
+        let path = self.path_for(key);
+        let text = fs::read_to_string(&path).ok()?;
+        match Self::decode(&text, key) {
+            Decoded::Values(values) => Some(values),
+            Decoded::OtherKey => None,
+            Decoded::Corrupt(why) => {
+                self.quarantine(&path, why);
+                None
+            }
         }
-        if doc.get("key")?.as_str()? != key {
-            return None; // hash collision or stale format: recompute
+    }
+
+    /// Moves a corrupt entry aside as `<stem>.bad` (best effort: if even the
+    /// rename fails the entry is removed, so the recompute can store).
+    fn quarantine(&self, path: &Path, why: &str) {
+        let bad = path.with_extension("bad");
+        eprintln!(
+            "warning: quarantining corrupt cache entry {} -> {} ({why})",
+            path.display(),
+            bad.display()
+        );
+        if fs::rename(path, &bad).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    fn decode(text: &str, key: &str) -> Decoded {
+        let Ok(doc) = Json::parse(text) else {
+            return Decoded::Corrupt("not valid JSON");
+        };
+        if doc.get("schema").and_then(Json::as_str) != Some(CELL_SCHEMA) {
+            return Decoded::Corrupt("missing or unknown schema tag");
+        }
+        match doc.get("key").and_then(Json::as_str) {
+            None => return Decoded::Corrupt("missing key"),
+            Some(stored) if stored != key => return Decoded::OtherKey,
+            Some(_) => {}
         }
         let mut values = CellValues::default();
-        for entry in doc.get("values")?.as_arr()? {
-            let items = entry.as_arr()?;
-            if items.len() != 3 {
-                return None;
+        let Some(nums) = doc.get("values").and_then(Json::as_arr) else {
+            return Decoded::Corrupt("missing values array");
+        };
+        for entry in nums {
+            let decoded = entry.as_arr().and_then(|items| {
+                if items.len() != 3 {
+                    return None;
+                }
+                Some((items[0].as_str()?, items[1].as_f64_bits()?))
+            });
+            match decoded {
+                Some((name, value)) => values.push(name, value),
+                None => return Decoded::Corrupt("malformed value entry"),
             }
-            values.push(items[0].as_str()?, items[1].as_f64_bits()?);
         }
-        for entry in doc.get("texts")?.as_arr()? {
-            let items = entry.as_arr()?;
-            if items.len() != 2 {
-                return None;
+        let Some(texts) = doc.get("texts").and_then(Json::as_arr) else {
+            return Decoded::Corrupt("missing texts array");
+        };
+        for entry in texts {
+            let decoded = entry.as_arr().and_then(|items| {
+                if items.len() != 2 {
+                    return None;
+                }
+                Some((items[0].as_str()?, items[1].as_str()?))
+            });
+            match decoded {
+                Some((name, value)) => values.push_text(name, value),
+                None => return Decoded::Corrupt("malformed text entry"),
             }
-            values.push_text(items[0].as_str()?, items[1].as_str()?);
         }
-        Some(values)
+        Decoded::Values(values)
     }
 
     /// Stores `values` under `key` (atomic write; best-effort on IO errors —
@@ -156,29 +220,58 @@ mod tests {
     }
 
     #[test]
-    fn wrong_key_is_a_miss() {
+    fn wrong_key_is_a_silent_miss_not_quarantine() {
         let cache = temp_cache("misses");
         let mut values = CellValues::default();
         values.push("x", 1.0);
         cache.store("key-a", &values);
         assert!(cache.load("key-b").is_none());
-        // Simulated collision: same file, different stored key.
+        // Simulated collision: same file, different stored key. The entry is
+        // healthy and belongs to key-a, so it must NOT be quarantined.
         let path = cache.path_for("key-a");
         let other = cache.path_for("key-c");
         fs::create_dir_all(cache.dir()).unwrap();
         fs::copy(&path, &other).unwrap();
         assert!(cache.load("key-c").is_none(), "stored key must match");
+        assert!(other.exists(), "collisions must not destroy the entry");
+        assert!(!other.with_extension("bad").exists());
         let _ = fs::remove_dir_all(cache.dir());
     }
 
     #[test]
-    fn corrupt_entry_is_a_miss() {
+    fn corrupt_entry_is_quarantined_and_recovers() {
         let cache = temp_cache("corrupt");
         let mut values = CellValues::default();
         values.push("x", 2.0);
+        for garbage in ["{not json", "", "{\"schema\":\"other/v9\"}"] {
+            cache.store("key", &values);
+            let path = cache.path_for("key");
+            fs::write(&path, garbage).unwrap();
+            assert!(cache.load("key").is_none(), "corrupt entry must miss");
+            assert!(!path.exists(), "corrupt entry must be moved aside");
+            assert!(
+                path.with_extension("bad").exists(),
+                "corrupt bytes must be preserved as .bad"
+            );
+            // Re-storing over the quarantined name works and loads cleanly.
+            cache.store("key", &values);
+            assert!(cache.load("key").is_some());
+            let _ = fs::remove_file(path.with_extension("bad"));
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let cache = temp_cache("truncated");
+        let mut values = CellValues::default();
+        values.push("lower", 0.25);
         cache.store("key", &values);
-        fs::write(cache.path_for("key"), "{not json").unwrap();
+        let path = cache.path_for("key");
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert!(cache.load("key").is_none());
+        assert!(path.with_extension("bad").exists());
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -7,14 +7,17 @@
 //! cache key is derived from `(spec, eval config)` and nothing else.
 
 use crate::eval::{
-    evaluate_throughput_with, relative_throughput, relative_throughput_fixed_tm, EvalConfig,
+    evaluate_throughput_status_with, evaluate_throughput_with, relative_throughput,
+    relative_throughput_fixed_tm, EvalConfig,
 };
 use crate::spec::TmSpec;
+use crate::stats::Stats;
 use crate::sweep::topo::TopoSpec;
 use tb_cuts::{estimate_sparsest_cut, ALL_ESTIMATORS};
 use tb_flow::restricted::{k_shortest_path_sets, PathRestrictedSolver, SubflowCountingEstimator};
-use tb_flow::SolverWorkspace;
+use tb_flow::{SolveStatus, SolverWorkspace};
 use tb_graph::shortest_path::average_path_length;
+use tb_topology::faults::{apply_faults, FaultPlan};
 use tb_topology::jellyfish::same_equipment;
 use tb_topology::Topology;
 use tb_traffic::{facebook, ops, TrafficMatrix};
@@ -90,6 +93,41 @@ pub enum CellSpec {
         k_paths: usize,
         /// Seed used to instantiate the A2A TM.
         tm_seed: u64,
+    },
+    /// Throughput degradation under deterministic fault injection: the base
+    /// topology's throughput is the baseline, then `failure_seeds`
+    /// independent failure draws (see `tb_topology::faults`) each remove a
+    /// link fraction and a switch count, the TM is re-stenciled onto the
+    /// survivors, and the per-draw relative throughput (faulted / baseline)
+    /// is aggregated into mean ± error bars. Degraded solves (disconnected
+    /// demands dropped, budget exhausted) are absorbed, not fatal.
+    Degradation {
+        /// Base (unfaulted) topology recipe.
+        topo: TopoSpec,
+        /// Traffic recipe, regenerated on every faulted instance so demand
+        /// stencils restrict to surviving server pairs.
+        tm: TmSpec,
+        /// Seed used to instantiate the TMs.
+        tm_seed: u64,
+        /// Fraction of the base topology's links to fail per draw (rounded
+        /// to a count, saturating).
+        link_fail_frac: f64,
+        /// Switches to fail per draw, in addition to the link failures.
+        switch_failures: usize,
+        /// Number of independent failure draws to average over (at least 1).
+        failure_seeds: u64,
+        /// Base seed of the failure draws; draw `i` uses `seed + i`.
+        seed: u64,
+    },
+    /// Test-only probe that panics on its first `fail_attempts` executions
+    /// and succeeds afterwards. Exercises the runner's per-cell fault
+    /// isolation (`catch_unwind` + one retry) end to end; never part of a
+    /// registered scenario.
+    PanicProbe {
+        /// Attempts that panic: attempt indices `< fail_attempts` unwind.
+        /// `1` fails once and succeeds on the retry; `2` fails permanently
+        /// (the runner retries once).
+        fail_attempts: usize,
     },
 }
 
@@ -218,6 +256,19 @@ impl CellSpec {
     /// Runs the computation. `ws` amortizes solver scratch allocations across
     /// cells on the same worker; results are identical to a fresh workspace.
     pub fn compute(&self, cfg: &EvalConfig, ws: &mut SolverWorkspace) -> CellValues {
+        self.compute_attempt(cfg, ws, 0)
+    }
+
+    /// [`compute`](Self::compute) with an execution-attempt index, passed by
+    /// the runner's fault-isolation retry path. Every production cell ignores
+    /// it (results are attempt-independent); only [`CellSpec::PanicProbe`]
+    /// keys its induced failure on it.
+    pub fn compute_attempt(
+        &self,
+        cfg: &EvalConfig,
+        ws: &mut SolverWorkspace,
+        attempt: usize,
+    ) -> CellValues {
         let mut out = CellValues::default();
         match self {
             CellSpec::Throughput { topo, tm, tm_seed } => {
@@ -305,6 +356,69 @@ impl CellSpec {
                 out.push("counting", counting);
                 out.push("lp", lp.value());
             }
+            CellSpec::Degradation {
+                topo,
+                tm,
+                tm_seed,
+                link_fail_frac,
+                switch_failures,
+                failure_seeds,
+                seed,
+            } => {
+                let base = build_topo(topo);
+                let base_tm = tm.generate(&base, *tm_seed);
+                let (baseline, base_status) =
+                    evaluate_throughput_status_with(&base, &base_tm, cfg, ws);
+                let base_value = baseline.value();
+                let link_failures =
+                    (link_fail_frac * base.num_links() as f64).round().max(0.0) as usize;
+                let draws = (*failure_seeds).max(1);
+                let mut ratios = Vec::with_capacity(draws as usize);
+                let mut dropped_total = 0usize;
+                let mut degraded = 0u64;
+                for i in 0..draws {
+                    let plan = FaultPlan {
+                        link_failures,
+                        switch_failures: *switch_failures,
+                        seed: seed.wrapping_add(i),
+                    };
+                    let (faulted, _report) = apply_faults(&base, &plan);
+                    // Re-stencil the TM on the survivors: failed switches
+                    // carry no servers, so their pairs drop out of the grid.
+                    let faulted_tm = tm.generate(&faulted, *tm_seed);
+                    let (bounds, status) =
+                        evaluate_throughput_status_with(&faulted, &faulted_tm, cfg, ws);
+                    let ratio = if base_value > 0.0 {
+                        bounds.value() / base_value
+                    } else {
+                        0.0
+                    };
+                    ratios.push(ratio);
+                    out.push(format!("ratio_{i}"), ratio);
+                    if let SolveStatus::DisconnectedDemandsDropped { dropped, .. } = status {
+                        dropped_total += dropped;
+                    }
+                    if status.is_degraded() {
+                        degraded += 1;
+                    }
+                }
+                let stats = Stats::from_samples(&ratios);
+                out.push("baseline", base_value);
+                out.push("rel_mean", stats.mean);
+                out.push("rel_std", stats.std_dev);
+                out.push("rel_ci95", stats.ci95);
+                out.push("dropped_mean", dropped_total as f64 / draws as f64);
+                out.push("degraded_draws", degraded as f64);
+                out.push_text("baseline_status", base_status.label());
+            }
+            CellSpec::PanicProbe { fail_attempts } => {
+                assert!(
+                    attempt >= *fail_attempts,
+                    "PanicProbe: induced failure on attempt {attempt} (first {fail_attempts} fail)"
+                );
+                out.push("attempt", attempt as f64);
+                out.push("ok", 1.0);
+            }
         }
         out
     }
@@ -352,5 +466,65 @@ mod tests {
     #[should_panic]
     fn missing_metric_panics() {
         CellValues::default().num("nope");
+    }
+
+    fn degradation_spec(link_fail_frac: f64, switch_failures: usize) -> CellSpec {
+        CellSpec::Degradation {
+            topo: TopoSpec::Hypercube {
+                dims: 4,
+                servers: 1,
+            },
+            tm: TmSpec::AllToAll,
+            tm_seed: 1,
+            link_fail_frac,
+            switch_failures,
+            failure_seeds: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn degradation_cell_is_deterministic_and_bounded() {
+        let spec = degradation_spec(0.125, 1);
+        let cfg = EvalConfig::fast();
+        let a = spec.compute(&cfg, &mut SolverWorkspace::new());
+        let b = spec.compute(&cfg, &mut SolverWorkspace::new());
+        assert!(a.bit_identical(&b), "degradation draws must be seeded");
+        assert!(a.num("baseline") > 0.0);
+        let mean = a.num("rel_mean");
+        assert!(mean.is_finite());
+        assert!(
+            (0.0..=1.05).contains(&mean),
+            "faults should not raise throughput, got {mean}"
+        );
+        assert!(a.get("ratio_2").is_some());
+        assert!(a.num("dropped_mean") >= 0.0);
+    }
+
+    #[test]
+    fn degradation_without_faults_is_exactly_unity() {
+        let spec = degradation_spec(0.0, 0);
+        let v = spec.compute(&EvalConfig::fast(), &mut SolverWorkspace::new());
+        for i in 0..3 {
+            assert_eq!(v.num(&format!("ratio_{i}")).to_bits(), 1.0f64.to_bits());
+        }
+        assert_eq!(v.num("rel_mean").to_bits(), 1.0f64.to_bits());
+        assert_eq!(v.num("degraded_draws"), 0.0);
+        assert_eq!(v.text("baseline_status"), Some("converged"));
+    }
+
+    #[test]
+    #[should_panic(expected = "induced failure")]
+    fn panic_probe_fails_first_attempt() {
+        let spec = CellSpec::PanicProbe { fail_attempts: 1 };
+        spec.compute(&EvalConfig::fast(), &mut SolverWorkspace::new());
+    }
+
+    #[test]
+    fn panic_probe_succeeds_once_past_its_failing_attempts() {
+        let spec = CellSpec::PanicProbe { fail_attempts: 1 };
+        let v = spec.compute_attempt(&EvalConfig::fast(), &mut SolverWorkspace::new(), 1);
+        assert_eq!(v.num("ok"), 1.0);
+        assert_eq!(v.num("attempt"), 1.0);
     }
 }

@@ -47,6 +47,9 @@ pub struct CellRecord {
     pub texts: BTreeMap<String, String>,
     /// Display label name → value.
     pub labels: BTreeMap<String, String>,
+    /// Execution status: `"ok"` (the default — healthy cells omit the field)
+    /// or `"failed"`.
+    pub status: String,
 }
 
 /// The cell-level content of a parsed artifact.
@@ -94,6 +97,14 @@ pub enum ChangeKind {
     LabelChange {
         /// Human-readable description.
         detail: String,
+    },
+    /// The cell's execution status changed (e.g. `ok` → `failed`): always a
+    /// regression, even though a failed cell has no values to drift.
+    StatusChange {
+        /// Status recorded in the old artifact.
+        old: String,
+        /// Status recorded in the new artifact.
+        new: String,
     },
     /// Cell present only in the new artifact.
     Added,
@@ -187,6 +198,9 @@ impl ArtifactDiff {
                 ChangeKind::LabelChange { detail } => {
                     let _ = writeln!(out, "  @ {}: {detail}", change.id);
                 }
+                ChangeKind::StatusChange { old, new } => {
+                    let _ = writeln!(out, "  ! {}: status {old} -> {new}", change.id);
+                }
                 ChangeKind::Added => {
                     let _ = writeln!(out, "  + {} (only in new)", change.id);
                 }
@@ -268,12 +282,18 @@ pub fn parse_artifact_cells(text: &str) -> Result<ParsedArtifact, String> {
         }
         let texts = string_map(cell.get("texts"), "texts")?;
         let labels = string_map(cell.get("labels"), "labels")?;
+        let status = cell
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("ok")
+            .to_string();
         cells.push((
             id,
             CellRecord {
                 values,
                 texts,
                 labels,
+                status,
             },
         ));
     }
@@ -287,6 +307,15 @@ pub fn parse_artifact_cells(text: &str) -> Result<ParsedArtifact, String> {
 }
 
 fn classify(old: &CellRecord, new: &CellRecord, tolerance: f64) -> ChangeKind {
+    // A status flip outranks everything else: a newly-failed cell also lost
+    // its metrics, and reporting that as a schema change would bury the
+    // actual problem.
+    if old.status != new.status {
+        return ChangeKind::StatusChange {
+            old: old.status.clone(),
+            new: new.status.clone(),
+        };
+    }
     let old_metrics: Vec<&String> = old.values.keys().collect();
     let new_metrics: Vec<&String> = new.values.keys().collect();
     if old_metrics != new_metrics {
@@ -596,18 +625,21 @@ mod tests {
             cell,
             values,
             cached: false,
+            error: None,
         }
     }
 
     fn artifact(outcomes: Vec<CellOutcome>, filter: Option<&str>) -> String {
         let mut opts = SweepOptions::new(false, 1);
         opts.filter = filter.map(str::to_string);
+        let failed_cells = outcomes.iter().filter(|o| o.is_failed()).count();
         let report = SweepReport {
             unique_cells: outcomes.len(),
             outcomes,
             cache_hits: 0,
             solver_calls: 0,
             topo_builds: 0,
+            failed_cells,
         };
         artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string()
     }
@@ -707,6 +739,27 @@ mod tests {
     }
 
     #[test]
+    fn status_changes_are_regressions() {
+        let healthy = artifact(vec![cell("a", &[("x", 1.0)], &[])], None);
+        let mut dead = cell("a", &[], &[]);
+        dead.error = Some("boom".into());
+        let failed = artifact(vec![dead], None);
+        let diff = diff_artifacts(&healthy, &failed, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        assert!(matches!(
+            &diff.changes[0].kind,
+            ChangeKind::StatusChange { old, new } if old == "ok" && new == "failed"
+        ));
+        assert!(diff.render().contains("status ok -> failed"));
+        // The reverse direction (a failure fixed) is also a flagged change.
+        let diff = diff_artifacts(&failed, &healthy, &DiffOptions::default()).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        // Identically-failed cells diff clean (no false churn while broken).
+        let diff = diff_artifacts(&failed, &failed, &DiffOptions::default()).unwrap();
+        assert!(diff.is_clean());
+    }
+
+    #[test]
     fn config_mismatches_are_regressions() {
         let a = artifact(vec![cell("a", &[("x", 1.0)], &[])], None);
         let mut opts = SweepOptions::new(false, 2);
@@ -717,6 +770,7 @@ mod tests {
             cache_hits: 0,
             solver_calls: 0,
             topo_builds: 0,
+            failed_cells: 0,
         };
         let b = artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
         let diff = diff_artifacts(&a, &b, &DiffOptions::default()).unwrap();

@@ -17,7 +17,8 @@
 //! * writes one unified JSON artifact per run ([`write_artifact`]) alongside
 //!   the per-table CSVs.
 //!
-//! Scenario definitions (the 13 figure/table registrations) live in the
+//! Scenario definitions (the 13 figure/table registrations plus the
+//! `failures` degradation sweep) live in the
 //! `experiments` crate; this module is the machinery.
 
 pub mod artifact;

@@ -100,10 +100,21 @@ impl SweepOptions {
 pub struct CellOutcome {
     /// The cell as expanded by the scenario.
     pub cell: SweepCell,
-    /// The computed (or cache-loaded) metrics.
+    /// The computed (or cache-loaded) metrics; empty when the cell failed.
     pub values: CellValues,
     /// Whether the result came from the cache.
     pub cached: bool,
+    /// `Some(panic message)` when the cell's computation panicked on both
+    /// its first attempt and the retry. Failed cells carry no values, are
+    /// never cached, and serialize with `"status": "failed"` in artifacts.
+    pub error: Option<String>,
+}
+
+impl CellOutcome {
+    /// True when the cell's computation failed (panicked twice).
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// The result of running a set of cells.
@@ -124,6 +135,10 @@ pub struct SweepReport {
     /// reads a process-global counter, so exact-zero assertions belong in
     /// single-test binaries.
     pub topo_builds: u64,
+    /// Unique computations that failed (panicked twice; see
+    /// [`CellOutcome::error`]). The sweep completes anyway — failed cells are
+    /// isolated, marked in the artifact, and flagged by `sweep diff`.
+    pub failed_cells: usize,
 }
 
 /// The canonical cache key of a cell under an evaluation configuration: the
@@ -131,6 +146,44 @@ pub struct SweepReport {
 /// string, so distinct computations can never share a key.
 pub fn cell_key(cell: &SweepCell, cfg: &EvalConfig) -> String {
     format!("{:?}|{:?}", cell.spec, cfg)
+}
+
+/// Renders a `catch_unwind` payload as text for [`CellOutcome::error`].
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Executes one cell under fault isolation: a panicking computation is caught
+/// and retried once on a fresh workspace (the unwound attempt may have left
+/// `ws` mid-update, so it is replaced before anything else uses it). A second
+/// panic marks the cell failed instead of aborting the sweep.
+fn compute_isolated(
+    cell: &SweepCell,
+    cfg: &EvalConfig,
+    ws: &mut SolverWorkspace,
+) -> (CellValues, Option<String>) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| cell.spec.compute_attempt(cfg, ws, 0))) {
+        Ok(values) => (values, None),
+        Err(_) => {
+            *ws = SolverWorkspace::new();
+            eprintln!("warning: cell '{}' panicked; retrying once", cell.id);
+            match catch_unwind(AssertUnwindSafe(|| cell.spec.compute_attempt(cfg, ws, 1))) {
+                Ok(values) => (values, None),
+                Err(payload) => {
+                    let error = panic_text(payload.as_ref());
+                    eprintln!("warning: cell '{}' failed permanently: {error}", cell.id);
+                    (CellValues::default(), Some(error))
+                }
+            }
+        }
+    }
 }
 
 /// Runs `cells` under `opts`, returning per-cell outcomes in input order.
@@ -157,33 +210,36 @@ pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
         cell_to_unique.push(u);
     }
 
+    type UniqueResult = (CellValues, bool, Option<String>);
     let cache = ResultCache::new(&opts.cache_dir);
-    let mut results: Vec<Option<(CellValues, bool)>> = vec![None; unique_indices.len()];
+    let mut results: Vec<Option<UniqueResult>> = vec![None; unique_indices.len()];
     if opts.use_cache {
         for (slot, &cell_idx) in results.iter_mut().zip(&unique_indices) {
             if let Some(values) = cache.load(&keys[cell_idx]) {
-                *slot = Some((values, true));
+                *slot = Some((values, true, None));
             }
         }
     }
 
-    // Compute the misses, each worker reusing one solver workspace.
+    // Compute the misses, each worker reusing one solver workspace. Each
+    // cell runs under fault isolation (`compute_isolated`): a panicking cell
+    // is retried once and then marked failed, never cached, never fatal.
     let missing: Vec<usize> = results
         .iter()
         .enumerate()
         .filter_map(|(u, r)| r.is_none().then_some(u))
         .collect();
-    let computed: Vec<(usize, CellValues)> = if opts.jobs == Some(1) {
+    let computed: Vec<(usize, CellValues, Option<String>)> = if opts.jobs == Some(1) {
         let mut ws = SolverWorkspace::new();
         missing
             .iter()
             .map(|&u| {
                 let cell_idx = unique_indices[u];
-                let values = cells[cell_idx].spec.compute(&cfg, &mut ws);
-                if opts.use_cache {
+                let (values, error) = compute_isolated(&cells[cell_idx], &cfg, &mut ws);
+                if opts.use_cache && error.is_none() {
                     cache.store(&keys[cell_idx], &values);
                 }
-                (u, values)
+                (u, values, error)
             })
             .collect()
     } else {
@@ -191,31 +247,37 @@ pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
             .into_par_iter()
             .map_init(SolverWorkspace::new, |ws, u| {
                 let cell_idx = unique_indices[u];
-                let values = cells[cell_idx].spec.compute(&cfg, ws);
-                if opts.use_cache {
+                let (values, error) = compute_isolated(&cells[cell_idx], &cfg, ws);
+                if opts.use_cache && error.is_none() {
                     // Stored as each cell finishes so interrupted runs
                     // resume from whatever completed.
                     cache.store(&keys[cell_idx], &values);
                 }
-                (u, values)
+                (u, values, error)
             })
             .collect()
     };
-    for (u, values) in computed {
-        results[u] = Some((values, false));
+    for (u, values, error) in computed {
+        results[u] = Some((values, false, error));
     }
 
-    let cache_hits = results.iter().flatten().filter(|(_, hit)| *hit).count();
+    let cache_hits = results.iter().flatten().filter(|(_, hit, _)| *hit).count();
+    let failed_cells = results
+        .iter()
+        .flatten()
+        .filter(|(_, _, err)| err.is_some())
+        .count();
     let unique_cells = results.len();
     let outcomes: Vec<CellOutcome> = cells
         .into_iter()
         .zip(cell_to_unique)
         .map(|(cell, u)| {
-            let (values, cached) = results[u].clone().expect("every unique cell resolved");
+            let (values, cached, error) = results[u].clone().expect("every unique cell resolved");
             CellOutcome {
                 cell,
                 values,
                 cached,
+                error,
             }
         })
         .collect();
@@ -225,6 +287,7 @@ pub fn run_cells(opts: &SweepOptions, cells: Vec<SweepCell>) -> SweepReport {
         cache_hits,
         solver_calls: tb_flow::solver_invocations() - solver_before,
         topo_builds: tb_topology::constructions() - builds_before,
+        failed_cells,
     }
 }
 
@@ -267,6 +330,19 @@ impl<'a> CellSet<'a> {
     /// Shorthand: the named metric of the cell with this id.
     pub fn num(&self, id: &str, metric: &str) -> f64 {
         self.outcome(id).values.num(metric)
+    }
+
+    /// Non-panicking [`outcome`](Self::outcome): `None` for unknown ids.
+    /// Status-aware renderers use this together with [`try_num`](Self::try_num)
+    /// so a failed cell degrades to a marked table row instead of a panic.
+    pub fn try_outcome(&self, id: &str) -> Option<&'a CellOutcome> {
+        self.by_id.get(id).map(|&i| &self.outcomes[i])
+    }
+
+    /// Non-panicking [`num`](Self::num): `None` when the cell is unknown,
+    /// failed, or lacks the metric.
+    pub fn try_num(&self, id: &str, metric: &str) -> Option<f64> {
+        self.try_outcome(id)?.values.get(metric)
     }
 }
 
@@ -343,5 +419,69 @@ mod tests {
     fn cell_set_unknown_id_panics() {
         let outcomes = [];
         CellSet::new(&outcomes).outcome("nope");
+    }
+
+    #[test]
+    fn cell_set_try_accessors_do_not_panic() {
+        let report = run_cells(&no_cache_opts(), tiny_cells());
+        let set = CellSet::new(&report.outcomes);
+        assert!(set.try_outcome("nope").is_none());
+        assert!(set.try_num("cube/A2A", "nope").is_none());
+        assert!(set.try_num("cube/A2A", "lower").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn panicking_cell_recovers_on_retry() {
+        let mut cells = tiny_cells();
+        cells.push(SweepCell::new(
+            "probe/retry",
+            CellSpec::PanicProbe { fail_attempts: 1 },
+        ));
+        let report = run_cells(&no_cache_opts(), cells);
+        let probe = &report.outcomes[2];
+        assert!(!probe.is_failed(), "one retry must absorb a single panic");
+        assert_eq!(probe.values.num("attempt"), 1.0);
+        assert_eq!(report.failed_cells, 0);
+    }
+
+    #[test]
+    fn permanently_failing_cell_is_isolated_not_fatal() {
+        let mut cells = tiny_cells();
+        cells.insert(
+            0,
+            SweepCell::new("probe/dead", CellSpec::PanicProbe { fail_attempts: 2 }),
+        );
+        let report = run_cells(&no_cache_opts(), cells);
+        assert_eq!(report.outcomes.len(), 3);
+        let dead = &report.outcomes[0];
+        assert!(dead.is_failed());
+        assert!(dead.error.as_deref().unwrap().contains("induced failure"));
+        assert!(dead.values.nums().is_empty());
+        assert_eq!(report.failed_cells, 1);
+        // The healthy cells around it still computed.
+        assert!(report.outcomes[1].values.num("lower") > 0.0);
+        assert!(report.outcomes[2].values.num("lower") > 0.0);
+    }
+
+    #[test]
+    fn failed_cells_are_never_cached() {
+        let dir = std::env::temp_dir().join(format!(
+            "tb-runner-failcache-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = SweepOptions::new(false, 1);
+        opts.cache_dir.clone_from(&dir);
+        let cell = SweepCell::new("probe/dead", CellSpec::PanicProbe { fail_attempts: 2 });
+        let key = cell_key(&cell, &opts.eval_config());
+        let report = run_cells(&opts, vec![cell]);
+        assert!(report.outcomes[0].is_failed());
+        let cache = crate::sweep::cache::ResultCache::new(&dir);
+        assert!(
+            cache.load(&key).is_none() && !cache.path_for(&key).exists(),
+            "failed cells must not populate the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,7 @@ use tb_topology::expander::{
 };
 use tb_topology::families::{Family, Scale};
 use tb_topology::fattree::{fat_tree, fat_tree_meta};
+use tb_topology::faults::{apply_faults, FaultPlan};
 use tb_topology::flattened_butterfly::{flattened_butterfly, flattened_butterfly_meta};
 use tb_topology::hypercube::{hypercube, hypercube_meta};
 use tb_topology::hyperx::{build_design, design_meta, design_search};
@@ -155,6 +156,21 @@ pub enum TopoSpec {
         /// New per-switch server count.
         servers_per_switch: usize,
     },
+    /// `base` after a deterministic failure draw: `switch_failures` switches
+    /// lose all links and servers (ids stay stable), then `link_failures`
+    /// more surviving links are removed (both saturate at what exists; see
+    /// [`tb_topology::faults::apply_faults`]). The draw is a pure function
+    /// of `seed`, so the surviving graph is bit-identical in any process.
+    Faulted {
+        /// The intact topology the faults apply to.
+        base: Box<TopoSpec>,
+        /// Surviving links to fail beyond those lost to switch failures.
+        link_failures: usize,
+        /// Switches to fail.
+        switch_failures: usize,
+        /// Failure-draw seed.
+        seed: u64,
+    },
 }
 
 impl TopoSpec {
@@ -225,6 +241,19 @@ impl TopoSpec {
                 base,
                 servers_per_switch,
             } => Some(base.build()?.with_servers_per_switch(*servers_per_switch)),
+            TopoSpec::Faulted {
+                base,
+                link_failures,
+                switch_failures,
+                seed,
+            } => {
+                let plan = FaultPlan {
+                    link_failures: *link_failures,
+                    switch_failures: *switch_failures,
+                    seed: *seed,
+                };
+                Some(apply_faults(&base.build()?, &plan).0)
+            }
         }
     }
 
@@ -306,6 +335,27 @@ impl TopoSpec {
                     servers: base.server_switches * servers_per_switch,
                     server_switches,
                     ..base
+                })
+            }
+            // Which switches/links survive depends on the draw and on the
+            // base wiring, so there is no closed form: this is the one spec
+            // whose metadata is derived by building. Scenario expansion must
+            // therefore label failure cells from the *base*'s metadata (plus
+            // the fault parameters) to stay construction-free.
+            TopoSpec::Faulted { .. } => {
+                let built = self.build()?;
+                let max_degree = (0..built.num_switches())
+                    .map(|u| built.graph.degree(u))
+                    .max()
+                    .unwrap_or(0);
+                Some(TopoMeta {
+                    name: built.name.clone(),
+                    params: built.params.clone(),
+                    switches: built.num_switches(),
+                    servers: built.num_servers(),
+                    server_switches: built.server_switches().len(),
+                    links: Some(built.num_links()),
+                    degree: Some(max_degree),
                 })
             }
         }
@@ -434,6 +484,21 @@ mod tests {
                 base: Box::new(TopoSpec::FatTree { k: 4 }),
                 servers_per_switch: 5,
             },
+            TopoSpec::Faulted {
+                base: Box::new(TopoSpec::Hypercube {
+                    dims: 4,
+                    servers: 2,
+                }),
+                link_failures: 3,
+                switch_failures: 1,
+                seed,
+            },
+            TopoSpec::Faulted {
+                base: Box::new(TopoSpec::FatTree { k: 4 }),
+                link_failures: 0,
+                switch_failures: 2,
+                seed,
+            },
         ];
         for index in [0usize, 1, 2, 3, 6] {
             specs.push(TopoSpec::Natural { index, seed });
@@ -448,6 +513,38 @@ mod tests {
             });
         }
         specs
+    }
+
+    #[test]
+    fn faulted_spec_is_deterministic_and_unsatisfiable_when_base_is() {
+        let spec = TopoSpec::Faulted {
+            base: Box::new(TopoSpec::Hypercube {
+                dims: 4,
+                servers: 1,
+            }),
+            link_failures: 4,
+            switch_failures: 2,
+            seed: 13,
+        };
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        let ea: Vec<(usize, usize)> = a.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<(usize, usize)> = b.graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.servers, b.servers);
+        // An unsatisfiable base propagates: no build, no metadata.
+        let dead = TopoSpec::Faulted {
+            base: Box::new(TopoSpec::HyperX {
+                radix: 2,
+                min_servers: 1_000_000,
+                bisection: 0.4,
+            }),
+            link_failures: 1,
+            switch_failures: 0,
+            seed: 1,
+        };
+        assert!(dead.build().is_none());
+        assert!(dead.metadata().is_none());
     }
 
     #[test]

@@ -222,6 +222,14 @@ fn main() {
             report.solver_calls,
             report.topo_builds
         );
+        if report.failed_cells > 0 {
+            // Failed cells are isolated, not fatal: the artifact records them
+            // with "status": "failed" and `sweep diff` flags the change.
+            eprintln!(
+                "[sweep] warning: {}: {} cell(s) failed (marked in the artifact)",
+                scenario.name, report.failed_cells
+            );
+        }
         if report.cache_hits < report.unique_cells
             || report.solver_calls > 0
             || report.topo_builds > 0

@@ -509,7 +509,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 13, "all 13 figure/table scenarios registered");
+        assert_eq!(
+            names.len(),
+            14,
+            "all 13 figure/table scenarios plus the failure sweep registered"
+        );
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -528,6 +532,7 @@ mod tests {
             "fig15",
             "table02",
             "theorem1_demo",
+            "failures",
         ] {
             assert!(names.contains(&expected), "missing scenario {expected}");
         }

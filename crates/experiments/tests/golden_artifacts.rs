@@ -76,6 +76,7 @@ golden!(golden_fig13_14, "fig13_14");
 golden!(golden_fig15, "fig15");
 golden!(golden_table02, "table02");
 golden!(golden_theorem1_demo, "theorem1_demo");
+golden!(golden_failures, "failures");
 
 /// The registry and this suite must stay in sync: a newly added scenario
 /// without a golden artifact fails here rather than silently going

@@ -168,6 +168,13 @@ pub struct FleischerConfig {
     /// always-serial phase 0) without converging, the solve degenerates to
     /// `B = 1` for the remainder. Ignored when batching is off.
     pub guard_factor: f64,
+    /// Optional wall-clock budget in milliseconds, checked on the bound
+    /// evaluation cadence. A solve that exhausts it stops and reports
+    /// [`SolveStatus::BudgetExhausted`](crate::SolveStatus) with the best
+    /// bracketed bounds so far instead of looping on a pathological
+    /// instance. `None` (the default) keeps solves fully deterministic —
+    /// [`FleischerConfig::max_phases`] is the deterministic phase budget.
+    pub time_budget_ms: Option<u64>,
 }
 
 /// The aggregation threshold used when [`FleischerConfig::aggregate_min_dests`]
@@ -198,6 +205,7 @@ impl Default for FleischerConfig {
             aggregate_min_dests: None,
             batch_size: None,
             guard_factor: DEFAULT_GUARD_FACTOR,
+            time_budget_ms: None,
         }
     }
 }
@@ -338,6 +346,9 @@ pub struct SolveStats {
     /// Whether the convergence guard fired and the solve degenerated to the
     /// serial trajectory.
     pub guard_triggered: bool,
+    /// Whether the solve met its accuracy contract (classical FPTAS
+    /// termination or the target bound gap) before any budget ran out.
+    pub converged: bool,
 }
 
 /// Reusable scratch state for [`FleischerSolver`]: the SSSP workspace, the
@@ -404,6 +415,22 @@ pub(crate) const PAR_MIN_SWEEP_WORK: usize = 1 << 17;
 /// performance trade.
 pub(crate) const PAR_MIN_BATCH_WORK: usize = 1 << 13;
 
+/// A throughput solve's full result: the bracketing bounds, the convergence
+/// counters, and the structured degradation status. Returned by
+/// [`FleischerSolver::solve_outcome_with`], the degradation-aware entry
+/// point used by the failure sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOutcome {
+    /// The bracketing interval (always finite, `0 <= lower <= upper`).
+    pub bounds: ThroughputBounds,
+    /// Convergence counters of the underlying solve (all zero when the
+    /// instance was trivial and no phase loop ran).
+    pub stats: SolveStats,
+    /// Structured status: converged, budget-exhausted, or
+    /// disconnected-demands-dropped.
+    pub status: crate::SolveStatus,
+}
+
 /// Maximum-concurrent-flow solver (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct FleischerSolver {
@@ -448,6 +475,71 @@ impl FleischerSolver {
         crate::record_solver_invocation();
         let prob = FlowProblem::new(graph, tm);
         phase::solve_problem(&self.config, graph, &prob, ws)
+    }
+
+    /// Degradation-aware solve: drops demands whose endpoints are
+    /// disconnected in `graph`, solves the surviving sub-TM, and reports a
+    /// structured [`SolveStatus`](crate::SolveStatus) instead of collapsing
+    /// the whole result to zero (the concurrent-flow definition forces
+    /// `t = 0` whenever *any* pair is unreachable, which is useless for
+    /// comparing degraded networks). An empty or fully-disconnected TM
+    /// yields an exact zero result rather than a panic. Bounds are always
+    /// finite and non-negative.
+    pub fn solve_outcome_with(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        ws: &mut SolverWorkspace,
+    ) -> SolveOutcome {
+        let total = tm.num_flows();
+        if total == 0 {
+            return SolveOutcome {
+                bounds: ThroughputBounds::exact(0.0),
+                stats: SolveStats {
+                    converged: true,
+                    ..SolveStats::default()
+                },
+                status: crate::SolveStatus::Converged,
+            };
+        }
+        let (kept_tm, dropped) = crate::drop_disconnected_demands(graph, tm);
+        if kept_tm.num_flows() == 0 {
+            return SolveOutcome {
+                bounds: ThroughputBounds::exact(0.0),
+                stats: SolveStats {
+                    converged: true,
+                    ..SolveStats::default()
+                },
+                status: crate::SolveStatus::DisconnectedDemandsDropped { dropped, kept: 0 },
+            };
+        }
+        let (bounds, stats) = if dropped == 0 {
+            self.solve_with_stats(graph, tm, ws)
+        } else {
+            self.solve_with_stats(graph, &kept_tm, ws)
+        };
+        let status = if dropped > 0 {
+            crate::SolveStatus::DisconnectedDemandsDropped {
+                dropped,
+                kept: total - dropped,
+            }
+        } else if stats.converged {
+            crate::SolveStatus::Converged
+        } else {
+            crate::SolveStatus::BudgetExhausted
+        };
+        SolveOutcome {
+            bounds,
+            stats,
+            status,
+        }
+    }
+
+    /// Like [`solve_outcome_with`](Self::solve_outcome_with) with a fresh
+    /// workspace.
+    pub fn solve_outcome(&self, graph: &Graph, tm: &TrafficMatrix) -> SolveOutcome {
+        let mut ws = SolverWorkspace::new();
+        self.solve_outcome_with(graph, tm, &mut ws)
     }
 }
 
@@ -507,6 +599,112 @@ mod tests {
         let b = solver().solve(&g, &tm);
         assert_eq!(b.lower, 0.0);
         assert_eq!(b.upper, 0.0);
+    }
+
+    #[test]
+    fn outcome_drops_disconnected_demands() {
+        // Two components: 0-1 and 2-3. One demand inside a component, one
+        // across. The strict concurrent-flow answer is zero; the
+        // degradation-aware path drops the unreachable pair and solves the
+        // survivor.
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 1, 1.0), demand(0, 3, 1.0)]);
+        let strict = solver().solve(&g, &tm);
+        assert_eq!(strict.lower, 0.0);
+        let out = solver().solve_outcome(&g, &tm);
+        assert_eq!(
+            out.status,
+            crate::SolveStatus::DisconnectedDemandsDropped {
+                dropped: 1,
+                kept: 1
+            }
+        );
+        assert!(out.status.is_degraded());
+        assert!(out.bounds.lower > 0.5, "{:?}", out.bounds);
+        assert!(out.bounds.lower <= out.bounds.upper + 1e-9);
+    }
+
+    #[test]
+    fn outcome_with_all_demands_disconnected_is_zero() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 2, 1.0), demand(1, 3, 1.0)]);
+        let out = solver().solve_outcome(&g, &tm);
+        assert_eq!(out.bounds, ThroughputBounds::exact(0.0));
+        assert_eq!(
+            out.status,
+            crate::SolveStatus::DisconnectedDemandsDropped {
+                dropped: 2,
+                kept: 0
+            }
+        );
+        assert_eq!(out.status.label(), "dropped-2-kept-0");
+    }
+
+    #[test]
+    fn outcome_on_empty_tm_is_zero_not_panic() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let tm = TrafficMatrix::new(2, Vec::new());
+        let out = solver().solve_outcome(&g, &tm);
+        assert_eq!(out.bounds, ThroughputBounds::exact(0.0));
+        assert_eq!(out.status, crate::SolveStatus::Converged);
+        assert!(out.stats.converged);
+    }
+
+    #[test]
+    fn outcome_converges_on_clean_instance() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let out = solver().solve_outcome(&g, &tm);
+        assert_eq!(out.status, crate::SolveStatus::Converged);
+        assert!(out.stats.converged);
+        // Bit-identical to the plain entry point: the drop pass is a no-op
+        // on connected instances.
+        let plain = solver().solve(&g, &tm);
+        assert_eq!(out.bounds.lower.to_bits(), plain.lower.to_bits());
+        assert_eq!(out.bounds.upper.to_bits(), plain.upper.to_bits());
+    }
+
+    #[test]
+    fn exhausted_phase_budget_reports_degraded_status() {
+        // A zero phase budget leaves the bound gap wide open; the result
+        // still carries valid best-so-far bounds (lower 0, the initial dual
+        // certificate as upper).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 4]);
+        let cfg = FleischerConfig {
+            max_phases: 0,
+            ..FleischerConfig::default()
+        };
+        let out = FleischerSolver::new(cfg).solve_outcome(&g, &tm);
+        assert_eq!(out.status, crate::SolveStatus::BudgetExhausted);
+        assert!(!out.stats.converged);
+        assert_eq!(out.stats.phases, 0);
+        assert!(out.bounds.lower >= 0.0 && out.bounds.upper.is_finite());
+        assert!(out.bounds.lower <= out.bounds.upper + 1e-9);
+    }
+
+    #[test]
+    fn zero_time_budget_stops_early_with_valid_bounds() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 6]);
+        let cfg = FleischerConfig {
+            time_budget_ms: Some(0),
+            check_interval: 1,
+            target_gap: 1e-12,
+            ..FleischerConfig::default()
+        };
+        let out = FleischerSolver::new(cfg).solve_outcome(&g, &tm);
+        assert_eq!(out.status, crate::SolveStatus::BudgetExhausted);
+        assert_eq!(
+            out.stats.phases, 1,
+            "a zero budget stops at the first check"
+        );
+        assert!(out.bounds.upper.is_finite());
+        assert!(out.bounds.lower <= out.bounds.upper + 1e-9);
     }
 
     #[test]

@@ -49,8 +49,12 @@ pub(super) fn solve_problem(
     let m = prob.num_arcs();
     let eps = cfg.epsilon;
     assert!(eps > 0.0 && eps < 0.5, "epsilon must be in (0, 0.5)");
+    let trivial_stats = SolveStats {
+        converged: true,
+        ..SolveStats::default()
+    };
     if m == 0 {
-        return (ThroughputBounds::exact(0.0), SolveStats::default());
+        return (ThroughputBounds::exact(0.0), trivial_stats);
     }
     // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters when
     // tuning the kernel. The global counters are process-cumulative, so
@@ -73,7 +77,7 @@ pub(super) fn solve_problem(
     // instead of the former two.
     let est = prob.volumetric_estimate(graph);
     if est <= 0.0 {
-        return (ThroughputBounds::exact(0.0), SolveStats::default());
+        return (ThroughputBounds::exact(0.0), trivial_stats);
     }
     let scale = est.max(1e-12);
     let demands: Vec<Vec<f64>> = prob
@@ -214,6 +218,9 @@ pub(super) fn solve_problem(
 
     let mut phase = 0usize;
     let mut state_evaluated = false;
+    // The optional wall-clock budget; checked on the bound-evaluation
+    // cadence so the deterministic trajectory is untouched when unset.
+    let solve_start = cfg.time_budget_ms.map(|_| std::time::Instant::now());
     'phases: while phase < cfg.max_phases && !mwu.saturated() {
         if goal_enabled && phase.is_multiple_of(pot_refresh) {
             route::refresh_potentials(&ctx, mwu.lens(), rev_lens, potentials, sssp, sweep_pool);
@@ -382,6 +389,12 @@ pub(super) fn solve_problem(
                 state_evaluated = true;
                 break 'phases;
             }
+            if let (Some(budget_ms), Some(start)) = (cfg.time_budget_ms, solve_start) {
+                if start.elapsed().as_millis() >= u128::from(budget_ms) {
+                    state_evaluated = true;
+                    break 'phases;
+                }
+            }
         }
     }
     stats.phases = phase;
@@ -419,6 +432,14 @@ pub(super) fn solve_problem(
     if !best_upper.is_finite() {
         best_upper = best_lower;
     }
+    // Converged = the accuracy contract held when the loop ended: either the
+    // classical FPTAS termination (`D(l) >= 1`, the (1±ε) guarantee) or the
+    // target bound gap. A solve that merely ran out of its phase or time
+    // budget reports `converged: false`, which the outcome layer maps to
+    // `SolveStatus::BudgetExhausted`.
+    stats.converged = mwu.saturated()
+        || best_upper <= 0.0
+        || (best_upper - best_lower) / best_upper <= cfg.target_gap;
     // Undo the demand pre-scaling: bounds computed for demands d*scale are
     // 1/scale times the bounds for d.
     (

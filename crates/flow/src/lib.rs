@@ -28,12 +28,15 @@ pub mod lengths;
 pub mod restricted;
 
 pub use exact::ExactLpSolver;
-pub use fleischer::{FleischerConfig, FleischerSolver, SolveStats, SolverWorkspace};
+pub use fleischer::{FleischerConfig, FleischerSolver, SolveOutcome, SolveStats, SolverWorkspace};
 pub use instance::FlowProblem;
 pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths};
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use tb_graph::connectivity::connected_components;
+use tb_graph::Graph;
+use tb_traffic::{Demand, TrafficMatrix};
 
 /// Process-wide count of throughput-solver invocations (FPTAS, exact LP and
 /// path-restricted). The sweep engine's cache tests read deltas of this
@@ -81,6 +84,67 @@ impl ThroughputBounds {
             (self.upper - self.lower) / self.upper
         }
     }
+}
+
+/// Structured status of one throughput solve, reported by
+/// [`FleischerSolver::solve_outcome_with`] alongside the bounds.
+///
+/// `Converged` means the solver met its accuracy contract (the classical
+/// FPTAS termination or the target bound gap). Anything else is a *degraded*
+/// result: the bounds are still valid (`lower` is achieved by an explicit
+/// feasible flow, `upper` is a dual certificate), but the caller should know
+/// the instance was pathological.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// The bounds bracket the optimum within the solver's accuracy contract.
+    Converged,
+    /// The phase/time budget ran out first; the bounds are the best
+    /// (1±ε)-bracketed values seen so far.
+    BudgetExhausted,
+    /// Some demand pairs were disconnected and dropped before solving; the
+    /// bounds describe the surviving demands only (zero when none survive).
+    DisconnectedDemandsDropped {
+        /// Demands dropped because their endpoints share no component.
+        dropped: usize,
+        /// Demands that survived and were actually solved.
+        kept: usize,
+    },
+}
+
+impl SolveStatus {
+    /// True unless the solve fully converged on the full demand set.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, SolveStatus::Converged)
+    }
+
+    /// A short, stable label for artifacts and logs.
+    pub fn label(&self) -> String {
+        match self {
+            SolveStatus::Converged => "converged".to_string(),
+            SolveStatus::BudgetExhausted => "budget-exhausted".to_string(),
+            SolveStatus::DisconnectedDemandsDropped { dropped, kept } => {
+                format!("dropped-{dropped}-kept-{kept}")
+            }
+        }
+    }
+}
+
+/// Splits `tm` into the demands whose endpoints share a connected component
+/// of `graph`, dropping the rest. Returns the (possibly empty) surviving
+/// traffic matrix and the number of dropped demands. Self-demands always
+/// survive. This is the reachability partition used by the degradation-aware
+/// solve path: a single disconnected pair forces the *concurrent* flow to
+/// zero, so graceful degradation means solving the reachable sub-TM instead.
+pub fn drop_disconnected_demands(graph: &Graph, tm: &TrafficMatrix) -> (TrafficMatrix, usize) {
+    let comp = connected_components(graph);
+    let kept: Vec<Demand> = tm
+        .demands()
+        .iter()
+        .filter(|d| comp[d.src] == comp[d.dst])
+        .copied()
+        .collect();
+    let dropped = tm.num_flows() - kept.len();
+    (TrafficMatrix::new(tm.num_switches(), kept), dropped)
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! Deterministic fault injection: remove switches and links from a built
+//! [`Topology`] under a seeded failure draw.
+//!
+//! The failure model follows the operator view of degradation studies:
+//!
+//! * a **switch failure** removes every link incident to the switch and
+//!   detaches its servers; the node itself stays in the graph (no
+//!   relabeling), so switch ids — and with them TM stencils and cache keys —
+//!   are stable across failure scenarios,
+//! * a **link failure** removes one additional surviving link.
+//!
+//! Servers on switches that remain alive but end up disconnected from the
+//! rest of the network are deliberately *kept*: their demands become
+//! unreachable, which is exactly the condition the degradation-aware solver
+//! path (`tb_flow::SolveStatus::DisconnectedDemandsDropped`) exists to
+//! absorb.
+//!
+//! Draws are sub-seeded with the same splitmix64-stride idiom as the
+//! natural-network generator (`crate::natural`): every drawn index is a pure
+//! function of `(seed, draw position)`, so the surviving graph is
+//! bit-identical across processes, platforms and thread counts.
+
+use crate::topology::Topology;
+use tb_graph::connectivity::connected_components;
+use tb_graph::Graph;
+
+/// Odd multiplier decorrelating per-draw sub-seeds (splitmix64's golden-ratio
+/// increment; the same constant the natural-network generator strides with).
+const DRAW_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalizer: a bijective 64-bit mixer, bit-identical on
+/// every platform. Used to turn `(seed, draw)` pairs into independent draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(DRAW_STRIDE);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Draws `count` distinct indices from `0..pool` (saturating at `pool`) via a
+/// partial Fisher–Yates shuffle keyed on `seed`; returned sorted ascending.
+fn sample_distinct(count: usize, pool: usize, seed: u64) -> Vec<usize> {
+    let k = count.min(pool);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..pool).collect();
+    for draw in 0..k {
+        let r = splitmix64(seed.wrapping_add((draw as u64).wrapping_mul(DRAW_STRIDE)));
+        let j = draw + (r % (pool - draw) as u64) as usize;
+        idx.swap(draw, j);
+    }
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// A deterministic failure scenario: how many links and switches to fail,
+/// under which draw seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Surviving links to fail *in addition to* those lost to switch
+    /// failures (saturates at the number of surviving links).
+    pub link_failures: usize,
+    /// Switches to fail (saturates at the switch count).
+    pub switch_failures: usize,
+    /// Seed of the failure draws; switch and link draws use decorrelated
+    /// sub-streams of this seed.
+    pub seed: u64,
+}
+
+/// What a fault application did and what survived, recorded for metadata and
+/// degradation reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Ids of the failed switches, ascending.
+    pub failed_switches: Vec<usize>,
+    /// Base-graph edge ids removed as explicit link failures (ascending;
+    /// excludes links lost to switch failures).
+    pub failed_links: Vec<usize>,
+    /// Connected components among the surviving (alive) switches; failed
+    /// switches — left in the graph as isolated nodes — are not counted.
+    pub components: usize,
+    /// Alive-switch count of the largest surviving component.
+    pub largest_component: usize,
+    /// Servers still attached after switch failures.
+    pub surviving_servers: usize,
+    /// Links remaining in the faulted graph.
+    pub surviving_links: usize,
+}
+
+/// Applies `plan` to `base`, returning the degraded topology and the fault
+/// report. Failed switches keep their node ids (isolated, server-free);
+/// surviving edges keep their original order and capacities, so the result
+/// is bit-identical for a given `(base, plan)` in any process.
+pub fn apply_faults(base: &Topology, plan: &FaultPlan) -> (Topology, FaultReport) {
+    let n = base.num_switches();
+    let switch_seed = splitmix64(plan.seed);
+    let link_seed = splitmix64(plan.seed.wrapping_add(DRAW_STRIDE));
+
+    let failed_switches = sample_distinct(plan.switch_failures, n, switch_seed);
+    let mut dead = vec![false; n];
+    for &s in &failed_switches {
+        dead[s] = true;
+    }
+
+    // Links that survive the switch failures, in base edge order.
+    let alive_edges: Vec<usize> = (0..base.graph.num_edges())
+        .filter(|&id| {
+            let e = base.graph.edge(id);
+            !dead[e.u] && !dead[e.v]
+        })
+        .collect();
+    // Explicit link failures are drawn among the survivors.
+    let failed_links: Vec<usize> =
+        sample_distinct(plan.link_failures, alive_edges.len(), link_seed)
+            .into_iter()
+            .map(|pos| alive_edges[pos])
+            .collect();
+    let mut cut = vec![false; base.graph.num_edges()];
+    for &id in &failed_links {
+        cut[id] = true;
+    }
+
+    let mut graph = Graph::new(n);
+    for &id in &alive_edges {
+        if cut[id] {
+            continue;
+        }
+        let e = base.graph.edge(id);
+        graph.add_edge(e.u, e.v, e.cap);
+    }
+    let servers: Vec<usize> = base
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(u, &s)| if dead[u] { 0 } else { s })
+        .collect();
+
+    // Surviving-component census over the alive switches only.
+    let comp = connected_components(&graph);
+    let mut sizes = vec![0usize; n.max(1)];
+    let mut components = 0usize;
+    let mut largest = 0usize;
+    for u in 0..n {
+        if dead[u] {
+            continue;
+        }
+        sizes[comp[u]] += 1;
+        if sizes[comp[u]] == 1 {
+            components += 1;
+        }
+        largest = largest.max(sizes[comp[u]]);
+    }
+
+    let report = FaultReport {
+        surviving_servers: servers.iter().sum(),
+        surviving_links: graph.num_edges(),
+        failed_switches,
+        failed_links,
+        components,
+        largest_component: largest,
+    };
+    let params = format!(
+        "{}, faults[seed={}, -{}sw, -{}ln, comps={}]",
+        base.params,
+        plan.seed,
+        report.failed_switches.len(),
+        report.failed_links.len(),
+        report.components
+    );
+    let topo = Topology::new(base.name.clone(), params, graph, servers);
+    (topo, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::hypercube;
+
+    fn base() -> Topology {
+        hypercube(4, 2)
+    }
+
+    fn edge_list(t: &Topology) -> Vec<(usize, usize)> {
+        t.graph.edges().iter().map(|e| (e.u, e.v)).collect()
+    }
+
+    #[test]
+    fn faults_are_deterministic_for_a_plan() {
+        let b = base();
+        let plan = FaultPlan {
+            link_failures: 3,
+            switch_failures: 2,
+            seed: 7,
+        };
+        let (t1, r1) = apply_faults(&b, &plan);
+        let (t2, r2) = apply_faults(&b, &plan);
+        assert_eq!(edge_list(&t1), edge_list(&t2));
+        assert_eq!(t1.servers, t2.servers);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_seeds_draw_different_faults() {
+        let b = base();
+        let mk = |seed| {
+            apply_faults(
+                &b,
+                &FaultPlan {
+                    link_failures: 4,
+                    switch_failures: 0,
+                    seed,
+                },
+            )
+            .1
+            .failed_links
+        };
+        // 16 choose 4 draw spaces: at least one of a handful of seeds must
+        // differ from seed 0's draw.
+        let base_draw = mk(0);
+        assert!((1..6).any(|s| mk(s) != base_draw));
+    }
+
+    #[test]
+    fn switch_failure_removes_incident_links_and_servers() {
+        let b = base();
+        let plan = FaultPlan {
+            link_failures: 0,
+            switch_failures: 1,
+            seed: 3,
+        };
+        let (t, r) = apply_faults(&b, &plan);
+        assert_eq!(r.failed_switches.len(), 1);
+        let s = r.failed_switches[0];
+        assert_eq!(t.servers[s], 0);
+        assert!(t.graph.neighbors(s).is_empty());
+        // A 4-cube loses exactly its 4 incident links.
+        assert_eq!(t.num_links(), b.num_links() - 4);
+        assert_eq!(r.surviving_links, t.num_links());
+        assert_eq!(r.surviving_servers, b.num_servers() - b.servers[s]);
+        // Switch ids are stable: no relabeling.
+        assert_eq!(t.num_switches(), b.num_switches());
+    }
+
+    #[test]
+    fn link_failures_remove_exactly_that_many_links() {
+        let b = base();
+        let plan = FaultPlan {
+            link_failures: 5,
+            switch_failures: 0,
+            seed: 11,
+        };
+        let (t, r) = apply_faults(&b, &plan);
+        assert_eq!(t.num_links(), b.num_links() - 5);
+        assert_eq!(r.failed_links.len(), 5);
+        let mut uniq = r.failed_links.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5, "link draws must be distinct");
+        assert!(t.servers == b.servers);
+    }
+
+    #[test]
+    fn excess_failures_saturate() {
+        let b = base();
+        let plan = FaultPlan {
+            link_failures: 10_000,
+            switch_failures: 10_000,
+            seed: 1,
+        };
+        let (t, r) = apply_faults(&b, &plan);
+        assert_eq!(r.failed_switches.len(), b.num_switches());
+        assert_eq!(t.num_links(), 0);
+        assert_eq!(r.surviving_servers, 0);
+        assert_eq!(r.components, 0);
+        assert_eq!(r.largest_component, 0);
+    }
+
+    #[test]
+    fn component_census_ignores_dead_switches() {
+        let b = base();
+        let (t, r) = apply_faults(
+            &b,
+            &FaultPlan {
+                link_failures: 0,
+                switch_failures: 3,
+                seed: 5,
+            },
+        );
+        // A hypercube minus 3 switches stays connected among survivors.
+        assert_eq!(r.components, 1);
+        assert_eq!(r.largest_component, b.num_switches() - 3);
+        assert!(t.params.contains("faults[seed=5"));
+        assert!(t.graph.validate().is_ok());
+    }
+}

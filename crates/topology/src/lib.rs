@@ -34,6 +34,7 @@ pub mod dragonfly;
 pub mod expander;
 pub mod families;
 pub mod fattree;
+pub mod faults;
 pub mod flattened_butterfly;
 pub mod hypercube;
 pub mod hyperx;
