@@ -20,11 +20,14 @@
 //!   bottom-up tree routing loads each tree arc once per iteration instead
 //!   of walking every destination's path, on top of the shared kernel wins
 //!   — the dense-TM shapes the PR 1 kernel left at parity;
-//! * the **batch-parallel MWU schedule** (`fptas_batch_*`, the auto-picked
-//!   batch size that `--solver-jobs > 1` uses): the per-phase pricing fans
-//!   out across `RAYON_NUM_THREADS` workers, so these entries measure the
-//!   solver-level parallelism on this machine (on a single core they show
-//!   the schedule's serial overhead instead — record which when comparing);
+//! * the **batch-parallel MWU schedules**: `fptas_batch_*` pins PR 5's
+//!   fixed pricing rounds (the measured baseline), `fptas_steal_*` runs the
+//!   work-stealing scheduler in the exact skew-tuned configuration
+//!   `with_auto_batching` ships (what `--solver-jobs > 1` uses). The
+//!   per-phase pricing fans out across `RAYON_NUM_THREADS` workers, so
+//!   these entries measure the solver-level parallelism on this machine (on
+//!   a single core they show the schedule's serial overhead instead —
+//!   record which when comparing);
 //! * the Facebook frontend fixed TM (`tm_f`, the Figs 13–14 workload) on a
 //!   64-switch jellyfish — the skewed dense shape the sweeps spend real time
 //!   on.
@@ -32,7 +35,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::{assert_quality_within_target, assert_same_quality, legacy};
 use tb_flow::fleischer::auto_batch_size;
-use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver};
+use tb_flow::{ExactLpSolver, FleischerConfig, FleischerSolver, PricingMode};
 use tb_graph::matching::max_weight_assignment;
 use tb_graph::shortest_path::apsp_unweighted;
 use tb_graph::Graph;
@@ -59,9 +62,10 @@ fn versus_legacy(
     });
 }
 
-/// Benches the batch-parallel schedule at the auto-picked batch size,
-/// asserting its bounds against the serial trajectory with the shared
-/// target-gap contract first.
+/// Benches the PR 5 fixed-rounds schedule at the auto-picked batch size
+/// (pinned to [`PricingMode::Rounds`] so these entries stay the measured
+/// baseline the stealing scheduler is judged against), asserting its bounds
+/// against the serial trajectory with the shared target-gap contract first.
 fn batched(
     group: &mut criterion::BenchmarkGroup<'_>,
     name: &str,
@@ -71,6 +75,7 @@ fn batched(
 ) {
     let bat_cfg = FleischerConfig {
         batch_size: Some(auto_batch_size(g.num_nodes())),
+        pricing: PricingMode::Rounds,
         ..cfg
     };
     let serial = FleischerSolver::new(cfg).solve(g, tm);
@@ -78,6 +83,33 @@ fn batched(
     assert_quality_within_target(&format!("{name}/batched"), &cfg, bat, serial);
     group.bench_function(format!("fptas_batch_{name}"), |b| {
         b.iter(|| FleischerSolver::new(bat_cfg).solve(g, tm))
+    });
+}
+
+/// Benches the work-stealing schedule in the exact configuration
+/// `with_auto_batching` ships for the instance (skewed TMs get the
+/// quarter-size batch plus the serial-tail drain), with the same quality
+/// gate. These are the PR 7 acceptance entries: at one worker they must sit
+/// near serial (TM-F <= 1.15x, sparse LM <= 1.25x); at more workers they
+/// measure the solver-level speedup.
+fn stealing(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    cfg: FleischerConfig,
+    g: &Graph,
+    tm: &TrafficMatrix,
+) {
+    let steal_cfg = cfg.with_auto_batching(tm, 2);
+    assert!(
+        steal_cfg.batch_size.is_some(),
+        "{name}: auto-batching gated off ({:?}) — pick a shape that engages",
+        steal_cfg.batch_gate
+    );
+    let serial = FleischerSolver::new(cfg).solve(g, tm);
+    let st = FleischerSolver::new(steal_cfg).solve(g, tm);
+    assert_quality_within_target(&format!("{name}/stealing"), &cfg, st, serial);
+    group.bench_function(format!("fptas_steal_{name}"), |b| {
+        b.iter(|| FleischerSolver::new(steal_cfg).solve(g, tm))
     });
 }
 
@@ -169,6 +201,24 @@ fn bench(c: &mut Criterion) {
         &jelly.graph,
         &fb,
     );
+    // Work-stealing acceptance entries: the skewed dense shape (TM-F, where
+    // the fixed rounds measured ~2.3x serial) and the sparse matching shape
+    // (where they measured ~30x) — the two losses the stealing scheduler
+    // was built to close.
+    stealing(
+        &mut group,
+        "facebook_tmf_jellyfish64",
+        cfg_j64,
+        &jelly.graph,
+        &fb,
+    );
+    stealing(
+        &mut group,
+        "jellyfish64_lm",
+        cfg_j64,
+        &jelly.graph,
+        &longest_matching(&jelly.graph, &jelly.servers, true),
+    );
 
     group.bench_function("apsp_hypercube_d6", |b| {
         b.iter(|| apsp_unweighted(&medium.graph))
@@ -200,8 +250,7 @@ fn bench(c: &mut Criterion) {
         &jelly256.graph,
         &longest_matching(&jelly256.graph, &jelly256.servers, true),
     );
-    // The paper-scale dense shape for the batch-parallel schedule (sparse
-    // LM never auto-batches — the serial goal-directed path wins there).
+    // The paper-scale dense shape for the batch-parallel schedule.
     let tm256_a2a = all_to_all(&jelly256.servers);
     versus_legacy(
         &mut large,

@@ -1,8 +1,14 @@
-//! Batch-size sweep for the batch-parallel MWU schedule: runs the dense
-//! 64-switch shapes at `batch_size` ∈ {serial, 8, 16, 32, 64} and prints
-//! wall-clock, bounds and the `SolveStats` counters (phases, epochs, guard
-//! state). This is the tuning loop behind `auto_batch_size` — rerun it when
-//! touching the pricing-round scheduler or the merge, once at
+//! Tuning sweep for the batched MWU schedulers: for each probe shape —
+//! dense A2A, the skewed Facebook TM-F, and the sparse longest-matching TM
+//! that motivated the work-stealing scheduler — runs the serial baseline,
+//! PR 5's fixed pricing rounds, and the stealing scheduler across
+//! steal-chunk sizes and bounded-staleness bounds, and prints wall-clock,
+//! bounds, and the `SolveStats` counters including the per-round straggler
+//! proxy (max/mean Dijkstra settle counts per tree build, and tasks per
+//! tree — how much pricing work each cached tree amortizes).
+//!
+//! This is the tuning loop behind `auto_batch_size`/`auto_steal_chunk` —
+//! rerun it when touching the schedulers or the merge, once at
 //! `RAYON_NUM_THREADS=1` (the schedule's serial overhead) and once at the
 //! machine's core count (the actual speedup). Set `TB_SOLVER_TRACE=1` for
 //! per-solve tree counts.
@@ -10,41 +16,126 @@
 //! Run: `cargo run --release -p tb_bench --example batch_probe`
 
 use std::time::Instant;
-use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
+use tb_flow::fleischer::auto_batch_size;
+use tb_flow::{FleischerConfig, FleischerSolver, PricingMode, SolverWorkspace};
 use tb_topology::hypercube::hypercube;
 use tb_topology::jellyfish::jellyfish;
-use tb_traffic::synthetic::all_to_all;
+use tb_traffic::synthetic::{all_to_all, longest_matching};
+use tb_traffic::TrafficMatrix;
+
+fn probe(
+    name: &str,
+    label: &str,
+    graph: &tb_graph::Graph,
+    tm: &TrafficMatrix,
+    cfg: FleischerConfig,
+) {
+    let solver = FleischerSolver::new(cfg);
+    let mut ws = SolverWorkspace::new();
+    let (b, stats) = solver.solve_with_stats(graph, tm, &mut ws);
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = solver.solve_with(graph, tm, &mut ws);
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let straggler = match stats.steal_settle_total.checked_div(stats.steal_trees) {
+        Some(settle_mean) => format!(
+            " settle(max/mean)={}/{} tasks/tree={:.1}",
+            stats.steal_settle_max,
+            settle_mean,
+            stats.steal_tasks as f64 / stats.steal_trees as f64,
+        ),
+        None => String::new(),
+    };
+    println!(
+        "{name:<16} {label:<24} {ms:8.3} ms  bounds=({:.5},{:.5}) phases={} epochs={} trees={}{straggler}{}",
+        b.lower,
+        b.upper,
+        stats.phases,
+        stats.epochs,
+        stats.steal_trees,
+        if stats.guard_triggered { " GUARD" } else { "" },
+    );
+}
 
 fn main() {
-    let shapes: Vec<(&str, tb_topology::Topology)> = vec![
-        ("hypercube64", hypercube(6, 1)),
-        ("jellyfish64", jellyfish(64, 6, 1, 42)),
+    let h64 = hypercube(6, 1);
+    let j64 = jellyfish(64, 6, 1, 42);
+    let shapes: Vec<(&str, &tb_topology::Topology, TrafficMatrix)> = vec![
+        ("hypercube64/a2a", &h64, all_to_all(&h64.servers)),
+        ("jellyfish64/a2a", &j64, all_to_all(&j64.servers)),
+        ("jellyfish64/tmf", &j64, tb_traffic::facebook::tm_f(64, 7)),
+        (
+            "jellyfish64/lm",
+            &j64,
+            longest_matching(&j64.graph, &j64.servers, true),
+        ),
     ];
     println!(
         "pool: {} worker(s) (set RAYON_NUM_THREADS to change)",
         rayon::current_num_threads()
     );
-    for (name, topo) in &shapes {
-        let tm = all_to_all(&topo.servers);
-        let base = FleischerConfig::fast().with_auto_aggregation(topo.graph.num_nodes());
-        for batch in [None, Some(8), Some(16), Some(32), Some(64)] {
-            let cfg = FleischerConfig {
+    for (name, topo, tm) in &shapes {
+        let n = topo.graph.num_nodes();
+        let base = FleischerConfig::fast().with_auto_aggregation(n);
+        let batch = Some(auto_batch_size(n));
+        probe(name, "serial", &topo.graph, tm, base);
+        probe(
+            name,
+            "rounds b=auto",
+            &topo.graph,
+            tm,
+            FleischerConfig {
                 batch_size: batch,
+                pricing: PricingMode::Rounds,
                 ..base
-            };
-            let solver = FleischerSolver::new(cfg);
-            let mut ws = SolverWorkspace::new();
-            let (b, stats) = solver.solve_with_stats(&topo.graph, &tm, &mut ws);
-            let reps = 5;
-            let t0 = Instant::now();
-            for _ in 0..reps {
-                let _ = solver.solve_with(&topo.graph, &tm, &mut ws);
-            }
-            let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
-            println!(
-                "{name:<12} batch={batch:?} {ms:8.3} ms  bounds=({:.5},{:.5}) stats={stats:?}",
-                b.lower, b.upper
+            },
+        );
+        for chunk in [8usize, 16, 32, 64] {
+            probe(
+                name,
+                &format!("steal b=auto chunk={chunk}"),
+                &topo.graph,
+                tm,
+                FleischerConfig {
+                    batch_size: batch,
+                    pricing: PricingMode::Stealing,
+                    steal_chunk: Some(chunk),
+                    ..base
+                },
             );
         }
+        for s in [2usize, 4, 8] {
+            probe(
+                name,
+                &format!("steal b=auto async S={s}"),
+                &topo.graph,
+                tm,
+                FleischerConfig {
+                    batch_size: batch,
+                    pricing: PricingMode::Stealing,
+                    async_staleness: Some(s),
+                    ..base
+                },
+            );
+        }
+        // The configuration `with_auto_batching` actually ships for this
+        // shape when parallelism is available (skewed TMs get a smaller
+        // batch plus the serial-tail drain); `solver_jobs = 2` clears the
+        // serial-jobs screen so the probe shows the engaged pick.
+        let auto = base.with_auto_batching(tm, 2);
+        probe(
+            name,
+            &format!(
+                "auto ({:?} b={:?}{})",
+                auto.batch_gate,
+                auto.batch_size,
+                if auto.steal_serial_tail { " tail" } else { "" }
+            ),
+            &topo.graph,
+            tm,
+            auto,
+        );
     }
 }

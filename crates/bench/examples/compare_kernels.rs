@@ -3,15 +3,16 @@
 //! shapes, for picking and sanity-checking the committed benchmark instances.
 //! Every pair also asserts the bounds stayed equal-quality, so this doubles
 //! as the kernel-equivalence check: `--quick` runs a reduced shape set (a few
-//! seconds) and is wired into CI to catch drift between the kernels on every
-//! PR. Each shape additionally runs the **batch-parallel** schedule (the
-//! auto-picked batch size, i.e. what `--solver-jobs > 1` would use) and
-//! asserts its bounds against the serial path with the shared target-gap
-//! contract, so the batched trajectory's quality is CI-checked on every PR
-//! too.
+//! seconds, including the skewed Facebook TM-F) and is wired into CI to catch
+//! drift between the kernels on every PR. Each shape additionally runs the
+//! **work-stealing** schedule in the exact configuration `with_auto_batching`
+//! ships (i.e. what `--solver-jobs > 1` would use — skewed TMs get the
+//! quarter-size batch plus the serial-tail drain) and asserts its bounds
+//! against the serial path with the shared target-gap contract, so the
+//! stealing trajectory's quality is CI-checked on every PR too.
 //!
 //! Run: `cargo run --release -p tb_bench --example compare_kernels [-- --quick]`
-//! (the batched column parallelizes its pricing fan-out across
+//! (the stealing column parallelizes its pricing fan-out across
 //! `RAYON_NUM_THREADS` workers).
 
 use std::time::Instant;
@@ -42,16 +43,19 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
     let new_b = solver.solve_with(g, tm, &mut ws);
     let old_b = legacy::solve(&cfg, g, tm);
     assert_same_quality(name, &cfg, new_b, old_b);
-    // The batch-parallel schedule at the auto pick (what --solver-jobs > 1
-    // runs): a different, equally valid trajectory — quality held to the
-    // configured target gap against the serial path. The auto-pick is
-    // TM-aware: sparse shapes stay serial and report no batched column.
+    // The work-stealing schedule in the exact configuration the auto pick
+    // ships (what --solver-jobs > 1 runs; skewed TMs get the quarter-size
+    // batch plus the serial-tail drain): a different, equally valid
+    // trajectory — quality held to the configured target gap against the
+    // serial path. The auto-pick is TM-aware: degenerate shapes (one
+    // dominant commodity, too few flows) stay serial and report no
+    // stealing column.
     let bat_cfg = cfg.with_auto_batching(tm, 2);
     let batched = bat_cfg.batch_size.map(|bsz| {
         let bat_solver = FleischerSolver::new(bat_cfg);
         let mut ws_bat = SolverWorkspace::new();
         let bat_b = bat_solver.solve_with(g, tm, &mut ws_bat);
-        assert_quality_within_target(&format!("{name}/batched"), &cfg, bat_b, new_b);
+        assert_quality_within_target(&format!("{name}/stealing"), &cfg, bat_b, new_b);
         let t_bat = time(
             || {
                 let _ = bat_solver.solve_with(g, tm, &mut ws_bat);
@@ -73,8 +77,8 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
         reps,
     );
     let bat_col = match batched {
-        Some((bsz, t_bat)) => format!("batched(B={bsz:2}) {t_bat:9.3} ms"),
-        None => "batched     (serial: sparse TM)".to_string(),
+        Some((bsz, t_bat)) => format!("steal(B={bsz:2}) {t_bat:9.3} ms"),
+        None => format!("steal     (serial: {:?})", bat_cfg.batch_gate),
     };
     println!(
         "{name:<28} new {t_new:9.3} ms  legacy {t_old:9.3} ms  speedup {:5.2}x  {bat_col}  bounds new=({:.4},{:.4}) old=({:.4},{:.4})",
@@ -104,6 +108,16 @@ fn main() {
         &j64.graph,
         &all_to_all(&j64.servers),
         3,
+    );
+    // The skewed dense shape (Facebook frontend TM-F): its stealing column
+    // runs the skew-tuned pick (quarter-size batch + serial-tail drain), so
+    // CI's --quick run asserts the stealing-vs-serial quality contract on
+    // exactly the shape the scheduler was built for.
+    compare(
+        "jellyfish64x6/tmf",
+        &j64.graph,
+        &tb_traffic::facebook::tm_f(64, 7),
+        if quick { 2 } else { 3 },
     );
 
     if quick {

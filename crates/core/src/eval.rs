@@ -109,10 +109,11 @@ pub fn evaluate_throughput_with(
         }
     }
     // Auto-pick the dense-TM aggregation threshold from the graph size and
-    // (when solver-level jobs were requested) the MWU batch size from the TM
-    // shape; explicit overrides in `cfg.solver` win for both. Sparse and
-    // heavily-skewed TMs never auto-batch — the serial path is already the
-    // fast one there (see `with_auto_batching`).
+    // (when solver-level jobs were requested) the work-stealing MWU batch
+    // configuration from the TM shape — skewed TMs get the quarter-size
+    // batch plus the serial-tail drain; explicit overrides in `cfg.solver`
+    // win for both. Only degenerate TMs (too few flows, or one commodity
+    // carrying most of the volume) stay serial (see `with_auto_batching`).
     let solver_cfg = cfg
         .solver
         .with_auto_aggregation(topo.num_switches())

@@ -81,11 +81,12 @@ impl SweepOptions {
         // on (the auto batch size comes from the instance, the worker count
         // never affects values), so keying the cache on the raw job count
         // would recompute byte-identical results for every distinct value.
-        // Deliberate coarseness: cells whose TM never auto-batches (sparse,
-        // skewed) still re-key on the first batched run even though their
-        // values are bit-identical to the serial entries — keying on the
-        // per-cell effective decision would require materializing each TM
-        // at key time, which the expansion-time key derivation cannot do.
+        // Deliberate coarseness: cells whose TM never auto-batches
+        // (degenerate shapes the gate keeps serial) still re-key on the
+        // first batched run even though their values are bit-identical to
+        // the serial entries — keying on the per-cell effective decision
+        // would require materializing each TM at key time, which the
+        // expansion-time key derivation cannot do.
         cfg.solver_jobs = if self.solver_jobs.unwrap_or(1) > 1 {
             2
         } else {

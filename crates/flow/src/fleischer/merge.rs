@@ -32,6 +32,22 @@
 //! draining a round's remainder on its own trees without re-pricing
 //! reproduces the reverted phase-blocked design's trajectory concentration
 //! (hypercube-64 A2A: 12 → 380 phases).
+//!
+//! ## Staged chunks: splitting without changing the step
+//!
+//! The work-stealing scheduler prices a heavy source as several destination
+//! *chunks*, and chunks of one source share the path arcs near it — so
+//! capping each chunk separately against full capacities would admit their
+//! **sum** past an arc's capacity, weakening every self-cap and collapsing
+//! the shared `θ` (measured as a straggler-split cascade ~3× worse than the
+//! fixed rounds on Facebook TM-F). Instead the fold *stages* chunk loads
+//! into a pending per-source accumulator ([`EpochMerge::stage`]) and
+//! self-caps the **staged sum** when the source's last chunk arrives
+//! ([`EpochMerge::commit_staged`]) — chunks of one source are contiguous in
+//! task order, so "last chunk" is a local test. A split source therefore
+//! produces exactly the `θ_k·u_{k,a}` contribution an unsplit one would:
+//! splitting is a pure pricing-parallelism decision with no effect on the
+//! merge math, and the step-size argument above applies unchanged.
 
 use super::route::RouteState;
 use crate::lengths::MwuLengths;
@@ -56,17 +72,73 @@ pub(super) fn apply_update(mwu: &mut MwuLengths, flow_arc: &mut [f64], aid: usiz
 pub(super) struct EpochMerge {
     load: Vec<f64>,
     touched: Vec<u32>,
+    /// Pending loads of the source currently being staged chunk by chunk
+    /// (work-stealing scheduler); same dense + first-touch representation.
+    staged: Vec<f64>,
+    staged_touched: Vec<u32>,
 }
 
 impl EpochMerge {
-    /// Prepares for an epoch over `m` arcs (grows the dense buffer; existing
+    /// Prepares for an epoch over `m` arcs (grows the dense buffers; existing
     /// entries are already zero by the inter-epoch invariant).
     pub fn begin(&mut self, m: usize) {
         debug_assert!(self.touched.is_empty());
+        debug_assert!(self.staged_touched.is_empty());
         if self.load.len() < m {
             self.load.resize(m, 0.0);
         }
+        if self.staged.len() < m {
+            self.staged.resize(m, 0.0);
+        }
         debug_assert!(self.load.iter().all(|&l| l == 0.0));
+    }
+
+    /// Stages one destination-chunk's load list into the pending per-source
+    /// accumulator, *without* capping. The work-stealing scheduler prices a
+    /// split source as several chunk tasks; chunks of one source share path
+    /// arcs near it, so the self-cap must see their **sum** — capping each
+    /// chunk separately would let the combined load blow past `cap_a`, be
+    /// rescued only by the shared `θ`, and collapse the whole round's commit
+    /// fraction (measured on Facebook TM-F: the per-chunk variant kept
+    /// nearly the entire shard active every round). Chunks of one source are
+    /// contiguous in task order, so the in-order fold stages them and calls
+    /// [`EpochMerge::commit_staged`] on the last one.
+    pub fn stage(&mut self, loads: &[(u32, f64)]) {
+        for &(aid, u) in loads {
+            let a = aid as usize;
+            if self.staged[a] == 0.0 {
+                self.staged_touched.push(aid);
+            }
+            self.staged[a] += u;
+        }
+    }
+
+    /// Self-caps the staged source — all its chunks combined — against the
+    /// raw capacities, folds the capped fraction into the epoch aggregate,
+    /// clears the staging area, and returns `θ_k`. For a source staged as a
+    /// single chunk this is bit-identical to [`EpochMerge::accumulate_capped`]
+    /// (one entry per arc, same fold order), so splitting is purely a
+    /// pricing-parallelism decision with no effect on the merge math.
+    pub fn commit_staged(&mut self, st: &[RouteState]) -> f64 {
+        let mut theta_k = 1.0f64;
+        for &aid in &self.staged_touched {
+            let a = aid as usize;
+            let u = self.staged[a];
+            let cap = st[a].cap;
+            if u > cap {
+                theta_k = theta_k.min(cap / u);
+            }
+        }
+        for &aid in &self.staged_touched {
+            let a = aid as usize;
+            if self.load[a] == 0.0 {
+                self.touched.push(aid);
+            }
+            self.load[a] += theta_k * self.staged[a];
+            self.staged[a] = 0.0;
+        }
+        self.staged_touched.clear();
+        theta_k
     }
 
     /// Self-caps one source's load list against the raw capacities and folds
@@ -142,6 +214,10 @@ impl EpochMerge {
             self.load[aid as usize] = 0.0;
         }
         self.touched.clear();
+        for &aid in &self.staged_touched {
+            self.staged[aid as usize] = 0.0;
+        }
+        self.staged_touched.clear();
     }
 }
 
@@ -199,6 +275,33 @@ mod tests {
                                    // Invariant restored: a second round starts clean.
         m.begin(2);
         assert_eq!(m.theta(&state), 1.0);
+    }
+
+    #[test]
+    fn staged_chunks_self_cap_as_one_source() {
+        let caps = [1.0, 2.0];
+        let state = st(&caps);
+        // One source split into two chunks overlapping on arc 0, combined
+        // load 4x its capacity: the staged commit must cap at 0.25 — per-chunk
+        // capping would have let 2x capacity through to the aggregate.
+        let mut m = EpochMerge::default();
+        m.begin(2);
+        m.stage(&[(0, 2.0), (1, 0.5)]);
+        m.stage(&[(0, 2.0)]);
+        assert_eq!(m.commit_staged(&state), 0.25);
+        assert_eq!(m.theta(&state), 1.0);
+        // A single-chunk source goes through stage+commit bit-identically to
+        // accumulate_capped.
+        let mut a = EpochMerge::default();
+        a.begin(2);
+        let tk_a = a.accumulate_capped(&[(0, 4.0), (1, 1.0)], &state);
+        let mut b = EpochMerge::default();
+        b.begin(2);
+        b.stage(&[(0, 4.0), (1, 1.0)]);
+        let tk_b = b.commit_staged(&state);
+        assert_eq!(tk_a, tk_b);
+        assert_eq!(a.theta(&state), b.theta(&state));
+        assert_eq!(a.touched, b.touched);
     }
 
     #[test]

@@ -124,6 +124,7 @@
 mod merge;
 mod phase;
 mod route;
+mod steal;
 
 use crate::instance::FlowProblem;
 use crate::lengths::MwuLengths;
@@ -163,6 +164,49 @@ pub struct FleischerConfig {
     /// value when the caller asked for solver-level parallelism. Any
     /// explicit `Some` survives the auto-pick.
     pub batch_size: Option<usize>,
+    /// Which batched pricing-round scheduler runs when
+    /// [`batch_size`](FleischerConfig::batch_size) engages:
+    /// [`PricingMode::Stealing`] (the default — cached per-source trees +
+    /// work-stealing destination chunks) or [`PricingMode::Rounds`] (PR 5's
+    /// fixed re-pricing rounds, kept as the measured baseline). Ignored for
+    /// serial solves.
+    pub pricing: PricingMode,
+    /// Destination-chunk size of the stealing scheduler: heavy sources are
+    /// split into chunks of this many destinations, each a separately
+    /// claimable (and separately self-capped) pricing task. `None` picks
+    /// [`auto_steal_chunk`] from the graph size. The chunking is a pure
+    /// function of the instance and trajectory — never of the worker count —
+    /// so results stay bit-identical at any pool width.
+    pub steal_chunk: Option<usize>,
+    /// Bounded-staleness async pricing (stealing mode only, opt-in):
+    /// `Some(S >= 2)` prices rounds against a materialized length buffer
+    /// refreshed every `S` rounds instead of a fresh per-round snapshot, so
+    /// workers read lengths **at most `S` rounds stale** while updates
+    /// proceed every round. Commits are still capped against true
+    /// capacities, and the PR 5 convergence guard still watches the phase
+    /// count — on extrapolated-phase blowup the solve degenerates to the
+    /// synchronous serial (`B = 1`) trajectory exactly as in sync mode.
+    /// `None`, `Some(0)` and `Some(1)` are synchronous.
+    pub async_staleness: Option<usize>,
+    /// Skewed-shard drain policy of the stealing scheduler: after the first
+    /// merged pricing round of a shard, drain every still-active source
+    /// serially in slot order (the generalized straggler fast path) instead
+    /// of running further merged rounds. On skew-dominated TMs the merged
+    /// rounds after the first mostly rebuild all active trees to commit a
+    /// small shared-θ fraction (measured +16% Dijkstras over serial on
+    /// Facebook TM-F); the serial tail drains each survivor to completion
+    /// with the serial kernels' tree reuse instead. Dense near-uniform TMs
+    /// should leave this off — their multi-round merged drains are where
+    /// batched parallelism wins. [`FleischerConfig::with_auto_batching`]
+    /// turns it on when the demand distribution is skewed. Trigger and
+    /// drain order depend only on the trajectory, never the worker count,
+    /// so results stay bit-identical at any pool width.
+    pub steal_serial_tail: bool,
+    /// The auto-batching gate decision recorded by
+    /// [`FleischerConfig::with_auto_batching`] and copied into
+    /// [`SolveStats::gate`], so a gated serial fallback is distinguishable
+    /// from a user-requested serial run. Callers never need to set this.
+    pub batch_gate: BatchGate,
     /// Convergence guard for batched runs: once the phase count exceeds
     /// `guard_factor ×` the serial phase estimate (extrapolated from the
     /// always-serial phase 0) without converging, the solve degenerates to
@@ -188,12 +232,85 @@ pub const DEFAULT_AGGREGATE_MIN_DESTS: usize = 32;
 /// to the serial trajectory.
 pub const DEFAULT_GUARD_FACTOR: f64 = 2.0;
 
-/// The demand-uniformity limit of [`FleischerConfig::with_auto_batching`]:
-/// auto-batching engages only when the TM's maximum demand is within this
-/// factor of its mean (all-to-all is 1; the Facebook Hadoop stand-in ~2.6;
-/// the frontend stand-in, which measured ~2× serial batched, is far past
-/// it).
-pub const BATCH_SKEW_LIMIT: f64 = 8.0;
+/// The demand-concentration limit of
+/// [`FleischerConfig::with_auto_batching`]: auto-batching engages while the
+/// single largest demand carries at most this **fraction of the TM's total
+/// volume**. PR 5's fixed rounds re-priced a skewed shard's stragglers with
+/// a full Dijkstra per round, so the gate was mean-relative and tight
+/// (`max ≤ 8× mean`) and the Facebook frontend TM (max/mean ~64, spanning ~3
+/// decades) fell back to serial; the stealing scheduler drains stragglers on
+/// cached trees, so the gate now only screens out genuinely pathological
+/// delta-function TMs where one commodity *is* most of the instance. (A
+/// mean-relative limit cannot express that: `max/mean` is bounded by the
+/// flow count, so any wide limit goes vacuous on large TMs. Share-of-total
+/// separates cleanly — the Facebook max carries ~1.6% of total volume, a
+/// delta function ~100%.)
+pub const BATCH_SKEW_LIMIT: f64 = 0.5;
+
+/// Skew-tuning threshold of [`FleischerConfig::with_auto_batching`]: once
+/// the heaviest demand exceeds this factor times the mean demand, the pick
+/// switches to the skewed-TM tuning (quarter batch +
+/// [`FleischerConfig::steal_serial_tail`]). Facebook-style gravity TMs sit
+/// far above this (TM-F on 64 switches measures max/mean ≈ 64); synthetic
+/// uniform TMs (all-to-all, permutation matchings) sit at exactly 1.
+pub const SKEW_TAIL_FACTOR: f64 = 8.0;
+
+/// The minimum flow count for [`FleischerConfig::with_auto_batching`]: below
+/// this the shard fan-out cannot amortize even one claim-queue round and the
+/// serial path is always at least as fast.
+pub const MIN_BATCH_FLOWS: usize = 4;
+
+/// Which batched pricing-round scheduler [`FleischerConfig::batch_size`]
+/// engages. Both are deterministic (bit-identical at any worker count) and
+/// both sit behind the same convergence guard; they differ in how a round
+/// prices its shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PricingMode {
+    /// Work-stealing rounds (the default): each shard source's routing tree
+    /// is **cached across the shard's pricing rounds** and revalidated under
+    /// the serial reuse rule, heavy sources are split into destination
+    /// chunks claimed from a shared queue, and chunk loads are folded in
+    /// (source, chunk)-index order the moment they are ready (the
+    /// price-ahead queue). See [`steal`] for the scheduler and [`merge`] for
+    /// the per-chunk step-size argument.
+    #[default]
+    Stealing,
+    /// PR 5's fixed-order rounds: every active source re-prices a fresh tree
+    /// against every round's snapshot. Kept as the measured baseline (the
+    /// `fptas_batch_*` bench entries) — it is what the stealing mode's
+    /// ~1.3–30× skewed/sparse overhead was measured against.
+    Rounds,
+}
+
+/// The decision [`FleischerConfig::with_auto_batching`] took, recorded in the
+/// config and copied into [`SolveStats::gate`]. Before this existed, a gated
+/// TM silently fell back to the serial trajectory, indistinguishable from a
+/// user-requested serial run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BatchGate {
+    /// No auto-pick ran (the solver saw neither `with_auto_batching` nor an
+    /// explicit batch size).
+    #[default]
+    Unset,
+    /// An explicit [`FleischerConfig::batch_size`] was already set; the
+    /// auto-pick left it untouched (explicit always wins).
+    Explicit,
+    /// The caller asked for `solver_jobs <= 1`: serial by request.
+    SerialJobs,
+    /// Fewer than [`MIN_BATCH_FLOWS`] flows: too small to shard.
+    FewFlows,
+    /// One demand carries more than [`BATCH_SKEW_LIMIT`] of the TM's total
+    /// volume: a delta-function TM where one commodity is the instance.
+    ExtremeSkew,
+    /// Auto-batching engaged with the stealing scheduler.
+    Engaged,
+    /// Auto-batching engaged with the stealing scheduler's skew tuning: the
+    /// heaviest demand exceeds [`SKEW_TAIL_FACTOR`] x the mean, so the pick
+    /// shrinks the batch (smaller shared-θ pile-ups) and turns on
+    /// [`FleischerConfig::steal_serial_tail`] (survivors drain serially
+    /// after a shard's first merged round).
+    EngagedSkew,
+}
 
 impl Default for FleischerConfig {
     fn default() -> Self {
@@ -204,6 +321,11 @@ impl Default for FleischerConfig {
             check_interval: 8,
             aggregate_min_dests: None,
             batch_size: None,
+            pricing: PricingMode::Stealing,
+            steal_chunk: None,
+            async_staleness: None,
+            steal_serial_tail: false,
+            batch_gate: BatchGate::Unset,
             guard_factor: DEFAULT_GUARD_FACTOR,
             time_budget_ms: None,
         }
@@ -250,58 +372,82 @@ impl FleischerConfig {
 
     /// Returns this configuration with an unset batch size picked for `tm`
     /// when the caller asked for `solver_jobs > 1` solver-level parallelism:
-    /// [`auto_batch_size`] of the switch count, but **only for dense,
-    /// near-uniform TMs** — the shapes where the batched schedule measurably
-    /// wins (it closes the bound gap in fewer phases and its pricing fan-out
-    /// parallelizes):
+    /// [`auto_batch_size`] of the switch count, with the stealing scheduler
+    /// ([`PricingMode::Stealing`]). With cached-tree stealing rounds,
+    /// batching is the **default solve path** for parallel callers — the PR 5
+    /// density gate (sparse matching TMs measured ~30× slower under fixed
+    /// re-pricing rounds) and the tight `8×` skew gate (Facebook frontend
+    /// measured ~2.3× slower) are gone; only two cheap screens remain:
     ///
-    /// * *density*: average destination count at or past the aggregation
-    ///   threshold (the condition under which the aggregated tree kernel
-    ///   engages). Sparse matching-style TMs converge so fast through the
-    ///   serial goal-directed path that any batched schedule only adds
-    ///   phases (hypercube-64 longest-matching measured ~30× slower).
-    /// * *uniformity*: max demand within [`BATCH_SKEW_LIMIT`] of the mean.
-    ///   Heavily skewed TMs (the Facebook frontend spans ~3 decades) keep
-    ///   convergence but spend most pricing rounds on a few self-capped
-    ///   heavy stragglers — measured ~2× serial wall-clock before any
-    ///   thread scaling can win it back.
+    /// * *size*: at least [`MIN_BATCH_FLOWS`] flows — below that there is
+    ///   nothing to shard;
+    /// * *sanity*: no single demand carries more than [`BATCH_SKEW_LIMIT`]
+    ///   of the TM's total volume, screening out delta-function TMs where
+    ///   one commodity **is** the instance and a shard buys nothing
+    ///   (NaN-safe: an incomparable pair keeps the serial path).
     ///
-    /// With `solver_jobs <= 1` the configuration is returned unchanged, and
-    /// an explicit `Some` batch size always survives the auto-pick —
-    /// mirroring [`FleischerConfig::with_auto_aggregation`].
+    /// Every call records its decision in
+    /// [`batch_gate`](FleischerConfig::batch_gate) (surfaced as
+    /// [`SolveStats::gate`]), so a gated fallback is observable instead of
+    /// silently identical to a user-requested serial run. With
+    /// `solver_jobs <= 1` only the gate record changes, and an explicit
+    /// `Some` batch size always survives the auto-pick — mirroring
+    /// [`FleischerConfig::with_auto_aggregation`].
     pub fn with_auto_batching(self, tm: &TrafficMatrix, solver_jobs: usize) -> Self {
-        if self.batch_size.is_some() || solver_jobs <= 1 {
-            return self;
+        if self.batch_size.is_some() {
+            return FleischerConfig {
+                batch_gate: BatchGate::Explicit,
+                ..self
+            };
         }
-        let n = tm.num_switches();
-        // The density gate: the TM's average destination count reaches the
-        // (auto-picked unless explicitly set) aggregation threshold. An
-        // explicit `Some(usize::MAX)` — aggregation disabled — saturates the
-        // product and correctly reads as "never dense".
-        let threshold = self
-            .aggregate_min_dests
-            .unwrap_or_else(|| auto_aggregate_min_dests(n));
-        if tm.num_flows() < n.saturating_mul(threshold) {
-            return self;
+        if solver_jobs <= 1 {
+            return FleischerConfig {
+                batch_gate: BatchGate::SerialJobs,
+                ..self
+            };
         }
-        // The uniformity gate (NaN-safe: an incomparable pair keeps the
-        // serial path).
+        if tm.num_flows() < MIN_BATCH_FLOWS {
+            return FleischerConfig {
+                batch_gate: BatchGate::FewFlows,
+                ..self
+            };
+        }
         let mut max = 0.0f64;
         let mut sum = 0.0f64;
         for d in tm.demands() {
             max = max.max(d.amount);
             sum += d.amount;
         }
-        let mean = sum / tm.num_flows() as f64;
-        let uniform = matches!(
-            max.partial_cmp(&(BATCH_SKEW_LIMIT * mean)),
+        let spread = matches!(
+            max.partial_cmp(&(BATCH_SKEW_LIMIT * sum)),
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
         );
-        if !uniform {
-            return self;
+        if !spread {
+            return FleischerConfig {
+                batch_gate: BatchGate::ExtremeSkew,
+                ..self
+            };
+        }
+        // Skewed but not degenerate: engage stealing with the skew tuning —
+        // a quarter-size batch (a dominant commodity inside a big shard
+        // keeps the whole shard's merged rounds capacity-limited, and the
+        // Facebook TM-F sweep measured batch 8 ~1.8x faster than 32 at one
+        // worker) and the serial shard tail (see
+        // [`FleischerConfig::steal_serial_tail`]).
+        let mean = sum / tm.num_flows() as f64;
+        if max > SKEW_TAIL_FACTOR * mean {
+            return FleischerConfig {
+                batch_size: Some((auto_batch_size(tm.num_switches()) / 4).max(2)),
+                pricing: PricingMode::Stealing,
+                steal_serial_tail: true,
+                batch_gate: BatchGate::EngagedSkew,
+                ..self
+            };
         }
         FleischerConfig {
-            batch_size: Some(auto_batch_size(n)),
+            batch_size: Some(auto_batch_size(tm.num_switches())),
+            pricing: PricingMode::Stealing,
+            batch_gate: BatchGate::Engaged,
             ..self
         }
     }
@@ -323,6 +469,19 @@ pub fn auto_aggregate_min_dests(num_switches: usize) -> usize {
 /// to amortize the worker-pool fan-out.
 pub fn auto_batch_size(num_switches: usize) -> usize {
     (num_switches / 2).clamp(4, 64)
+}
+
+/// The auto-picked steal-chunk size for a graph of `num_switches` switches:
+/// half the switch count, clamped to `[8, 64]`. Splitting is a pure
+/// pricing-parallelism decision (the staged fold reassembles a source's
+/// chunks before self-capping), so the chunk trades fan-out granularity
+/// against per-chunk claim/fold bookkeeping: half the graph splits an
+/// all-to-all source into two claimable tasks, and the `batch_probe` sweep
+/// measured quarter-graph chunks ~25-30% slower at one worker on the
+/// 64-switch all-to-all shapes with no trajectory difference — the finer
+/// tasks were all bookkeeping.
+pub fn auto_steal_chunk(num_switches: usize) -> usize {
+    (num_switches / 2).clamp(8, 64)
 }
 
 /// Convergence counters of one solve, reported by
@@ -349,6 +508,22 @@ pub struct SolveStats {
     /// Whether the solve met its accuracy contract (classical FPTAS
     /// termination or the target bound gap) before any budget ran out.
     pub converged: bool,
+    /// The [`FleischerConfig::with_auto_batching`] gate decision this solve
+    /// ran under ([`BatchGate::Unset`] when no auto-pick was involved).
+    pub gate: BatchGate,
+    /// Stealing-mode pricing tasks executed (destination chunks + walk
+    /// sources) across all rounds. 0 for serial and fixed-rounds solves.
+    pub steal_tasks: usize,
+    /// Shortest-path trees built by the stealing scheduler (cache misses:
+    /// first builds plus staleness rebuilds). The cached-tree win over
+    /// fixed rounds is visible as `steal_trees ≪ steal_tasks`.
+    pub steal_trees: usize,
+    /// Largest per-task Dijkstra settle count seen in any stealing round —
+    /// the straggler proxy the `batch_probe` example prints.
+    pub steal_settle_max: usize,
+    /// Total Dijkstra settle count across all stealing-round tree builds
+    /// (with [`steal_trees`](SolveStats::steal_trees) this yields the mean).
+    pub steal_settle_total: usize,
 }
 
 /// Reusable scratch state for [`FleischerSolver`]: the SSSP workspace, the
@@ -392,6 +567,9 @@ pub struct SolverWorkspace {
     /// Per-worker routing scratch (SSSP + subtree fold buffer) leased by the
     /// batch-parallel epochs.
     route_pool: WorkspacePool<RouteScratch>,
+    /// The stealing scheduler's per-shard state: cached tree slots, the
+    /// bounded-staleness length buffer, and round-local scratch.
+    steal: steal::StealState,
 }
 
 impl SolverWorkspace {
@@ -798,43 +976,84 @@ mod tests {
     }
 
     #[test]
-    fn auto_batching_gates_on_jobs_and_tm_density() {
+    fn auto_batching_engages_broadly_and_records_its_gate() {
         let base = FleischerConfig::default();
         let servers64 = vec![1usize; 64];
         let dense = tb_traffic::synthetic::all_to_all(&servers64);
         let sparse = tb_traffic::synthetic::random_permutation(&servers64, 1);
-        // solver_jobs <= 1 keeps the serial trajectory.
-        assert_eq!(base.with_auto_batching(&dense, 1).batch_size, None);
-        assert_eq!(base.with_auto_batching(&dense, 0).batch_size, None);
+        // solver_jobs <= 1 keeps the serial trajectory, and says why.
+        for jobs in [0, 1] {
+            let cfg = base.with_auto_batching(&dense, jobs);
+            assert_eq!(cfg.batch_size, None);
+            assert_eq!(cfg.batch_gate, BatchGate::SerialJobs);
+        }
         // jobs > 1 on a dense TM fills in the graph-size pick: n/2 in [4,64].
-        assert_eq!(base.with_auto_batching(&dense, 4).batch_size, Some(32));
+        let picked = base.with_auto_batching(&dense, 4);
+        assert_eq!(picked.batch_size, Some(32));
+        assert_eq!(picked.batch_gate, BatchGate::Engaged);
+        assert_eq!(picked.pricing, PricingMode::Stealing);
         let dense16 = tb_traffic::synthetic::all_to_all(&[1usize; 16]);
         assert_eq!(base.with_auto_batching(&dense16, 4).batch_size, Some(8));
-        // Sparse matching-style TMs stay serial regardless of jobs.
-        assert_eq!(base.with_auto_batching(&sparse, 8).batch_size, None);
-        // Dense but heavily skewed TMs stay serial too (one demand far
-        // above the mean busts the uniformity gate).
+        // Sparse matching-style TMs now engage too — the stealing scheduler's
+        // cached trees removed the ~30× fixed-rounds penalty that used to
+        // gate them off.
+        let sparse_cfg = base.with_auto_batching(&sparse, 8);
+        assert_eq!(sparse_cfg.batch_size, Some(32));
+        assert_eq!(sparse_cfg.batch_gate, BatchGate::Engaged);
+        // Skewed-but-real TMs engage with the skew tuning: a 1000× outlier
+        // on a 4032-flow A2A base carries ~20% of total volume — an order of
+        // magnitude past the Facebook frontend max's ~1.6% share, still
+        // inside the delta-function limit, but far past SKEW_TAIL_FACTOR ×
+        // the mean. The pick shrinks the batch to a quarter (n/8 here) and
+        // turns on the serial shard tail.
         let mut skewed_demands = dense.demands().to_vec();
-        skewed_demands[0].amount *= 10_000.0;
+        skewed_demands[0].amount *= 1000.0;
         let skewed = TrafficMatrix::new(64, skewed_demands);
-        assert_eq!(base.with_auto_batching(&skewed, 8).batch_size, None);
-        // Aggregation explicitly disabled reads as "never dense".
-        let no_agg = FleischerConfig {
-            aggregate_min_dests: Some(usize::MAX),
-            ..base
-        };
-        assert_eq!(no_agg.with_auto_batching(&dense, 8).batch_size, None);
+        let skew_cfg = base.with_auto_batching(&skewed, 8);
+        assert_eq!(skew_cfg.batch_gate, BatchGate::EngagedSkew);
+        assert_eq!(skew_cfg.batch_size, Some(8));
+        assert!(skew_cfg.steal_serial_tail);
+        // The real Facebook TM-F shape (max/mean ≈ 64) takes the same path;
+        // the uniform shapes above stay on the plain Engaged pick with
+        // serial tails off (their multi-round merged drains are the win).
+        let tmf = tb_traffic::facebook::tm_f(64, 7);
+        assert_eq!(
+            base.with_auto_batching(&tmf, 8).batch_gate,
+            BatchGate::EngagedSkew
+        );
+        assert!(!picked.steal_serial_tail);
+        assert!(!sparse_cfg.steal_serial_tail);
+        // A delta-function TM (one demand carrying ~100% of total volume) is
+        // still screened out: one commodity is the whole instance.
+        let mut delta_demands = dense.demands().to_vec();
+        delta_demands[0].amount *= 1e9;
+        let delta = TrafficMatrix::new(64, delta_demands);
+        let delta_cfg = base.with_auto_batching(&delta, 8);
+        assert_eq!(delta_cfg.batch_size, None);
+        assert_eq!(delta_cfg.batch_gate, BatchGate::ExtremeSkew);
+        // Tiny TMs have nothing to shard.
+        let tiny = TrafficMatrix::new(4, vec![demand(0, 1, 1.0), demand(2, 3, 1.0)]);
+        let tiny_cfg = base.with_auto_batching(&tiny, 8);
+        assert_eq!(tiny_cfg.batch_size, None);
+        assert_eq!(tiny_cfg.batch_gate, BatchGate::FewFlows);
         // Explicit sizes survive, including Some(1) = forced serial.
         for explicit in [1usize, 2, 16] {
             let cfg = FleischerConfig {
                 batch_size: Some(explicit),
                 ..base
             };
-            assert_eq!(
-                cfg.with_auto_batching(&sparse, 8).batch_size,
-                Some(explicit)
-            );
+            let out = cfg.with_auto_batching(&sparse, 8);
+            assert_eq!(out.batch_size, Some(explicit));
+            assert_eq!(out.batch_gate, BatchGate::Explicit);
         }
+    }
+
+    #[test]
+    fn auto_steal_chunk_scales_with_graph_size() {
+        assert_eq!(auto_steal_chunk(16), 8);
+        assert_eq!(auto_steal_chunk(64), 32);
+        assert_eq!(auto_steal_chunk(128), 64);
+        assert_eq!(auto_steal_chunk(4096), 64);
     }
 
     #[test]

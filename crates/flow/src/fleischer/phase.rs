@@ -23,7 +23,10 @@
 //! ROADMAP.md; both slowed convergence with nothing to catch it).
 
 use super::route::{self, RouteCtx, RouteState, SerialState};
-use super::{FleischerConfig, SolveStats, SolverWorkspace, PAR_MIN_BATCH_WORK, PAR_MIN_SWEEP_WORK};
+use super::{
+    steal, BatchGate, FleischerConfig, PricingMode, SolveStats, SolverWorkspace,
+    PAR_MIN_BATCH_WORK, PAR_MIN_SWEEP_WORK,
+};
 use crate::instance::FlowProblem;
 use crate::lengths::MwuLengths;
 use crate::ThroughputBounds;
@@ -140,6 +143,7 @@ pub(super) fn solve_problem(
         merge: epoch_merge,
         sweep_pool,
         route_pool,
+        steal: steal_state,
     } = ws;
     // Lengths (delta / cap each) and routing state, sized to this instance.
     mwu.reset(eps, prob.arc_caps());
@@ -206,6 +210,13 @@ pub(super) fn solve_problem(
     let batching = batch >= 2 && num_sources >= 2;
     let mut stats = SolveStats {
         batch_size: if batching { batch } else { 1 },
+        // An explicit batch size that never went through the auto-pick
+        // still reports a meaningful gate.
+        gate: if cfg.batch_gate == BatchGate::Unset && batching {
+            BatchGate::Explicit
+        } else {
+            cfg.batch_gate
+        },
         ..Default::default()
     };
     let mut batch_active = batching;
@@ -253,7 +264,14 @@ pub(super) fn solve_problem(
                 let ok = if dense {
                     route::route_source_tree(&ctx, si, potentials, &mut state, &mut routed[si])
                 } else {
-                    route::route_source_walk(&ctx, si, potentials, &mut state, &mut routed[si])
+                    route::route_source_walk(
+                        &ctx,
+                        si,
+                        potentials,
+                        &mut state,
+                        &mut routed[si],
+                        true,
+                    )
                 };
                 if !ok {
                     break 'phases;
@@ -264,6 +282,34 @@ pub(super) fn solve_problem(
                 guard_limit =
                     ((cfg.guard_factor * stats.serial_estimate as f64).ceil() as usize).max(1);
                 stats.guard_limit = guard_limit;
+            }
+        } else if cfg.pricing == PricingMode::Stealing {
+            // Batched phase, work-stealing scheduler: cached per-source
+            // trees, destination chunks on a claim queue, price-ahead fold
+            // (see `steal` module docs). Same shard order and merge math as
+            // the fixed rounds below; different pricing-work production.
+            if !steal::run_phase(
+                cfg,
+                &ctx,
+                potentials,
+                batch,
+                &mut batch_remaining,
+                &mut routed,
+                mwu,
+                &mut arc_state[..],
+                &mut flow_arc,
+                epoch_merge,
+                route_pool,
+                steal::SerialScratch {
+                    touched: &mut *touched,
+                    path: &mut *path,
+                    subtree: &mut *subtree,
+                    cur_len: &mut *cur_len,
+                },
+                steal_state,
+                &mut stats,
+            ) {
+                break 'phases;
             }
         } else {
             // Batched phase: fixed-order shards of `batch` sources. A shard
@@ -376,7 +422,17 @@ pub(super) fn solve_problem(
             batch_active = false;
             stats.guard_triggered = true;
         }
-        if phase.is_multiple_of(check_interval) {
+        // In a batched solve the serial phase-0 yardstick doubles as a
+        // convergence probe: evaluate once right after it, so instances the
+        // single serial sweep already solves to the target gap (integral
+        // optima hit exactly, e.g. unit-capacity matchings on the hypercube
+        // — measured gap 0.0 after one phase vs >= 0.16 on every shape that
+        // benefits from batching) terminate before any batched epoch runs.
+        // The phase-count guard cannot catch these: its estimate
+        // extrapolates the classical `D(l) >= 1` termination and is blind
+        // to gap-based early exits (measured 45x wall-clock on the
+        // hypercube longest-matching without this check).
+        if phase.is_multiple_of(check_interval) || (batching && phase == 1) {
             let (lo, up) = evaluate_bounds(
                 &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
             );

@@ -189,17 +189,22 @@ pub(super) fn refresh_potentials(
 /// with optimistic single-pass application and tree reuse under the staleness
 /// slack — the classical trajectory). The tree for the source must already be
 /// in `state.sssp`; `state.remaining` must hold the source's remaining
-/// demands. Returns `false` when `D(l)` saturated mid-source (the caller
-/// breaks the phase loop).
+/// demands. `exact_entry` says whether that tree was computed at the current
+/// lengths (the phase scheduler always passes `true`; the work-stealing
+/// scheduler's single-active fast path hands over a cached tree and passes
+/// its slot's exactness, so the first pass re-checks the slack). Returns
+/// `false` when `D(l)` saturated mid-source (the caller breaks the phase
+/// loop).
 pub(super) fn route_source_walk(
     ctx: &RouteCtx<'_>,
     si: usize,
     potentials: &[f64],
     state: &mut SerialState<'_>,
     routed_si: &mut [f64],
+    exact_entry: bool,
 ) -> bool {
     let s = &ctx.prob.sources()[si];
-    let mut tree_exact = true;
+    let mut tree_exact = exact_entry;
     loop {
         if state.mwu.saturated() {
             return false;
@@ -334,6 +339,11 @@ pub(super) fn route_source_tree(
     routed_si: &mut [f64],
 ) -> bool {
     let s = &ctx.prob.sources()[si];
+    // The caller guarantees the tree in `state.sssp` is within the reuse
+    // slack at the current lengths (freshly computed, or a cached tree that
+    // passed the staleness check); the first batch may route on a
+    // within-slack tree exactly as any revalidated iteration would, and the
+    // apply pass rebuilds `cur_len` top-down before the next check needs it.
     let mut revalidate = false;
     loop {
         if state.mwu.saturated() {
@@ -444,9 +454,9 @@ pub(super) fn route_source_tree(
 /// solver workspace's pool, so repeated shards allocate nothing.
 #[derive(Debug, Default)]
 pub(super) struct RouteScratch {
-    sssp: SsspWorkspace,
-    subtree: Vec<f64>,
-    arc_load: Vec<f64>,
+    pub(super) sssp: SsspWorkspace,
+    pub(super) subtree: Vec<f64>,
+    pub(super) arc_load: Vec<f64>,
 }
 
 /// Snapshot routing of one source: prices the source's tree against the
@@ -546,4 +556,137 @@ pub(super) fn route_source_snapshot(
         }
     }
     loads
+}
+
+/// Chunk pricing over a **cached** tree: the aggregated bottom-up fold of
+/// [`route_source_snapshot`], restricted to the destination range `lo..hi`
+/// of source `si` and driven by a shared (read-only) tree slot instead of a
+/// freshly computed one — the work-stealing scheduler's dense-source task.
+/// Several chunks of one source price concurrently against the same tree;
+/// each returns its own one-entry-per-arc load list, so the merge self-caps
+/// each chunk exactly as it self-caps a whole source (the per-chunk
+/// step-size argument in [`merge`]). Entries appear in reverse settle order,
+/// a pure function of (tree, chunk) — never of worker scheduling.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn price_chunk_snapshot(
+    ctx: &RouteCtx<'_>,
+    si: usize,
+    lo: usize,
+    hi: usize,
+    remaining: &[f64],
+    sssp: &SsspWorkspace,
+    subtree: &mut Vec<f64>,
+    loads: &mut Vec<(u32, f64)>,
+) {
+    let s = &ctx.prob.sources()[si];
+    let n = ctx.prob.num_nodes();
+    if subtree.len() < n {
+        subtree.resize(n, 0.0);
+    }
+    for &v in sssp.settle_order() {
+        subtree[v as usize] = 0.0;
+    }
+    let mut pending = false;
+    for (&(dst, _), &rem) in s.dests[lo..hi].iter().zip(&remaining[lo..hi]) {
+        if rem <= 1e-15 || dst == s.src {
+            continue;
+        }
+        debug_assert!(sssp.dist(dst).is_finite());
+        subtree[dst] += rem;
+        pending = true;
+    }
+    loads.clear();
+    if pending {
+        for &v in sssp.settle_order().iter().rev() {
+            let v = v as usize;
+            if v == s.src {
+                continue;
+            }
+            let load = subtree[v];
+            if load <= 0.0 {
+                continue;
+            }
+            let (p, aid) = sssp.parent_unchecked(v);
+            subtree[p] += load;
+            loads.push((aid as u32, load));
+        }
+    }
+}
+
+/// Walk pricing over a **cached** tree with inline staleness repair: the
+/// per-destination load-recording walk of [`route_source_snapshot`], but
+/// reusing the tree in `sssp` across the shard's pricing rounds under the
+/// serial reuse rule — recorded distances lower-bound current ones (lengths
+/// are monotone), so a path whose current length stays within `slack ×` the
+/// recorded distance is still approximately shortest (the stealing
+/// scheduler passes a full-ε slack; see its module docs).
+/// When a destination drifts past the slack, the accumulated loads are
+/// rolled back, the tree is rebuilt at the round's pricing lengths `lens`
+/// (setting `exact`, which skips further checks this round), and the source
+/// restarts from scratch. This is what eliminates the fixed-rounds
+/// scheduler's per-round Dijkstra on sparse TMs (the measured ~30× loss).
+/// Fills `loads` (cleared first); returns `(trees built, settle count of
+/// those builds)`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn price_walk_cached(
+    ctx: &RouteCtx<'_>,
+    si: usize,
+    potentials: &[f64],
+    lens: &[f64],
+    remaining: &[f64],
+    slack: f64,
+    sssp: &mut SsspWorkspace,
+    exact: &mut bool,
+    arc_load: &mut Vec<f64>,
+    loads: &mut Vec<(u32, f64)>,
+) -> (usize, usize) {
+    let s = &ctx.prob.sources()[si];
+    let m = ctx.prob.num_arcs();
+    if arc_load.len() < m {
+        arc_load.resize(m, 0.0);
+    }
+    let mut built = 0usize;
+    let mut settled = 0usize;
+    loads.clear();
+    'retry: loop {
+        for (j, &(dst, _)) in s.dests.iter().enumerate() {
+            let r = remaining[j];
+            if r <= 1e-15 || dst == s.src {
+                continue;
+            }
+            debug_assert!(sssp.dist(dst).is_finite());
+            let mut path_len = 0.0;
+            let mut cur = dst;
+            while cur != s.src {
+                let (p, aid) = sssp.parent_unchecked(cur);
+                if !*exact {
+                    path_len += lens[aid];
+                }
+                if arc_load[aid] == 0.0 {
+                    loads.push((aid as u32, 0.0));
+                }
+                arc_load[aid] += r;
+                cur = p;
+            }
+            if !*exact && path_len > slack * sssp.dist(dst) {
+                // Stale: roll the accumulator back (every touched arc has a
+                // first-touch entry in `loads`), rebuild, restart the source.
+                for &(aid, _) in loads.iter() {
+                    arc_load[aid as usize] = 0.0;
+                }
+                loads.clear();
+                compute_tree(ctx, si, potentials, lens, sssp);
+                *exact = true;
+                built += 1;
+                settled += sssp.settled_count();
+                continue 'retry;
+            }
+        }
+        break;
+    }
+    for (aid, load) in loads.iter_mut() {
+        *load = arc_load[*aid as usize];
+        arc_load[*aid as usize] = 0.0;
+    }
+    (built, settled)
 }

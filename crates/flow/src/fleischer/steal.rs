@@ -1,0 +1,800 @@
+//! The work-stealing pricing scheduler ([`PricingMode::Stealing`]).
+//!
+//! PR 5's fixed rounds re-price **every** active source with a fresh
+//! Dijkstra against every round's snapshot. On dense near-uniform TMs a
+//! shard drains in one or two rounds and that is fine; on skewed TMs the
+//! self-capped stragglers re-price for many rounds (Facebook TM-F measured
+//! ~2.3× serial wall-clock at one worker), and on sparse matching TMs the
+//! serial path's goal-directed tree *reuse* has no batched counterpart at
+//! all. This scheduler keeps the batched merge math — the same
+//! [`EpochMerge`] fold, the same `θ`/`θ_k` capping, one ≤ (1+ε) update per
+//! round — and changes how a round's pricing work is produced:
+//!
+//! * **Cached tree slots.** Each shard source owns a [`TreeSlot`] holding
+//!   its SSSP tree across the shard's rounds. Trees are revalidated under
+//!   the serial reuse rule (recorded distances lower-bound current ones —
+//!   lengths only grow — so paths within `reuse_slack ×` the recorded
+//!   distance stay approximately shortest) and rebuilt only when a
+//!   destination with remaining demand drifts past the slack. Wider slacks
+//!   were swept and rejected: a full-ε slack cut TM-F rebuilds ~1.4× but
+//!   slowed dense-A2A convergence 12 → 40 phases.
+//! * **Destination chunks on a claim queue.** A dense source whose
+//!   destination count reaches twice the chunk size splits into destination
+//!   chunks, each a separately claimable pricing task on a shared
+//!   [`ClaimQueue`], so one oversized commodity no longer serializes a
+//!   round's fan-out. Splitting is **purely a pricing-parallelism
+//!   decision**: the fold stages a source's chunks and self-caps their sum
+//!   (see [`merge`]), so the merged update is bit-identical whether a
+//!   source split or not. (An earlier variant also split last round's
+//!   `θ·θ_k < 1` stragglers and capped each chunk separately; a shared
+//!   `θ < 1` marks every active slot, so one capacity-limited round split
+//!   the whole shard, the weaker per-chunk caps collapsed `θ`, and the
+//!   drain stalled — measured ~3× worse than the fixed rounds on TM-F.)
+//!   Sparse (walk) sources stay single tasks so their inline tree repair
+//!   owns the slot; unsplit dense sources resolve their own tree inside
+//!   their task (the tree depends only on the round's frozen lengths, so
+//!   fusing the resolve into the task is bit-identical to a separate
+//!   stage). Only split sources need the up-front stage-A resolve — their
+//!   chunks share the tree read-only.
+//! * **Price-ahead fold.** Results post into per-task slots; after every
+//!   post, whichever worker gets the fold lock advances a cursor over the
+//!   ready prefix, folding loads into the [`EpochMerge`] in **task-index
+//!   order**. Light tasks are merged while heavy chunks still route, and
+//!   the fold order — hence every downstream float — is a pure function of
+//!   the task list. Steal order may vary; commit/merge order may not:
+//!   results are bit-identical at any worker count. When only one worker
+//!   would run (or the round is too small to fan out), an inline path
+//!   executes the tasks in the same order with direct folds — no claim
+//!   queue, no result slots, no locks — and identical arithmetic.
+//! * **Serial drain fast path.** A merged round over a single active
+//!   source is arithmetically the serial in-place update (`U_a` is that
+//!   source's self-capped load, so `θ·θ_k` reduces to the serial bottleneck
+//!   rule) while still paying queue/fold/commit machinery per
+//!   capacity-limited step — and the straggler tail that dominates skewed
+//!   TMs is exactly this case. Lone survivors are handed to the serial
+//!   kernels and drained to completion. Under
+//!   [`FleischerConfig::steal_serial_tail`] (skew-gated by the
+//!   auto-batching pick) the path generalizes: every round after a shard's
+//!   first drains **all** survivors serially in slot order, eliminating the
+//!   repeated full-shard rebuilds a shared-`θ < 1` chain forces (measured
+//!   +16% total Dijkstras over serial on TM-F without it, ≤ 1.15× serial
+//!   wall-clock with it).
+//! * **Bounded-staleness async pricing** (opt-in,
+//!   [`FleischerConfig::async_staleness`]` = Some(S)`): the pricing lengths
+//!   are a materialized copy refreshed every `S` rounds per shard, so
+//!   workers read lengths at most `S` rounds stale while merged updates
+//!   (and `D(l)`) advance every round against the true state. Commits are
+//!   still capped against true capacities; successive refreshes are
+//!   pointwise monotone, so the tree-reuse rule stays sound; and the PR 5
+//!   convergence guard still degenerates the solve to the serial `B = 1`
+//!   trajectory on extrapolated-phase blowup. Goal-direction potentials are
+//!   always refreshed **no later** than any pricing buffer, so they remain
+//!   admissible for stale-length tree builds.
+//!
+//! Determinism inventory (everything downstream floats depend on): the task
+//! list (the active set and each source's destination count vs. the chunk
+//! size — never the worker count), the per-slot rebuild decisions (frozen
+//! pricing lengths + slot state), the fold order (task index), the commit
+//! order (task index), and the serial-tail trigger (round index + active
+//! count + config). The only scheduling-dependent quantity is which worker
+//! ran which task.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use super::merge::EpochMerge;
+use super::route::{self, RouteCtx, RouteScratch, RouteState, SerialState};
+use super::{FleischerConfig, SolveStats, PAR_MIN_BATCH_WORK};
+use crate::lengths::{MwuLengths, StaleLengths};
+use rayon::prelude::*;
+use tb_graph::{ClaimQueue, SsspWorkspace, WorkspacePool};
+
+#[cfg(doc)]
+use super::PricingMode;
+
+/// One shard source's cached routing tree: the SSSP state plus the two
+/// reuse flags. `valid` = the tree belongs to this shard (cleared when a
+/// shard forms); `exact` = the tree was built at the current pricing
+/// lengths (skips staleness checks until the lengths move).
+#[derive(Debug, Default)]
+struct TreeSlot {
+    sssp: SsspWorkspace,
+    valid: bool,
+    exact: bool,
+}
+
+/// One claimable pricing task: destination range `lo..hi` of shard slot
+/// `slot` (source `si`). Shared dense tasks (chunks of a split source) fold
+/// over the slot's tree read-only — the tree is resolved up front in stage
+/// A. Unshared tasks own their slot mutably: walk tasks self-repair their
+/// tree inline, unsplit dense tasks validate-or-rebuild theirs before the
+/// fold (the tree depends only on the round's frozen pricing lengths, so
+/// resolving it inside the task is bit-identical to a separate pass).
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    slot: usize,
+    si: usize,
+    lo: usize,
+    hi: usize,
+    dense: bool,
+    shared: bool,
+}
+
+/// A priced chunk's `(arc, load)` pairs — the unit a task posts, the fold
+/// consumes, and the recycle stack hands back out.
+type Loads = Vec<(u32, f64)>;
+
+/// The price-ahead fold: a cursor over the task list, advanced under one
+/// lock in task-index order as results become ready. Chunk loads are staged
+/// per source and self-capped when the source's last chunk folds (chunks of
+/// one source are contiguous in task order), so a split source self-caps
+/// exactly as an unsplit one. Holding the merge and the per-slot `θ_k`
+/// record inside keeps the fold a single critical section.
+struct Fold<'a> {
+    cursor: usize,
+    tasks: &'a [Task],
+    merge: &'a mut EpochMerge,
+    theta_k: &'a mut [f64],
+}
+
+/// The stealing scheduler's reusable state, owned by the solver workspace:
+/// cached tree slots, the bounded-staleness length buffer, and round-local
+/// scratch. Sized lazily; reused across shards and solves (shard formation
+/// invalidates the slots).
+#[derive(Debug, Default)]
+pub(super) struct StealState {
+    slots: Vec<RwLock<TreeSlot>>,
+    stale: StaleLengths,
+    /// Per-slot self-cap fractions of the current round (written by the fold
+    /// when a slot's last chunk commits, read by the commit loop).
+    theta_k: Vec<f64>,
+    tasks: Vec<Task>,
+    results: Vec<Mutex<Option<Loads>>>,
+    /// Round-local buffers, kept across rounds so the straggler tail's many
+    /// small rounds allocate nothing.
+    active: Vec<usize>,
+    jobs: Vec<usize>,
+    /// Spent load buffers, recycled between pricing tasks (claim: pop one,
+    /// price into it, post; fold: push the folded buffer back).
+    recycle: Mutex<Vec<Loads>>,
+}
+
+/// Cloning yields a fresh (cold) state: cached trees and length buffers are
+/// scratch, not data — the same contract as the workspace pools.
+impl Clone for StealState {
+    fn clone(&self) -> Self {
+        StealState::default()
+    }
+}
+
+/// Borrowed solver-workspace buffers for the single-active fast path's
+/// serial kernels: the same buffers the phase scheduler's serial branch
+/// hands to [`SerialState`]. The two branches never run concurrently, so
+/// sharing them is free.
+pub(super) struct SerialScratch<'a> {
+    pub touched: &'a mut Vec<usize>,
+    pub path: &'a mut Vec<usize>,
+    pub subtree: &'a mut Vec<f64>,
+    pub cur_len: &'a mut Vec<f64>,
+}
+
+/// Ignore mutex/rwlock poisoning throughout: the critical sections are
+/// pushes, takes and fold steps that cannot leave the data inconsistent,
+/// and the solver's panic (if any) propagates regardless.
+macro_rules! unpoison {
+    ($e:expr) => {
+        $e.unwrap_or_else(|e| e.into_inner())
+    };
+}
+
+/// Top-down current-length refresh + staleness check of a cached dense
+/// tree: recompute every settled node's tree-path length under the round's
+/// pricing lengths (`cur_len[v] = cur_len[parent] + lens[arc]`, parents
+/// settle first) and report whether any destination with remaining demand
+/// drifted past the reuse slack — exactly the serial aggregated kernel's
+/// revalidation rule, run against a borrowed scratch buffer.
+fn tree_is_stale(
+    ctx: &RouteCtx<'_>,
+    si: usize,
+    lens: &[f64],
+    remaining: &[f64],
+    slack: f64,
+    sssp: &SsspWorkspace,
+    cur_len: &mut Vec<f64>,
+) -> bool {
+    let s = &ctx.prob.sources()[si];
+    let n = ctx.prob.num_nodes();
+    if cur_len.len() < n {
+        cur_len.resize(n, 0.0);
+    }
+    for &v in sssp.settle_order() {
+        let v = v as usize;
+        if v == s.src {
+            cur_len[v] = 0.0;
+            continue;
+        }
+        let (p, aid) = sssp.parent_unchecked(v);
+        cur_len[v] = cur_len[p] + lens[aid];
+    }
+    s.dests.iter().enumerate().any(|(j, &(dst, _))| {
+        remaining[j] > 1e-15 && dst != s.src && cur_len[dst] > slack * sssp.dist(dst)
+    })
+}
+
+/// Advances the fold cursor over the ready prefix of `results`, folding
+/// each taken result into the merge in task-index order. Non-blocking: if
+/// another worker holds the fold, this one goes back to routing (the final
+/// blocking drain after the parallel region folds whatever is left).
+fn drain_ready(
+    fold: &Mutex<Fold<'_>>,
+    results: &[Mutex<Option<Loads>>],
+    st: &[RouteState],
+    recycle: &Mutex<Vec<Loads>>,
+) {
+    if let Ok(mut f) = fold.try_lock() {
+        while f.cursor < results.len() {
+            let taken = unpoison!(results[f.cursor].lock()).take();
+            match taken {
+                Some(loads) => {
+                    f.fold_one(&loads, st);
+                    unpoison!(recycle.lock()).push(loads);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Fold<'_> {
+    /// Folds the result of task `self.cursor`: stage the chunk's loads and,
+    /// when this is the slot's last chunk, self-cap the staged source and
+    /// record its `θ_k`.
+    fn fold_one(&mut self, loads: &[(u32, f64)], st: &[RouteState]) {
+        let t = self.cursor;
+        self.merge.stage(loads);
+        let slot = self.tasks[t].slot;
+        if t + 1 == self.tasks.len() || self.tasks[t + 1].slot != slot {
+            self.theta_k[slot] = self.merge.commit_staged(st);
+        }
+        self.cursor += 1;
+    }
+}
+
+/// Runs one batched phase under the stealing scheduler: fixed-order shards
+/// of `batch` sources, each drained by work-stealing pricing rounds (see
+/// the module docs). Returns `false` when `D(l)` saturated mid-phase (the
+/// caller breaks the phase loop) — the same contract as the serial kernels.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_phase(
+    cfg: &FleischerConfig,
+    ctx: &RouteCtx<'_>,
+    potentials: &[f64],
+    batch: usize,
+    batch_remaining: &mut [Vec<f64>],
+    routed: &mut [Vec<f64>],
+    mwu: &mut MwuLengths,
+    arc_state: &mut [RouteState],
+    flow_arc: &mut [f64],
+    epoch_merge: &mut EpochMerge,
+    route_pool: &WorkspacePool<RouteScratch>,
+    serial_scratch: SerialScratch<'_>,
+    state: &mut StealState,
+    stats: &mut SolveStats,
+) -> bool {
+    let prob = ctx.prob;
+    let m = prob.num_arcs();
+    let num_sources = prob.sources().len();
+    let chunk = cfg
+        .steal_chunk
+        .unwrap_or_else(|| super::auto_steal_chunk(prob.num_nodes()))
+        .max(1);
+    // S < 2 is synchronous: a buffer refreshed every round is the live
+    // lengths with extra copies.
+    let staleness = cfg.async_staleness.filter(|&s| s >= 2);
+    // Cached trees reuse under the serial quarter-step slack. Wider slacks
+    // were swept and rejected: a full-ε slack cut Facebook TM-F's rebuilds
+    // ~1.4x but slowed dense-A2A convergence 12 → 40 phases — the same
+    // loose-slack trade the reverted phase-persistent tree designs hit.
+    let slack = ctx.reuse_slack;
+    let SerialScratch {
+        touched,
+        path,
+        subtree,
+        cur_len,
+    } = serial_scratch;
+    let StealState {
+        slots,
+        stale,
+        theta_k,
+        tasks,
+        results,
+        active,
+        jobs,
+        recycle,
+    } = state;
+
+    let mut start = 0usize;
+    while start < num_sources {
+        let end = (start + batch).min(num_sources);
+        let bs = end - start;
+        if slots.len() < bs {
+            slots.resize_with(bs, Default::default);
+        }
+        if theta_k.len() < bs {
+            theta_k.resize(bs, 1.0);
+        }
+        // Form the shard: invalidate the cached trees, reset remaining
+        // demands, and commit self-demands up front (they consume no
+        // capacity, so they never wait on a θ-rescaled drain step).
+        for slot in &mut slots[..bs] {
+            let slot = unpoison!(slot.get_mut());
+            slot.valid = false;
+            slot.exact = false;
+        }
+        for (k, si) in (start..end).enumerate() {
+            let rem = &mut batch_remaining[k];
+            rem.clone_from(&ctx.demands[si]);
+            let s = &prob.sources()[si];
+            for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                if dst == s.src && rem[j] > 0.0 {
+                    routed[si][j] += rem[j];
+                    rem[j] = 0.0;
+                }
+            }
+        }
+        let mut round = 0usize;
+        loop {
+            // Saturation is checked against the *true* lengths even in
+            // async mode — the stale buffer only prices trees.
+            if mwu.saturated() {
+                return false;
+            }
+            active.clear();
+            active.extend((0..bs).filter(|&k| batch_remaining[k].iter().any(|&r| r > 1e-15)));
+            if active.is_empty() {
+                break;
+            }
+            // Serial drain fast path: a merged round over one source IS the
+            // serial in-place update (U_a is the source's own self-capped
+            // load, so θ·θ_k equals the serial bottleneck rule), but paying
+            // the queue/fold/commit machinery per capacity-limited step. The
+            // straggler tail that dominates skewed TMs is exactly this case,
+            // so hand lone survivors to the serial kernels and drain them to
+            // completion — same math, serial cost, and trivially
+            // deterministic (the trigger depends on the trajectory, never on
+            // worker count). Under `steal_serial_tail` (skew-gated by the
+            // auto-batching pick) the path generalizes: every round after
+            // the shard's first drains ALL survivors serially in slot
+            // order, eliminating the repeated full-shard rebuilds that a
+            // shared θ < 1 chain forces (each merged round moves every
+            // active source's lengths, so round r+1 re-Dijkstras the whole
+            // shard to commit another small fraction — measured +16% total
+            // trees over serial on Facebook TM-F). Async mode stays on the
+            // batched path: its pricing must read the stale buffer, not the
+            // live lengths.
+            if staleness.is_none() && (active.len() == 1 || (cfg.steal_serial_tail && round > 0)) {
+                for &k in active.iter() {
+                    let si = start + k;
+                    let dense = prob.sources()[si].dests.len() >= ctx.agg_min_dests;
+                    let slot = unpoison!(slots[k].get_mut());
+                    // The serial kernels expect a usable (within-slack) tree.
+                    let exact = if !slot.valid
+                        || (dense
+                            && !slot.exact
+                            && tree_is_stale(
+                                ctx,
+                                si,
+                                mwu.lens(),
+                                &batch_remaining[k],
+                                slack,
+                                &slot.sssp,
+                                cur_len,
+                            )) {
+                        route::compute_tree(ctx, si, potentials, mwu.lens(), &mut slot.sssp);
+                        stats.steal_trees += 1;
+                        let settled = slot.sssp.settled_count();
+                        stats.steal_settle_total += settled;
+                        stats.steal_settle_max = stats.steal_settle_max.max(settled);
+                        true
+                    } else {
+                        slot.exact
+                    };
+                    slot.valid = true;
+                    slot.exact = false; // the drain moves the lengths
+                    let mut sstate = SerialState {
+                        mwu: &mut *mwu,
+                        st: &mut arc_state[..],
+                        flow_arc: &mut *flow_arc,
+                        remaining: &mut batch_remaining[k],
+                        touched: &mut *touched,
+                        path: &mut *path,
+                        subtree: &mut subtree[..],
+                        cur_len: &mut cur_len[..],
+                        sssp: &mut slot.sssp,
+                    };
+                    let ok = if dense {
+                        route::route_source_tree(ctx, si, potentials, &mut sstate, &mut routed[si])
+                    } else {
+                        route::route_source_walk(
+                            ctx,
+                            si,
+                            potentials,
+                            &mut sstate,
+                            &mut routed[si],
+                            exact,
+                        )
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+                round += 1;
+                continue;
+            }
+            // Pricing lengths for this round: the live lengths, or the
+            // bounded-staleness buffer refreshed every S rounds. Successive
+            // refreshes copy a monotonically later MWU state, so recorded
+            // tree distances keep lower-bounding pricing distances.
+            let lens_fresh = match staleness {
+                Some(s) => {
+                    let refresh = round.is_multiple_of(s);
+                    if refresh {
+                        stale.refresh_from(mwu.lens());
+                    }
+                    refresh
+                }
+                None => true,
+            };
+            let trees = AtomicUsize::new(0);
+            let settle_total = AtomicUsize::new(0);
+            let settle_max = AtomicUsize::new(0);
+            let rem_view: &[Vec<f64>] = batch_remaining;
+            let st: &[RouteState] = arc_state;
+            {
+                let lens: &[f64] = match staleness {
+                    Some(_) => stale.as_slice(),
+                    None => mwu.lens(),
+                };
+                // Build the round's deterministic task list: dense sources
+                // with at least two chunks' worth of destinations split into
+                // destination chunks; walk sources stay whole. (Splitting is
+                // purely a pricing-parallelism decision — the staged fold
+                // reassembles a source's chunks before self-capping, so the
+                // merge math is independent of the chunking. An earlier
+                // variant also split last round's `θ·θ_k < 1` stragglers and
+                // capped each chunk separately; a shared `θ < 1` marks every
+                // active slot, so one capacity-limited round split the whole
+                // shard, the weaker per-chunk caps collapsed `θ`, and the
+                // drain stalled with everyone active — measured ~3x worse
+                // than the fixed rounds on Facebook TM-F.)
+                //
+                // Split slots also queue for the stage-A tree resolve: their
+                // chunks share the tree read-only, so it must exist before
+                // any of them is claimed. Unsplit slots resolve inside their
+                // own task.
+                tasks.clear();
+                jobs.clear();
+                for &k in active.iter() {
+                    let si = start + k;
+                    let nd = prob.sources()[si].dests.len();
+                    let dense = nd >= ctx.agg_min_dests;
+                    let slot = unpoison!(slots[k].get_mut());
+                    if lens_fresh && round > 0 {
+                        slot.exact = false;
+                    }
+                    if dense && nd >= 2 * chunk {
+                        if !slot.valid || !slot.exact {
+                            jobs.push(k);
+                        }
+                        let mut lo = 0;
+                        while lo < nd {
+                            let hi = (lo + chunk).min(nd);
+                            tasks.push(Task {
+                                slot: k,
+                                si,
+                                lo,
+                                hi,
+                                dense: true,
+                                shared: true,
+                            });
+                            lo = hi;
+                        }
+                    } else {
+                        tasks.push(Task {
+                            slot: k,
+                            si,
+                            lo: 0,
+                            hi: nd,
+                            dense,
+                            shared: false,
+                        });
+                    }
+                }
+                stats.steal_tasks += tasks.len();
+                // Stage A: bring every split slot's shared tree up to the
+                // round's pricing lengths.
+                if !jobs.is_empty() {
+                    let jobs_view: &[usize] = jobs;
+                    let queue = ClaimQueue::new(jobs_view.len());
+                    let run = |scratch: &mut RouteScratch| {
+                        while let Some(i) = queue.claim() {
+                            let k = jobs_view[i];
+                            let si = start + k;
+                            let mut slot = unpoison!(slots[k].write());
+                            let slot = &mut *slot;
+                            let rebuild = !slot.valid
+                                || tree_is_stale(
+                                    ctx,
+                                    si,
+                                    lens,
+                                    &rem_view[k],
+                                    slack,
+                                    &slot.sssp,
+                                    &mut scratch.subtree,
+                                );
+                            if rebuild {
+                                route::compute_tree(ctx, si, potentials, lens, &mut slot.sssp);
+                                slot.valid = true;
+                                slot.exact = true;
+                                let settled = slot.sssp.settled_count();
+                                trees.fetch_add(1, Ordering::Relaxed);
+                                settle_total.fetch_add(settled, Ordering::Relaxed);
+                                settle_max.fetch_max(settled, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                    if jobs_view.len() > 1
+                        && jobs_view.len() * m >= PAR_MIN_BATCH_WORK
+                        && rayon::current_num_threads() > 1
+                    {
+                        let workers = rayon::current_num_threads().min(jobs_view.len());
+                        (0..workers).into_par_iter().for_each(|_| {
+                            let mut scratch = route_pool.lease();
+                            run(&mut scratch);
+                        });
+                    } else {
+                        let mut scratch = route_pool.lease();
+                        run(&mut scratch);
+                    }
+                }
+                // Stage B: price and fold. The parallel path claims tasks
+                // from the queue, posts results, and folds ahead in
+                // task-index order; when only one worker would run (or the
+                // round is too small to fan out), an inline path executes
+                // the tasks in the same order with direct folds — no claim
+                // queue, no result slots, no locks — producing bit-identical
+                // merges by construction.
+                epoch_merge.begin(m);
+                let tasks_view: &[Task] = tasks;
+                if tasks_view.len() * m < PAR_MIN_BATCH_WORK
+                    || rayon::current_num_threads() <= 1
+                    || tasks_view.len() <= 1
+                {
+                    let mut scratch = route_pool.lease();
+                    let mut fold = Fold {
+                        cursor: 0,
+                        tasks: tasks_view,
+                        merge: &mut *epoch_merge,
+                        theta_k: &mut theta_k[..bs],
+                    };
+                    let mut buf = unpoison!(recycle.get_mut()).pop().unwrap_or_default();
+                    for &task in tasks_view {
+                        let slot = unpoison!(slots[task.slot].get_mut());
+                        if task.dense {
+                            if !task.shared
+                                && (!slot.valid
+                                    || !slot.exact
+                                        && tree_is_stale(
+                                            ctx,
+                                            task.si,
+                                            lens,
+                                            &rem_view[task.slot],
+                                            slack,
+                                            &slot.sssp,
+                                            &mut scratch.subtree,
+                                        ))
+                            {
+                                route::compute_tree(ctx, task.si, potentials, lens, &mut slot.sssp);
+                                slot.valid = true;
+                                slot.exact = true;
+                                let settled = slot.sssp.settled_count();
+                                trees.fetch_add(1, Ordering::Relaxed);
+                                settle_total.fetch_add(settled, Ordering::Relaxed);
+                                settle_max.fetch_max(settled, Ordering::Relaxed);
+                            }
+                            route::price_chunk_snapshot(
+                                ctx,
+                                task.si,
+                                task.lo,
+                                task.hi,
+                                &rem_view[task.slot],
+                                &slot.sssp,
+                                &mut scratch.subtree,
+                                &mut buf,
+                            );
+                        } else {
+                            if !slot.valid {
+                                route::compute_tree(ctx, task.si, potentials, lens, &mut slot.sssp);
+                                slot.valid = true;
+                                slot.exact = true;
+                                let settled = slot.sssp.settled_count();
+                                trees.fetch_add(1, Ordering::Relaxed);
+                                settle_total.fetch_add(settled, Ordering::Relaxed);
+                                settle_max.fetch_max(settled, Ordering::Relaxed);
+                            }
+                            let (built, settled) = route::price_walk_cached(
+                                ctx,
+                                task.si,
+                                potentials,
+                                lens,
+                                &rem_view[task.slot],
+                                slack,
+                                &mut slot.sssp,
+                                &mut slot.exact,
+                                &mut scratch.arc_load,
+                                &mut buf,
+                            );
+                            if built > 0 {
+                                trees.fetch_add(built, Ordering::Relaxed);
+                                settle_total.fetch_add(settled, Ordering::Relaxed);
+                                settle_max.fetch_max(settled / built, Ordering::Relaxed);
+                            }
+                        }
+                        fold.fold_one(&buf, st);
+                    }
+                    unpoison!(recycle.get_mut()).push(buf);
+                } else {
+                    results.clear();
+                    results.resize_with(tasks_view.len(), || Mutex::new(None));
+                    let results_view: &[Mutex<Option<Loads>>] = results;
+                    let recycle_view: &Mutex<Vec<Loads>> = recycle;
+                    let fold = Mutex::new(Fold {
+                        cursor: 0,
+                        tasks: tasks_view,
+                        merge: &mut *epoch_merge,
+                        theta_k: &mut theta_k[..bs],
+                    });
+                    let queue = ClaimQueue::new(tasks_view.len());
+                    let run = |scratch: &mut RouteScratch| {
+                        while let Some(t) = queue.claim() {
+                            let task = tasks_view[t];
+                            let mut buf = unpoison!(recycle_view.lock()).pop().unwrap_or_default();
+                            if task.dense && task.shared {
+                                let slot = unpoison!(slots[task.slot].read());
+                                route::price_chunk_snapshot(
+                                    ctx,
+                                    task.si,
+                                    task.lo,
+                                    task.hi,
+                                    &rem_view[task.slot],
+                                    &slot.sssp,
+                                    &mut scratch.subtree,
+                                    &mut buf,
+                                );
+                            } else if task.dense {
+                                let mut slot = unpoison!(slots[task.slot].write());
+                                let slot = &mut *slot;
+                                if !slot.valid
+                                    || !slot.exact
+                                        && tree_is_stale(
+                                            ctx,
+                                            task.si,
+                                            lens,
+                                            &rem_view[task.slot],
+                                            slack,
+                                            &slot.sssp,
+                                            &mut scratch.subtree,
+                                        )
+                                {
+                                    route::compute_tree(
+                                        ctx,
+                                        task.si,
+                                        potentials,
+                                        lens,
+                                        &mut slot.sssp,
+                                    );
+                                    slot.valid = true;
+                                    slot.exact = true;
+                                    let settled = slot.sssp.settled_count();
+                                    trees.fetch_add(1, Ordering::Relaxed);
+                                    settle_total.fetch_add(settled, Ordering::Relaxed);
+                                    settle_max.fetch_max(settled, Ordering::Relaxed);
+                                }
+                                route::price_chunk_snapshot(
+                                    ctx,
+                                    task.si,
+                                    task.lo,
+                                    task.hi,
+                                    &rem_view[task.slot],
+                                    &slot.sssp,
+                                    &mut scratch.subtree,
+                                    &mut buf,
+                                );
+                            } else {
+                                let mut slot = unpoison!(slots[task.slot].write());
+                                let slot = &mut *slot;
+                                if !slot.valid {
+                                    route::compute_tree(
+                                        ctx,
+                                        task.si,
+                                        potentials,
+                                        lens,
+                                        &mut slot.sssp,
+                                    );
+                                    slot.valid = true;
+                                    slot.exact = true;
+                                    let settled = slot.sssp.settled_count();
+                                    trees.fetch_add(1, Ordering::Relaxed);
+                                    settle_total.fetch_add(settled, Ordering::Relaxed);
+                                    settle_max.fetch_max(settled, Ordering::Relaxed);
+                                }
+                                let (built, settled) = route::price_walk_cached(
+                                    ctx,
+                                    task.si,
+                                    potentials,
+                                    lens,
+                                    &rem_view[task.slot],
+                                    slack,
+                                    &mut slot.sssp,
+                                    &mut slot.exact,
+                                    &mut scratch.arc_load,
+                                    &mut buf,
+                                );
+                                if built > 0 {
+                                    trees.fetch_add(built, Ordering::Relaxed);
+                                    settle_total.fetch_add(settled, Ordering::Relaxed);
+                                    settle_max.fetch_max(settled / built, Ordering::Relaxed);
+                                }
+                            }
+                            *unpoison!(results_view[t].lock()) = Some(buf);
+                            drain_ready(&fold, results_view, st, recycle_view);
+                        }
+                    };
+                    let workers = rayon::current_num_threads().min(tasks_view.len());
+                    (0..workers).into_par_iter().for_each(|_| {
+                        let mut scratch = route_pool.lease();
+                        run(&mut scratch);
+                    });
+                    // Final blocking drain: every result is posted once the
+                    // region ends; fold whatever the price-ahead passes
+                    // missed.
+                    let mut f = unpoison!(fold.lock());
+                    while f.cursor < results_view.len() {
+                        let loads = unpoison!(results_view[f.cursor].lock())
+                            .take()
+                            .expect("every claimed task posts its result");
+                        f.fold_one(&loads, st);
+                        unpoison!(recycle_view.lock()).push(loads);
+                    }
+                }
+            }
+            // One batched ≤ (1+ε) update for the round, then commit each
+            // source's uniform θ·θ_k fraction in task order (every chunk of
+            // a source shares its θ_k). What remains re-prices next round.
+            let theta = epoch_merge.theta(st);
+            epoch_merge.apply(theta, mwu, flow_arc);
+            stats.epochs += 1;
+            for task in tasks.iter() {
+                let f = theta * theta_k[task.slot];
+                if f <= 0.0 {
+                    continue;
+                }
+                let rem = &mut batch_remaining[task.slot];
+                let routed_si = &mut routed[task.si];
+                for j in task.lo..task.hi {
+                    if rem[j] > 1e-15 {
+                        let commit = f * rem[j];
+                        routed_si[j] += commit;
+                        rem[j] -= commit;
+                    }
+                }
+            }
+            stats.steal_trees += trees.into_inner();
+            stats.steal_settle_total += settle_total.into_inner();
+            stats.steal_settle_max = stats.steal_settle_max.max(settle_max.into_inner());
+            round += 1;
+        }
+        start = end;
+    }
+    true
+}

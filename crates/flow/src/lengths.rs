@@ -212,6 +212,60 @@ impl ArcLengths for MwuLengths {
     }
 }
 
+/// An **owned, refreshable** copy of a length function: the pricing buffer of
+/// the bounded-staleness async mode of the work-stealing MWU rounds.
+///
+/// [`LengthSnapshot`] freezes lengths *by borrowing* — sound, but the borrow
+/// pins [`MwuLengths`] read-only for the snapshot's whole lifetime, which
+/// forces synchronous rounds (price, drop the snapshot, update, repeat). The
+/// async mode instead prices against this materialized copy, refreshed every
+/// `S` rounds ([`refresh_from`](StaleLengths::refresh_from)): length updates
+/// proceed every round while workers read lengths **at most `S` rounds
+/// stale**. Staleness is sound for the same reason tree reuse is — lengths
+/// only ever grow, and every refresh copies a pointwise-larger function, so
+/// distances recorded under any pricing buffer lower-bound the true current
+/// distances. The step-size bound is unaffected: commits are capped against
+/// the *true* capacities in the merge, never against these lengths.
+#[derive(Debug, Clone, Default)]
+pub struct StaleLengths {
+    lens: Vec<f64>,
+}
+
+impl StaleLengths {
+    /// Creates an empty buffer; call [`refresh_from`](Self::refresh_from)
+    /// before pricing against it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the current lengths into the buffer (reusing its allocation),
+    /// resetting staleness to zero rounds.
+    pub fn refresh_from(&mut self, lens: &[f64]) {
+        self.lens.clear();
+        self.lens.extend_from_slice(lens);
+    }
+
+    /// The dense buffered slice (what SSSP kernels index).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.lens
+    }
+
+    /// Freezes the buffered lengths into the snapshot type the pricing
+    /// kernels take.
+    #[inline]
+    pub fn snapshot(&self) -> LengthSnapshot<'_> {
+        LengthSnapshot::new(&self.lens)
+    }
+}
+
+impl ArcLengths for StaleLengths {
+    #[inline]
+    fn len_of(&self, id: usize) -> f64 {
+        self.lens[id]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +338,25 @@ mod tests {
     #[should_panic]
     fn bad_epsilon_rejected() {
         MwuLengths::new().reset(0.7, [1.0]);
+    }
+
+    #[test]
+    fn stale_lengths_lag_until_refreshed() {
+        let mut mwu = MwuLengths::new();
+        mwu.reset(0.1, [1.0, 1.0]);
+        let mut stale = StaleLengths::new();
+        stale.refresh_from(mwu.lens());
+        assert_eq!(stale.as_slice(), mwu.lens());
+        mwu.apply(0, 1.0);
+        // The buffer holds the pre-update (pointwise smaller) function.
+        assert!(stale.len_of(0) < mwu.len_of(0));
+        assert_eq!(stale.len_of(1).to_bits(), mwu.len_of(1).to_bits());
+        stale.refresh_from(mwu.lens());
+        assert_eq!(stale.as_slice(), mwu.lens());
+        // The snapshot view indexes the same buffer.
+        assert_eq!(
+            stale.snapshot().len_of(0).to_bits(),
+            mwu.len_of(0).to_bits()
+        );
     }
 }

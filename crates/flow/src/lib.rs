@@ -28,9 +28,12 @@ pub mod lengths;
 pub mod restricted;
 
 pub use exact::ExactLpSolver;
-pub use fleischer::{FleischerConfig, FleischerSolver, SolveOutcome, SolveStats, SolverWorkspace};
+pub use fleischer::{
+    auto_steal_chunk, BatchGate, FleischerConfig, FleischerSolver, PricingMode, SolveOutcome,
+    SolveStats, SolverWorkspace,
+};
 pub use instance::FlowProblem;
-pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths};
+pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths, StaleLengths};
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
