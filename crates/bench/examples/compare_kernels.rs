@@ -11,13 +11,25 @@
 //! against the serial path with the shared target-gap contract, so the
 //! stealing trajectory's quality is CI-checked on every PR too.
 //!
-//! Run: `cargo run --release -p tb_bench --example compare_kernels [-- --quick]`
-//! (the stealing column parallelizes its pricing fan-out across
-//! `RAYON_NUM_THREADS` workers).
+//! Every solve additionally emits its [`ThroughputCertificate`] and re-checks
+//! it on the spot (`verify_certificate` re-derives feasibility and the dual
+//! bound from the stored evidence, trusting nothing from the solver), so the
+//! CI smoke also proves the certificates the sweep pipeline would store are
+//! verifiable on exactly these shapes. With `--exact-spot-check`, one
+//! longest-matching cell per 64-switch family is additionally certified
+//! against the true LP optimum: a warm-started `ExactLpSolver` run whose
+//! result the FPTAS bounds must bracket — the drill that catches a bug shared
+//! by both FPTAS kernels.
+//!
+//! Run: `cargo run --release -p tb_bench --example compare_kernels [-- --quick]
+//! [-- --exact-spot-check]` (the stealing column parallelizes its pricing
+//! fan-out across `RAYON_NUM_THREADS` workers).
 
 use std::time::Instant;
 use tb_bench::{assert_quality_within_target, assert_same_quality, legacy};
-use tb_flow::{FleischerConfig, FleischerSolver, SolverWorkspace};
+use tb_flow::{
+    verify_certificate, ExactLpSolver, FleischerConfig, FleischerSolver, SolverWorkspace,
+};
 use tb_graph::Graph;
 use tb_topology::hypercube::hypercube;
 use tb_topology::jellyfish::jellyfish;
@@ -40,7 +52,19 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
     let cfg = FleischerConfig::fast().with_auto_aggregation(g.num_nodes());
     let solver = FleischerSolver::new(cfg);
     let mut ws = SolverWorkspace::new();
-    let new_b = solver.solve_with(g, tm, &mut ws);
+    let outcome = solver.solve_outcome_with(g, tm, &mut ws);
+    let new_b = outcome.bounds;
+    // The certificate this solve would ship in a `--certify` sweep must
+    // independently re-verify right here, at the same acceptable gap the
+    // evaluation layer enforces (capture is trajectory-neutral, so asking
+    // for the outcome changes no benched number).
+    verify_certificate(
+        g,
+        tm,
+        &outcome.certificate,
+        (3.0 * cfg.epsilon).max(cfg.target_gap),
+    )
+    .unwrap_or_else(|e| panic!("{name}: FPTAS certificate failed verification: {e}"));
     let old_b = legacy::solve(&cfg, g, tm);
     assert_same_quality(name, &cfg, new_b, old_b);
     // The work-stealing schedule in the exact configuration the auto pick
@@ -90,8 +114,39 @@ fn compare(name: &str, g: &Graph, tm: &TrafficMatrix, reps: usize) {
     );
 }
 
+/// The `--exact-spot-check` drill: certify one sampled cell against the true
+/// LP optimum. A precise FPTAS pass supplies the warm-start hint and the
+/// bracket that must contain the exact value; the `ExactLpSolver` result is
+/// then verified as a certificate in its own right at a near-exact gap. This
+/// is the check `assert_same_quality` cannot do — both FPTAS kernels could
+/// share a bug, the LP optimum is an independent ground truth.
+fn exact_spot_check(name: &str, g: &Graph, tm: &TrafficMatrix) {
+    let fptas = FleischerSolver::new(FleischerConfig::precise());
+    let mut ws = SolverWorkspace::new();
+    let outcome = fptas.solve_outcome_with(g, tm, &mut ws);
+    let t0 = Instant::now();
+    let (b, cert) = ExactLpSolver::new()
+        .solve_certified_with_hint(g, tm, Some(&outcome.certificate))
+        .unwrap_or_else(|e| panic!("{name}: exact certification failed: {e}"));
+    let secs = t0.elapsed().as_secs_f64();
+    verify_certificate(g, tm, &cert, 1e-6)
+        .unwrap_or_else(|e| panic!("{name}: exact certificate failed verification: {e}"));
+    assert!(
+        outcome.bounds.lower <= b.lower + 1e-6 && outcome.bounds.upper >= b.lower - 1e-6,
+        "{name}: FPTAS bracket [{}, {}] misses the LP optimum {}",
+        outcome.bounds.lower,
+        outcome.bounds.upper,
+        b.lower
+    );
+    println!(
+        "{name:<28} exact t* = {:.6}  certified in {secs:6.2}s  FPTAS bracket [{:.6}, {:.6}]",
+        b.lower, outcome.bounds.lower, outcome.bounds.upper
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let spot = std::env::args().any(|a| a == "--exact-spot-check");
 
     let h6 = hypercube(6, 1);
     compare(
@@ -119,6 +174,22 @@ fn main() {
         &tb_traffic::facebook::tm_f(64, 7),
         if quick { 2 } else { 3 },
     );
+
+    // One longest-matching cell per 64-switch family — the shapes the
+    // column-generation exact solver reaches in seconds. Opt-in: the LP is
+    // orders slower than one FPTAS solve, so the drill is its own flag.
+    if spot {
+        exact_spot_check(
+            "hypercube64/lm",
+            &h6.graph,
+            &longest_matching(&h6.graph, &h6.servers, true),
+        );
+        exact_spot_check(
+            "jellyfish64x6/lm",
+            &j64.graph,
+            &longest_matching(&j64.graph, &j64.servers, true),
+        );
+    }
 
     if quick {
         return;

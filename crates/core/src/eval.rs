@@ -7,7 +7,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tb_flow::{
     drop_disconnected_demands, ExactLpSolver, FleischerConfig, FleischerSolver, SolveStatus,
-    SolverWorkspace, ThroughputBounds,
+    SolverWorkspace, ThroughputBounds, ThroughputCertificate,
 };
 use tb_topology::jellyfish::same_equipment;
 use tb_topology::Topology;
@@ -40,6 +40,13 @@ pub struct EvalConfig {
     /// or distinct values will recompute byte-identical cells. Default 1 =
     /// the classical serial trajectory.
     pub solver_jobs: usize,
+    /// Emit optimality certificates for throughput cells (see
+    /// [`evaluate_throughput_certified_with`]). Capture is
+    /// trajectory-neutral — the solved values are bit-identical either way —
+    /// but certified cells carry the extra evidence block through the cache
+    /// and artifacts, so the flag is part of the cell cache key. Default off:
+    /// committed goldens stay byte-identical.
+    pub certify: bool,
 }
 
 impl Default for EvalConfig {
@@ -50,6 +57,7 @@ impl Default for EvalConfig {
             random_graph_iterations: 3,
             seed: 1,
             solver_jobs: 1,
+            certify: false,
         }
     }
 }
@@ -122,6 +130,65 @@ pub fn evaluate_throughput_with(
         FleischerSolver::new(solver_cfg).solve_with(&topo.graph, tm, ws),
         topo,
     )
+}
+
+/// [`evaluate_throughput_with`] with full evidence: additionally returns the
+/// solve's [`SolveStatus`] and its [`ThroughputCertificate`] (see
+/// `tb_flow::certificate`). The solved bounds are bit-identical to the
+/// uncertified path — the exact LP derives its certificate from the same
+/// optimal basis, and the FPTAS capture is trajectory-neutral — so turning
+/// certification on can never change a reported number.
+///
+/// Semantics are *strict* (matching [`evaluate_throughput_with`], not the
+/// degradation-aware status evaluator): disconnected demands are not dropped,
+/// they pin the concurrent flow to zero, and the certificate describes the
+/// full instance.
+pub fn evaluate_throughput_certified_with(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: &EvalConfig,
+    ws: &mut SolverWorkspace,
+) -> (ThroughputBounds, SolveStatus, ThroughputCertificate) {
+    if tm.num_flows() == 0 {
+        return (
+            guard_finite(ThroughputBounds::exact(0.0), topo),
+            SolveStatus::Converged,
+            ThroughputCertificate::trivial_zero(),
+        );
+    }
+    let small = topo.num_switches() <= cfg.exact_switch_limit && tm.num_flows() <= 64;
+    if small {
+        if let Ok((exact, cert)) = ExactLpSolver::new().solve_certified(&topo.graph, tm) {
+            return (guard_finite(exact, topo), SolveStatus::Converged, cert);
+        }
+    }
+    let solver_cfg = cfg
+        .solver
+        .with_auto_aggregation(topo.num_switches())
+        .with_auto_batching(tm, cfg.solver_jobs);
+    let (bounds, stats, cert) =
+        FleischerSolver::new(solver_cfg).solve_with_certificate(&topo.graph, tm, ws, true);
+    let status = if stats.converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::BudgetExhausted
+    };
+    (
+        guard_finite(bounds, topo),
+        status,
+        cert.expect("certificate requested"),
+    )
+}
+
+/// The widest duality gap a *converged* solve under `cfg` may legitimately
+/// certify: the configured target gap, or the classical Fleischer guarantee
+/// (a `(1-eps)^3` primal/dual ratio, i.e. a relative gap of at most about
+/// `3 eps`) when the solver terminated by phase count instead of by reaching
+/// the target. `sweep verify` accepts certificates up to this gap; anything
+/// wider on a converged cell means the recorded bounds do not support the
+/// accuracy the configuration promises.
+pub fn acceptable_certificate_gap(cfg: &EvalConfig) -> f64 {
+    (3.0 * cfg.solver.epsilon).max(cfg.solver.target_gap)
 }
 
 /// NaN guard at the evaluation boundary: every bound leaving this module must
@@ -435,6 +502,26 @@ mod tests {
             assert_eq!(plain.lower.to_bits(), b.lower.to_bits());
             assert_eq!(plain.upper.to_bits(), b.upper.to_bits());
             assert_eq!(status, SolveStatus::Converged);
+        }
+    }
+
+    #[test]
+    fn certified_eval_matches_plain_eval_and_meets_the_acceptable_gap() {
+        use tb_flow::verify_certificate;
+        let c = cfg();
+        // Exact-LP path (small) and FPTAS path (large): certification must be
+        // trajectory-neutral — bit-identical bounds — and the certificate must
+        // independently re-verify at the gap `sweep verify` enforces.
+        for topo in [hypercube(3, 1), hypercube(5, 1)] {
+            let tm = TmSpec::AllToAll.generate(&topo, 1);
+            let plain = evaluate_throughput(&topo, &tm, &c);
+            let mut ws = SolverWorkspace::new();
+            let (b, status, cert) = evaluate_throughput_certified_with(&topo, &tm, &c, &mut ws);
+            assert_eq!(plain.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(plain.upper.to_bits(), b.upper.to_bits());
+            assert_eq!(status, SolveStatus::Converged);
+            verify_certificate(&topo.graph, &tm, &cert, acceptable_certificate_gap(&c))
+                .unwrap_or_else(|e| panic!("{}: certificate failed: {e}", topo.name));
         }
     }
 

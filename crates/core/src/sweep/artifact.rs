@@ -92,6 +92,12 @@ pub fn artifact_json(
                 fields.push(("status", Json::str("failed")));
                 fields.push(("error", Json::str(error.clone())));
             }
+            // Likewise opt-in: only certified cells carry the evidence
+            // block, so artifacts with certification off are byte-identical
+            // to the pre-certificate schema.
+            if let Some(cert) = o.values.certificate() {
+                fields.push(("certificate", cert.to_json()));
+            }
             Json::obj(fields)
         })
         .collect();
@@ -272,6 +278,14 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             }
             Some(_) => return Err("artifact invalid: cell 'status' must be ok|failed".into()),
         }
+        // 'certificate' is optional (only certified runs emit it); when
+        // present it must be a structurally complete, decodable block.
+        if let Some(block) = cell.get("certificate") {
+            check(
+                crate::sweep::cell::CellCertificate::from_json(block).is_some(),
+                "cell 'certificate' must be a decodable certificate block",
+            )?;
+        }
         let values = cell.get("values").ok_or("cell missing 'values'")?;
         match values {
             Json::Obj(map) => {
@@ -426,6 +440,56 @@ mod tests {
         // Unknown status strings are rejected.
         let bogus = text.replace("\"status\":\"failed\"", "\"status\":\"meh\"");
         assert!(validate_artifact(&bogus).is_err());
+    }
+
+    /// A certified cell serializes its certificate block, validates, and a
+    /// broken block (one flipped evidence bit) fails `validate_artifact` —
+    /// the schema treats an undecodable block as a structural defect.
+    #[test]
+    fn certified_cells_validate_and_broken_blocks_are_rejected() {
+        use crate::sweep::cell::CellCertificate;
+        let opts = SweepOptions::new(false, 1);
+        let mut report = sample_report();
+        report.outcomes[0].values.set_certificate(CellCertificate {
+            cert: tb_flow::ThroughputCertificate {
+                num_nodes: 8,
+                num_arcs: 24,
+                flow: vec![0.5; 24],
+                served: vec![0.25; 4],
+                lengths: vec![1.0; 24],
+                d_l: 24.0,
+                lower: 0.5,
+                upper: 1.0,
+            },
+            status: "converged".into(),
+        });
+        let text =
+            artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
+        assert!(text.contains("\"certificate\""));
+        validate_artifact(&text).expect("certified artifact must validate");
+
+        // Flip one bit of stored evidence: structural validation fails.
+        let tag = "\"d_l\":\"";
+        let at = text.find(tag).unwrap() + tag.len();
+        let hex = &text[at..at + 16];
+        let flipped = format!("{:016x}", u64::from_str_radix(hex, 16).unwrap() ^ 1);
+        let mutated = text.replacen(hex, &flipped, 1);
+        assert!(
+            validate_artifact(&mutated).is_err(),
+            "a flipped certificate bit must fail artifact validation"
+        );
+
+        // Certificates off: not a single certificate key in the document
+        // (golden byte-stability for uncertified runs).
+        let plain = artifact_json(
+            "test",
+            "Test",
+            &opts,
+            &sample_report(),
+            &RenderOutput::default(),
+        )
+        .to_string();
+        assert!(!plain.contains("certificate"));
     }
 
     #[test]

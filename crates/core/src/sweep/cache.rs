@@ -14,7 +14,7 @@
 //! leaves either a complete entry or none — re-running resumes from whatever
 //! finished.
 
-use crate::sweep::cell::CellValues;
+use crate::sweep::cell::{CellCertificate, CellValues};
 use crate::sweep::json::Json;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -88,7 +88,12 @@ impl ResultCache {
     }
 
     /// Moves a corrupt entry aside as `<stem>.bad` (best effort: if even the
-    /// rename fails the entry is removed, so the recompute can store).
+    /// rename fails the entry is removed, so the recompute can store). A
+    /// previous quarantine of the same hash is overwritten — only the latest
+    /// corruption is kept for diagnosis, so repeated corruption of one entry
+    /// can never stack up quarantine files (`rename` replaces an existing
+    /// destination on Unix; the explicit removal makes the overwrite hold on
+    /// every platform).
     fn quarantine(&self, path: &Path, why: &str) {
         let bad = path.with_extension("bad");
         eprintln!(
@@ -96,6 +101,7 @@ impl ResultCache {
             path.display(),
             bad.display()
         );
+        let _ = fs::remove_file(&bad);
         if fs::rename(path, &bad).is_err() {
             let _ = fs::remove_file(path);
         }
@@ -144,6 +150,14 @@ impl ResultCache {
                 None => return Decoded::Corrupt("malformed text entry"),
             }
         }
+        // Optional certificate block (only certified cells store one; plain
+        // entries stay byte-identical to the pre-certificate schema).
+        if let Some(block) = doc.get("certificate") {
+            match CellCertificate::from_json(block) {
+                Some(cert) => values.set_certificate(cert),
+                None => return Decoded::Corrupt("malformed certificate block"),
+            }
+        }
         Decoded::Values(values)
     }
 
@@ -153,7 +167,7 @@ impl ResultCache {
         if fs::create_dir_all(&self.dir).is_err() {
             return;
         }
-        let doc = Json::obj(vec![
+        let mut pairs = vec![
             ("schema", Json::str(CELL_SCHEMA)),
             ("key", Json::str(key)),
             (
@@ -184,7 +198,11 @@ impl ResultCache {
                         .collect(),
                 ),
             ),
-        ]);
+        ];
+        if let Some(cert) = values.certificate() {
+            pairs.push(("certificate", cert.to_json()));
+        }
+        let doc = Json::obj(pairs);
         let path = self.path_for(key);
         // Writer-unique temp name: processes sharing one cache directory may
         // store the same key concurrently, and a shared tmp path would let
@@ -272,6 +290,116 @@ mod tests {
         fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert!(cache.load("key").is_none());
         assert!(path.with_extension("bad").exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    /// A plausible certified cell for round-trip tests (the cache does not
+    /// re-verify semantics — that is `sweep verify`'s job — so hand-built
+    /// evidence is fine here).
+    fn test_certificate() -> CellCertificate {
+        CellCertificate {
+            cert: tb_flow::ThroughputCertificate {
+                num_nodes: 3,
+                num_arcs: 4,
+                flow: vec![0.5, 1.0, 0.0, 0.25],
+                served: vec![0.5, 0.5],
+                lengths: vec![1.0, 0.125, 1.0, 1.0],
+                d_l: 4.0,
+                lower: 0.5,
+                upper: 4.0 / 3.0,
+            },
+            status: "converged".into(),
+        }
+    }
+
+    #[test]
+    fn certificate_roundtrips_bit_exact_and_plain_entries_are_unchanged() {
+        let cache = temp_cache("certrt");
+        let mut plain = CellValues::default();
+        plain.push("lower", 1.0 / 3.0);
+        cache.store("plain", &plain);
+        let bytes = fs::read_to_string(cache.path_for("plain")).unwrap();
+        assert!(
+            !bytes.contains("certificate"),
+            "plain entries must stay on the pre-certificate schema"
+        );
+
+        let mut certified = CellValues::default();
+        certified.push("lower", 0.5);
+        certified.set_certificate(test_certificate());
+        cache.store("certified", &certified);
+        let back = cache.load("certified").expect("certified entry loads");
+        assert!(
+            certified.bit_identical(&back),
+            "certificate must round-trip bit-exactly"
+        );
+        assert!(back.certificate().is_some());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn flipped_certificate_bit_is_quarantined_not_served() {
+        let cache = temp_cache("certbad");
+        let mut values = CellValues::default();
+        values.push("lower", 0.5);
+        values.set_certificate(test_certificate());
+        cache.store("key", &values);
+        let path = cache.path_for("key");
+        let text = fs::read_to_string(&path).unwrap();
+        // Flip the lowest bit of the first stored flow value.
+        let tag = "\"flow\":[\"";
+        let at = text.find(tag).expect("certificate stores flow bits") + tag.len();
+        let hex = &text[at..at + 16];
+        let flipped = format!("{:016x}", u64::from_str_radix(hex, 16).unwrap() ^ 1);
+        fs::write(&path, text.replacen(hex, &flipped, 1)).unwrap();
+
+        assert!(
+            cache.load("key").is_none(),
+            "a flipped evidence bit must never be served"
+        );
+        assert!(path.with_extension("bad").exists());
+        cache.store("key", &values);
+        assert!(cache.load("key").is_some(), "re-store must recover");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    /// Repeated corruption of one entry must overwrite the single `.bad`
+    /// quarantine file (keeping the latest bytes for diagnosis), never stack
+    /// up additional ones.
+    #[test]
+    fn double_corruption_keeps_exactly_one_quarantine_file() {
+        let cache = temp_cache("doublebad");
+        let mut values = CellValues::default();
+        values.push("x", 2.0);
+        let path = cache.path_for("key");
+        let bad = path.with_extension("bad");
+        for (round, garbage) in ["{first corruption", "{second corruption"]
+            .iter()
+            .enumerate()
+        {
+            cache.store("key", &values);
+            fs::write(&path, garbage).unwrap();
+            assert!(cache.load("key").is_none(), "round {round} must miss");
+            assert_eq!(
+                fs::read_to_string(&bad).unwrap(),
+                *garbage,
+                "quarantine must hold the latest corruption"
+            );
+        }
+        let quarantines = fs::read_dir(cache.dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("bad")
+            })
+            .count();
+        assert_eq!(quarantines, 1, "quarantines must overwrite, not stack");
+        cache.store("key", &values);
+        assert!(cache.load("key").is_some());
         let _ = fs::remove_dir_all(cache.dir());
     }
 

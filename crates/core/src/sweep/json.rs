@@ -44,10 +44,18 @@ impl Json {
         Json::Str(format!("{:016x}", x.to_bits()))
     }
 
-    /// Decodes a value produced by [`Json::f64_bits`].
+    /// Decodes a value produced by [`Json::f64_bits`]. Only the canonical
+    /// encoder form is accepted — exactly 16 lowercase hex digits; anything
+    /// else (a plain JSON number, wrong length, uppercase, a `+` sign
+    /// `from_str_radix` would tolerate) is `None`, so a lossy decimal can
+    /// never masquerade as a bit-exact value.
     pub fn as_f64_bits(&self) -> Option<f64> {
         match self {
-            Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
+            Json::Str(s)
+                if s.len() == 16 && s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) =>
+            {
+                u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+            }
             _ => None,
         }
     }
@@ -346,6 +354,100 @@ mod tests {
             let dec = Json::parse(&text).unwrap().as_f64_bits().unwrap();
             assert_eq!(x.to_bits(), dec.to_bits());
         }
+    }
+
+    /// Deterministic splitmix64 stream for the property sweeps below.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Every bit pattern a certificate can store — quiet/signaling/negative
+    /// NaNs, signed zeros, subnormals, infinities, extremes, plus a few
+    /// thousand arbitrary patterns — survives a full document write→parse
+    /// round trip bit-exactly.
+    #[test]
+    fn f64_bits_roundtrip_over_special_and_random_patterns() {
+        let mut patterns: Vec<u64> = vec![
+            0x7ff8_0000_0000_0000, // quiet NaN
+            0x7ff0_0000_0000_0001, // signaling NaN
+            0xfff8_0000_0000_0001, // negative NaN with payload
+            0x8000_0000_0000_0000, // -0.0
+            0x0000_0000_0000_0000, // +0.0
+            0x0000_0000_0000_0001, // smallest subnormal
+            0x000f_ffff_ffff_ffff, // largest subnormal
+            f64::MIN_POSITIVE.to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            f64::MAX.to_bits(),
+            (1.0f64 / 3.0).to_bits(),
+        ];
+        let mut state = 0xdead_beef_u64;
+        patterns.extend((0..4096).map(|_| splitmix64(&mut state)));
+
+        for bits in patterns {
+            let x = f64::from_bits(bits);
+            // Through the whole document pipeline, not just the scalar: the
+            // value rides inside an array inside an object, like a stored
+            // certificate block does.
+            let doc = Json::obj(vec![("flow", Json::Arr(vec![Json::f64_bits(x)]))]);
+            let back = Json::parse(&doc.to_string()).unwrap();
+            let dec = back.get("flow").unwrap().as_arr().unwrap()[0]
+                .as_f64_bits()
+                .unwrap();
+            assert_eq!(bits, dec.to_bits(), "pattern {bits:016x} did not survive");
+        }
+    }
+
+    /// Mutating any single hex digit of an encoded value decodes to
+    /// different bits — the encoding is a bijection, so no mutation can
+    /// alias back to the original value.
+    #[test]
+    fn f64_bits_mutation_always_changes_the_decoded_value() {
+        let mut state = 42u64;
+        for _ in 0..64 {
+            let bits = splitmix64(&mut state);
+            let enc = format!("{bits:016x}");
+            for i in 0..16 {
+                let orig = enc.as_bytes()[i];
+                let replacement = if orig == b'0' { b'1' } else { b'0' };
+                let mut mutated = enc.clone().into_bytes();
+                mutated[i] = replacement;
+                let dec = Json::Str(String::from_utf8(mutated).unwrap())
+                    .as_f64_bits()
+                    .unwrap();
+                assert_ne!(
+                    bits,
+                    dec.to_bits(),
+                    "mutating digit {i} of {enc} aliased back"
+                );
+            }
+        }
+    }
+
+    /// `as_f64_bits` accepts exactly the canonical encoder output: a plain
+    /// JSON number (a lossy decimal form), wrong lengths, uppercase, signs
+    /// and stray characters are all rejected rather than quietly decoded.
+    #[test]
+    fn as_f64_bits_rejects_non_canonical_forms() {
+        assert!(Json::Num(1.0).as_f64_bits().is_none());
+        assert!(Json::Num(f64::from_bits(0x3ff0000000000000))
+            .as_f64_bits()
+            .is_none());
+        assert!(Json::Null.as_f64_bits().is_none());
+        assert!(Json::str("3ff000000000000").as_f64_bits().is_none()); // 15 chars
+        assert!(Json::str("3ff00000000000000").as_f64_bits().is_none()); // 17 chars
+        assert!(Json::str("").as_f64_bits().is_none());
+        assert!(Json::str("3FF0000000000000").as_f64_bits().is_none()); // uppercase
+        assert!(Json::str("+ff0000000000000").as_f64_bits().is_none()); // sign
+        assert!(Json::str("-ff0000000000000").as_f64_bits().is_none());
+        assert!(Json::str("3ff000000000000g").as_f64_bits().is_none()); // non-hex
+        assert!(Json::str(" 3ff000000000000").as_f64_bits().is_none()); // whitespace
+                                                                        // The canonical form itself still decodes.
+        assert_eq!(Json::str("3ff0000000000000").as_f64_bits().unwrap(), 1.0f64);
     }
 
     #[test]

@@ -29,13 +29,14 @@ pub mod json;
 pub mod runner;
 pub mod table;
 pub mod topo;
+pub mod verify;
 
 pub use artifact::{
     artifact_filename, artifact_json, validate_artifact, write_artifact, NamedTable, RenderOutput,
     ARTIFACT_SCHEMA,
 };
 pub use cache::{fnv1a, ResultCache, CELL_SCHEMA};
-pub use cell::{CellSpec, CellValues, FbMatrix, SweepCell};
+pub use cell::{CellCertificate, CellSpec, CellValues, FbMatrix, SweepCell};
 pub use diff::{
     diff_artifacts, diff_dirs, diff_files, ArtifactDiff, CellChange, ChangeKind, DiffOptions,
     DirDiff,
@@ -43,6 +44,7 @@ pub use diff::{
 pub use runner::{cell_key, run_cells, CellOutcome, CellSet, SweepOptions, SweepReport};
 pub use table::{f3, Table};
 pub use topo::TopoSpec;
+pub use verify::{verify_artifact_cells, verify_cell, CellVerdict, VerifyReport};
 
 /// A registered experiment: a named, declarative sweep plus its renderer.
 #[derive(Clone)]

@@ -43,6 +43,12 @@ pub struct SweepOptions {
     /// ([`eval_config`](SweepOptions::eval_config) normalizes the count —
     /// all `n > 1` share one key). `None` defaults to 1 (serial).
     pub solver_jobs: Option<usize>,
+    /// Emit optimality certificates for throughput cells (`--certify`).
+    /// Values are bit-identical either way; certified cells additionally
+    /// carry the evidence block through the cache and artifacts (and key
+    /// separate cache entries, since the stored payload differs). Off by
+    /// default so committed goldens stay byte-identical.
+    pub certify: bool,
 }
 
 impl SweepOptions {
@@ -56,6 +62,7 @@ impl SweepOptions {
             cache_dir: PathBuf::from("results/cache"),
             filter: None,
             solver_jobs: None,
+            certify: false,
         }
     }
 
@@ -92,6 +99,7 @@ impl SweepOptions {
         } else {
             1
         };
+        cfg.certify = self.certify;
         cfg
     }
 }

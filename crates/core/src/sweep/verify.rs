@@ -1,0 +1,383 @@
+//! Artifact re-verification: independently re-check every certified cell of
+//! a `topobench-sweep/v1` artifact.
+//!
+//! The verifier never trusts the numbers in the artifact. For each cell that
+//! carries a `"certificate"` block it rebuilds the instance from the cell's
+//! spec (looked up in the scenario's re-expanded grid), hands the stored
+//! evidence to [`tb_flow::verify_certificate`] — which re-derives primal
+//! feasibility and the dual bound from shortest paths under the stored
+//! lengths — and cross-checks the artifact's reported `lower`/`upper`
+//! metrics against the certificate's claims. A single flipped bit anywhere
+//! in the stored evidence fails the bit-exact claim re-derivation and the
+//! cell is reported *bad*.
+//!
+//! Status interplay (the part that is easy to get wrong): cells serialized
+//! with `"status": "failed"` and cells whose certificate records a
+//! `budget-exhausted` solve are **unverifiable** — their bounds are valid
+//! but meet no accuracy contract, so they are reported as such, never
+//! certified and never silently skipped. Cells without a certificate (plain
+//! uncertified artifacts, non-throughput metrics) are counted but not
+//! checked.
+
+use crate::eval::{acceptable_certificate_gap, EvalConfig};
+use crate::sweep::cell::{CellCertificate, CellSpec};
+use crate::sweep::json::Json;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tb_flow::drop_disconnected_demands;
+
+/// The verdict on one artifact cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellVerdict {
+    /// The certificate re-verified against the rebuilt instance.
+    Certified,
+    /// The certificate (or its tie to the reported values) is wrong.
+    Bad(String),
+    /// The cell cannot be held to an accuracy contract (failed, or
+    /// budget-exhausted) — reported, never certified, never skipped.
+    Unverifiable(String),
+    /// The cell carries no certificate (uncertified run or a metric kind
+    /// that has none).
+    NoCertificate,
+}
+
+/// The verification outcome of one artifact.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// The artifact's scenario name.
+    pub scenario: String,
+    /// Total cells examined.
+    pub cells: usize,
+    /// Cells whose certificate re-verified.
+    pub certified: usize,
+    /// Cells with no certificate block.
+    pub no_certificate: usize,
+    /// `(cell id, reason)` for every rejected certificate.
+    pub bad: Vec<(String, String)>,
+    /// `(cell id, reason)` for every unverifiable cell.
+    pub unverifiable: Vec<(String, String)>,
+}
+
+impl VerifyReport {
+    /// True when no certificate was rejected. (Unverifiable cells do not
+    /// make an artifact unclean — they are reported, and whether "nothing
+    /// was certified at all" is acceptable is the caller's policy.)
+    pub fn is_clean(&self) -> bool {
+        self.bad.is_empty()
+    }
+
+    /// Human-readable per-artifact summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} cell(s) — {} certified, {} without certificate, {} unverifiable, {} bad",
+            self.scenario,
+            self.cells,
+            self.certified,
+            self.no_certificate,
+            self.unverifiable.len(),
+            self.bad.len()
+        );
+        for (id, why) in &self.unverifiable {
+            let _ = writeln!(out, "  unverifiable  {id}: {why}");
+        }
+        for (id, why) in &self.bad {
+            let _ = writeln!(out, "  BAD           {id}: {why}");
+        }
+        out
+    }
+}
+
+/// Relative slack when tying the artifact's reported `lower`/`upper` metrics
+/// to the certificate's claims. The two are computed by arithmetically
+/// equivalent but differently-ordered expressions (e.g. `min(r_j mu / d_j)`
+/// vs `mu min(r_j / d_j)`), so they agree to a few ulps, never exactly.
+const VALUE_TIE_TOL: f64 = 1e-9;
+
+/// Verifies every cell of the artifact in `text` against the re-expanded
+/// cell specs in `specs` (cell id → spec) under the evaluation configuration
+/// the artifact was produced with. Returns an error only when the artifact
+/// itself is unusable (not JSON, missing fields); per-cell problems land in
+/// the report.
+pub fn verify_artifact_cells(
+    text: &str,
+    specs: &HashMap<String, CellSpec>,
+    cfg: &EvalConfig,
+) -> Result<VerifyReport, String> {
+    // No up-front `validate_artifact` pass: a tampered certificate block
+    // must surface as a per-cell *bad* verdict (exit 1), not as an
+    // artifact-level usage error (exit 2).
+    let doc = Json::parse(text).map_err(|e| format!("artifact is not JSON: {e}"))?;
+    let scenario = doc
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or("artifact has no scenario name")?
+        .to_string();
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("artifact has no cells array")?;
+
+    let mut report = VerifyReport {
+        scenario,
+        cells: cells.len(),
+        certified: 0,
+        no_certificate: 0,
+        bad: Vec::new(),
+        unverifiable: Vec::new(),
+    };
+    for cell in cells {
+        let id = cell
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("cell without id")?
+            .to_string();
+        match verify_cell(cell, specs.get(id.as_str()), cfg) {
+            CellVerdict::Certified => report.certified += 1,
+            CellVerdict::NoCertificate => report.no_certificate += 1,
+            CellVerdict::Bad(why) => report.bad.push((id, why)),
+            CellVerdict::Unverifiable(why) => report.unverifiable.push((id, why)),
+        }
+    }
+    Ok(report)
+}
+
+/// Bit pattern of a reported metric (`values.<name>.bits`), if present.
+fn value_bits(cell: &Json, name: &str) -> Option<f64> {
+    cell.get("values")?.get(name)?.get("bits")?.as_f64_bits()
+}
+
+/// Verdict on one serialized cell. `spec` is the re-expanded spec with the
+/// same id, when the scenario still has one.
+pub fn verify_cell(cell: &Json, spec: Option<&CellSpec>, cfg: &EvalConfig) -> CellVerdict {
+    // Failed cells first: they carry no values and no certificate, and must
+    // never read as "fine" — they are unverifiable by construction.
+    if cell.get("status").and_then(Json::as_str) == Some("failed") {
+        let why = cell
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("computation failed")
+            .to_string();
+        return CellVerdict::Unverifiable(format!("cell failed: {why}"));
+    }
+    let Some(block) = cell.get("certificate") else {
+        return CellVerdict::NoCertificate;
+    };
+    let Some(cc) = CellCertificate::from_json(block) else {
+        return CellVerdict::Bad("undecodable certificate block".into());
+    };
+    // Budget-exhausted bounds are valid but meet no accuracy contract:
+    // report, do not certify, do not skip.
+    if cc.status == "budget-exhausted" {
+        return CellVerdict::Unverifiable(
+            "solver budget exhausted; bounds carry no accuracy contract".into(),
+        );
+    }
+    let Some(spec) = spec else {
+        return CellVerdict::Bad("no matching cell in the scenario's expansion".into());
+    };
+    let CellSpec::Throughput { topo, tm, tm_seed } = spec else {
+        return CellVerdict::Bad(format!(
+            "certificate on a non-throughput cell spec ({spec:?})"
+        ));
+    };
+
+    // Rebuild the instance from the spec — seeds are pinned inside it, so
+    // this is the exact graph and traffic matrix the certified solve saw.
+    let Some(topo) = topo.build() else {
+        return CellVerdict::Bad("unsatisfiable topology spec".into());
+    };
+    let matrix = tm.generate(&topo, *tm_seed);
+    // The certified evaluation path is strict (it never drops demands), but
+    // a certificate recorded under a dropped-demands status describes the
+    // surviving sub-TM — re-apply the same reachability partition before
+    // checking, so the layouts line up.
+    let matrix = if cc.status.starts_with("dropped-") {
+        drop_disconnected_demands(&topo.graph, &matrix).0
+    } else {
+        matrix
+    };
+    let eps = acceptable_certificate_gap(cfg);
+    if let Err(e) = tb_flow::verify_certificate(&topo.graph, &matrix, &cc.cert, eps) {
+        return CellVerdict::Bad(e.to_string());
+    }
+    // Tie the certificate to the numbers the artifact actually reports:
+    // evidence that proves a *different* value certifies nothing.
+    for (name, claimed) in [("lower", cc.cert.lower), ("upper", cc.cert.upper)] {
+        let Some(reported) = value_bits(cell, name) else {
+            return CellVerdict::Bad(format!("certified cell reports no '{name}' metric"));
+        };
+        if (claimed - reported).abs() > VALUE_TIE_TOL * (1.0 + reported.abs()) {
+            return CellVerdict::Bad(format!(
+                "certificate {name} {claimed} does not match the reported metric {reported}"
+            ));
+        }
+    }
+    CellVerdict::Certified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TmSpec;
+    use crate::sweep::artifact::artifact_json;
+    use crate::sweep::runner::{run_cells, SweepOptions};
+    use crate::sweep::topo::TopoSpec;
+    use crate::sweep::{RenderOutput, SweepCell};
+
+    fn throughput_cells() -> Vec<SweepCell> {
+        [TmSpec::AllToAll, TmSpec::LongestMatching]
+            .into_iter()
+            .map(|tm| {
+                SweepCell::new(
+                    format!("cube/{}", tm.label()),
+                    CellSpec::Throughput {
+                        topo: TopoSpec::Hypercube {
+                            dims: 3,
+                            servers: 1,
+                        },
+                        tm,
+                        tm_seed: 1,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn certified_artifact() -> (String, HashMap<String, CellSpec>, EvalConfig) {
+        let mut opts = SweepOptions::new(false, 1);
+        opts.use_cache = false;
+        opts.certify = true;
+        let cells = throughput_cells();
+        let specs: HashMap<String, CellSpec> = cells
+            .iter()
+            .map(|c| (c.id.clone(), c.spec.clone()))
+            .collect();
+        let report = run_cells(&opts, cells);
+        let text =
+            artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
+        (text, specs, opts.eval_config())
+    }
+
+    #[test]
+    fn certified_artifact_verifies_clean() {
+        let (text, specs, cfg) = certified_artifact();
+        assert!(text.contains("\"certificate\""));
+        let report = verify_artifact_cells(&text, &specs, &cfg).unwrap();
+        assert!(report.is_clean(), "{:?}", report.bad);
+        assert_eq!(report.certified, 2);
+        assert_eq!(report.no_certificate, 0);
+        assert!(report.unverifiable.is_empty());
+    }
+
+    #[test]
+    fn uncertified_artifact_reports_no_certificates() {
+        let mut opts = SweepOptions::new(false, 1);
+        opts.use_cache = false;
+        let cells = throughput_cells();
+        let specs: HashMap<String, CellSpec> = cells
+            .iter()
+            .map(|c| (c.id.clone(), c.spec.clone()))
+            .collect();
+        let report = run_cells(&opts, cells);
+        let text =
+            artifact_json("test", "Test", &opts, &report, &RenderOutput::default()).to_string();
+        let report = verify_artifact_cells(&text, &specs, &opts.eval_config()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.certified, 0);
+        assert_eq!(report.no_certificate, 2);
+    }
+
+    #[test]
+    fn single_bit_flip_in_stored_evidence_is_rejected() {
+        let (text, specs, cfg) = certified_artifact();
+        // Flip the low bit of the first stored d_l claim.
+        let tag = "\"d_l\":\"";
+        let at = text.find(tag).expect("certificate block present") + tag.len();
+        let hex = &text[at..at + 16];
+        let flipped = format!("{:016x}", u64::from_str_radix(hex, 16).unwrap() ^ 1);
+        let mutated = text.replacen(hex, &flipped, 1);
+        assert_ne!(text, mutated);
+        let report = verify_artifact_cells(&mutated, &specs, &cfg).unwrap();
+        assert!(!report.is_clean(), "a flipped claim bit must be rejected");
+    }
+
+    #[test]
+    fn certificate_proving_a_different_value_is_rejected() {
+        let (text, specs, cfg) = certified_artifact();
+        // Mutate the cell's reported lower metric (both decimal and bits
+        // forms stay self-consistent) so the certificate no longer backs the
+        // number the artifact reports.
+        let tag = "\"lower\":{\"bits\":\"";
+        let at = text.find(tag).expect("lower metric present") + tag.len();
+        let hex = &text[at..at + 16];
+        let other = format!("{:016x}", 2.5f64.to_bits());
+        let mutated = text.replace(hex, &other);
+        let report = verify_artifact_cells(&mutated, &specs, &cfg).unwrap();
+        assert!(
+            report.bad.iter().any(|(_, why)| why.contains("lower")),
+            "{:?}",
+            report.bad
+        );
+    }
+
+    #[test]
+    fn failed_cells_are_unverifiable_not_skipped() {
+        let (text, specs, cfg) = certified_artifact();
+        // Reserialize the first cell as failed (no values, no certificate),
+        // the way the artifact writer records a permanently panicking cell.
+        let doc = Json::parse(&text).unwrap();
+        let mut cells = doc.get("cells").unwrap().as_arr().unwrap().to_vec();
+        let id = cells[0].get("id").unwrap().as_str().unwrap().to_string();
+        cells[0] = Json::obj(vec![
+            ("id", Json::str(id)),
+            ("cached", Json::Bool(false)),
+            ("labels", Json::obj(vec![])),
+            ("values", Json::obj(vec![])),
+            ("texts", Json::obj(vec![])),
+            ("status", Json::str("failed")),
+            ("error", Json::str("induced")),
+        ]);
+        let Json::Obj(mut map) = doc else {
+            unreachable!()
+        };
+        map.insert("cells".into(), Json::Arr(cells));
+        let mutated = Json::Obj(map).to_string();
+        let report = verify_artifact_cells(&mutated, &specs, &cfg).unwrap();
+        assert_eq!(report.unverifiable.len(), 1);
+        assert!(report.unverifiable[0].1.contains("failed"));
+        assert_eq!(report.certified, 1);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn budget_exhausted_certificates_are_unverifiable() {
+        let (text, specs, cfg) = certified_artifact();
+        // Re-serialize the first certificate as a genuine budget-exhausted
+        // block (digest recomputed — a raw text flip of the status would be
+        // rejected as tampering, which is a different, also-tested path).
+        let doc = Json::parse(&text).unwrap();
+        let block = doc.get("cells").unwrap().as_arr().unwrap()[0]
+            .get("certificate")
+            .expect("certified cell has a block");
+        let mut cc = CellCertificate::from_json(block).unwrap();
+        assert_eq!(cc.status, "converged");
+        cc.status = "budget-exhausted".into();
+        let mutated = text.replacen(&block.to_string(), &cc.to_json().to_string(), 1);
+        assert_ne!(text, mutated, "certified cells record their solve status");
+        let report = verify_artifact_cells(&mutated, &specs, &cfg).unwrap();
+        assert_eq!(report.unverifiable.len(), 1);
+        assert!(report.unverifiable[0].1.contains("budget"));
+        assert_eq!(report.certified, 1);
+        assert!(report.is_clean(), "unverifiable is not bad");
+    }
+
+    #[test]
+    fn unknown_cell_id_is_bad() {
+        let (text, _, cfg) = certified_artifact();
+        let report = verify_artifact_cells(&text, &HashMap::new(), &cfg).unwrap();
+        assert_eq!(report.bad.len(), 2);
+        assert!(report.bad[0].1.contains("expansion"));
+    }
+}

@@ -12,6 +12,10 @@
 //! sweep diff results/golden/fig02.json results/fig02.json
 //! sweep diff --all results/golden/ results/
 //! sweep diff --tolerance 1e-9 old.json new.json
+//!
+//! sweep --scenario fig02 --certify     # attach optimality certificates
+//! sweep verify results/fig02.json      # re-check the stored certificates
+//! sweep verify --all results/golden/
 //! ```
 //!
 //! Unlike the per-figure binaries, `sweep` always writes (and validates) the
@@ -27,6 +31,10 @@
 //! directories) cell by cell: values must match bit for bit (or within
 //! `--tolerance`), and added/removed cells, label changes and schema changes
 //! are reported. Exit status: 0 clean, 1 regressions, 2 usage/IO errors.
+//!
+//! `sweep verify` independently re-checks the optimality certificates stored
+//! by a `--certify` run: each certified cell's instance is rebuilt from its
+//! spec and the evidence re-verified bit for bit (same exit convention).
 
 use experiments::{find_scenario, registry, run_and_emit, ExtraFlag, RunOptions};
 use topobench::sweep::{diff_dirs, diff_files, DiffOptions};
@@ -144,12 +152,114 @@ fn run_diff(args: &[String]) -> i32 {
     }
 }
 
+fn run_verify(args: &[String]) -> i32 {
+    let mut all = false;
+    let mut paths: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--help" | "-h" => {
+                println!(
+                    "Usage: sweep verify [--all] <artifact|dir>\n\n\
+                     Re-checks the optimality certificates stored in a topobench-sweep/v1\n\
+                     artifact (produce one with --certify): each certified cell's instance is\n\
+                     rebuilt from its spec and the stored evidence is re-verified against it,\n\
+                     bit for bit. Failed and budget-exhausted cells are reported as\n\
+                     unverifiable, never certified. With --all, every *.json artifact in the\n\
+                     directory is verified and at least one certificate must be present\n\
+                     overall (an accidentally uncertified tree must not read as clean).\n\
+                     Exit status: 0 verified clean, 1 bad certificate (or nothing certified\n\
+                     with --all), 2 usage/IO errors."
+                );
+                return 0;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown argument: {flag}");
+                return 2;
+            }
+            path => paths.push(path),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        eprintln!("error: sweep verify requires exactly one path; see sweep verify --help");
+        return 2;
+    };
+    if all {
+        let results = match experiments::verify::verify_artifact_dir(path.as_ref()) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let mut certified = 0usize;
+        let mut bad = 0usize;
+        let mut io_errors = 0usize;
+        for (name, result) in &results {
+            match result {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    certified += report.certified;
+                    bad += report.bad.len();
+                }
+                Err(e) => {
+                    eprintln!("error: {name}: {e}");
+                    io_errors += 1;
+                }
+            }
+        }
+        if io_errors > 0 {
+            return 2;
+        }
+        if bad > 0 {
+            eprintln!("[sweep verify] FAILED: {bad} bad certificate(s)");
+            return 1;
+        }
+        if certified == 0 {
+            // A tree with zero certificates verifies nothing; succeeding here
+            // would let an accidentally uncertified golden refresh pass CI.
+            eprintln!(
+                "[sweep verify] FAILED: no certificates found in {path} \
+                 (regenerate the artifacts with --certify)"
+            );
+            return 1;
+        }
+        println!(
+            "[sweep verify] OK: {certified} certificate(s) verified across {} artifact(s)",
+            results.len()
+        );
+        0
+    } else {
+        match experiments::verify::verify_artifact_file(path.as_ref()) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.is_clean() {
+                    0
+                } else {
+                    eprintln!(
+                        "[sweep verify] FAILED: {} bad certificate(s)",
+                        report.bad.len()
+                    );
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        }
+    }
+}
+
 fn main() {
-    // `sweep diff` is a subcommand with its own argument grammar; dispatch
-    // before the shared strict option parser sees the args.
+    // `sweep diff` / `sweep verify` are subcommands with their own argument
+    // grammar; dispatch before the shared strict option parser sees the args.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("diff") {
         std::process::exit(run_diff(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("verify") {
+        std::process::exit(run_verify(&raw[1..]));
     }
 
     let (opts, extras) = RunOptions::from_args_with(&EXTRA_FLAGS);

@@ -47,6 +47,7 @@ pub use topobench::sweep::{f3, Table};
 
 mod scenarios;
 pub use scenarios::registry;
+pub mod verify;
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -67,6 +68,9 @@ pub struct RunOptions {
     pub filter: Option<String>,
     /// Bypass the on-disk result cache.
     pub no_cache: bool,
+    /// Attach optimality certificates to throughput cells (keys new cache
+    /// entries; values stay bit-identical to uncertified runs).
+    pub certify: bool,
 }
 
 impl Default for RunOptions {
@@ -79,6 +83,7 @@ impl Default for RunOptions {
             solver_jobs: None,
             filter: None,
             no_cache: false,
+            certify: false,
         }
     }
 }
@@ -104,6 +109,8 @@ const COMMON_HELP: &str =
                    --jobs splits cells, --solver-jobs splits one solve
   --filter <S>     only run cells whose id contains S (prints a raw cell dump)
   --no-cache       do not read or write results/cache/
+  --certify        attach optimality certificates to throughput cells (for
+                   `sweep verify`; values stay bit-identical, cache keys change)
   --help           print this help";
 
 impl RunOptions {
@@ -201,6 +208,7 @@ impl RunOptions {
                 "--full" => opts.full = true,
                 "--csv" => opts.csv = true,
                 "--no-cache" => opts.no_cache = true,
+                "--certify" => opts.certify = true,
                 "--seed" => {
                     let v = value_of(&mut i, "--seed")?;
                     opts.seed = v.parse().map_err(|_| {
@@ -266,6 +274,7 @@ impl RunOptions {
         s.use_cache = !self.no_cache;
         s.filter = self.filter.clone();
         s.solver_jobs = self.solver_jobs;
+        s.certify = self.certify;
         s
     }
 }
@@ -428,9 +437,11 @@ mod tests {
             "--filter",
             "A2A",
             "--no-cache",
+            "--certify",
         ])
         .unwrap();
         assert!(o.full && o.csv && o.no_cache);
+        assert!(o.certify && o.sweep_options().certify);
         assert_eq!(o.seed, 9);
         assert_eq!(o.jobs, Some(2));
         assert_eq!(o.solver_jobs, Some(4));

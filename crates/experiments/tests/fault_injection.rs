@@ -10,6 +10,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use topobench::sweep::json::Json;
 use topobench::sweep::{
     artifact_json, cell_key, fnv1a, run_cells, validate_artifact, CellSet, CellSpec, ResultCache,
     SweepCell, SweepOptions, TopoSpec,
@@ -130,6 +131,107 @@ fn failure_sweep_survives_panic_corruption_and_disconnection() {
     assert_eq!(doc.matches("\"status\":\"failed\"").count(), 1);
 
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// Forced-budget-exhaustion drill for the certificate layer: a solve whose
+/// phase budget runs out still emits a certificate (the bounds it proves are
+/// real), but `sweep verify` must classify the cell as *unverifiable* — the
+/// bounds meet no accuracy contract — never as certified, and never silently
+/// skip it. A converged solve of the same instance is the control.
+#[test]
+fn budget_exhausted_certificates_are_unverifiable_never_certified() {
+    use topobench::eval::evaluate_throughput_certified_with;
+    use topobench::flow::{SolveStatus, SolverWorkspace};
+    use topobench::sweep::{verify_cell, CellCertificate, CellVerdict};
+
+    let spec = CellSpec::Throughput {
+        topo: TopoSpec::Hypercube {
+            dims: 4,
+            servers: 1,
+        },
+        tm: TmSpec::AllToAll,
+        tm_seed: 1,
+    };
+    let CellSpec::Throughput { topo, tm, tm_seed } = &spec else {
+        unreachable!()
+    };
+    let built = topo.build().unwrap();
+    let matrix = tm.generate(&built, *tm_seed);
+
+    let opts = SweepOptions::new(false, 1);
+    let mut starved = opts.eval_config();
+    // Force the FPTAS (no exact short-circuit) and strangle its budget: one
+    // phase at a tight epsilon cannot saturate the MWU on an all-to-all TM,
+    // and the sub-ulp gap target is unreachable — the solve must stop on the
+    // phase cap with the bound gap wide open.
+    starved.exact_switch_limit = 0;
+    starved.solver.max_phases = 1;
+    starved.solver.check_interval = 1;
+    starved.solver.epsilon = 0.01;
+    starved.solver.target_gap = 1e-9;
+    let mut ws = SolverWorkspace::new();
+    let (bounds, status, cert) =
+        evaluate_throughput_certified_with(&built, &matrix, &starved, &mut ws);
+    assert_eq!(status, SolveStatus::BudgetExhausted, "budget must run out");
+
+    // Serialize the cell the way the artifact writer would.
+    let cc = CellCertificate {
+        cert,
+        status: status.label(),
+    };
+    let cell = Json::obj(vec![
+        ("id", Json::str("probe/budget")),
+        (
+            "values",
+            Json::obj(vec![
+                (
+                    "lower",
+                    Json::obj(vec![("bits", Json::f64_bits(bounds.lower))]),
+                ),
+                (
+                    "upper",
+                    Json::obj(vec![("bits", Json::f64_bits(bounds.upper))]),
+                ),
+            ]),
+        ),
+        ("certificate", cc.to_json()),
+    ]);
+    let verdict = verify_cell(&cell, Some(&spec), &starved);
+    let CellVerdict::Unverifiable(why) = verdict else {
+        panic!("budget-exhausted cell must be unverifiable, got {verdict:?}");
+    };
+    assert!(why.contains("budget"), "{why}");
+
+    // Control: the same instance with a sane budget certifies cleanly.
+    let sane = opts.eval_config();
+    let (bounds, status, cert) =
+        evaluate_throughput_certified_with(&built, &matrix, &sane, &mut ws);
+    assert_eq!(status, SolveStatus::Converged);
+    let cc = CellCertificate {
+        cert,
+        status: status.label(),
+    };
+    let cell = Json::obj(vec![
+        ("id", Json::str("probe/budget")),
+        (
+            "values",
+            Json::obj(vec![
+                (
+                    "lower",
+                    Json::obj(vec![("bits", Json::f64_bits(bounds.lower))]),
+                ),
+                (
+                    "upper",
+                    Json::obj(vec![("bits", Json::f64_bits(bounds.upper))]),
+                ),
+            ]),
+        ),
+        ("certificate", cc.to_json()),
+    ]);
+    assert_eq!(
+        verify_cell(&cell, Some(&spec), &sane),
+        CellVerdict::Certified
+    );
 }
 
 /// Canonical fingerprint of a built topology: surviving edge list + server

@@ -594,10 +594,11 @@ pub(crate) const PAR_MIN_SWEEP_WORK: usize = 1 << 17;
 pub(crate) const PAR_MIN_BATCH_WORK: usize = 1 << 13;
 
 /// A throughput solve's full result: the bracketing bounds, the convergence
-/// counters, and the structured degradation status. Returned by
+/// counters, the structured degradation status, and the optimality
+/// certificate backing the bounds. Returned by
 /// [`FleischerSolver::solve_outcome_with`], the degradation-aware entry
 /// point used by the failure sweeps.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOutcome {
     /// The bracketing interval (always finite, `0 <= lower <= upper`).
     pub bounds: ThroughputBounds,
@@ -607,6 +608,12 @@ pub struct SolveOutcome {
     /// Structured status: converged, budget-exhausted, or
     /// disconnected-demands-dropped.
     pub status: crate::SolveStatus,
+    /// The optimality certificate for the solved instance. When demands
+    /// were dropped ([`SolveStatus::DisconnectedDemandsDropped`]
+    /// (crate::SolveStatus::DisconnectedDemandsDropped)), it describes the
+    /// surviving sub-TM — verify it against
+    /// [`crate::drop_disconnected_demands`]' output.
+    pub certificate: crate::ThroughputCertificate,
 }
 
 /// Maximum-concurrent-flow solver (see module docs).
@@ -650,9 +657,29 @@ impl FleischerSolver {
         tm: &TrafficMatrix,
         ws: &mut SolverWorkspace,
     ) -> (ThroughputBounds, SolveStats) {
+        let (bounds, stats, _) = self.solve_with_certificate(graph, tm, ws, false);
+        (bounds, stats)
+    }
+
+    /// The full-evidence solve: like [`solve_with_stats`]
+    /// (Self::solve_with_stats) but optionally capturing the optimality
+    /// certificate. Capture is trajectory-neutral — bounds and stats are
+    /// bit-identical either way; it costs two `O(num_arcs)` snapshots per
+    /// bound improvement plus one canonical shortest-path sweep at the end.
+    pub fn solve_with_certificate(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        ws: &mut SolverWorkspace,
+        want_cert: bool,
+    ) -> (
+        ThroughputBounds,
+        SolveStats,
+        Option<crate::ThroughputCertificate>,
+    ) {
         crate::record_solver_invocation();
         let prob = FlowProblem::new(graph, tm);
-        phase::solve_problem(&self.config, graph, &prob, ws)
+        phase::solve_problem(&self.config, graph, &prob, ws, want_cert)
     }
 
     /// Degradation-aware solve: drops demands whose endpoints are
@@ -678,6 +705,7 @@ impl FleischerSolver {
                     ..SolveStats::default()
                 },
                 status: crate::SolveStatus::Converged,
+                certificate: crate::ThroughputCertificate::trivial_zero(),
             };
         }
         let (kept_tm, dropped) = crate::drop_disconnected_demands(graph, tm);
@@ -689,12 +717,13 @@ impl FleischerSolver {
                     ..SolveStats::default()
                 },
                 status: crate::SolveStatus::DisconnectedDemandsDropped { dropped, kept: 0 },
+                certificate: crate::ThroughputCertificate::trivial_zero(),
             };
         }
-        let (bounds, stats) = if dropped == 0 {
-            self.solve_with_stats(graph, tm, ws)
+        let (bounds, stats, cert) = if dropped == 0 {
+            self.solve_with_certificate(graph, tm, ws, true)
         } else {
-            self.solve_with_stats(graph, &kept_tm, ws)
+            self.solve_with_certificate(graph, &kept_tm, ws, true)
         };
         let status = if dropped > 0 {
             crate::SolveStatus::DisconnectedDemandsDropped {
@@ -710,6 +739,7 @@ impl FleischerSolver {
             bounds,
             stats,
             status,
+            certificate: cert.expect("certificate requested"),
         }
     }
 
@@ -883,6 +913,78 @@ mod tests {
         );
         assert!(out.bounds.upper.is_finite());
         assert!(out.bounds.lower <= out.bounds.upper + 1e-9);
+    }
+
+    #[test]
+    fn outcome_certificate_verifies_independently() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tm = TrafficMatrix::new(3, vec![demand(0, 2, 1.0), demand(1, 2, 1.0)]);
+        let out = solver().solve_outcome(&g, &tm);
+        assert_eq!(out.status, crate::SolveStatus::Converged);
+        crate::verify_certificate(&g, &tm, &out.certificate, 0.01 + 1e-9)
+            .expect("converged certificate must verify at the target gap");
+        // The certificate's canonical bounds agree with the solver's claimed
+        // bounds (different rounding paths, same mathematics).
+        let b = out.bounds;
+        assert!((out.certificate.lower - b.lower).abs() <= 1e-7 * b.lower.max(1.0));
+        assert!((out.certificate.upper - b.upper).abs() <= 1e-7 * b.upper.max(1.0));
+        // Certificate capture is trajectory-neutral: the certified outcome's
+        // bounds are bit-identical to the plain solve.
+        let plain = solver().solve(&g, &tm);
+        assert_eq!(b.lower.to_bits(), plain.lower.to_bits());
+        assert_eq!(b.upper.to_bits(), plain.upper.to_bits());
+    }
+
+    #[test]
+    fn dropped_demand_certificate_covers_the_kept_sub_tm() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 1, 1.0), demand(0, 3, 1.0)]);
+        let out = solver().solve_outcome(&g, &tm);
+        assert!(out.status.is_degraded());
+        let (kept_tm, dropped) = crate::drop_disconnected_demands(&g, &tm);
+        assert_eq!(dropped, 1);
+        crate::verify_certificate(&g, &kept_tm, &out.certificate, 0.01 + 1e-9)
+            .expect("certificate must verify against the surviving sub-TM");
+        // Against the full TM the dimensions no longer line up.
+        assert!(crate::verify_certificate(&g, &tm, &out.certificate, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn budget_exhausted_certificate_still_verifies_with_open_gap() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tm = tb_traffic::synthetic::all_to_all(&[1usize; 4]);
+        let cfg = FleischerConfig {
+            max_phases: 0,
+            ..FleischerConfig::default()
+        };
+        let out = FleischerSolver::new(cfg).solve_outcome(&g, &tm);
+        assert_eq!(out.status, crate::SolveStatus::BudgetExhausted);
+        // The bounds are valid even though the budget ran out, so the
+        // certificate verifies once the gap check is waived…
+        crate::verify_certificate(&g, &tm, &out.certificate, f64::INFINITY).unwrap();
+        // …but not at the target gap the solve failed to reach.
+        assert!(matches!(
+            crate::verify_certificate(&g, &tm, &out.certificate, 0.03),
+            Err(crate::CertificateError::GapTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_disconnected_outcomes_carry_trivial_certificates() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let empty = TrafficMatrix::new(2, Vec::new());
+        let out = solver().solve_outcome(&g, &empty);
+        crate::verify_certificate(&g, &empty, &out.certificate, 0.0).unwrap();
+        let mut g2 = Graph::new(4);
+        g2.add_unit_edge(0, 1);
+        g2.add_unit_edge(2, 3);
+        let tm = TrafficMatrix::new(4, vec![demand(0, 2, 1.0), demand(1, 3, 1.0)]);
+        let out = solver().solve_outcome(&g2, &tm);
+        let (kept_tm, _) = crate::drop_disconnected_demands(&g2, &tm);
+        assert_eq!(kept_tm.num_flows(), 0);
+        crate::verify_certificate(&g2, &kept_tm, &out.certificate, 0.0).unwrap();
     }
 
     #[test]

@@ -27,6 +27,7 @@ use super::{
     steal, BatchGate, FleischerConfig, PricingMode, SolveStats, SolverWorkspace,
     PAR_MIN_BATCH_WORK, PAR_MIN_SWEEP_WORK,
 };
+use crate::certificate::{CertCapture, ThroughputCertificate};
 use crate::instance::FlowProblem;
 use crate::lengths::MwuLengths;
 use crate::ThroughputBounds;
@@ -47,7 +48,8 @@ pub(super) fn solve_problem(
     graph: &Graph,
     prob: &FlowProblem,
     ws: &mut SolverWorkspace,
-) -> (ThroughputBounds, SolveStats) {
+    want_cert: bool,
+) -> (ThroughputBounds, SolveStats, Option<ThroughputCertificate>) {
     let n = prob.num_nodes();
     let m = prob.num_arcs();
     let eps = cfg.epsilon;
@@ -56,8 +58,27 @@ pub(super) fn solve_problem(
         converged: true,
         ..SolveStats::default()
     };
+    // Trivial exits certify their zero with empty evidence at the
+    // instance's real dimensions: zero flow, zero served amounts, unit
+    // lengths (under which a disconnected pair drives the dual bound to an
+    // exact zero).
+    let trivial_cert = |prob: &FlowProblem| {
+        want_cert.then(|| {
+            let commodities = prob.sources().iter().map(|s| s.dests.len()).sum();
+            ThroughputCertificate::build(
+                prob,
+                vec![0.0; prob.num_arcs()],
+                vec![0.0; commodities],
+                vec![1.0; prob.num_arcs()],
+            )
+        })
+    };
     if m == 0 {
-        return (ThroughputBounds::exact(0.0), trivial_stats);
+        return (
+            ThroughputBounds::exact(0.0),
+            trivial_stats,
+            trivial_cert(prob),
+        );
     }
     // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters when
     // tuning the kernel. The global counters are process-cumulative, so
@@ -80,7 +101,11 @@ pub(super) fn solve_problem(
     // instead of the former two.
     let est = prob.volumetric_estimate(graph);
     if est <= 0.0 {
-        return (ThroughputBounds::exact(0.0), trivial_stats);
+        return (
+            ThroughputBounds::exact(0.0),
+            trivial_stats,
+            trivial_cert(prob),
+        );
     }
     let scale = est.max(1e-12);
     let demands: Vec<Vec<f64>> = prob
@@ -128,6 +153,10 @@ pub(super) fn solve_problem(
 
     let mut best_lower = 0.0f64;
     let mut best_upper = f64::INFINITY;
+    // Certificate capture: pure snapshots of the state behind each best
+    // bound, never arithmetic on solver state — the trajectory is identical
+    // with capture on or off.
+    let mut capture = want_cert.then(CertCapture::default);
 
     let SolverWorkspace {
         sssp,
@@ -433,9 +462,21 @@ pub(super) fn solve_problem(
         // to gap-based early exits (measured 45x wall-clock on the
         // hypercube longest-matching without this check).
         if phase.is_multiple_of(check_interval) || (batching && phase == 1) {
-            let (lo, up) = evaluate_bounds(
+            let (lo, up, mu) = evaluate_bounds(
                 &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
             );
+            if let Some(cap) = capture.as_mut() {
+                cap.observe(
+                    lo,
+                    up,
+                    mu,
+                    best_lower,
+                    best_upper,
+                    mwu.lens(),
+                    &flow_arc,
+                    &routed,
+                );
+            }
             best_lower = best_lower.max(lo);
             best_upper = best_upper.min(up);
             if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= cfg.target_gap {
@@ -479,9 +520,21 @@ pub(super) fn solve_problem(
     // Final bound evaluation (unless the state was already evaluated by
     // the gap check that ended the run).
     if !state_evaluated {
-        let (lo, up) = evaluate_bounds(
+        let (lo, up, mu) = evaluate_bounds(
             &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
         );
+        if let Some(cap) = capture.as_mut() {
+            cap.observe(
+                lo,
+                up,
+                mu,
+                best_lower,
+                best_upper,
+                mwu.lens(),
+                &flow_arc,
+                &routed,
+            );
+        }
         best_lower = best_lower.max(lo);
         best_upper = best_upper.min(up);
     }
@@ -497,13 +550,17 @@ pub(super) fn solve_problem(
         || best_upper <= 0.0
         || (best_upper - best_lower) / best_upper <= cfg.target_gap;
     // Undo the demand pre-scaling: bounds computed for demands d*scale are
-    // 1/scale times the bounds for d.
+    // 1/scale times the bounds for d. The certificate needs no scale field:
+    // its flow and served amounts are absolute, so the canonical claims come
+    // out in original demand units directly.
+    let cert = capture.map(|cap| cap.into_certificate(prob));
     (
         ThroughputBounds {
             lower: best_lower * scale,
             upper: best_upper * scale,
         },
         stats,
+        cert,
     )
 }
 
@@ -530,7 +587,10 @@ fn estimate_serial_phases(d_before: f64, d_after: f64) -> usize {
 }
 
 /// Evaluates the practical feasible lower bound and the dual upper bound
-/// for the current state. Bounds are in the *scaled* demand space.
+/// for the current state, returning `(lower, upper, mu)` where `mu` is the
+/// capacity-rescale factor behind the lower bound (the certificate capture
+/// stores it alongside the flow snapshot). Bounds are in the *scaled*
+/// demand space.
 ///
 /// The dual bound needs one shortest-path computation per source under the
 /// current lengths (goal-directed where a potential row exists); the sweep is
@@ -547,7 +607,7 @@ fn evaluate_bounds(
     st: &[RouteState],
     sssp: &mut SsspWorkspace,
     pool: &SsspPool,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     // Feasible lower bound: scale the accumulated flow down so that no arc
     // exceeds its capacity, then the worst-served commodity determines the
     // concurrent throughput.
@@ -600,5 +660,5 @@ fn evaluate_bounds(
     } else {
         (0..num_sources).map(|si| alpha_of(sssp, si)).sum()
     };
-    (lower, mwu.dual_bound(alpha))
+    (lower, mwu.dual_bound(alpha), mu)
 }

@@ -21,12 +21,14 @@
 //! All solvers consume a [`tb_graph::Graph`] (switch-level, per-direction edge
 //! capacities) and a [`tb_traffic::TrafficMatrix`].
 
+pub mod certificate;
 pub mod exact;
 pub mod fleischer;
 pub mod instance;
 pub mod lengths;
 pub mod restricted;
 
+pub use certificate::{verify_certificate, CertificateError, ThroughputCertificate};
 pub use exact::ExactLpSolver;
 pub use fleischer::{
     auto_steal_chunk, BatchGate, FleischerConfig, FleischerSolver, PricingMode, SolveOutcome,

@@ -4,9 +4,10 @@
 //!
 //! The paper computes throughput with Gurobi; this repository replaces it with
 //! two components: a combinatorial FPTAS (in `tb-flow`) for large instances and
-//! this exact dense **two-phase primal simplex** for small instances, used to
-//! validate the FPTAS in tests, to solve the Kodialam traffic-matrix LP on
-//! small networks, and for the sparsest-cut LP relaxation experiments.
+//! this exact **two-phase revised primal simplex** (sparse columns, product-form
+//! inverse) used to validate the FPTAS in tests, to solve the Kodialam
+//! traffic-matrix LP on small networks, to certify bench shapes against the
+//! true LP optimum, and for the sparsest-cut LP relaxation experiments.
 //!
 //! The solver handles problems of the form
 //!
@@ -16,10 +17,14 @@
 //!               x >= 0
 //! ```
 //!
-//! It is a dense tableau implementation with Bland's anti-cycling rule engaged
-//! after a run of degenerate pivots, intended for instances with up to a few
-//! thousand variables and constraints.
+//! It is a sparse revised-simplex implementation with Bland's anti-cycling
+//! rule engaged after a run of degenerate pivots, periodic eta-file
+//! refactorization, optional warm starts ([`solve_with_hint`]), and dual
+//! values on every solution; it handles instances with tens of thousands of
+//! variables and a few thousand constraints.
 
 mod simplex;
 
-pub use simplex::{solve, Constraint, ConstraintOp, LinearProgram, LpError, LpResult, Solution};
+pub use simplex::{
+    solve, solve_with_hint, Constraint, ConstraintOp, LinearProgram, LpError, LpResult, Solution,
+};

@@ -1,4 +1,12 @@
-//! Dense two-phase primal simplex.
+//! Sparse two-phase revised primal simplex with a product-form inverse.
+//!
+//! The constraint matrix is stored column-wise in sparse form and the basis
+//! inverse is maintained as an eta file (product-form inverse, PFI): each
+//! pivot appends one elementary eta matrix, and the file is rebuilt from
+//! scratch every [`REFACTOR_EVERY`] pivots to bound both fill-in and numeric
+//! drift. `FTRAN`/`BTRAN` apply the file forward/transposed-backward, so the
+//! per-iteration cost scales with the number of nonzeros rather than with
+//! `rows × cols` as in the dense tableau this module replaces.
 
 /// Comparison operator of a linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +77,14 @@ pub struct Solution {
     pub objective: f64,
     /// Values of the decision variables.
     pub values: Vec<f64>,
+    /// Dual values (shadow prices), one per input constraint in input order.
+    ///
+    /// Sign convention for the maximization: a binding `<=` constraint has a
+    /// non-negative dual, a binding `>=` constraint a non-positive one, and
+    /// strong duality gives `sum_i duals[i] * rhs[i] == objective`. Rows that
+    /// were normalized internally (negative right-hand sides) are reported in
+    /// the caller's original orientation.
+    pub duals: Vec<f64>,
 }
 
 /// Solver failure modes.
@@ -98,266 +114,691 @@ impl std::error::Error for LpError {}
 pub type LpResult = Result<Solution, LpError>;
 
 const EPS: f64 = 1e-9;
+/// Rebuild the eta file from the basis every this many pivots.
+const REFACTOR_EVERY: usize = 64;
+/// Switch from Dantzig to Bland pricing after this many degenerate pivots.
+const BLAND_TRIGGER: usize = 50;
+/// Minimum pivot magnitude accepted when forcing a basic artificial out.
+const ART_PIVOT_TOL: f64 = 1e-7;
 
-struct Tableau {
-    /// rows x cols dense matrix; last column is the RHS.
-    a: Vec<Vec<f64>>,
-    /// Objective row (reduced costs), length cols; last entry is the negated
-    /// objective value.
-    obj: Vec<f64>,
-    /// Basis: for each row, the index of its basic column.
-    basis: Vec<usize>,
-    rows: usize,
-    cols: usize,
+/// One elementary pivot matrix. Applying it to `v` replaces
+/// `v[row] <- diag * v[row]` and adds `others[i] * v_row_old` elsewhere.
+struct Eta {
+    row: usize,
+    diag: f64,
+    others: Vec<(usize, f64)>,
 }
 
-impl Tableau {
-    fn pivot(&mut self, row: usize, col: usize) {
-        let piv = self.a[row][col];
-        debug_assert!(piv.abs() > EPS);
-        let inv = 1.0 / piv;
-        for x in self.a[row].iter_mut() {
-            *x *= inv;
+/// `v <- B^{-1} v` via the eta file, tracking the nonzero pattern in `nz`
+/// (`nz` may retain indices whose value cancelled back to exactly zero; an
+/// index appears at most once while its value is nonzero).
+fn ftran(etas: &[Eta], v: &mut [f64], nz: &mut Vec<usize>) {
+    for e in etas {
+        let vr = v[e.row];
+        if vr == 0.0 {
+            continue;
         }
-        for r in 0..self.rows {
-            if r == row {
-                continue;
+        v[e.row] = e.diag * vr;
+        for &(i, x) in &e.others {
+            if v[i] == 0.0 {
+                nz.push(i);
             }
-            let factor = self.a[r][col];
-            if factor.abs() > EPS {
-                for c in 0..self.cols {
-                    self.a[r][c] -= factor * self.a[row][c];
+            v[i] += x * vr;
+        }
+    }
+}
+
+/// `v <- B^{-T} v` via the eta file (transposed etas, reverse order).
+fn btran(etas: &[Eta], v: &mut [f64]) {
+    for e in etas.iter().rev() {
+        let mut s = e.diag * v[e.row];
+        for &(i, x) in &e.others {
+            s += x * v[i];
+        }
+        v[e.row] = s;
+    }
+}
+
+const NONE: usize = usize::MAX;
+
+/// The LP in standard form: `A x = b`, `b >= 0`, `x >= 0`, columns stored
+/// sparsely. Slack and artificial columns are singletons and kept implicit.
+struct StdLp {
+    n: usize,
+    m: usize,
+    /// CSC storage of the structural columns, with the sign of normalized
+    /// (rhs-negated) rows baked in and duplicate entries merged.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Per slack column: (row, ±1).
+    slack: Vec<(usize, f64)>,
+    /// Per artificial column: its row.
+    art: Vec<usize>,
+    /// Rows whose sign was flipped during normalization (dual sign restore).
+    row_negated: Vec<bool>,
+    slack_base: usize,
+    art_base: usize,
+    total_cols: usize,
+    objective: Vec<f64>,
+}
+
+impl StdLp {
+    fn build(lp: &LinearProgram) -> StdLp {
+        let n = lp.num_vars;
+        let m = lp.constraints.len();
+
+        // Normalize rows to rhs >= 0, flipping the operator where needed.
+        let mut row_negated = vec![false; m];
+        let mut ops = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for (r, c) in lp.constraints.iter().enumerate() {
+            let (op, b) = if c.rhs < 0.0 {
+                row_negated[r] = true;
+                let flipped = match c.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+                (flipped, -c.rhs)
+            } else {
+                (c.op, c.rhs)
+            };
+            ops.push(op);
+            rhs.push(b);
+        }
+
+        // Column-major structural matrix. Duplicate (row, var) coefficients
+        // are summed, matching the dense implementation's semantics.
+        let mut col_nnz = vec![0usize; n];
+        for c in &lp.constraints {
+            for &(v, _) in &c.coeffs {
+                col_nnz[v] += 1;
+            }
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            col_ptr[j + 1] = col_ptr[j] + col_nnz[j];
+        }
+        let nnz = col_ptr[n];
+        let mut row_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = col_ptr.clone();
+        for (r, c) in lp.constraints.iter().enumerate() {
+            let sign = if row_negated[r] { -1.0 } else { 1.0 };
+            for &(v, coef) in &c.coeffs {
+                let k = cursor[v];
+                row_idx[k] = r;
+                vals[k] = coef * sign;
+                cursor[v] += 1;
+            }
+        }
+        // Merge duplicates so each row index appears once per column (the
+        // nonzero tracking in FTRAN relies on that).
+        let mut write = 0usize;
+        let mut new_ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            let start = write;
+            let mut entries: Vec<(usize, f64)> = (col_ptr[j]..col_ptr[j + 1])
+                .map(|k| (row_idx[k], vals[k]))
+                .collect();
+            entries.sort_unstable_by_key(|&(r, _)| r);
+            for (r, v) in entries {
+                if write > start && row_idx[write - 1] == r {
+                    vals[write - 1] += v;
+                } else {
+                    row_idx[write] = r;
+                    vals[write] = v;
+                    write += 1;
                 }
-                self.a[r][col] = 0.0;
+            }
+            new_ptr[j + 1] = write;
+        }
+        row_idx.truncate(write);
+        vals.truncate(write);
+
+        let mut slack = Vec::new();
+        let mut art = Vec::new();
+        for (r, op) in ops.iter().enumerate() {
+            match op {
+                ConstraintOp::Le => slack.push((r, 1.0)),
+                ConstraintOp::Ge => {
+                    slack.push((r, -1.0));
+                    art.push(r);
+                }
+                ConstraintOp::Eq => art.push(r),
             }
         }
-        let factor = self.obj[col];
-        if factor.abs() > EPS {
-            for c in 0..self.cols {
-                self.obj[c] -= factor * self.a[row][c];
-            }
-            self.obj[col] = 0.0;
+        let slack_base = n;
+        let art_base = n + slack.len();
+        let total_cols = art_base + art.len();
+        StdLp {
+            n,
+            m,
+            col_ptr: new_ptr,
+            row_idx,
+            vals,
+            rhs,
+            slack,
+            art,
+            row_negated,
+            slack_base,
+            art_base,
+            total_cols,
+            objective: lp.objective.clone(),
         }
-        self.basis[row] = col;
     }
 
-    /// Runs the simplex method on the current objective row. `allowed_cols`
-    /// limits which columns may enter the basis (used to keep artificial
-    /// variables out in phase 2).
-    fn optimize(&mut self, allowed: usize, max_iters: usize) -> Result<(), LpError> {
-        let mut degenerate_run = 0usize;
-        for _iter in 0..max_iters {
-            // Entering column: Dantzig rule (most positive reduced cost for a
-            // maximization tableau where obj holds c_j - z_j), switching to
-            // Bland's rule after a run of degenerate pivots.
-            let use_bland = degenerate_run > 50;
-            let mut enter = None;
-            if use_bland {
-                for c in 0..allowed {
-                    if self.obj[c] > EPS {
-                        enter = Some(c);
-                        break;
-                    }
-                }
-            } else {
-                let mut best = EPS;
-                for c in 0..allowed {
-                    if self.obj[c] > best {
-                        best = self.obj[c];
-                        enter = Some(c);
-                    }
+    /// Scatters column `j` into the dense scratch `w`, recording nonzeros.
+    fn scatter_col(&self, j: usize, w: &mut [f64], nz: &mut Vec<usize>) {
+        if j < self.n {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                if self.vals[k] != 0.0 {
+                    w[self.row_idx[k]] = self.vals[k];
+                    nz.push(self.row_idx[k]);
                 }
             }
-            let enter = match enter {
-                Some(c) => c,
+        } else if j < self.art_base {
+            let (r, s) = self.slack[j - self.slack_base];
+            w[r] = s;
+            nz.push(r);
+        } else {
+            let r = self.art[j - self.art_base];
+            w[r] = 1.0;
+            nz.push(r);
+        }
+    }
+
+    /// `y · A_j` for pricing.
+    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            let mut s = 0.0;
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                s += y[self.row_idx[k]] * self.vals[k];
+            }
+            s
+        } else if j < self.art_base {
+            let (r, sign) = self.slack[j - self.slack_base];
+            y[r] * sign
+        } else {
+            y[self.art[j - self.art_base]]
+        }
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        if j < self.n {
+            self.col_ptr[j + 1] - self.col_ptr[j]
+        } else {
+            1
+        }
+    }
+}
+
+/// Builds the eta matrix for a pivot on `w[pivot_row]`, consuming (zeroing)
+/// the scratch vector and its nonzero list so both can be reused.
+fn build_eta(w: &mut [f64], nz: &mut Vec<usize>, pivot_row: usize) -> Eta {
+    let piv = w[pivot_row];
+    debug_assert!(piv != 0.0);
+    let inv = 1.0 / piv;
+    let mut others = Vec::with_capacity(nz.len().saturating_sub(1));
+    for &i in nz.iter() {
+        let v = w[i];
+        w[i] = 0.0;
+        if i == pivot_row || v == 0.0 {
+            continue;
+        }
+        others.push((i, -v * inv));
+    }
+    nz.clear();
+    Eta {
+        row: pivot_row,
+        diag: inv,
+        others,
+    }
+}
+
+/// Revised-simplex state: the basis, its values, and the eta file.
+struct Solver<'a> {
+    std: &'a StdLp,
+    /// Column basic at each basis position.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Values of the basic variables, by basis position; kept >= 0.
+    xb: Vec<f64>,
+    etas: Vec<Eta>,
+    pivots_since_refactor: usize,
+    /// Dense scratch vector (length m), zero between uses.
+    scratch: Vec<f64>,
+}
+
+impl<'a> Solver<'a> {
+    /// All-logical start: slacks basic on `<=` rows, artificials elsewhere.
+    fn initial(std: &'a StdLp) -> Solver<'a> {
+        let m = std.m;
+        let mut basis = vec![NONE; m];
+        let mut in_basis = vec![false; std.total_cols];
+        for (k, &(r, sign)) in std.slack.iter().enumerate() {
+            if sign > 0.0 {
+                basis[r] = std.slack_base + k;
+            }
+        }
+        for (k, &r) in std.art.iter().enumerate() {
+            basis[r] = std.art_base + k;
+        }
+        for &b in &basis {
+            in_basis[b] = true;
+        }
+        Solver {
+            std,
+            basis,
+            in_basis,
+            xb: std.rhs.clone(),
+            etas: Vec::new(),
+            pivots_since_refactor: 0,
+            scratch: vec![0.0; m],
+        }
+    }
+
+    /// Rebuilds the eta file from the current basis by sparse Gauss-Jordan
+    /// elimination (columns in ascending-nonzero order to limit fill-in) and
+    /// recomputes the basic values from the original right-hand side. Basis
+    /// positions are relabelled by their elimination pivot row, a pure
+    /// permutation of the same basic set.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let std = self.std;
+        let m = std.m;
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&r| std.col_nnz(self.basis[r]));
+
+        let mut etas = Vec::with_capacity(m);
+        let mut new_basis = vec![NONE; m];
+        let mut assigned = vec![false; m];
+        let mut nz = Vec::new();
+        for &pos in &order {
+            let j = self.basis[pos];
+            nz.clear();
+            std.scatter_col(j, &mut self.scratch, &mut nz);
+            ftran(&etas, &mut self.scratch, &mut nz);
+            // Pivot on the largest remaining entry for stability.
+            let mut best = 0.0f64;
+            let mut pr = NONE;
+            for &i in &nz {
+                let a = self.scratch[i].abs();
+                if !assigned[i] && a > best {
+                    best = a;
+                    pr = i;
+                }
+            }
+            if pr == NONE || best < 1e-10 {
+                // The basis went numerically singular.
+                for &i in &nz {
+                    self.scratch[i] = 0.0;
+                }
+                return Err(LpError::IterationLimit);
+            }
+            etas.push(build_eta(&mut self.scratch, &mut nz, pr));
+            new_basis[pr] = j;
+            assigned[pr] = true;
+        }
+
+        self.basis = new_basis;
+        self.etas = etas;
+        self.pivots_since_refactor = 0;
+        // Fresh basic values: xb = B^{-1} b, clamped to the positive orthant.
+        nz.clear();
+        for r in 0..m {
+            if std.rhs[r] != 0.0 {
+                self.scratch[r] = std.rhs[r];
+                nz.push(r);
+            }
+        }
+        ftran(&self.etas, &mut self.scratch, &mut nz);
+        nz.sort_unstable();
+        nz.dedup();
+        for x in self.xb.iter_mut() {
+            *x = 0.0;
+        }
+        for &i in &nz {
+            self.xb[i] = self.scratch[i].max(0.0);
+            self.scratch[i] = 0.0;
+        }
+        Ok(())
+    }
+
+    /// Dual prices `y = B^{-T} c_B` for the given full-length cost vector.
+    fn prices(&self, c: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.std.m];
+        for r in 0..self.std.m {
+            y[r] = c[self.basis[r]];
+        }
+        btran(&self.etas, &mut y);
+        y
+    }
+
+    /// Picks an entering column with positive reduced cost, or `None` at
+    /// optimality. `allow_art` admits artificial columns (phase 1 only).
+    fn price(&self, y: &[f64], c: &[f64], allow_art: bool, use_bland: bool) -> Option<usize> {
+        let limit = if allow_art {
+            self.std.total_cols
+        } else {
+            self.std.art_base
+        };
+        let mut best_j = None;
+        let mut best_d = EPS;
+        for (j, &cj) in c.iter().enumerate().take(limit) {
+            if self.in_basis[j] {
+                continue;
+            }
+            let d = cj - self.std.dot_col(j, y);
+            if use_bland {
+                if d > EPS {
+                    return Some(j);
+                }
+            } else if d > best_d {
+                best_d = d;
+                best_j = Some(j);
+            }
+        }
+        best_j
+    }
+
+    /// Runs primal simplex iterations until the reduced costs admit no
+    /// entering column. `allow_art` is true only in phase 1; in phase 2 any
+    /// basic artificial touched by an entering column is forced out through a
+    /// degenerate pivot so it can never drift off zero.
+    fn optimize(&mut self, c: &[f64], allow_art: bool, max_iters: usize) -> Result<(), LpError> {
+        let std = self.std;
+        let mut degenerate_run = 0usize;
+        let mut nz: Vec<usize> = Vec::new();
+        for _ in 0..max_iters {
+            if self.pivots_since_refactor >= REFACTOR_EVERY {
+                self.refactorize()?;
+            }
+            let y = self.prices(c);
+            let enter = match self.price(&y, c, allow_art, degenerate_run > BLAND_TRIGGER) {
+                Some(j) => j,
                 None => return Ok(()),
             };
-            // Leaving row: minimum ratio test.
-            let mut leave = None;
+            // w = B^{-1} A_enter.
+            nz.clear();
+            std.scatter_col(enter, &mut self.scratch, &mut nz);
+            ftran(&self.etas, &mut self.scratch, &mut nz);
+            // FTRAN may re-add a cancelled index; the xb update below must
+            // see each row exactly once.
+            nz.sort_unstable();
+            nz.dedup();
+
+            // Ratio test (smallest-basic-index tie-break, as in the dense
+            // implementation), plus the phase-2 artificial guard.
+            let mut leave = NONE;
             let mut best_ratio = f64::INFINITY;
-            for r in 0..self.rows {
-                let a = self.a[r][enter];
-                if a > EPS {
-                    let ratio = self.a[r][self.cols - 1] / a;
+            let mut art_leave = NONE;
+            for &r in &nz {
+                let wr = self.scratch[r];
+                if wr == 0.0 {
+                    continue;
+                }
+                let basic = self.basis[r];
+                if !allow_art && basic >= std.art_base && wr.abs() > ART_PIVOT_TOL {
+                    if art_leave == NONE || basic < self.basis[art_leave] {
+                        art_leave = r;
+                    }
+                    continue;
+                }
+                if wr > EPS {
+                    let ratio = self.xb[r] / wr;
                     if ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.is_none_or(|lr: usize| self.basis[r] < self.basis[lr]))
+                            && (leave == NONE || basic < self.basis[leave]))
                     {
                         best_ratio = ratio;
-                        leave = Some(r);
+                        leave = r;
                     }
                 }
             }
-            let leave = match leave {
-                Some(r) => r,
-                None => return Err(LpError::Unbounded),
-            };
-            if best_ratio < EPS {
+            let leave = if art_leave != NONE { art_leave } else { leave };
+            if leave == NONE {
+                for &i in &nz {
+                    self.scratch[i] = 0.0;
+                }
+                return Err(LpError::Unbounded);
+            }
+
+            let wr = self.scratch[leave];
+            let theta = (self.xb[leave] / wr).max(0.0);
+            if theta < EPS {
                 degenerate_run += 1;
             } else {
                 degenerate_run = 0;
             }
-            self.pivot(leave, enter);
+            // Step the basic values along the direction, then absorb the
+            // pivot column into a fresh eta (consuming the scratch vector).
+            for &i in &nz {
+                if i != leave && self.scratch[i] != 0.0 {
+                    let v = self.xb[i] - theta * self.scratch[i];
+                    self.xb[i] = if v < 0.0 { 0.0 } else { v };
+                }
+            }
+            self.xb[leave] = theta;
+            let eta = build_eta(&mut self.scratch, &mut nz, leave);
+            self.etas.push(eta);
+            self.pivots_since_refactor += 1;
+            self.in_basis[self.basis[leave]] = false;
+            self.in_basis[enter] = true;
+            self.basis[leave] = enter;
         }
         Err(LpError::IterationLimit)
     }
+
+    /// Total value currently sitting on basic artificial variables.
+    fn artificial_mass(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.std.m {
+            if self.basis[r] >= self.std.art_base {
+                s += self.xb[r];
+            }
+        }
+        s
+    }
+
+    fn has_basic_artificial(&self) -> bool {
+        self.basis.iter().any(|&b| b >= self.std.art_base)
+    }
 }
 
-/// Solves the linear program with the two-phase primal simplex method.
-pub fn solve(lp: &LinearProgram) -> LpResult {
-    let n = lp.num_vars;
-    let m = lp.constraints.len();
-
-    // Count auxiliary variables: one slack/surplus per inequality, one
-    // artificial per >= or = constraint (and per <= with negative rhs after
-    // normalization).
-    // First normalize constraints so rhs >= 0.
-    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::with_capacity(m);
-    for c in &lp.constraints {
-        let mut dense = vec![0.0; n];
-        for &(v, coef) in &c.coeffs {
-            dense[v] += coef;
-        }
-        let (dense, op, rhs) = if c.rhs < 0.0 {
-            let flipped_op = match c.op {
-                ConstraintOp::Le => ConstraintOp::Ge,
-                ConstraintOp::Ge => ConstraintOp::Le,
-                ConstraintOp::Eq => ConstraintOp::Eq,
-            };
-            (
-                dense.iter().map(|x| -x).collect::<Vec<_>>(),
-                flipped_op,
-                -c.rhs,
-            )
-        } else {
-            (dense, c.op, c.rhs)
-        };
-        rows.push((dense, op, rhs));
-    }
-
-    let num_slack = rows
-        .iter()
-        .filter(|(_, op, _)| *op != ConstraintOp::Eq)
-        .count();
-    let num_art = rows
-        .iter()
-        .filter(|(_, op, _)| *op != ConstraintOp::Le)
-        .count();
-    let cols = n + num_slack + num_art + 1;
-    let slack_base = n;
-    let art_base = n + num_slack;
-
-    let mut a = vec![vec![0.0; cols]; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut slack_idx = 0usize;
-    let mut art_idx = 0usize;
-    for (r, (dense, op, rhs)) in rows.iter().enumerate() {
-        a[r][..n].copy_from_slice(dense);
-        a[r][cols - 1] = *rhs;
-        match op {
-            ConstraintOp::Le => {
-                a[r][slack_base + slack_idx] = 1.0;
-                basis[r] = slack_base + slack_idx;
-                slack_idx += 1;
-            }
-            ConstraintOp::Ge => {
-                a[r][slack_base + slack_idx] = -1.0;
-                slack_idx += 1;
-                a[r][art_base + art_idx] = 1.0;
-                basis[r] = art_base + art_idx;
-                art_idx += 1;
-            }
-            ConstraintOp::Eq => {
-                a[r][art_base + art_idx] = 1.0;
-                basis[r] = art_base + art_idx;
-                art_idx += 1;
-            }
-        }
-    }
-
-    let max_iters = 50 * (m + cols) + 5000;
-
-    // Phase 1: minimize the sum of artificial variables, i.e. maximize the
-    // negated sum. Build the phase-1 objective row as c_j - z_j.
-    let mut tab = Tableau {
-        a,
-        obj: vec![0.0; cols],
-        basis,
-        rows: m,
-        cols,
-    };
-
-    if num_art > 0 {
-        // phase-1 cost: -1 for artificials, 0 otherwise (maximization).
-        // reduced costs: c_j - sum over basic rows of c_B * a_rj.
-        let mut obj = vec![0.0; cols];
-        for slot in &mut obj[art_base..art_base + num_art] {
-            *slot = -1.0;
-        }
-        // Price out the basic artificial columns.
-        for r in 0..m {
-            if tab.basis[r] >= art_base {
-                for (slot, a) in obj.iter_mut().zip(&tab.a[r]) {
-                    *slot += a;
-                }
-            }
-        }
-        // The artificial columns themselves end with reduced cost 0 in the
-        // rows where they are basic; ensure exactly that.
-        tab.obj = obj;
-        tab.optimize(cols - 1, max_iters)?;
-        // The objective row's RHS entry holds the negated objective value, so
-        // the achieved maximum of -(sum of artificials) is -obj[rhs]; any
-        // strictly negative optimum means some artificial stayed positive.
-        let phase1_value = -tab.obj[cols - 1];
-        if phase1_value < -1e-6 {
-            return Err(LpError::Infeasible);
-        }
-        // Drive any remaining artificial variables out of the basis.
-        for r in 0..m {
-            if tab.basis[r] >= art_base {
-                // Find a non-artificial column with a nonzero coefficient.
-                let mut found = None;
-                for c in 0..art_base {
-                    if tab.a[r][c].abs() > 1e-7 {
-                        found = Some(c);
-                        break;
-                    }
-                }
-                if let Some(c) = found {
-                    tab.pivot(r, c);
-                }
-                // If none found the row is redundant; leave the artificial at
-                // value ~0, it cannot re-enter because phase 2 restricts
-                // entering columns to non-artificials.
-            }
-        }
-    }
-
-    // Phase 2: maximize the real objective.
-    let mut obj = vec![0.0; cols];
-    obj[..n].copy_from_slice(&lp.objective);
-    // Price out basic columns: obj = c - c_B * B^{-1} A.
-    for r in 0..m {
-        let b = tab.basis[r];
-        let cb = if b < n { lp.objective[b] } else { 0.0 };
-        if cb != 0.0 {
-            for (slot, a) in obj.iter_mut().zip(&tab.a[r]) {
-                *slot -= cb * a;
-            }
-        }
-    }
-    tab.obj = obj;
-    tab.optimize(art_base, max_iters)?;
-
-    let mut values = vec![0.0; n];
-    for r in 0..m {
-        if tab.basis[r] < n {
-            values[tab.basis[r]] = tab.a[r][cols - 1];
+/// Extracts the primal/dual solution from an optimal phase-2 state.
+fn extract(lp: &LinearProgram, std: &StdLp, solver: &Solver<'_>) -> Solution {
+    let mut values = vec![0.0; std.n];
+    for r in 0..std.m {
+        if solver.basis[r] < std.n {
+            values[solver.basis[r]] = solver.xb[r];
         }
     }
     let objective = lp.objective.iter().zip(&values).map(|(c, x)| c * x).sum();
-    Ok(Solution { objective, values })
+
+    // Duals of the normalized rows, restored to the caller's orientation.
+    let mut c2 = vec![0.0; std.total_cols];
+    c2[..std.n].copy_from_slice(&std.objective);
+    let y = solver.prices(&c2);
+    let duals = (0..std.m)
+        .map(|r| if std.row_negated[r] { -y[r] } else { y[r] })
+        .collect();
+    Solution {
+        objective,
+        values,
+        duals,
+    }
+}
+
+fn run(lp: &LinearProgram, hint: Option<&[f64]>) -> LpResult {
+    let std = StdLp::build(lp);
+    let max_iters = 50 * (std.m + std.total_cols) + 5000;
+
+    let mut solver = hint
+        .and_then(|h| crash_basis(&std, h))
+        .unwrap_or_else(|| Solver::initial(&std));
+
+    // Phase 1: drive the artificial mass to zero (maximize its negation).
+    if solver.has_basic_artificial() && solver.artificial_mass() > 1e-9 {
+        let mut c1 = vec![0.0; std.total_cols];
+        for slot in &mut c1[std.art_base..] {
+            *slot = -1.0;
+        }
+        solver.optimize(&c1, true, max_iters)?;
+        if solver.artificial_mass() > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+    }
+
+    // Phase 2: the real objective; artificials may neither enter nor move.
+    let mut c2 = vec![0.0; std.total_cols];
+    c2[..std.n].copy_from_slice(&std.objective);
+    solver.optimize(&c2, false, max_iters)?;
+
+    Ok(extract(lp, &std, &solver))
+}
+
+/// Builds a starting basis from a caller-supplied guess of the variable
+/// values (e.g. an FPTAS flow): structural columns are admitted greedily in
+/// descending hint order, remaining rows are covered by their logical column.
+/// The crash is kept only when the implied basic point is feasible
+/// (non-negative); otherwise the caller falls back to the all-logical start,
+/// so a bad hint costs one failed attempt and changes nothing else.
+fn crash_basis<'a>(std: &'a StdLp, hint: &[f64]) -> Option<Solver<'a>> {
+    if hint.len() != std.n || std.m == 0 {
+        return None;
+    }
+    let mut candidates: Vec<usize> = (0..std.n)
+        .filter(|&j| hint[j].is_finite() && hint[j] > EPS)
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        hint[b]
+            .partial_cmp(&hint[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let m = std.m;
+    let mut etas: Vec<Eta> = Vec::new();
+    let mut assigned = vec![false; m];
+    let mut basis = vec![NONE; m];
+    let mut scratch = vec![0.0; m];
+    let mut nz = Vec::new();
+    let mut placed = 0usize;
+    // Greedy structural placement with a conservative pivot threshold: a
+    // marginal pivot here buys a badly conditioned start.
+    for &j in &candidates {
+        if placed == m {
+            break;
+        }
+        nz.clear();
+        std.scatter_col(j, &mut scratch, &mut nz);
+        ftran(&etas, &mut scratch, &mut nz);
+        let mut best = 0.0f64;
+        let mut pr = NONE;
+        for &i in &nz {
+            let a = scratch[i].abs();
+            if !assigned[i] && a > best {
+                best = a;
+                pr = i;
+            }
+        }
+        if pr == NONE || best < 0.01 {
+            for &i in &nz {
+                scratch[i] = 0.0;
+            }
+            continue;
+        }
+        etas.push(build_eta(&mut scratch, &mut nz, pr));
+        assigned[pr] = true;
+        basis[pr] = j;
+        placed += 1;
+    }
+    // Cover leftover rows with their slack, then artificial, column. The
+    // FTRAN check keeps the basis exactly nonsingular even when structural
+    // etas already touched the row.
+    let logicals = std
+        .slack
+        .iter()
+        .enumerate()
+        .map(|(k, &(r, _))| (std.slack_base + k, r))
+        .chain(
+            std.art
+                .iter()
+                .enumerate()
+                .map(|(k, &r)| (std.art_base + k, r)),
+        );
+    for (col, r) in logicals {
+        if assigned[r] {
+            continue;
+        }
+        nz.clear();
+        std.scatter_col(col, &mut scratch, &mut nz);
+        ftran(&etas, &mut scratch, &mut nz);
+        if scratch[r].abs() > 0.01 {
+            etas.push(build_eta(&mut scratch, &mut nz, r));
+            assigned[r] = true;
+            basis[r] = col;
+        } else {
+            for &i in &nz {
+                scratch[i] = 0.0;
+            }
+        }
+    }
+    if assigned.iter().any(|&a| !a) {
+        return None;
+    }
+
+    // The crash point must be primal feasible or the start is useless.
+    nz.clear();
+    for (r, (slot, &rhs)) in scratch.iter_mut().zip(&std.rhs).enumerate().take(m) {
+        if rhs != 0.0 {
+            *slot = rhs;
+            nz.push(r);
+        }
+    }
+    ftran(&etas, &mut scratch, &mut nz);
+    nz.sort_unstable();
+    nz.dedup();
+    let mut xb = vec![0.0; m];
+    let mut feasible = true;
+    for &i in &nz {
+        if scratch[i] < -1e-7 {
+            feasible = false;
+        }
+        xb[i] = scratch[i].max(0.0);
+        scratch[i] = 0.0;
+    }
+    if !feasible {
+        return None;
+    }
+    let mut in_basis = vec![false; std.total_cols];
+    for &b in &basis {
+        in_basis[b] = true;
+    }
+    Some(Solver {
+        std,
+        basis,
+        in_basis,
+        xb,
+        etas,
+        pivots_since_refactor: 0,
+        scratch,
+    })
+}
+
+/// Solves the linear program with the two-phase revised simplex method.
+pub fn solve(lp: &LinearProgram) -> LpResult {
+    run(lp, None)
+}
+
+/// Like [`solve`], but warm-starts from `hint`, a guess of the optimal
+/// variable values (length `num_vars`, e.g. a rescaled FPTAS flow). The hint
+/// seeds a crash basis; if the implied starting point is infeasible the
+/// solver silently falls back to the cold start, so the result is identical
+/// either way — only the iteration count changes.
+pub fn solve_with_hint(lp: &LinearProgram, hint: &[f64]) -> LpResult {
+    run(lp, Some(hint))
 }
 
 #[cfg(test)]
@@ -517,5 +958,107 @@ mod tests {
         lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 7.0);
         let s = solve(&lp).unwrap();
         assert_close(s.objective, 7.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_product_mix() {
+        // Duals of the classic product mix solve 6a + b = 5, 4a + 2b = 4
+        // -> a = 0.75, b = 0.5, and y'b = 24*0.75 + 6*0.5 = 21 = objective.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 5.0);
+        lp.set_objective(1, 4.0);
+        lp.add_constraint(vec![(0, 6.0), (1, 4.0)], ConstraintOp::Le, 24.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Le, 6.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.duals[0], 0.75);
+        assert_close(s.duals[1], 0.5);
+        let dual_obj: f64 = s.duals[0] * 24.0 + s.duals[1] * 6.0;
+        assert_close(dual_obj, s.objective);
+    }
+
+    #[test]
+    fn duals_on_negated_rows_keep_the_callers_orientation() {
+        // Same instance as negative_rhs_normalization: strong duality must
+        // hold against the ORIGINAL right-hand sides (including the -1), and
+        // the `<=` row's dual stays nonnegative in the caller's orientation.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Le, -1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 10.0);
+        let s = solve(&lp).unwrap();
+        let dual_obj: f64 = -s.duals[0] + s.duals[1] * 3.0 + s.duals[2] * 10.0;
+        assert_close(dual_obj, s.objective);
+        assert!(s.duals[0] >= -1e-9, "Le dual must be nonnegative");
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 5.0);
+        lp.set_objective(1, 4.0);
+        lp.add_constraint(vec![(0, 6.0), (1, 4.0)], ConstraintOp::Le, 24.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Le, 6.0);
+        let cold = solve(&lp).unwrap();
+        // A hint at the optimum, a feasible-but-wrong hint, and garbage must
+        // all land on the same optimum.
+        for hint in [
+            vec![3.0, 1.5],
+            vec![0.1, 0.1],
+            vec![1e9, 1e9],
+            vec![f64::NAN, -1.0],
+        ] {
+            let warm = solve_with_hint(&lp, &hint).unwrap();
+            assert_close(warm.objective, cold.objective);
+        }
+        // Wrong-length hints fall back to the cold start.
+        let warm = solve_with_hint(&lp, &[1.0]).unwrap();
+        assert_close(warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn warm_start_on_equality_rows() {
+        // Max-flow LP again, warm-started from its known optimal flow.
+        let mut lp = LinearProgram::new(5);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        for (i, cap) in [(0usize, 2.0), (1, 2.0), (2, 1.0), (3, 3.0), (4, 1.0)] {
+            lp.add_constraint(vec![(i, 1.0)], ConstraintOp::Le, cap);
+        }
+        lp.add_constraint(vec![(0, 1.0), (2, -1.0), (4, -1.0)], ConstraintOp::Eq, 0.0);
+        lp.add_constraint(vec![(1, 1.0), (4, 1.0), (3, -1.0)], ConstraintOp::Eq, 0.0);
+        let s = solve_with_hint(&lp, &[2.0, 2.0, 1.0, 3.0, 1.0]).unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn larger_sparse_instance_forces_refactorization() {
+        // A transportation-style LP big enough to force several eta-file
+        // rebuilds: 40 supplies x 40 sinks on a sparse bipartite pattern,
+        // maximize total shipped. Supply i reaches sinks i, i+1, i+2 (mod 40)
+        // with unit caps on both sides -> a perfect matching ships 40.
+        let n_side = 40usize;
+        let mut lp = LinearProgram::new(n_side * 3);
+        let var = |i: usize, k: usize| i * 3 + k;
+        for i in 0..n_side {
+            for k in 0..3 {
+                lp.set_objective(var(i, k), 1.0);
+            }
+            let coeffs = (0..3).map(|k| (var(i, k), 1.0)).collect();
+            lp.add_constraint(coeffs, ConstraintOp::Le, 1.0);
+        }
+        for j in 0..n_side {
+            // Sink j receives from supplies j, j-1, j-2 (mod n).
+            let coeffs = (0..3)
+                .map(|k| (var((j + n_side - k) % n_side, k), 1.0))
+                .collect();
+            lp.add_constraint(coeffs, ConstraintOp::Le, 1.0);
+        }
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, n_side as f64);
+        // Strong duality across all 80 unit-rhs rows.
+        let dual_obj: f64 = s.duals.iter().sum();
+        assert_close(dual_obj, s.objective);
     }
 }
