@@ -13,14 +13,28 @@
 //! machine's core count (the actual speedup). Set `TB_SOLVER_TRACE=1` for
 //! per-solve tree counts.
 //!
+//! The second half sweeps the **cross-instance warm-start knobs** (see
+//! `tb_flow::WarmStart`): for each ladder family's skew-fraction chain it
+//! runs the cold baseline and then warm chains across the projection rescale
+//! rule (`Floor` vs `Mean`), the admissibility slack (`warm_guard_factor`),
+//! and two chain lengths, printing per-solve phase counts and gate decisions
+//! plus the aggregate saving. This is the measurement behind the shipped
+//! defaults (`Mean`, slack = the batching guard factor) and behind the
+//! honest per-family verdict in ROADMAP: FatTree transfers, the
+//! expander-like families reset.
+//!
 //! Run: `cargo run --release -p tb_bench --example batch_probe`
 
 use std::time::Instant;
 use tb_flow::fleischer::auto_batch_size;
-use tb_flow::{FleischerConfig, FleischerSolver, PricingMode, SolverWorkspace};
+use tb_flow::{
+    FleischerConfig, FleischerSolver, PricingMode, SolverWorkspace, WarmGate, WarmRescale,
+    WarmStart,
+};
+use tb_topology::fattree::fat_tree;
 use tb_topology::hypercube::hypercube;
 use tb_topology::jellyfish::jellyfish;
-use tb_traffic::synthetic::{all_to_all, longest_matching};
+use tb_traffic::synthetic::{all_to_all, longest_matching, skewed};
 use tb_traffic::TrafficMatrix;
 
 fn probe(
@@ -60,6 +74,10 @@ fn probe(
 }
 
 fn main() {
+    if std::env::var_os("TB_PROBE_BLEND").is_some() {
+        warm_knob_sweep();
+        return;
+    }
     let h64 = hypercube(6, 1);
     let j64 = jellyfish(64, 6, 1, 42);
     let shapes: Vec<(&str, &tb_topology::Topology, TrafficMatrix)> = vec![
@@ -137,5 +155,240 @@ fn main() {
             tm,
             auto,
         );
+    }
+    warm_knob_sweep();
+}
+
+/// One warm chain over `fractions` of the skew ladder on `topo`, with
+/// break-on-reset (the sweep runner's policy): after the first gate reset
+/// the remaining rungs run cold. Prints per-solve phases + gate and returns
+/// (cold aggregate, warm aggregate) phase counts.
+fn warm_chain_probe(
+    name: &str,
+    label: &str,
+    topo: &tb_topology::Topology,
+    fractions: &[f64],
+    cfg: FleischerConfig,
+) -> (usize, usize) {
+    warm_chain_probe_policy(name, label, topo, fractions, cfg, true)
+}
+
+fn warm_chain_probe_policy(
+    name: &str,
+    label: &str,
+    topo: &tb_topology::Topology,
+    fractions: &[f64],
+    cfg: FleischerConfig,
+    break_on_reset: bool,
+) -> (usize, usize) {
+    warm_chain_probe_blend(name, label, topo, fractions, cfg, break_on_reset, 1.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn warm_chain_probe_blend(
+    name: &str,
+    label: &str,
+    topo: &tb_topology::Topology,
+    fractions: &[f64],
+    cfg: FleischerConfig,
+    break_on_reset: bool,
+    beta: f64,
+) -> (usize, usize) {
+    let solver = FleischerSolver::new(cfg);
+    let mut ws = SolverWorkspace::new();
+    let base = longest_matching(&topo.graph, &topo.servers, true);
+    let mut chain: Option<WarmStart> = None;
+    let mut broken = false;
+    let mut cold_total = 0usize;
+    let mut warm_total = 0usize;
+    let mut per_solve = String::new();
+    for &f in fractions {
+        let tm = skewed(&base, f, 10.0, 7);
+        let (_, cold_stats, _) = solver.solve_warm_with_stats(&topo.graph, &tm, &mut ws, None);
+        // Experimental blend: soften the donor shape geometrically toward
+        // the flat init (`lens^beta`; caps are uniform here, so the flat
+        // shape is constant) before seeding. `beta = 1` is the pure shape.
+        let blended = chain.as_ref().map(|w| {
+            let mut b = w.clone();
+            if beta != 1.0 {
+                for l in &mut b.lens {
+                    *l = l.powf(beta);
+                }
+            }
+            b
+        });
+        let seed = if broken { None } else { blended.as_ref() };
+        let (_, stats, w) = solver.solve_warm_with_stats(&topo.graph, &tm, &mut ws, seed);
+        if matches!(
+            stats.warm_gate,
+            WarmGate::ResetLagging | WarmGate::ResetQuality
+        ) {
+            broken = break_on_reset;
+        }
+        cold_total += cold_stats.phases;
+        warm_total += stats.phases;
+        per_solve.push_str(&format!(
+            " {:.0}%:{}/{}{}",
+            f * 100.0,
+            stats.phases,
+            cold_stats.phases,
+            match stats.warm_gate {
+                WarmGate::Unset => "",
+                WarmGate::Engaged => "+",
+                WarmGate::EngagedProjected => "~",
+                WarmGate::RejectedShape => "!",
+                WarmGate::ResetLagging => "L",
+                WarmGate::ResetQuality => "Q",
+            }
+        ));
+        chain = Some(w);
+    }
+    let save = 100.0 * (cold_total as f64 - warm_total as f64) / cold_total.max(1) as f64;
+    println!(
+        "{name:<16} {label:<28} phases warm/cold={warm_total}/{cold_total} save={save:+.0}% \
+         [per-solve warm/cold+gate:{per_solve}]"
+    );
+    (cold_total, warm_total)
+}
+
+/// The warm-start knob sweep: rescale rule × admissibility slack × chain
+/// length, per ladder family. Gate legend: `+` engaged, `~` engaged via
+/// projection, `!` shape rejected, `L` reset lagging, `Q` reset quality.
+fn warm_knob_sweep() {
+    println!("\n--- warm-start knobs (per skew-fraction ladder family) ---");
+    if std::env::var_os("TB_PROBE_BLEND").is_some() {
+        let ft8 = fat_tree(8);
+        let h64 = hypercube(6, 1);
+        let j64 = jellyfish(64, 6, 1, 42);
+        let fine: Vec<f64> = vec![0.01, 0.015, 0.02, 0.03, 0.05, 0.075, 0.10];
+        for (name, topo) in [
+            ("fattree_k8", &ft8),
+            ("hypercube64", &h64),
+            ("jellyfish64", &j64),
+        ] {
+            let base = FleischerConfig::fast().with_auto_aggregation(topo.graph.num_nodes());
+            for beta in [1.0, 0.75, 0.5, 0.25] {
+                warm_chain_probe_blend(
+                    name,
+                    &format!("fine blend b={beta}"),
+                    topo,
+                    &fine,
+                    base,
+                    true,
+                    beta,
+                );
+            }
+        }
+        return;
+    }
+    let ft6 = fat_tree(6);
+    let ft8 = fat_tree(8);
+    let h64 = hypercube(6, 1);
+    let h64x3 = hypercube(6, 3);
+    let j64 = jellyfish(64, 6, 1, 42);
+    let j64x3 = jellyfish(64, 6, 3, 42);
+    let families: Vec<(&str, &tb_topology::Topology)> = vec![
+        ("fattree_k6", &ft6),
+        ("fattree_k8", &ft8),
+        ("hypercube64", &h64),
+        ("hypercube64x3", &h64x3),
+        ("jellyfish64", &j64),
+        ("jellyfish64x3", &j64x3),
+    ];
+    let full: Vec<f64> = vec![0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00];
+    let short: Vec<f64> = vec![0.05, 0.25, 1.00];
+    for (name, topo) in families {
+        let base = FleischerConfig::fast().with_auto_aggregation(topo.graph.num_nodes());
+        for rescale in [WarmRescale::Mean, WarmRescale::Floor] {
+            for slack in [0.5f64, 1.0, 2.0] {
+                let cfg = FleischerConfig {
+                    warm_rescale: rescale,
+                    warm_guard_factor: Some(slack),
+                    ..base
+                };
+                warm_chain_probe(
+                    name,
+                    &format!("{rescale:?} slack={slack} len=7"),
+                    topo,
+                    &full,
+                    cfg,
+                );
+            }
+        }
+        // Chain length and rung density at the shipped knobs (Mean,
+        // guard-factor slack). The fine ladder keeps adjacent fractions
+        // close — the regime the transfer actually wins in.
+        warm_chain_probe(name, "shipped len=3", topo, &short, base);
+        warm_chain_probe(name, "shipped len=7", topo, &full, base);
+        let fine: Vec<f64> = vec![0.01, 0.015, 0.02, 0.03, 0.05, 0.075, 0.10];
+        warm_chain_probe(name, "shipped fine len=7", topo, &fine, base);
+        warm_chain_probe_policy(name, "fine len=7 nobreak", topo, &fine, base, false);
+    }
+    ladder_chain_sweep();
+}
+
+/// The other chain axis the sweep runner warms: a family's *scaling ladder*
+/// (the Fig. 5/6 x-axis), rung index ascending, same TM spec per rung. The
+/// donor and receiver are different-sized graphs, so the seed always goes
+/// through the projection path (`EngagedProjected` or a shape reject).
+fn ladder_chain_sweep() {
+    use tb_topology::families::{Scale, ALL_FAMILIES};
+    println!("\n--- warm-start across scaling-ladder rungs (Fig. 5/6 chains) ---");
+    for family in ALL_FAMILIES {
+        for (tm_name, a2a_tm) in [("lm", false), ("a2a", true)] {
+            let solver_for = |topo: &tb_topology::Topology| {
+                FleischerSolver::new(
+                    FleischerConfig::fast().with_auto_aggregation(topo.graph.num_nodes()),
+                )
+            };
+            let mut ws = SolverWorkspace::new();
+            let mut chain: Option<WarmStart> = None;
+            let mut broken = false;
+            let (mut cold_total, mut warm_total) = (0usize, 0usize);
+            let mut per_solve = String::new();
+            for index in 0..family.ladder_len(Scale::Small) {
+                let Some(topo) = family.ladder_instance(Scale::Small, 42, index) else {
+                    continue;
+                };
+                let tm = if a2a_tm {
+                    all_to_all(&topo.servers)
+                } else {
+                    longest_matching(&topo.graph, &topo.servers, true)
+                };
+                let solver = solver_for(&topo);
+                let (_, cold_stats, _) =
+                    solver.solve_warm_with_stats(&topo.graph, &tm, &mut ws, None);
+                let seed = if broken { None } else { chain.as_ref() };
+                let (_, stats, w) = solver.solve_warm_with_stats(&topo.graph, &tm, &mut ws, seed);
+                if matches!(
+                    stats.warm_gate,
+                    WarmGate::ResetLagging | WarmGate::ResetQuality
+                ) {
+                    broken = true;
+                }
+                cold_total += cold_stats.phases;
+                warm_total += stats.phases;
+                per_solve.push_str(&format!(
+                    " r{index}:{}/{}{}",
+                    stats.phases,
+                    cold_stats.phases,
+                    match stats.warm_gate {
+                        WarmGate::Unset => "",
+                        WarmGate::Engaged => "+",
+                        WarmGate::EngagedProjected => "~",
+                        WarmGate::RejectedShape => "!",
+                        WarmGate::ResetLagging => "L",
+                        WarmGate::ResetQuality => "Q",
+                    }
+                ));
+                chain = Some(w);
+            }
+            let save = 100.0 * (cold_total as f64 - warm_total as f64) / cold_total.max(1) as f64;
+            println!(
+                "{:<20} {tm_name:<4} phases warm/cold={warm_total}/{cold_total} save={save:+.0}% \
+                 [per-rung warm/cold+gate:{per_solve}]",
+                family.name(),
+            );
+        }
     }
 }

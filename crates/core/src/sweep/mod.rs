@@ -18,8 +18,8 @@
 //!   the per-table CSVs.
 //!
 //! Scenario definitions (the 13 figure/table registrations plus the
-//! `failures` degradation sweep) live in the
-//! `experiments` crate; this module is the machinery.
+//! `failures` degradation sweep and the `search` design optimizer) live in
+//! the `experiments` crate; this module is the machinery.
 
 pub mod artifact;
 pub mod cache;

@@ -289,6 +289,12 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if write_golden && opts.warm {
+        // Same reasoning as --solver-jobs: warm chains take a different
+        // (gate-guarded) trajectory than the canonical cold one.
+        eprintln!("error: --write-golden requires cold solves (drop --warm)");
+        std::process::exit(2);
+    }
 
     let scenarios = if target == "all" {
         registry()

@@ -71,6 +71,12 @@ pub struct RunOptions {
     /// Attach optimality certificates to throughput cells (keys new cache
     /// entries; values stay bit-identical to uncertified runs).
     pub certify: bool,
+    /// Warm-start chaining: ladder-rung solves of one family are chained,
+    /// each seeded from the previous rung's final MWU lengths, and
+    /// relative-throughput samples chain within a cell. Keys new cache
+    /// entries (warm trajectories differ from cold ones); not for golden
+    /// runs (`--write-golden` rejects it).
+    pub warm: bool,
 }
 
 impl Default for RunOptions {
@@ -84,6 +90,7 @@ impl Default for RunOptions {
             filter: None,
             no_cache: false,
             certify: false,
+            warm: false,
         }
     }
 }
@@ -111,6 +118,10 @@ const COMMON_HELP: &str =
   --no-cache       do not read or write results/cache/
   --certify        attach optimality certificates to throughput cells (for
                    `sweep verify`; values stay bit-identical, cache keys change)
+  --warm           warm-start chaining: ladder-rung solves of one family are
+                   seeded from the previous rung's MWU lengths (guarded by the
+                   solver's warm-quality gate; keys new cache entries, not for
+                   golden runs)
   --help           print this help";
 
 impl RunOptions {
@@ -209,6 +220,7 @@ impl RunOptions {
                 "--csv" => opts.csv = true,
                 "--no-cache" => opts.no_cache = true,
                 "--certify" => opts.certify = true,
+                "--warm" => opts.warm = true,
                 "--seed" => {
                     let v = value_of(&mut i, "--seed")?;
                     opts.seed = v.parse().map_err(|_| {
@@ -275,6 +287,7 @@ impl RunOptions {
         s.filter = self.filter.clone();
         s.solver_jobs = self.solver_jobs;
         s.certify = self.certify;
+        s.warm = self.warm;
         s
     }
 }
@@ -438,10 +451,13 @@ mod tests {
             "A2A",
             "--no-cache",
             "--certify",
+            "--warm",
         ])
         .unwrap();
         assert!(o.full && o.csv && o.no_cache);
         assert!(o.certify && o.sweep_options().certify);
+        assert!(o.warm && o.sweep_options().warm);
+        assert!(o.sweep_options().eval_config().warm);
         assert_eq!(o.seed, 9);
         assert_eq!(o.jobs, Some(2));
         assert_eq!(o.solver_jobs, Some(4));
@@ -522,8 +538,8 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
         assert_eq!(
             names.len(),
-            14,
-            "all 13 figure/table scenarios plus the failure sweep registered"
+            15,
+            "all 13 figure/table scenarios plus the failure sweep and the design search registered"
         );
         let mut dedup = names.clone();
         dedup.sort();
@@ -544,6 +560,7 @@ mod tests {
             "table02",
             "theorem1_demo",
             "failures",
+            "search",
         ] {
             assert!(names.contains(&expected), "missing scenario {expected}");
         }

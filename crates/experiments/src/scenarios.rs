@@ -106,6 +106,12 @@ pub fn registry() -> Vec<Scenario> {
             build: failures_build,
             render: failures_render,
         },
+        Scenario {
+            name: "search",
+            title: "Design search: hill-climb topology parameters for throughput per cost",
+            build: search_build,
+            render: search_render,
+        },
     ]
 }
 
@@ -1595,6 +1601,154 @@ fn failures_render(opts: &SweepOptions, set: &CellSet) -> RenderOutput {
                 dropped disconnected demand pairs before solving (degraded, not failed); FAILED marks\n\
                 cells whose computation panicked twice and was isolated (also flagged by `sweep diff`)."
             .into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Design search: hill-climb topology parameters for throughput per cost.
+// ---------------------------------------------------------------------------
+
+/// The three searchable starting designs. Each is deliberately started *off*
+/// its optimum (an over- or under-provisioned link budget) so the climb has
+/// somewhere to go; equipment stays fixed along every move (see
+/// `CellSpec::Search`).
+fn search_starts(opts: &SweepOptions) -> Vec<(&'static str, TopoSpec)> {
+    if opts.full {
+        vec![
+            (
+                "jellyfish",
+                TopoSpec::Jellyfish {
+                    switches: 40,
+                    degree: 4,
+                    servers: 6,
+                    seed: opts.seed,
+                },
+            ),
+            (
+                "longhop",
+                TopoSpec::LongHop {
+                    dim: 5,
+                    degree: 10,
+                    servers: 2,
+                },
+            ),
+            (
+                "hyperx",
+                TopoSpec::HyperX {
+                    radix: 16,
+                    min_servers: 128,
+                    bisection: 0.3,
+                },
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "jellyfish",
+                TopoSpec::Jellyfish {
+                    switches: 16,
+                    degree: 4,
+                    servers: 4,
+                    seed: opts.seed,
+                },
+            ),
+            (
+                "longhop",
+                TopoSpec::LongHop {
+                    dim: 4,
+                    degree: 8,
+                    servers: 2,
+                },
+            ),
+            (
+                "hyperx",
+                TopoSpec::HyperX {
+                    radix: 10,
+                    min_servers: 48,
+                    bisection: 0.3,
+                },
+            ),
+        ]
+    }
+}
+
+fn search_build(opts: &SweepOptions) -> Vec<SweepCell> {
+    search_starts(opts)
+        .into_iter()
+        .map(|(name, start)| {
+            let params = start
+                .metadata()
+                .expect("search starts have metadata")
+                .params;
+            SweepCell::new(
+                format!("search/{name}"),
+                CellSpec::Search {
+                    start,
+                    tm: TmSpec::AllToAll,
+                    tm_seed: opts.seed,
+                    max_steps: if opts.full { 6 } else { 4 },
+                },
+            )
+            .label("family", name)
+            .label("start_params", params)
+        })
+        .collect()
+}
+
+fn search_render(opts: &SweepOptions, set: &CellSet) -> RenderOutput {
+    let mut table = Table::new(
+        "Design search: throughput per unit cost (cost = links + 4/switch), fixed equipment",
+        &[
+            "design",
+            "start",
+            "final",
+            "start obj",
+            "final obj",
+            "gain",
+            "steps",
+            "evals",
+        ],
+    );
+    for (name, _) in search_starts(opts) {
+        let id = format!("search/{name}");
+        let Some(o) = set.try_outcome(&id) else {
+            continue;
+        };
+        if o.is_failed() {
+            table.row_strings(vec![name.to_string(), "FAILED".into()]);
+            continue;
+        }
+        let start_obj = o.values.num("start_objective");
+        let final_obj = o.values.num("final_objective");
+        let gain = if start_obj > 0.0 {
+            format!("{:+.1}%", (final_obj / start_obj - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        table.row_strings(vec![
+            name.to_string(),
+            o.values.text("step_0_params").unwrap_or("-").to_string(),
+            o.values.text("final_params").unwrap_or("-").to_string(),
+            f3(start_obj),
+            f3(final_obj),
+            gain,
+            format!("{}", o.values.num("steps_accepted") as u64),
+            format!("{}", o.values.num("evals") as u64),
+        ]);
+    }
+    RenderOutput {
+        preamble: Vec::new(),
+        tables: vec![NamedTable {
+            name: "search_results".into(),
+            table,
+        }],
+        notes:
+            "Expected shape: each climb ends at a design whose throughput-per-cost is at least\n\
+                its start's (a zero-step climb means the start was already locally optimal). The\n\
+                Jellyfish and Long Hop climbs trade server/network ports and long-hop generators\n\
+                against link cost; with --warm every candidate solve is seeded from the\n\
+                incumbent's MWU lengths (same moves unless the warm gate resets a solve)."
+                .into(),
     }
 }
 

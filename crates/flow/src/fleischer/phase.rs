@@ -24,12 +24,12 @@
 
 use super::route::{self, RouteCtx, RouteState, SerialState};
 use super::{
-    steal, BatchGate, FleischerConfig, PricingMode, SolveStats, SolverWorkspace,
+    steal, BatchGate, FleischerConfig, PricingMode, SolveStats, SolverWorkspace, WarmGate,
     PAR_MIN_BATCH_WORK, PAR_MIN_SWEEP_WORK,
 };
 use crate::certificate::{CertCapture, ThroughputCertificate};
 use crate::instance::FlowProblem;
-use crate::lengths::MwuLengths;
+use crate::lengths::{MwuLengths, WarmStart};
 use crate::ThroughputBounds;
 use rayon::prelude::*;
 use tb_graph::{Graph, SsspPool, SsspWorkspace};
@@ -43,13 +43,31 @@ use tb_graph::{Graph, SsspPool, SsspWorkspace};
 /// A2A from 12 to 40 phases, and draining a round to completion reproduces
 /// the reverted phase-blocked design's blowup (12 → 380 phases). The
 /// scheduler therefore prices → merges → applies exactly once per round.
+///
+/// `warm` seeds the MWU lengths from a previous solve's [`WarmStart`] (see
+/// [`WarmGate`] for the admission/reset rules); with `warm: None` every code
+/// path below is arithmetically identical to the pre-warm scheduler, so the
+/// cold trajectory — and with it every golden artifact — is untouched. The
+/// warm machinery is an **attempt loop**: a warm trajectory that falls
+/// behind the cold phase extrapolation, or saturates with a bound gap wider
+/// than the classical guarantee, discards its attempt entirely (bounds,
+/// flow, certificate capture) and re-runs as a clean cold solve.
+/// `want_warm` additionally extracts a fresh artifact from the final length
+/// state (read-only — it never alters the trajectory).
 pub(super) fn solve_problem(
     cfg: &FleischerConfig,
     graph: &Graph,
     prob: &FlowProblem,
     ws: &mut SolverWorkspace,
     want_cert: bool,
-) -> (ThroughputBounds, SolveStats, Option<ThroughputCertificate>) {
+    warm: Option<&WarmStart>,
+    want_warm: bool,
+) -> (
+    ThroughputBounds,
+    SolveStats,
+    Option<ThroughputCertificate>,
+    Option<WarmStart>,
+) {
     let n = prob.num_nodes();
     let m = prob.num_arcs();
     let eps = cfg.epsilon;
@@ -73,11 +91,15 @@ pub(super) fn solve_problem(
             )
         })
     };
+    // Trivial exits emit an empty (never-engaged) warm artifact: the next
+    // solve in a chain then starts cold rather than inheriting a stale shape.
+    let trivial_warm = || want_warm.then(WarmStart::default);
     if m == 0 {
         return (
             ThroughputBounds::exact(0.0),
             trivial_stats,
             trivial_cert(prob),
+            trivial_warm(),
         );
     }
     // Set TB_SOLVER_TRACE=1 to print per-solve convergence counters when
@@ -105,6 +127,7 @@ pub(super) fn solve_problem(
             ThroughputBounds::exact(0.0),
             trivial_stats,
             trivial_cert(prob),
+            trivial_warm(),
         );
     }
     let scale = est.max(1e-12);
@@ -148,16 +171,6 @@ pub(super) fn solve_problem(
     };
     let num_single = single_dest.iter().filter(|d| d.is_some()).count();
 
-    let mut flow_arc = vec![0.0f64; m];
-    let mut routed: Vec<Vec<f64>> = demands.iter().map(|d| vec![0.0; d.len()]).collect();
-
-    let mut best_lower = 0.0f64;
-    let mut best_upper = f64::INFINITY;
-    // Certificate capture: pure snapshots of the state behind each best
-    // bound, never arithmetic on solver state — the trajectory is identical
-    // with capture on or off.
-    let mut capture = want_cert.then(CertCapture::default);
-
     let SolverWorkspace {
         sssp,
         remaining,
@@ -174,19 +187,6 @@ pub(super) fn solve_problem(
         route_pool,
         steal: steal_state,
     } = ws;
-    // Lengths (delta / cap each) and routing state, sized to this instance.
-    mwu.reset(eps, prob.arc_caps());
-    arc_state.clear();
-    arc_state.extend(prob.arcs().iter().map(|a| RouteState {
-        avail: a.cap,
-        used: 0.0,
-        cap: a.cap,
-    }));
-    touched.clear();
-    if num_single > 0 {
-        potentials.clear();
-        potentials.resize(num_single * n, f64::INFINITY);
-    }
     // Sources at or above the aggregation threshold route all their
     // remaining demands in one bottom-up pass over the tree's settle
     // order instead of one parent walk per destination (see module docs).
@@ -194,16 +194,10 @@ pub(super) fn solve_problem(
         .aggregate_min_dests
         .unwrap_or(super::DEFAULT_AGGREGATE_MIN_DESTS)
         .max(1);
-    if prob
+    let any_dense = prob
         .sources()
         .iter()
-        .any(|s| s.dests.len() >= agg_min_dests)
-    {
-        subtree.clear();
-        subtree.resize(n, 0.0);
-        cur_len.clear();
-        cur_len.resize(n, 0.0);
-    }
+        .any(|s| s.dests.len() >= agg_min_dests);
 
     // Reuse a tree across a source's capacity-limited iterations while
     // the walked path is within this factor of the tree's recorded
@@ -248,220 +242,388 @@ pub(super) fn solve_problem(
         },
         ..Default::default()
     };
-    let mut batch_active = batching;
-    let mut guard_limit = usize::MAX;
     let mut batch_remaining: Vec<Vec<f64>> = if batching {
         vec![Vec::new(); batch.min(num_sources)]
     } else {
         Vec::new()
     };
 
-    let mut phase = 0usize;
-    let mut state_evaluated = false;
     // The optional wall-clock budget; checked on the bound-evaluation
     // cadence so the deterministic trajectory is untouched when unset.
+    // Spans all warm attempts: a restarted solve does not get a fresh budget.
     let solve_start = cfg.time_budget_ms.map(|_| std::time::Instant::now());
-    'phases: while phase < cfg.max_phases && !mwu.saturated() {
-        if goal_enabled && phase.is_multiple_of(pot_refresh) {
-            route::refresh_potentials(&ctx, mwu.lens(), rev_lens, potentials, sssp, sweep_pool);
-        }
-        // Phase 0 is always serial: it is both the exact classical
-        // trajectory and the convergence guard's yardstick.
-        if !batch_active || phase == 0 {
-            let d_before = mwu.d_l();
-            for si in 0..num_sources {
-                if mwu.saturated() {
-                    break 'phases;
-                }
-                remaining.clear();
-                remaining.extend_from_slice(&demands[si]);
-                // Compute this source's tree at the current lengths, goal-
-                // directed when it has a single destination.
-                route::compute_tree(&ctx, si, potentials, mwu.lens(), sssp);
-                let dense = prob.sources()[si].dests.len() >= agg_min_dests;
-                let mut state = SerialState {
-                    mwu: &mut *mwu,
-                    st: &mut arc_state[..],
-                    flow_arc: &mut flow_arc,
-                    remaining: &mut *remaining,
-                    touched: &mut *touched,
-                    path: &mut *path,
-                    subtree: &mut subtree[..],
-                    cur_len: &mut cur_len[..],
-                    sssp: &mut *sssp,
-                };
-                let ok = if dense {
-                    route::route_source_tree(&ctx, si, potentials, &mut state, &mut routed[si])
-                } else {
-                    route::route_source_walk(
-                        &ctx,
-                        si,
-                        potentials,
-                        &mut state,
-                        &mut routed[si],
-                        true,
-                    )
-                };
-                if !ok {
-                    break 'phases;
-                }
-            }
-            if batching && phase == 0 {
-                stats.serial_estimate = estimate_serial_phases(d_before, mwu.d_l());
-                guard_limit =
-                    ((cfg.guard_factor * stats.serial_estimate as f64).ceil() as usize).max(1);
-                stats.guard_limit = guard_limit;
-            }
-        } else if cfg.pricing == PricingMode::Stealing {
-            // Batched phase, work-stealing scheduler: cached per-source
-            // trees, destination chunks on a claim queue, price-ahead fold
-            // (see `steal` module docs). Same shard order and merge math as
-            // the fixed rounds below; different pricing-work production.
-            if !steal::run_phase(
-                cfg,
-                &ctx,
-                potentials,
-                batch,
-                &mut batch_remaining,
-                &mut routed,
-                mwu,
-                &mut arc_state[..],
-                &mut flow_arc,
-                epoch_merge,
-                route_pool,
-                steal::SerialScratch {
-                    touched: &mut *touched,
-                    path: &mut *path,
-                    subtree: &mut *subtree,
-                    cur_len: &mut *cur_len,
-                },
-                steal_state,
-                &mut stats,
-            ) {
-                break 'phases;
-            }
+
+    // The warm quality gate: a surviving warm trajectory must *measure* its
+    // way under the configured target gap — the same bar the cold gap-exit
+    // uses. A cold saturation is additionally allowed the classical `(1+ε)`
+    // slack because the delta-init argument earns it; a warm saturation has
+    // no such argument, so anything wider than the target is discarded and
+    // the solve restarts cold. This is what keeps every warm exit inside the
+    // cold path's `assert_quality_within_target` contract. Cold solves never
+    // consult this gate.
+    let warm_quality_gap = cfg.target_gap;
+    let mut warm_active = warm.is_some();
+    let mut total_phases = 0usize;
+
+    // The attempt loop: one iteration per trajectory attempt. A cold solve
+    // (warm: None) runs exactly one attempt — none of the warm branches
+    // below fire, so its arithmetic is untouched. A warm solve may restart
+    // once: warm attempt, then (if a gate fires) a clean cold attempt whose
+    // bounds/flow/certificate do not inherit anything from the discarded one.
+    let (best_lower, best_upper, capture) = 'attempt: loop {
+        let mut flow_arc = vec![0.0f64; m];
+        let mut routed: Vec<Vec<f64>> = demands.iter().map(|d| vec![0.0; d.len()]).collect();
+
+        let mut best_lower = 0.0f64;
+        let mut best_upper = f64::INFINITY;
+        // Certificate capture: pure snapshots of the state behind each best
+        // bound, never arithmetic on solver state — the trajectory is
+        // identical with capture on or off.
+        let mut capture = want_cert.then(CertCapture::default);
+
+        // Lengths: the warm projection when one is admitted, the classical
+        // delta init otherwise (`reset_warm` falls back to the cold init on
+        // rejection, so a rejected shape leaves no trace in the state).
+        let attempt_warm = if warm_active
+            && warm.is_some_and(|w| {
+                w.is_usable() && mwu.reset_warm(eps, prob.arc_caps(), &w.lens, cfg.warm_rescale)
+            }) {
+            stats.warm_gate = if warm.map_or(0, |w| w.lens.len()) == m {
+                WarmGate::Engaged
+            } else {
+                WarmGate::EngagedProjected
+            };
+            true
         } else {
-            // Batched phase: fixed-order shards of `batch` sources. A shard
-            // routes in *pricing rounds*: every source with remaining demand
-            // prices its tree read-only against a frozen snapshot (the
-            // parallel fan-out), the per-source loads are self-capped and
-            // merged in batch-index order, and one batched ≤(1+eps) update
-            // commits the round (see `merge` for the step-size argument and
-            // the measured-worse alternatives).
-            let mut start = 0usize;
-            while start < num_sources {
-                let end = (start + batch).min(num_sources);
-                let bs = end - start;
-                // Form the shard: reset its remaining demands and commit
-                // self-demands up front (they consume no capacity, so they
-                // never wait on a theta-rescaled drain step).
-                for (k, si) in (start..end).enumerate() {
-                    let rem = &mut batch_remaining[k];
-                    rem.clone_from(&demands[si]);
-                    let s = &prob.sources()[si];
-                    for (j, &(dst, _)) in s.dests.iter().enumerate() {
-                        if dst == s.src && rem[j] > 0.0 {
-                            routed[si][j] += rem[j];
-                            rem[j] = 0.0;
-                        }
-                    }
-                }
-                loop {
+            mwu.reset(eps, prob.arc_caps());
+            if warm_active {
+                // A rejected shape runs this attempt cold from phase 0; no
+                // gate below can fire on a cold attempt, so this is final.
+                stats.warm_gate = WarmGate::RejectedShape;
+            }
+            false
+        };
+        arc_state.clear();
+        arc_state.extend(prob.arcs().iter().map(|a| RouteState {
+            avail: a.cap,
+            used: 0.0,
+            cap: a.cap,
+        }));
+        touched.clear();
+        if num_single > 0 {
+            potentials.clear();
+            potentials.resize(num_single * n, f64::INFINITY);
+        }
+        if any_dense {
+            subtree.clear();
+            subtree.resize(n, 0.0);
+            cur_len.clear();
+            cur_len.resize(n, 0.0);
+        }
+
+        let mut batch_active = batching;
+        let mut guard_limit = usize::MAX;
+        let mut warm_guard_limit = usize::MAX;
+        let mut phase = 0usize;
+        let mut state_evaluated = false;
+        'phases: while phase < cfg.max_phases && !mwu.saturated() {
+            if goal_enabled && phase.is_multiple_of(pot_refresh) {
+                route::refresh_potentials(&ctx, mwu.lens(), rev_lens, potentials, sssp, sweep_pool);
+            }
+            // Phase 0 is always serial: it is both the exact classical
+            // trajectory and the convergence guard's yardstick.
+            if !batch_active || phase == 0 {
+                let d_before = mwu.d_l();
+                for si in 0..num_sources {
                     if mwu.saturated() {
                         break 'phases;
                     }
-                    let active: Vec<usize> = (0..bs)
-                        .filter(|&k| batch_remaining[k].iter().any(|&r| r > 1e-15))
-                        .collect();
-                    if active.is_empty() {
-                        break;
-                    }
-                    // Price the shard read-only against one frozen snapshot,
-                    // leasing per-worker scratch from the pool. Parallel or
-                    // not, per-source loads are pure functions of (snapshot,
-                    // source) and the merge below folds them in batch-index
-                    // order, so the round is bit-identical for any worker
-                    // count.
-                    let loads: Vec<Vec<(u32, f64)>> = {
-                        let snap = mwu.snapshot();
-                        let jobs: Vec<(usize, &[f64])> = active
-                            .iter()
-                            .map(|&k| (start + k, batch_remaining[k].as_slice()))
-                            .collect();
-                        if jobs.len() > 1
-                            && jobs.len() * m >= PAR_MIN_BATCH_WORK
-                            && rayon::current_num_threads() > 1
-                        {
-                            jobs.into_par_iter()
-                                .map_init(
-                                    || route_pool.lease(),
-                                    |sc, (si, rem)| {
-                                        route::route_source_snapshot(
-                                            &ctx, si, potentials, snap, rem, sc,
-                                        )
-                                    },
-                                )
-                                .collect()
-                        } else {
-                            let mut sc = route_pool.lease();
-                            jobs.into_iter()
-                                .map(|(si, rem)| {
-                                    route::route_source_snapshot(
-                                        &ctx, si, potentials, snap, rem, &mut sc,
-                                    )
-                                })
-                                .collect()
-                        }
+                    remaining.clear();
+                    remaining.extend_from_slice(&demands[si]);
+                    // Compute this source's tree at the current lengths, goal-
+                    // directed when it has a single destination.
+                    route::compute_tree(&ctx, si, potentials, mwu.lens(), sssp);
+                    let dense = prob.sources()[si].dests.len() >= agg_min_dests;
+                    let mut state = SerialState {
+                        mwu: &mut *mwu,
+                        st: &mut arc_state[..],
+                        flow_arc: &mut flow_arc,
+                        remaining: &mut *remaining,
+                        touched: &mut *touched,
+                        path: &mut *path,
+                        subtree: &mut subtree[..],
+                        cur_len: &mut cur_len[..],
+                        sssp: &mut *sssp,
                     };
-                    // Deterministic merge (each source self-capped against
-                    // raw capacities, exactly the serial per-iteration
-                    // bottleneck rule) + one batched ≤(1+eps) update.
-                    epoch_merge.begin(m);
-                    let self_caps: Vec<f64> = loads
-                        .iter()
-                        .map(|source_loads| epoch_merge.accumulate_capped(source_loads, arc_state))
-                        .collect();
-                    let theta = epoch_merge.theta(arc_state);
-                    epoch_merge.apply(theta, mwu, &mut flow_arc);
-                    stats.epochs += 1;
-                    // Commit each source's theta·theta_k fraction; what
-                    // remains re-prices against a fresh snapshot next round.
-                    for (&k, &theta_k) in active.iter().zip(&self_caps) {
-                        let f = theta * theta_k;
-                        if f <= 0.0 {
-                            continue;
-                        }
-                        let si = start + k;
-                        for (j, r) in batch_remaining[k].iter_mut().enumerate() {
-                            if *r > 1e-15 {
-                                let commit = f * *r;
-                                routed[si][j] += commit;
-                                *r -= commit;
+                    let ok = if dense {
+                        route::route_source_tree(&ctx, si, potentials, &mut state, &mut routed[si])
+                    } else {
+                        route::route_source_walk(
+                            &ctx,
+                            si,
+                            potentials,
+                            &mut state,
+                            &mut routed[si],
+                            true,
+                        )
+                    };
+                    if !ok {
+                        break 'phases;
+                    }
+                }
+                if (batching || attempt_warm) && phase == 0 {
+                    stats.serial_estimate = estimate_serial_phases(d_before, mwu.d_l());
+                    if batching {
+                        guard_limit = ((cfg.guard_factor * stats.serial_estimate as f64).ceil()
+                            as usize)
+                            .max(1);
+                        stats.guard_limit = guard_limit;
+                    }
+                    if attempt_warm {
+                        // The warm admissibility budget: how many phases the warm
+                        // trajectory may spend before it must have converged.
+                        // Prefer the donor's measured phase count as the yardstick
+                        // — chains hand near-identical problems along, so it
+                        // approximates this instance's *cold* cost, which the
+                        // saturation extrapolation wildly overestimates (gap exits
+                        // fire long before `D(l) ≥ 1`). A floor of two
+                        // bound-evaluation windows keeps a trivially-cheap donor
+                        // from starving a recipient that needs a few real phases;
+                        // `phases == 0` falls back to the extrapolation.
+                        let yardstick = match warm.map_or(0, |w| w.phases) {
+                            0 => stats.serial_estimate,
+                            d => d.max(2 * check_interval),
+                        };
+                        warm_guard_limit = ((cfg.warm_guard_factor.unwrap_or(cfg.guard_factor)
+                            * yardstick as f64)
+                            .ceil() as usize)
+                            .max(1);
+                    }
+                }
+            } else if cfg.pricing == PricingMode::Stealing {
+                // Batched phase, work-stealing scheduler: cached per-source
+                // trees, destination chunks on a claim queue, price-ahead fold
+                // (see `steal` module docs). Same shard order and merge math as
+                // the fixed rounds below; different pricing-work production.
+                if !steal::run_phase(
+                    cfg,
+                    &ctx,
+                    potentials,
+                    batch,
+                    &mut batch_remaining,
+                    &mut routed,
+                    mwu,
+                    &mut arc_state[..],
+                    &mut flow_arc,
+                    epoch_merge,
+                    route_pool,
+                    steal::SerialScratch {
+                        touched: &mut *touched,
+                        path: &mut *path,
+                        subtree: &mut *subtree,
+                        cur_len: &mut *cur_len,
+                    },
+                    steal_state,
+                    &mut stats,
+                ) {
+                    break 'phases;
+                }
+            } else {
+                // Batched phase: fixed-order shards of `batch` sources. A shard
+                // routes in *pricing rounds*: every source with remaining demand
+                // prices its tree read-only against a frozen snapshot (the
+                // parallel fan-out), the per-source loads are self-capped and
+                // merged in batch-index order, and one batched ≤(1+eps) update
+                // commits the round (see `merge` for the step-size argument and
+                // the measured-worse alternatives).
+                let mut start = 0usize;
+                while start < num_sources {
+                    let end = (start + batch).min(num_sources);
+                    let bs = end - start;
+                    // Form the shard: reset its remaining demands and commit
+                    // self-demands up front (they consume no capacity, so they
+                    // never wait on a theta-rescaled drain step).
+                    for (k, si) in (start..end).enumerate() {
+                        let rem = &mut batch_remaining[k];
+                        rem.clone_from(&demands[si]);
+                        let s = &prob.sources()[si];
+                        for (j, &(dst, _)) in s.dests.iter().enumerate() {
+                            if dst == s.src && rem[j] > 0.0 {
+                                routed[si][j] += rem[j];
+                                rem[j] = 0.0;
                             }
                         }
                     }
+                    loop {
+                        if mwu.saturated() {
+                            break 'phases;
+                        }
+                        let active: Vec<usize> = (0..bs)
+                            .filter(|&k| batch_remaining[k].iter().any(|&r| r > 1e-15))
+                            .collect();
+                        if active.is_empty() {
+                            break;
+                        }
+                        // Price the shard read-only against one frozen snapshot,
+                        // leasing per-worker scratch from the pool. Parallel or
+                        // not, per-source loads are pure functions of (snapshot,
+                        // source) and the merge below folds them in batch-index
+                        // order, so the round is bit-identical for any worker
+                        // count.
+                        let loads: Vec<Vec<(u32, f64)>> = {
+                            let snap = mwu.snapshot();
+                            let jobs: Vec<(usize, &[f64])> = active
+                                .iter()
+                                .map(|&k| (start + k, batch_remaining[k].as_slice()))
+                                .collect();
+                            if jobs.len() > 1
+                                && jobs.len() * m >= PAR_MIN_BATCH_WORK
+                                && rayon::current_num_threads() > 1
+                            {
+                                jobs.into_par_iter()
+                                    .map_init(
+                                        || route_pool.lease(),
+                                        |sc, (si, rem)| {
+                                            route::route_source_snapshot(
+                                                &ctx, si, potentials, snap, rem, sc,
+                                            )
+                                        },
+                                    )
+                                    .collect()
+                            } else {
+                                let mut sc = route_pool.lease();
+                                jobs.into_iter()
+                                    .map(|(si, rem)| {
+                                        route::route_source_snapshot(
+                                            &ctx, si, potentials, snap, rem, &mut sc,
+                                        )
+                                    })
+                                    .collect()
+                            }
+                        };
+                        // Deterministic merge (each source self-capped against
+                        // raw capacities, exactly the serial per-iteration
+                        // bottleneck rule) + one batched ≤(1+eps) update.
+                        epoch_merge.begin(m);
+                        let self_caps: Vec<f64> = loads
+                            .iter()
+                            .map(|source_loads| {
+                                epoch_merge.accumulate_capped(source_loads, arc_state)
+                            })
+                            .collect();
+                        let theta = epoch_merge.theta(arc_state);
+                        epoch_merge.apply(theta, mwu, &mut flow_arc);
+                        stats.epochs += 1;
+                        // Commit each source's theta·theta_k fraction; what
+                        // remains re-prices against a fresh snapshot next round.
+                        for (&k, &theta_k) in active.iter().zip(&self_caps) {
+                            let f = theta * theta_k;
+                            if f <= 0.0 {
+                                continue;
+                            }
+                            let si = start + k;
+                            for (j, r) in batch_remaining[k].iter_mut().enumerate() {
+                                if *r > 1e-15 {
+                                    let commit = f * *r;
+                                    routed[si][j] += commit;
+                                    *r -= commit;
+                                }
+                            }
+                        }
+                    }
+                    start = end;
                 }
-                start = end;
+            }
+            phase += 1;
+            // Convergence guard: past the phase budget, fall back to the exact
+            // serial trajectory for the remainder of the solve.
+            if batch_active && phase >= guard_limit {
+                batch_active = false;
+                stats.guard_triggered = true;
+            }
+            // In a batched solve the serial phase-0 yardstick doubles as a
+            // convergence probe: evaluate once right after it, so instances the
+            // single serial sweep already solves to the target gap (integral
+            // optima hit exactly, e.g. unit-capacity matchings on the hypercube
+            // — measured gap 0.0 after one phase vs >= 0.16 on every shape that
+            // benefits from batching) terminate before any batched epoch runs.
+            // The phase-count guard cannot catch these: its estimate
+            // extrapolates the classical `D(l) >= 1` termination and is blind
+            // to gap-based early exits (measured 45x wall-clock on the
+            // hypercube longest-matching without this check).
+            if phase.is_multiple_of(check_interval) || (batching && phase == 1) {
+                let (lo, up, mu) = evaluate_bounds(
+                    &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
+                );
+                if let Some(cap) = capture.as_mut() {
+                    cap.observe(
+                        lo,
+                        up,
+                        mu,
+                        best_lower,
+                        best_upper,
+                        mwu.lens(),
+                        &flow_arc,
+                        &routed,
+                    );
+                }
+                best_lower = best_lower.max(lo);
+                best_upper = best_upper.min(up);
+                if best_upper.is_finite()
+                    && (best_upper - best_lower) / best_upper <= cfg.target_gap
+                {
+                    // No routing has happened since this evaluation, so the
+                    // closing sweep below would recompute the same bounds;
+                    // skip it.
+                    state_evaluated = true;
+                    break 'phases;
+                }
+                if let (Some(budget_ms), Some(start)) = (cfg.time_budget_ms, solve_start) {
+                    if start.elapsed().as_millis() >= u128::from(budget_ms) {
+                        state_evaluated = true;
+                        break 'phases;
+                    }
+                }
+            }
+            // Warm admissibility gate (the lagging reset): past the warm phase
+            // budget without converging, the warm trajectory has fallen behind
+            // the cold extrapolation — discard this attempt and restart cold.
+            if attempt_warm && phase >= warm_guard_limit && !mwu.saturated() {
+                stats.warm_gate = WarmGate::ResetLagging;
+                stats.warm_phases_discarded += phase;
+                total_phases += phase;
+                warm_active = false;
+                epoch_merge.reset();
+                continue 'attempt;
             }
         }
-        phase += 1;
-        // Convergence guard: past the phase budget, fall back to the exact
-        // serial trajectory for the remainder of the solve.
-        if batch_active && phase >= guard_limit {
-            batch_active = false;
-            stats.guard_triggered = true;
+        stats.phases = total_phases + phase;
+        // A solve that saturated mid-drain leaves partially-drained loads in the
+        // merge accumulator; clear them so the workspace's next solve starts on
+        // the documented invariant.
+        epoch_merge.reset();
+
+        if trace {
+            eprintln!(
+            "TB_SOLVER_TRACE phases={phase} trees={} pot_refreshes={} d_l={:.4} batch={} epochs={} guard_limit={} guard_triggered={} warm_gate={:?}",
+            route::TREE_COUNT
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .wrapping_sub(trace_start.0),
+            route::POT_COUNT
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .wrapping_sub(trace_start.1),
+            mwu.d_l(),
+            stats.batch_size,
+            stats.epochs,
+            stats.guard_limit,
+            stats.guard_triggered,
+            stats.warm_gate,
+        );
         }
-        // In a batched solve the serial phase-0 yardstick doubles as a
-        // convergence probe: evaluate once right after it, so instances the
-        // single serial sweep already solves to the target gap (integral
-        // optima hit exactly, e.g. unit-capacity matchings on the hypercube
-        // — measured gap 0.0 after one phase vs >= 0.16 on every shape that
-        // benefits from batching) terminate before any batched epoch runs.
-        // The phase-count guard cannot catch these: its estimate
-        // extrapolates the classical `D(l) >= 1` termination and is blind
-        // to gap-based early exits (measured 45x wall-clock on the
-        // hypercube longest-matching without this check).
-        if phase.is_multiple_of(check_interval) || (batching && phase == 1) {
+
+        // Final bound evaluation (unless the state was already evaluated by
+        // the gap check that ended the run).
+        if !state_evaluated {
             let (lo, up, mu) = evaluate_bounds(
                 &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
             );
@@ -479,68 +641,34 @@ pub(super) fn solve_problem(
             }
             best_lower = best_lower.max(lo);
             best_upper = best_upper.min(up);
-            if best_upper.is_finite() && (best_upper - best_lower) / best_upper <= cfg.target_gap {
-                // No routing has happened since this evaluation, so the
-                // closing sweep below would recompute the same bounds;
-                // skip it.
-                state_evaluated = true;
-                break 'phases;
-            }
-            if let (Some(budget_ms), Some(start)) = (cfg.time_budget_ms, solve_start) {
-                if start.elapsed().as_millis() >= u128::from(budget_ms) {
-                    state_evaluated = true;
-                    break 'phases;
-                }
+        }
+        if !best_upper.is_finite() {
+            best_upper = best_lower;
+        }
+        // Warm quality gate: a cold saturation carries the classical `(1+ε)`
+        // guarantee by the delta-init argument; a warm trajectory does not, so
+        // any warm exit that did not *measure* its way under the practical bar
+        // (saturation with a wide gap, or a budget exit a cold run might have
+        // closed) discards the attempt and restarts cold. The bounds themselves
+        // are valid for any positive lengths by LP duality — the gate protects
+        // accuracy parity with cold, not soundness.
+        if attempt_warm {
+            let gap = if best_upper > 0.0 {
+                (best_upper - best_lower) / best_upper
+            } else {
+                0.0
+            };
+            if gap > warm_quality_gap {
+                stats.warm_gate = WarmGate::ResetQuality;
+                stats.warm_phases_discarded += phase;
+                total_phases += phase;
+                warm_active = false;
+                continue 'attempt;
             }
         }
-    }
-    stats.phases = phase;
-    // A solve that saturated mid-drain leaves partially-drained loads in the
-    // merge accumulator; clear them so the workspace's next solve starts on
-    // the documented invariant.
-    epoch_merge.reset();
+        break 'attempt (best_lower, best_upper, capture);
+    };
 
-    if trace {
-        eprintln!(
-            "TB_SOLVER_TRACE phases={phase} trees={} pot_refreshes={} d_l={:.4} batch={} epochs={} guard_limit={} guard_triggered={}",
-            route::TREE_COUNT
-                .load(std::sync::atomic::Ordering::Relaxed)
-                .wrapping_sub(trace_start.0),
-            route::POT_COUNT
-                .load(std::sync::atomic::Ordering::Relaxed)
-                .wrapping_sub(trace_start.1),
-            mwu.d_l(),
-            stats.batch_size,
-            stats.epochs,
-            stats.guard_limit,
-            stats.guard_triggered,
-        );
-    }
-
-    // Final bound evaluation (unless the state was already evaluated by
-    // the gap check that ended the run).
-    if !state_evaluated {
-        let (lo, up, mu) = evaluate_bounds(
-            &ctx, potentials, &routed, &flow_arc, mwu, arc_state, sssp, sweep_pool,
-        );
-        if let Some(cap) = capture.as_mut() {
-            cap.observe(
-                lo,
-                up,
-                mu,
-                best_lower,
-                best_upper,
-                mwu.lens(),
-                &flow_arc,
-                &routed,
-            );
-        }
-        best_lower = best_lower.max(lo);
-        best_upper = best_upper.min(up);
-    }
-    if !best_upper.is_finite() {
-        best_upper = best_lower;
-    }
     // Converged = the accuracy contract held when the loop ended: either the
     // classical FPTAS termination (`D(l) >= 1`, the (1±ε) guarantee) or the
     // target bound gap. A solve that merely ran out of its phase or time
@@ -549,6 +677,15 @@ pub(super) fn solve_problem(
     stats.converged = mwu.saturated()
         || best_upper <= 0.0
         || (best_upper - best_lower) / best_upper <= cfg.target_gap;
+    // Extract the warm artifact for the next solve in a chain: the final
+    // length shape plus the dual bound in unscaled units. Read-only — the
+    // trajectory is identical with extraction on or off.
+    let warm_out = want_warm.then(|| WarmStart {
+        lens: mwu.lens().to_vec(),
+        dual_bound: best_upper * scale,
+        epsilon: eps,
+        phases: stats.phases,
+    });
     // Undo the demand pre-scaling: bounds computed for demands d*scale are
     // 1/scale times the bounds for d. The certificate needs no scale field:
     // its flow and served amounts are absolute, so the canonical claims come
@@ -561,6 +698,7 @@ pub(super) fn solve_problem(
         },
         stats,
         cert,
+        warm_out,
     )
 }
 

@@ -32,10 +32,10 @@ pub use certificate::{verify_certificate, CertificateError, ThroughputCertificat
 pub use exact::ExactLpSolver;
 pub use fleischer::{
     auto_steal_chunk, BatchGate, FleischerConfig, FleischerSolver, PricingMode, SolveOutcome,
-    SolveStats, SolverWorkspace,
+    SolveStats, SolverWorkspace, WarmGate,
 };
 pub use instance::FlowProblem;
-pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths, StaleLengths};
+pub use lengths::{ArcLengths, LengthSnapshot, MwuLengths, StaleLengths, WarmRescale, WarmStart};
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};

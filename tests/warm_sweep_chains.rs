@@ -1,0 +1,195 @@
+//! Sweep-level contracts of `--warm` chaining: the runner groups cells that
+//! share a `warm_chain_key` into serial units and threads the warm artifact
+//! through them in rung order, so the contracts here are one level above
+//! `warm_determinism.rs` (which pins the solver chain itself):
+//!
+//! * a warm sweep's values are bit-identical whether the units run on the
+//!   serial in-thread path (`jobs = Some(1)`) or on the worker pool — and
+//!   across repeated runs;
+//! * warm and cold runs never share a cache entry (the `EvalConfig::warm`
+//!   flag is part of the cell key), so a warm run next to a cold cache
+//!   leaves the cold results untouched and a later cold run is served
+//!   entirely from cache, bit for bit;
+//! * a chain is recomputed whole from rung 0 whenever any member is missing
+//!   from the cache, so results are independent of which members happen to
+//!   be cached.
+
+use topobench::sweep::{run_cells, CellOutcome, CellSpec, SweepCell, SweepOptions, TopoSpec};
+use topobench::TmSpec;
+
+/// The Fig-12-shaped grid: skew-fraction ladders on one FatTree and one
+/// hypercube (a measured transfer winner and a gate-exercising shape), plus
+/// an unchained all-to-all cell to keep a singleton in the mix.
+fn chain_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    let topos = [
+        ("fattree", TopoSpec::FatTree { k: 4 }),
+        (
+            "hypercube",
+            TopoSpec::Hypercube {
+                dims: 4,
+                servers: 1,
+            },
+        ),
+    ];
+    for (name, topo) in topos {
+        for fraction in [0.05, 0.25, 1.0] {
+            cells.push(SweepCell::new(
+                format!("{name}/skew/{fraction}"),
+                CellSpec::Throughput {
+                    topo: topo.clone(),
+                    tm: TmSpec::SkewedLongestMatching {
+                        fraction,
+                        weight: 10.0,
+                    },
+                    tm_seed: 7,
+                },
+            ));
+        }
+    }
+    cells.push(SweepCell::new(
+        "fattree/a2a",
+        CellSpec::Throughput {
+            topo: TopoSpec::FatTree { k: 4 },
+            tm: TmSpec::AllToAll,
+            tm_seed: 7,
+        },
+    ));
+    cells
+}
+
+fn opts(warm: bool, jobs: Option<usize>, cache_dir: Option<&std::path::Path>) -> SweepOptions {
+    let mut o = SweepOptions::new(false, 1);
+    o.warm = warm;
+    o.jobs = jobs;
+    match cache_dir {
+        Some(dir) => o.cache_dir = dir.to_path_buf(),
+        None => o.use_cache = false,
+    }
+    o
+}
+
+fn assert_outcomes_bit_identical(name: &str, a: &[CellOutcome], b: &[CellOutcome]) {
+    assert_eq!(a.len(), b.len(), "{name}: outcome counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.cell.id, y.cell.id, "{name}: cell order diverged");
+        assert!(
+            !x.is_failed() && !y.is_failed(),
+            "{name}: cell '{}' failed",
+            x.cell.id
+        );
+        let (xn, yn) = (x.values.nums(), y.values.nums());
+        assert_eq!(xn.len(), yn.len(), "{name}/{}: metric arity", x.cell.id);
+        for ((nx, vx), (ny, vy)) in xn.iter().zip(yn) {
+            assert_eq!(nx, ny, "{name}/{}: metric names", x.cell.id);
+            assert_eq!(
+                vx.to_bits(),
+                vy.to_bits(),
+                "{name}/{}: metric '{nx}' diverged",
+                x.cell.id
+            );
+        }
+        assert_eq!(
+            x.values.texts(),
+            y.values.texts(),
+            "{name}/{}: text annotations diverged",
+            x.cell.id
+        );
+    }
+}
+
+/// A scratch cache directory unique to this test, removed on drop.
+struct TempCache(std::path::PathBuf);
+
+impl TempCache {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("tb-warm-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempCache(dir)
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn warm_sweep_bit_identical_across_execution_modes() {
+    // Serial in-thread vs worker-pool unit execution, and a repeated run on
+    // the same process: all bit-identical. (CI re-runs this binary at pool
+    // widths 1/2/8, so the pooled path is exercised at several widths.)
+    let serial = run_cells(&opts(true, Some(1), None), chain_cells());
+    let pooled = run_cells(&opts(true, None, None), chain_cells());
+    let again = run_cells(&opts(true, None, None), chain_cells());
+    assert_outcomes_bit_identical("serial-vs-pooled", &serial.outcomes, &pooled.outcomes);
+    assert_outcomes_bit_identical("pooled-vs-again", &pooled.outcomes, &again.outcomes);
+}
+
+#[test]
+fn warm_and_cold_runs_never_share_a_cache_entry() {
+    let cache = TempCache::new("keysep");
+    let cells = chain_cells();
+
+    // Cold populate.
+    let cold = run_cells(&opts(false, Some(1), Some(&cache.0)), cells.clone());
+    assert_eq!(cold.cache_hits, 0, "fresh cache must start cold");
+    let entries_after_cold = std::fs::read_dir(&cache.0).unwrap().count();
+    assert!(entries_after_cold >= cold.unique_cells);
+
+    // A warm run against the same cache must not hit any cold entry and must
+    // add its own — the `warm` flag is part of every cell key.
+    let warm = run_cells(&opts(true, Some(1), Some(&cache.0)), cells.clone());
+    assert_eq!(
+        warm.cache_hits, 0,
+        "warm run must not be served from cold entries"
+    );
+    let entries_after_warm = std::fs::read_dir(&cache.0).unwrap().count();
+    assert!(
+        entries_after_warm >= entries_after_cold + warm.unique_cells,
+        "warm run must write its own cache entries ({entries_after_cold} -> {entries_after_warm})"
+    );
+
+    // A second cold run is served entirely from the original cold entries,
+    // bit for bit — the warm run changed nothing it reads.
+    let cold_again = run_cells(&opts(false, Some(1), Some(&cache.0)), cells.clone());
+    assert_eq!(cold_again.cache_hits, cold_again.unique_cells);
+    assert_outcomes_bit_identical("cold-replay", &cold.outcomes, &cold_again.outcomes);
+
+    // And a second warm run is served entirely from the warm entries.
+    let warm_again = run_cells(&opts(true, Some(1), Some(&cache.0)), cells);
+    assert_eq!(warm_again.cache_hits, warm_again.unique_cells);
+    assert_outcomes_bit_identical("warm-replay", &warm.outcomes, &warm_again.outcomes);
+}
+
+#[test]
+fn warm_chains_recompute_whole_when_any_member_is_missing() {
+    // Cache every cell, then evict one mid-chain member. The rerun must
+    // produce values bit-identical to the uncached run: the runner replays
+    // the whole chain from rung 0 rather than seeding the missing member
+    // with whatever artifact a partial replay would have produced.
+    let cache = TempCache::new("partial");
+    let reference = run_cells(&opts(true, Some(1), None), chain_cells());
+    let first = run_cells(&opts(true, Some(1), Some(&cache.0)), chain_cells());
+    assert_outcomes_bit_identical("cached-vs-uncached", &reference.outcomes, &first.outcomes);
+
+    // Evict the middle FatTree rung (fraction 0.25) by key fragment.
+    let mut evicted = 0;
+    for entry in std::fs::read_dir(&cache.0).unwrap() {
+        let path = entry.unwrap().path();
+        let body = std::fs::read_to_string(&path).unwrap_or_default();
+        if body.contains("FatTree") && body.contains("fraction: 0.25") {
+            std::fs::remove_file(&path).unwrap();
+            evicted += 1;
+        }
+    }
+    assert!(evicted >= 1, "expected to evict at least one chain member");
+
+    let replay = run_cells(&opts(true, Some(1), Some(&cache.0)), chain_cells());
+    assert!(
+        replay.cache_hits < replay.unique_cells,
+        "eviction must force recomputation"
+    );
+    assert_outcomes_bit_identical("post-evict", &reference.outcomes, &replay.outcomes);
+}
